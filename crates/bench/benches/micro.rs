@@ -1,0 +1,150 @@
+//! Criterion micro-benchmarks for the performance-critical components:
+//! RR-set generation (serial and parallel), coverage queries, realization
+//! hashing, forward cascades, and one end-to-end policy decision per
+//! algorithm family.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use atpm_core::policies::{Adg, Hatp, Ndg, Nsg};
+use atpm_core::oracle::McOracle;
+use atpm_core::runner::{evaluate_adaptive, evaluate_nonadaptive};
+use atpm_core::setup::{calibrated_instance, CalibrationConfig};
+use atpm_core::CostSplit;
+use atpm_diffusion::{CascadeEngine, HashedRealization, MaterializedRealization, Realization};
+use atpm_graph::gen::Dataset;
+use atpm_ris::sampler::generate_batch;
+use atpm_ris::{NodeSet, RrSampler};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_rr_generation(c: &mut Criterion) {
+    let g = Dataset::Epinions.generate(0.05, 1); // ~6.6K nodes
+    let mut group = c.benchmark_group("rr_generation");
+    group.sample_size(20);
+    let count = 20_000usize;
+    group.throughput(Throughput::Elements(count as u64));
+    for threads in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("batch", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| generate_batch(&&g, count, 7, threads));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_rr_single(c: &mut Criterion) {
+    let g = Dataset::NetHept.generate(0.2, 2);
+    c.bench_function("rr_single_set", |b| {
+        let mut sampler = RrSampler::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut buf = Vec::new();
+        b.iter(|| {
+            sampler.sample_into(&&g, &mut rng, &mut buf);
+            buf.len()
+        });
+    });
+}
+
+fn bench_coverage_queries(c: &mut Criterion) {
+    let g = Dataset::NetHept.generate(0.2, 3);
+    let batch = generate_batch(&&g, 100_000, 5, 4);
+    let seeds: Vec<u32> = (0..50).collect();
+    c.bench_function("coverage_cov_set_50", |b| {
+        b.iter(|| batch.cov_set(&seeds));
+    });
+    let cond = NodeSet::from_iter(g.num_nodes(), (0..20).map(|i| i * 3));
+    c.bench_function("coverage_marginal", |b| {
+        b.iter(|| batch.cov_marginal(0, &cond));
+    });
+}
+
+fn bench_realizations(c: &mut Criterion) {
+    let g = Dataset::NetHept.generate(0.2, 4);
+    let hashed = HashedRealization::new(9);
+    c.bench_function("realization_hash_coin", |b| {
+        let mut e = 0u32;
+        b.iter(|| {
+            e = e.wrapping_add(1) % g.num_edges() as u32;
+            hashed.is_live(e, 0.3)
+        });
+    });
+    c.bench_function("realization_materialize", |b| {
+        b.iter(|| MaterializedRealization::materialize(&g, &hashed));
+    });
+}
+
+fn bench_cascade(c: &mut Criterion) {
+    let g = Dataset::NetHept.generate(0.2, 5);
+    let real = HashedRealization::new(11);
+    let mut engine = CascadeEngine::new();
+    let seeds: Vec<u32> = (0..10).collect();
+    c.bench_function("cascade_observe_10_seeds", |b| {
+        b.iter(|| engine.observe(&&g, &real, &seeds).len());
+    });
+}
+
+fn bench_policies(c: &mut Criterion) {
+    // One small calibrated instance shared across policy benches.
+    let graph = Dataset::NetHept.generate(0.05, 6); // ~760 nodes
+    let inst = calibrated_instance(
+        graph,
+        8,
+        CostSplit::Uniform,
+        CalibrationConfig { lb_theta: 30_000, seed: 6, threads: 4, ..Default::default() },
+    );
+    let worlds = [1u64, 2];
+    let mut group = c.benchmark_group("policies");
+    group.sample_size(10);
+    group.bench_function("hatp_2_worlds", |b| {
+        b.iter(|| {
+            let mut p = Hatp { seed: 1, threads: 4, ..Default::default() };
+            evaluate_adaptive(&inst, &mut p, &worlds).mean_profit()
+        });
+    });
+    group.bench_function("adg_mc_oracle_2_worlds", |b| {
+        b.iter(|| {
+            let mut p = Adg::new(McOracle::new(2_000, 1));
+            evaluate_adaptive(&inst, &mut p, &worlds).mean_profit()
+        });
+    });
+    group.bench_function("nsg_select", |b| {
+        b.iter(|| {
+            let mut p = Nsg::new(50_000, 1, 4);
+            evaluate_nonadaptive(&inst, &mut p, &worlds).mean_profit()
+        });
+    });
+    group.bench_function("ndg_select", |b| {
+        b.iter(|| {
+            let mut p = Ndg::new(50_000, 1, 4);
+            evaluate_nonadaptive(&inst, &mut p, &worlds).mean_profit()
+        });
+    });
+    group.finish();
+}
+
+fn bench_graph_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+    group.sample_size(10);
+    group.bench_function("nethept_preset_s0.2", |b| {
+        b.iter(|| Dataset::NetHept.generate(0.2, 1).num_edges());
+    });
+    group.bench_function("epinions_preset_s0.05", |b| {
+        b.iter(|| Dataset::Epinions.generate(0.05, 1).num_edges());
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_rr_generation,
+    bench_rr_single,
+    bench_coverage_queries,
+    bench_realizations,
+    bench_cascade,
+    bench_policies,
+    bench_graph_generation,
+);
+criterion_main!(benches);

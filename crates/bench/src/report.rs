@@ -1,0 +1,163 @@
+//! ASCII table/series reporters that mirror the paper's figures: one row per
+//! k (or λ / ε / scale factor), one column per algorithm.
+
+use std::collections::BTreeMap;
+
+/// One measured cell of an experiment grid.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Row key (k, λ, ε×100, sample-size factor — whatever the x-axis is).
+    pub x: u64,
+    /// Column key (algorithm name).
+    pub series: String,
+    /// Measured value (profit or seconds).
+    pub value: f64,
+}
+
+/// A rectangular experiment result: x-axis × series.
+#[derive(Debug, Default, Clone)]
+pub struct Table {
+    cells: Vec<Cell>,
+}
+
+impl Table {
+    /// An empty table.
+    pub fn new() -> Self {
+        Table::default()
+    }
+
+    /// Records one measurement.
+    pub fn push(&mut self, x: u64, series: &str, value: f64) {
+        self.cells.push(Cell { x, series: series.to_string(), value });
+    }
+
+    /// All recorded cells.
+    pub fn cells(&self) -> &[Cell] {
+        &self.cells
+    }
+
+    /// Looks up one value.
+    pub fn get(&self, x: u64, series: &str) -> Option<f64> {
+        self.cells
+            .iter()
+            .find(|c| c.x == x && c.series == series)
+            .map(|c| c.value)
+    }
+
+    /// Series names in first-appearance order.
+    pub fn series_names(&self) -> Vec<String> {
+        let mut names = Vec::new();
+        for c in &self.cells {
+            if !names.contains(&c.series) {
+                names.push(c.series.clone());
+            }
+        }
+        names
+    }
+
+    /// Renders the table: rows sorted by x, one column per series.
+    ///
+    /// `x_label` names the x-axis (`k`, `lambda`, ...); `fmt` formats values
+    /// (profits use one decimal, times use scientific-ish seconds).
+    pub fn render(&self, title: &str, x_label: &str, fmt: ValueFormat) -> String {
+        use std::fmt::Write;
+        let names = self.series_names();
+        let mut rows: BTreeMap<u64, BTreeMap<&str, f64>> = BTreeMap::new();
+        for c in &self.cells {
+            rows.entry(c.x).or_default().insert(&c.series, c.value);
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "## {title}");
+        let _ = write!(out, "{x_label:>8}");
+        for n in &names {
+            let _ = write!(out, " {n:>12}");
+        }
+        let _ = writeln!(out);
+        let _ = write!(out, "{:->8}", "");
+        for _ in &names {
+            let _ = write!(out, " {:->12}", "");
+        }
+        let _ = writeln!(out);
+        for (x, by_series) in rows {
+            let _ = write!(out, "{x:>8}");
+            for n in &names {
+                match by_series.get(n.as_str()) {
+                    Some(v) => {
+                        let _ = write!(out, " {:>12}", fmt.format(*v));
+                    }
+                    None => {
+                        let _ = write!(out, " {:>12}", "-");
+                    }
+                }
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+}
+
+/// How a cell value is rendered.
+#[derive(Debug, Clone, Copy)]
+pub enum ValueFormat {
+    /// Profit values: one decimal place.
+    Profit,
+    /// Wall-clock seconds: three significant digits.
+    Seconds,
+    /// Raw counts.
+    Count,
+}
+
+impl ValueFormat {
+    fn format(self, v: f64) -> String {
+        match self {
+            ValueFormat::Profit => format!("{v:.1}"),
+            ValueFormat::Seconds => {
+                if v >= 100.0 {
+                    format!("{v:.0}s")
+                } else if v >= 1.0 {
+                    format!("{v:.1}s")
+                } else {
+                    format!("{:.0}ms", v * 1000.0)
+                }
+            }
+            ValueFormat::Count => format!("{v:.0}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_round_trips_cells() {
+        let mut t = Table::new();
+        t.push(10, "HATP", 1.5);
+        t.push(10, "NDG", 1.2);
+        t.push(25, "HATP", 2.5);
+        assert_eq!(t.get(10, "HATP"), Some(1.5));
+        assert_eq!(t.get(25, "NDG"), None);
+        assert_eq!(t.series_names(), vec!["HATP", "NDG"]);
+    }
+
+    #[test]
+    fn render_is_rectangular_with_missing_cells() {
+        let mut t = Table::new();
+        t.push(10, "A", 1.0);
+        t.push(20, "B", 2.0);
+        let s = t.render("demo", "k", ValueFormat::Profit);
+        assert!(s.contains("## demo"));
+        assert!(s.contains("-"), "missing cells show a dash");
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5, "title, header, rule, two rows");
+    }
+
+    #[test]
+    fn formats() {
+        assert_eq!(ValueFormat::Profit.format(3.16), "3.2");
+        assert_eq!(ValueFormat::Seconds.format(0.5), "500ms");
+        assert_eq!(ValueFormat::Seconds.format(12.3), "12.3s");
+        assert_eq!(ValueFormat::Seconds.format(1234.0), "1234s");
+        assert_eq!(ValueFormat::Count.format(42.0), "42");
+    }
+}

@@ -1,0 +1,165 @@
+//! Cost models: how seeding costs are assigned to users.
+//!
+//! The paper evaluates two procedures (§VI-A):
+//!
+//! 1. **Spread-calibrated** — pick `T` first (top-k by IMM), estimate a lower
+//!    bound `E_l[I(T)]` of its spread, then split exactly that amount as the
+//!    total cost `c(T)`. The split is degree-proportional, uniform, or
+//!    random.
+//! 2. **Predefined-λ** (§VI-D) — fix the cost of *every* node from
+//!    `λ = c(V)/n` before choosing `T`; degree-proportional
+//!    (`c(u) = λ·n·outdeg(u)/m`) or uniform (`c(u) = λ`).
+
+use atpm_graph::{Graph, Node};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How a total cost is divided among users.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CostSplit {
+    /// `c(u) ∝ outdeg(u)` — influential users are expensive (Fig. 2 setting).
+    DegreeProportional,
+    /// Every user costs the same (Fig. 3 setting).
+    Uniform,
+    /// iid uniform weights, normalized (Fig. 4(a) setting).
+    Random {
+        /// RNG seed for the weights.
+        seed: u64,
+    },
+}
+
+impl CostSplit {
+    /// Display label used by the experiment tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            CostSplit::DegreeProportional => "degree-proportional",
+            CostSplit::Uniform => "uniform",
+            CostSplit::Random { .. } => "random",
+        }
+    }
+}
+
+/// Splits `total` across `target` according to `split`, guaranteeing
+/// `Σ c(u) == total` (up to float rounding).
+///
+/// Degree-proportional falls back to a uniform split when every target has
+/// out-degree zero.
+pub fn split_total_cost(g: &Graph, target: &[Node], split: CostSplit, total: f64) -> Vec<f64> {
+    assert!(total >= 0.0 && total.is_finite(), "total cost must be finite, got {total}");
+    assert!(!target.is_empty(), "cannot split cost over an empty target set");
+    let weights: Vec<f64> = match split {
+        CostSplit::DegreeProportional => {
+            let degs: Vec<f64> = target.iter().map(|&u| g.out_degree(u) as f64).collect();
+            if degs.iter().sum::<f64>() == 0.0 {
+                vec![1.0; target.len()]
+            } else {
+                degs
+            }
+        }
+        CostSplit::Uniform => vec![1.0; target.len()],
+        CostSplit::Random { seed } => {
+            let mut rng = StdRng::seed_from_u64(seed);
+            // Offset from zero so no node ends up free.
+            (0..target.len()).map(|_| 0.05 + rng.gen::<f64>()).collect()
+        }
+    };
+    let sum: f64 = weights.iter().sum();
+    weights.into_iter().map(|w| total * w / sum).collect()
+}
+
+/// Predefined per-node costs from the ratio `λ = c(V)/n` (§VI-D), over the
+/// *whole* node set. Degree-proportional assigns `c(u) = λ·n·outdeg(u)/m`;
+/// uniform and random behave as in [`split_total_cost`] with
+/// `total = λ·n`.
+pub fn predefined_costs(g: &Graph, lambda: f64, split: CostSplit) -> Vec<f64> {
+    assert!(lambda > 0.0 && lambda.is_finite(), "lambda must be positive, got {lambda}");
+    let all: Vec<Node> = (0..g.num_nodes() as Node).collect();
+    split_total_cost(g, &all, split, lambda * g.num_nodes() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atpm_graph::GraphBuilder;
+
+    fn graph() -> Graph {
+        // out-degrees: 0 -> 2, 1 -> 1, 2 -> 1, 3 -> 0
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 0.5).unwrap();
+        b.add_edge(0, 2, 0.5).unwrap();
+        b.add_edge(1, 3, 0.5).unwrap();
+        b.add_edge(2, 3, 0.5).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn degree_proportional_tracks_out_degree() {
+        let g = graph();
+        let c = split_total_cost(&g, &[0, 1, 3], CostSplit::DegreeProportional, 9.0);
+        // weights 2, 1, 0 -> 6, 3, 0
+        assert_eq!(c, vec![6.0, 3.0, 0.0]);
+    }
+
+    #[test]
+    fn uniform_splits_evenly() {
+        let g = graph();
+        let c = split_total_cost(&g, &[0, 1, 2], CostSplit::Uniform, 6.0);
+        assert_eq!(c, vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn random_sums_to_total_and_is_seeded() {
+        let g = graph();
+        let c1 = split_total_cost(&g, &[0, 1, 2, 3], CostSplit::Random { seed: 5 }, 10.0);
+        let c2 = split_total_cost(&g, &[0, 1, 2, 3], CostSplit::Random { seed: 5 }, 10.0);
+        assert_eq!(c1, c2);
+        assert!((c1.iter().sum::<f64>() - 10.0).abs() < 1e-9);
+        assert!(c1.iter().all(|&x| x > 0.0));
+        let c3 = split_total_cost(&g, &[0, 1, 2, 3], CostSplit::Random { seed: 6 }, 10.0);
+        assert_ne!(c1, c3);
+    }
+
+    #[test]
+    fn degree_proportional_falls_back_on_sinks() {
+        let g = graph();
+        // Node 3 is the only target and has out-degree 0.
+        let c = split_total_cost(&g, &[3], CostSplit::DegreeProportional, 4.0);
+        assert_eq!(c, vec![4.0]);
+    }
+
+    #[test]
+    fn mass_is_conserved_for_every_split() {
+        let g = graph();
+        for split in [
+            CostSplit::DegreeProportional,
+            CostSplit::Uniform,
+            CostSplit::Random { seed: 1 },
+        ] {
+            let c = split_total_cost(&g, &[0, 1, 2], split, 7.5);
+            assert!(
+                (c.iter().sum::<f64>() - 7.5).abs() < 1e-9,
+                "{split:?} lost mass: {c:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn predefined_lambda_means_average_cost() {
+        let g = graph();
+        let c = predefined_costs(&g, 200.0, CostSplit::Uniform);
+        assert_eq!(c.len(), 4);
+        assert!(c.iter().all(|&x| (x - 200.0).abs() < 1e-9));
+
+        let c = predefined_costs(&g, 200.0, CostSplit::DegreeProportional);
+        // c(u) = λ·n·deg/m = 200·4·deg/4 = 200·deg
+        assert_eq!(c, vec![400.0, 200.0, 200.0, 0.0]);
+        assert!((c.iter().sum::<f64>() / 4.0 - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn rejects_empty_target() {
+        let g = graph();
+        let _ = split_total_cost(&g, &[], CostSplit::Uniform, 1.0);
+    }
+}

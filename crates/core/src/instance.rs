@@ -1,0 +1,143 @@
+//! The TPM problem instance: graph + target set + seeding costs.
+
+use atpm_graph::{Graph, Node};
+
+/// A target profit maximization instance (paper Definition 2's inputs).
+///
+/// Costs are stored per node (zero for non-targets), so `c(S)` is a plain
+/// sum; the target set is kept in a fixed examination order — the order the
+/// double-greedy family iterates in (the approximation guarantees hold for
+/// any fixed order; we default to the order the target set was constructed
+/// in, e.g. IMM pick order).
+pub struct TpmInstance {
+    graph: Graph,
+    target: Vec<Node>,
+    costs: Box<[f64]>,
+}
+
+impl TpmInstance {
+    /// Builds an instance. `costs` holds one entry per *target* node,
+    /// parallel to `target`.
+    ///
+    /// Panics on duplicate targets, out-of-range ids, or negative/non-finite
+    /// costs — instances are built by trusted workload constructors.
+    pub fn new(graph: Graph, target: Vec<Node>, target_costs: &[f64]) -> Self {
+        assert_eq!(
+            target.len(),
+            target_costs.len(),
+            "one cost per target node required"
+        );
+        let n = graph.num_nodes();
+        let mut costs = vec![0.0f64; n].into_boxed_slice();
+        let mut seen = vec![false; n];
+        for (&u, &c) in target.iter().zip(target_costs) {
+            assert!((u as usize) < n, "target node {u} out of range");
+            assert!(!seen[u as usize], "duplicate target node {u}");
+            assert!(c.is_finite() && c >= 0.0, "cost of {u} must be finite and >= 0, got {c}");
+            seen[u as usize] = true;
+            costs[u as usize] = c;
+        }
+        TpmInstance { graph, target, costs }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Target nodes in examination order.
+    pub fn target(&self) -> &[Node] {
+        &self.target
+    }
+
+    /// `k = |T|`.
+    pub fn k(&self) -> usize {
+        self.target.len()
+    }
+
+    /// Seeding cost of node `u` (zero for non-targets).
+    #[inline]
+    pub fn cost(&self, u: Node) -> f64 {
+        self.costs[u as usize]
+    }
+
+    /// `c(S) = Σ_{u ∈ S} c(u)`.
+    pub fn cost_of(&self, set: &[Node]) -> f64 {
+        set.iter().map(|&u| self.cost(u)).sum()
+    }
+
+    /// Total target cost `c(T)`.
+    pub fn total_cost(&self) -> f64 {
+        self.cost_of(&self.target)
+    }
+
+    /// Whether `u` is a target node.
+    pub fn is_target(&self, u: Node) -> bool {
+        self.costs[u as usize] > 0.0 || self.target.contains(&u)
+    }
+
+    /// Consumes the instance, returning the graph (used when re-targeting).
+    pub fn into_graph(self) -> Graph {
+        self.graph
+    }
+}
+
+impl std::fmt::Debug for TpmInstance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TpmInstance")
+            .field("n", &self.graph.num_nodes())
+            .field("m", &self.graph.num_edges())
+            .field("k", &self.k())
+            .field("c(T)", &self.total_cost())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atpm_graph::GraphBuilder;
+
+    fn graph() -> Graph {
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(0, 1, 0.5).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn costs_are_indexed_by_node() {
+        let inst = TpmInstance::new(graph(), vec![1, 3], &[1.5, 2.5]);
+        assert_eq!(inst.cost(1), 1.5);
+        assert_eq!(inst.cost(3), 2.5);
+        assert_eq!(inst.cost(0), 0.0);
+        assert_eq!(inst.cost_of(&[1, 3]), 4.0);
+        assert_eq!(inst.total_cost(), 4.0);
+        assert_eq!(inst.k(), 2);
+        assert!(inst.is_target(1));
+        assert!(!inst.is_target(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn rejects_duplicate_targets() {
+        let _ = TpmInstance::new(graph(), vec![1, 1], &[1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_targets() {
+        let _ = TpmInstance::new(graph(), vec![9], &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_negative_costs() {
+        let _ = TpmInstance::new(graph(), vec![1], &[-1.0]);
+    }
+
+    #[test]
+    fn zero_cost_targets_are_still_targets() {
+        let inst = TpmInstance::new(graph(), vec![2], &[0.0]);
+        assert!(inst.is_target(2));
+    }
+}

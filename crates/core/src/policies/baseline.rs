@@ -1,0 +1,45 @@
+//! Baseline — deploy the entire target set (the dark-blue `×` line of
+//! Figs. 2–3).
+//!
+//! The paper's "Baseline" is the estimated profit of `T` itself:
+//! `ρ(T) = E[I(T)] − c(T)`. Every algorithm is supposed to beat it — TPM
+//! degenerates to "just seed everyone you can reach" if it can't.
+
+use atpm_graph::Node;
+
+use crate::instance::TpmInstance;
+use crate::NonadaptivePolicy;
+
+/// Selects the whole target set.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Baseline;
+
+impl NonadaptivePolicy for Baseline {
+    fn name(&self) -> &'static str {
+        "Baseline"
+    }
+
+    fn select(&mut self, instance: &TpmInstance) -> Vec<Node> {
+        instance.target().to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{evaluate_nonadaptive, standard_worlds};
+    use atpm_graph::GraphBuilder;
+
+    #[test]
+    fn baseline_profit_is_spread_minus_total_cost() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 1.0).unwrap();
+        let inst = TpmInstance::new(b.build(), vec![0, 2], &[1.0, 1.0]);
+        let mut p = Baseline;
+        let s = evaluate_nonadaptive(&inst, &mut p, &standard_worlds(1));
+        // Deterministic: spread of {0,2} is 3, cost 2.
+        for profit in &s.profits {
+            assert!((profit - 1.0).abs() < 1e-9);
+        }
+    }
+}

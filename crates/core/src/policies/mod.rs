@@ -1,0 +1,30 @@
+//! Every algorithm evaluated in the paper.
+//!
+//! | Policy | Setting | Paper section |
+//! |--------|---------|---------------|
+//! | [`Adg`] | adaptive, oracle model | §III-B (Algorithm 2) |
+//! | [`Addatp`] | adaptive, noise model, additive error | §III-C (Algorithm 3) |
+//! | [`Hatp`] | adaptive, noise model, hybrid error | §IV (Algorithm 4) |
+//! | [`Hntp`] | nonadaptive HATP | §VI-A |
+//! | [`Nsg`] | nonadaptive simple greedy \[26\] | §VI-A |
+//! | [`Ndg`] | nonadaptive double greedy \[26\] | §VI-A |
+//! | [`Ars`] / [`Rs`] | (adaptive) random set \[10\] | §VI-A |
+//! | [`Baseline`] | deploy the whole target set | §VI-B |
+
+mod adg;
+mod addatp;
+mod ars;
+mod baseline;
+mod hatp;
+mod hntp;
+mod ndg;
+mod nsg;
+
+pub use addatp::Addatp;
+pub use adg::Adg;
+pub use ars::{Ars, Rs};
+pub use baseline::Baseline;
+pub use hatp::Hatp;
+pub use hntp::Hntp;
+pub use ndg::Ndg;
+pub use nsg::Nsg;

@@ -1,0 +1,225 @@
+//! The adaptive feedback loop: one policy run against one possible world.
+//!
+//! A session owns the residual graph for a single realization. The policy
+//! calls [`AdaptiveSession::select`] for each seed it commits; the session
+//! observes the seed's cascade `A(u)` *in that realization* (paper §II-B),
+//! removes the activated nodes from the residual graph and keeps the profit
+//! ledger. Everything a policy may legally observe is exposed here — and
+//! nothing more (no peeking at un-cascaded coins).
+
+use atpm_diffusion::{CascadeEngine, HashedRealization, MaterializedRealization, Realization};
+use atpm_graph::{Edge, Node, ResidualGraph};
+use atpm_ris::NodeSet;
+
+use crate::instance::TpmInstance;
+
+/// The possible world a session runs against: hashed (O(1) memory, the
+/// default) or materialized (explicit bits, used by exact enumeration in
+/// `theory`).
+pub enum SessionWorld {
+    /// Lazy hash-derived world identified by a seed.
+    Hashed(HashedRealization),
+    /// Explicit per-edge liveness bits.
+    Materialized(MaterializedRealization),
+}
+
+impl Realization for SessionWorld {
+    #[inline]
+    fn is_live(&self, e: Edge, prob: f32) -> bool {
+        match self {
+            SessionWorld::Hashed(r) => r.is_live(e, prob),
+            SessionWorld::Materialized(r) => r.is_live(e, prob),
+        }
+    }
+}
+
+/// One adaptive run: realization + residual state + profit ledger.
+pub struct AdaptiveSession<'a> {
+    instance: &'a TpmInstance,
+    realization: SessionWorld,
+    residual: ResidualGraph<'a>,
+    engine: CascadeEngine,
+    activated: NodeSet,
+    selected: Vec<Node>,
+    total_activated: usize,
+    /// Cumulative sampling effort reported by noise-model policies
+    /// (RR sets generated); used by the runtime experiments.
+    sampling_work: u64,
+}
+
+impl<'a> AdaptiveSession<'a> {
+    /// Opens a session on `instance` for the possible world `world_seed`.
+    pub fn new(instance: &'a TpmInstance, world_seed: u64) -> Self {
+        Self::with_world(instance, SessionWorld::Hashed(HashedRealization::new(world_seed)))
+    }
+
+    /// Opens a session against an explicit world (exact enumeration, tests).
+    pub fn with_world(instance: &'a TpmInstance, world: SessionWorld) -> Self {
+        let n = instance.graph().num_nodes();
+        AdaptiveSession {
+            instance,
+            realization: world,
+            residual: ResidualGraph::new(instance.graph()),
+            engine: CascadeEngine::new(),
+            activated: NodeSet::new(n),
+            selected: Vec::new(),
+            total_activated: 0,
+            sampling_work: 0,
+        }
+    }
+
+    /// The instance under evaluation.
+    pub fn instance(&self) -> &TpmInstance {
+        self.instance
+    }
+
+    /// The current residual graph `G_i`.
+    pub fn residual(&self) -> &ResidualGraph<'a> {
+        &self.residual
+    }
+
+    /// Whether `u` has been activated by an earlier selection (the
+    /// `if u_i is activated` guard of Algorithms 2–4).
+    pub fn is_activated(&self, u: Node) -> bool {
+        self.activated.contains(u)
+    }
+
+    /// Commits `u` as a seed: observes `A(u)` in this session's realization,
+    /// removes the activated nodes from the residual graph, and returns
+    /// `A(u)` (including `u` itself, if it was still alive).
+    ///
+    /// Panics if `u` is not a target node or was already activated —
+    /// policies must check [`is_activated`](Self::is_activated) first, as
+    /// the paper's pseudocode does.
+    pub fn select(&mut self, u: Node) -> Vec<Node> {
+        assert!(
+            self.instance.is_target(u),
+            "policy selected non-target node {u}"
+        );
+        assert!(
+            !self.is_activated(u),
+            "policy selected already-activated node {u}"
+        );
+        let cascade = self.engine.observe(&self.residual, &self.realization, &[u]);
+        for &v in &cascade {
+            self.activated.insert(v);
+            self.residual.remove(v);
+        }
+        self.total_activated += cascade.len();
+        self.selected.push(u);
+        cascade
+    }
+
+    /// Seeds committed so far, in selection order.
+    pub fn selected(&self) -> &[Node] {
+        &self.selected
+    }
+
+    /// Number of nodes activated so far (`I_φ(S)` for the current `S`).
+    pub fn total_activated(&self) -> usize {
+        self.total_activated
+    }
+
+    /// Realized profit so far: `I_φ(S) − c(S)`.
+    pub fn profit(&self) -> f64 {
+        self.total_activated as f64 - self.instance.cost_of(&self.selected)
+    }
+
+    /// Records RR-set generation effort (noise-model policies call this so
+    /// experiments can report sampling volume alongside wall-clock time).
+    pub fn add_sampling_work(&mut self, rr_sets: u64) {
+        self.sampling_work += rr_sets;
+    }
+
+    /// Total RR sets reported via [`add_sampling_work`](Self::add_sampling_work).
+    pub fn sampling_work(&self) -> u64 {
+        self.sampling_work
+    }
+
+    /// The world seed this session runs against (0 for explicit worlds).
+    pub fn world_seed(&self) -> u64 {
+        match &self.realization {
+            SessionWorld::Hashed(r) => r.seed(),
+            SessionWorld::Materialized(_) => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atpm_graph::{GraphBuilder, GraphView};
+
+    /// Deterministic graph: 0 -> 1 (p=1), 2 isolated. Targets {0, 2}.
+    fn instance() -> TpmInstance {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 1.0).unwrap();
+        TpmInstance::new(b.build(), vec![0, 2], &[1.5, 0.25])
+    }
+
+    #[test]
+    fn select_observes_and_removes() {
+        let inst = instance();
+        let mut s = AdaptiveSession::new(&inst, 7);
+        let a = s.select(0);
+        assert_eq!(a, vec![0, 1], "p=1 edge always fires");
+        assert!(s.is_activated(0));
+        assert!(s.is_activated(1));
+        assert!(!s.is_activated(2));
+        assert_eq!(s.residual().num_alive(), 1);
+        assert_eq!(s.total_activated(), 2);
+        assert!((s.profit() - (2.0 - 1.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn profit_accumulates_across_selections() {
+        let inst = instance();
+        let mut s = AdaptiveSession::new(&inst, 7);
+        s.select(0);
+        s.select(2);
+        assert_eq!(s.selected(), &[0, 2]);
+        assert_eq!(s.total_activated(), 3);
+        assert!((s.profit() - (3.0 - 1.75)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-target")]
+    fn select_rejects_non_targets() {
+        let inst = instance();
+        let mut s = AdaptiveSession::new(&inst, 7);
+        s.select(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already-activated")]
+    fn select_rejects_activated_nodes() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1, 1.0).unwrap();
+        let inst = TpmInstance::new(b.build(), vec![0, 1], &[1.0, 1.0]);
+        let mut s = AdaptiveSession::new(&inst, 1);
+        s.select(0); // activates 1
+        s.select(1);
+    }
+
+    #[test]
+    fn same_world_seed_replays_identically() {
+        // Probabilistic edge: same seed, same observation.
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1, 0.5).unwrap();
+        let inst = TpmInstance::new(b.build(), vec![0], &[0.5]);
+        for seed in 0..20u64 {
+            let mut s1 = AdaptiveSession::new(&inst, seed);
+            let mut s2 = AdaptiveSession::new(&inst, seed);
+            assert_eq!(s1.select(0), s2.select(0), "world {seed}");
+        }
+    }
+
+    #[test]
+    fn sampling_work_ledger() {
+        let inst = instance();
+        let mut s = AdaptiveSession::new(&inst, 1);
+        s.add_sampling_work(100);
+        s.add_sampling_work(50);
+        assert_eq!(s.sampling_work(), 150);
+    }
+}

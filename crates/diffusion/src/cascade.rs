@@ -1,0 +1,240 @@
+//! Forward IC cascades: observation of `A(u)` against a realization and
+//! randomized cascades for Monte-Carlo estimation.
+
+use atpm_graph::{GraphView, Node};
+use rand::Rng;
+
+use crate::realization::Realization;
+
+/// Reusable cascade workspace.
+///
+/// Visited marks are epoch-stamped (`mark[u] == epoch` means "visited in the
+/// current cascade"), so starting a new cascade is O(1) instead of O(n).
+/// One engine per thread; it grows to the largest graph it has seen.
+pub struct CascadeEngine {
+    mark: Vec<u32>,
+    epoch: u32,
+    queue: Vec<Node>,
+}
+
+impl Default for CascadeEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CascadeEngine {
+    /// Creates an empty engine; buffers grow on first use.
+    pub fn new() -> Self {
+        CascadeEngine { mark: Vec::new(), epoch: 0, queue: Vec::new() }
+    }
+
+    /// Prepares the visited buffer for a graph of `n` nodes and opens a new
+    /// epoch.
+    fn begin(&mut self, n: usize) {
+        if self.mark.len() < n {
+            self.mark.resize(n, 0);
+        }
+        // On wrap-around, clear the whole buffer once; epochs restart at 1.
+        self.epoch = match self.epoch.checked_add(1) {
+            Some(e) => e,
+            None => {
+                self.mark.iter_mut().for_each(|m| *m = 0);
+                1
+            }
+        };
+        self.queue.clear();
+    }
+
+    #[inline]
+    fn visit(&mut self, u: Node) -> bool {
+        let slot = &mut self.mark[u as usize];
+        if *slot == self.epoch {
+            false
+        } else {
+            *slot = self.epoch;
+            true
+        }
+    }
+
+    /// Runs the cascade seeded by `seeds` in the possible world `real`,
+    /// restricted to alive nodes of `view`. Returns every activated node
+    /// (seeds included), in BFS discovery order.
+    ///
+    /// Dead (previously removed) seeds are skipped; dead targets block.
+    /// This is the observation primitive of the adaptive loop: the paper's
+    /// `A(u_i)` is `observe(view, real, &[u_i])`.
+    pub fn observe<V: GraphView, R: Realization>(
+        &mut self,
+        view: &V,
+        real: &R,
+        seeds: &[Node],
+    ) -> Vec<Node> {
+        self.begin(view.num_nodes());
+        let mut out = Vec::new();
+        for &s in seeds {
+            if view.is_alive(s) && self.visit(s) {
+                self.queue.push(s);
+                out.push(s);
+            }
+        }
+        let mut head = 0;
+        while head < self.queue.len() {
+            let u = self.queue[head];
+            head += 1;
+            let (targets, probs, ids) = view.out_slice(u);
+            for i in 0..targets.len() {
+                let v = targets[i];
+                if view.is_alive(v)
+                    && real.is_live(ids.start + i as u32, probs[i])
+                    && self.visit(v)
+                {
+                    self.queue.push(v);
+                    out.push(v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Runs one cascade with *fresh* coins from `rng` and returns the number
+    /// of activated nodes. Used by Monte-Carlo spread estimation, where each
+    /// sample is an independent possible world.
+    pub fn random_cascade<V: GraphView, G: Rng + ?Sized>(
+        &mut self,
+        view: &V,
+        seeds: &[Node],
+        rng: &mut G,
+    ) -> usize {
+        self.begin(view.num_nodes());
+        let mut activated = 0usize;
+        for &s in seeds {
+            if view.is_alive(s) && self.visit(s) {
+                self.queue.push(s);
+                activated += 1;
+            }
+        }
+        let mut head = 0;
+        while head < self.queue.len() {
+            let u = self.queue[head];
+            head += 1;
+            let (targets, probs, _) = view.out_slice(u);
+            for i in 0..targets.len() {
+                let v = targets[i];
+                if view.is_alive(v) && rng.gen::<f32>() < probs[i] && self.visit(v) {
+                    self.queue.push(v);
+                    activated += 1;
+                }
+            }
+        }
+        activated
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::realization::{HashedRealization, MaterializedRealization};
+    use atpm_graph::{GraphBuilder, ResidualGraph};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// 0 -> 1 -> 2 -> 3 chain; edge ids are 0, 1, 2 in order.
+    fn chain() -> atpm_graph::Graph {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 0.5).unwrap();
+        b.add_edge(1, 2, 0.5).unwrap();
+        b.add_edge(2, 3, 0.5).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn observe_follows_live_edges_only() {
+        let g = chain();
+        let mut eng = CascadeEngine::new();
+        // Only edges 0 and 1 live: cascade from 0 reaches {0, 1, 2}.
+        let real = MaterializedRealization::from_live_edges(3, &[0, 1]);
+        let act = eng.observe(&&g, &real, &[0]);
+        assert_eq!(act, vec![0, 1, 2]);
+        // Edge 2 blocked: from 2, only itself.
+        let act = eng.observe(&&g, &real, &[2]);
+        assert_eq!(act, vec![2]);
+    }
+
+    #[test]
+    fn observe_skips_dead_nodes() {
+        let g = chain();
+        let mut r = ResidualGraph::new(&g);
+        r.remove(1);
+        let real = MaterializedRealization::from_live_edges(3, &[0, 1, 2]);
+        let mut eng = CascadeEngine::new();
+        // 1 is dead, so the world's live edge 0->1 leads nowhere.
+        let act = eng.observe(&r, &real, &[0]);
+        assert_eq!(act, vec![0]);
+        // A dead seed activates nothing.
+        let act = eng.observe(&r, &real, &[1]);
+        assert!(act.is_empty());
+    }
+
+    #[test]
+    fn observe_handles_multiple_and_duplicate_seeds() {
+        let g = chain();
+        let real = MaterializedRealization::from_live_edges(3, &[2]);
+        let mut eng = CascadeEngine::new();
+        let act = eng.observe(&&g, &real, &[0, 0, 2]);
+        assert_eq!(act, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn observe_same_world_is_repeatable() {
+        let g = chain();
+        let real = HashedRealization::new(123);
+        let mut eng = CascadeEngine::new();
+        let a1 = eng.observe(&&g, &real, &[0]);
+        let a2 = eng.observe(&&g, &real, &[0]);
+        assert_eq!(a1, a2);
+    }
+
+    #[test]
+    fn observation_is_consistent_with_incremental_removal() {
+        // Observing {u, v} at once must equal observing u, removing A(u),
+        // then observing v — the core soundness property of the adaptive loop.
+        let g = chain();
+        for seed in 0..50u64 {
+            let real = HashedRealization::new(seed);
+            let mut eng = CascadeEngine::new();
+            let joint: std::collections::HashSet<_> =
+                eng.observe(&&g, &real, &[0, 2]).into_iter().collect();
+
+            let mut r = ResidualGraph::new(&g);
+            let a0 = eng.observe(&r, &real, &[0]);
+            r.remove_all(a0.iter().copied());
+            let a2 = eng.observe(&r, &real, &[2]);
+            let split: std::collections::HashSet<_> =
+                a0.into_iter().chain(a2).collect();
+            assert_eq!(joint, split, "world {seed}");
+        }
+    }
+
+    #[test]
+    fn random_cascade_bounds() {
+        let g = chain();
+        let mut eng = CascadeEngine::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let k = eng.random_cascade(&&g, &[0], &mut rng);
+            assert!((1..=4).contains(&k));
+        }
+    }
+
+    #[test]
+    fn epoch_reuse_does_not_leak_marks() {
+        let g = chain();
+        let real = MaterializedRealization::from_live_edges(3, &[]);
+        let mut eng = CascadeEngine::new();
+        for _ in 0..10_000 {
+            let act = eng.observe(&&g, &real, &[0]);
+            assert_eq!(act, vec![0]);
+        }
+    }
+}

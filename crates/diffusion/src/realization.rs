@@ -1,0 +1,216 @@
+//! Realizations (possible worlds) of a probabilistic graph.
+//!
+//! A realization `φ` keeps each edge `e` *live* with probability `p(e)`,
+//! independently (paper §II-A). Sampling `Φ ~ Ω` and then asking reachability
+//! questions is how both the adaptive feedback loop and the evaluation
+//! protocol work.
+
+use atpm_graph::{Edge, Graph};
+
+/// A fixed assignment of live/blocked to every edge.
+///
+/// `is_live(e, p)` takes the edge's probability because implementations like
+/// [`HashedRealization`] evaluate the coin lazily; the caller always has `p`
+/// at hand from the adjacency slice it is scanning.
+pub trait Realization {
+    /// Whether edge `e` (with activation probability `prob`) is live in this
+    /// possible world. Must be deterministic: repeated queries agree.
+    fn is_live(&self, e: Edge, prob: f32) -> bool;
+}
+
+impl<T: Realization + ?Sized> Realization for &T {
+    #[inline]
+    fn is_live(&self, e: Edge, prob: f32) -> bool {
+        (**self).is_live(e, prob)
+    }
+}
+
+/// Lazy realization: the coin of edge `e` is a pure hash of
+/// `(realization_seed, e)`, mapped to `[0, 1)` and compared against `p(e)`.
+///
+/// * O(1) memory — no per-edge state, so a 69M-edge possible world costs
+///   eight bytes;
+/// * deterministic — policy, runner and scorer all observe the same world;
+/// * independent across edges — distinct counter inputs through a
+///   splitmix64-style finalizer are effectively independent uniforms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HashedRealization {
+    seed: u64,
+}
+
+impl HashedRealization {
+    /// Creates the possible world identified by `seed`.
+    pub fn new(seed: u64) -> Self {
+        HashedRealization { seed }
+    }
+
+    /// The identifying seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// splitmix64 finalizer: bijective mixing with good avalanche.
+    #[inline]
+    fn mix(mut z: u64) -> u64 {
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// The uniform draw assigned to edge `e` in `[0, 1)`.
+    #[inline]
+    pub fn unit(&self, e: Edge) -> f64 {
+        let h = Self::mix(
+            self.seed
+                .wrapping_mul(0x9E3779B97F4A7C15)
+                .wrapping_add(0x632BE59BD9B4E019)
+                ^ (e as u64).wrapping_mul(0xD6E8FEB86659FD93),
+        );
+        // Take the top 53 bits for an exactly representable uniform in [0,1).
+        (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Realization for HashedRealization {
+    #[inline]
+    fn is_live(&self, e: Edge, prob: f32) -> bool {
+        self.unit(e) < prob as f64
+    }
+}
+
+/// Eager realization: one bit per edge.
+///
+/// Used by exact enumeration (tiny graphs iterate all `2^m` bitmasks) and by
+/// tests that need to force specific worlds.
+#[derive(Debug, Clone)]
+pub struct MaterializedRealization {
+    live: Vec<u64>,
+}
+
+impl MaterializedRealization {
+    /// Builds a world from an explicit edge-liveness bitmask, where bit `e`
+    /// of `mask` (little-endian across words) is edge `e`'s state.
+    pub fn from_bits(num_edges: usize, mask: &[u64]) -> Self {
+        let words = num_edges.div_ceil(64);
+        assert!(mask.len() >= words, "mask too short for {num_edges} edges");
+        MaterializedRealization { live: mask[..words].to_vec() }
+    }
+
+    /// Builds a world where exactly the listed edges are live.
+    pub fn from_live_edges(num_edges: usize, edges: &[Edge]) -> Self {
+        let mut live = vec![0u64; num_edges.div_ceil(64)];
+        for &e in edges {
+            assert!((e as usize) < num_edges, "edge {e} out of range");
+            live[e as usize / 64] |= 1 << (e as usize % 64);
+        }
+        MaterializedRealization { live }
+    }
+
+    /// Materializes a [`HashedRealization`] against a concrete graph: useful
+    /// when a world will be queried many times per edge.
+    pub fn materialize(g: &Graph, hashed: &HashedRealization) -> Self {
+        let m = g.num_edges();
+        let mut live = vec![0u64; m.div_ceil(64)];
+        for e in 0..m as Edge {
+            if hashed.is_live(e, g.edge_prob(e)) {
+                live[e as usize / 64] |= 1 << (e as usize % 64);
+            }
+        }
+        MaterializedRealization { live }
+    }
+
+    /// Number of live edges.
+    pub fn live_count(&self) -> usize {
+        self.live.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+impl Realization for MaterializedRealization {
+    #[inline]
+    fn is_live(&self, e: Edge, _prob: f32) -> bool {
+        self.live[e as usize / 64] & (1 << (e as usize % 64)) != 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hashed_is_deterministic() {
+        let r = HashedRealization::new(42);
+        for e in 0..100u32 {
+            assert_eq!(r.is_live(e, 0.5), r.is_live(e, 0.5));
+            assert_eq!(r.unit(e), r.unit(e));
+        }
+    }
+
+    #[test]
+    fn hashed_units_are_uniformish() {
+        let r = HashedRealization::new(7);
+        let n = 20_000u32;
+        let mean: f64 = (0..n).map(|e| r.unit(e)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean} far from 0.5");
+        // Monotone in prob: live at p1 implies live at p2 >= p1.
+        for e in 0..500u32 {
+            if r.is_live(e, 0.3) {
+                assert!(r.is_live(e, 0.8));
+            }
+        }
+    }
+
+    #[test]
+    fn hashed_seeds_decorrelate() {
+        let a = HashedRealization::new(1);
+        let b = HashedRealization::new(2);
+        let agree = (0..10_000u32)
+            .filter(|&e| a.is_live(e, 0.5) == b.is_live(e, 0.5))
+            .count();
+        // Independent fair coins agree about half the time.
+        assert!((4_500..=5_500).contains(&agree), "agreement {agree}");
+    }
+
+    #[test]
+    fn hashed_live_rate_tracks_probability() {
+        let r = HashedRealization::new(99);
+        for &p in &[0.1f32, 0.5, 0.9] {
+            let live = (0..50_000u32).filter(|&e| r.is_live(e, p)).count();
+            let rate = live as f64 / 50_000.0;
+            assert!(
+                (rate - p as f64).abs() < 0.01,
+                "p = {p}: live rate {rate}"
+            );
+        }
+    }
+
+    #[test]
+    fn materialized_from_live_edges() {
+        let r = MaterializedRealization::from_live_edges(100, &[0, 64, 99]);
+        assert!(r.is_live(0, 0.0));
+        assert!(r.is_live(64, 0.0));
+        assert!(r.is_live(99, 0.0));
+        assert!(!r.is_live(1, 1.0));
+        assert_eq!(r.live_count(), 3);
+    }
+
+    #[test]
+    fn materialize_agrees_with_hashed() {
+        use atpm_graph::GraphBuilder;
+        let mut b = GraphBuilder::new(10);
+        for i in 0..9u32 {
+            b.add_edge(i, i + 1, 0.3 + 0.05 * i as f32).unwrap();
+        }
+        let g = b.build();
+        let h = HashedRealization::new(5);
+        let m = MaterializedRealization::materialize(&g, &h);
+        for e in 0..g.num_edges() as u32 {
+            assert_eq!(m.is_live(e, 0.0), h.is_live(e, g.edge_prob(e)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn materialized_rejects_out_of_range() {
+        let _ = MaterializedRealization::from_live_edges(4, &[4]);
+    }
+}

@@ -1,0 +1,177 @@
+//! Expected spread `E[I(S)]` estimators.
+//!
+//! Computing the exact expected spread under the IC model is #P-hard
+//! (paper §III-C, citing \[9\]); the practical estimator is Monte-Carlo (or
+//! RR-set sampling, in `atpm-ris`). For *tiny* graphs the expectation can be
+//! computed exactly by enumerating all `2^m` realizations, which is how the
+//! test-suite pins down every sampling-based estimator and how the paper's
+//! "oracle model" is realized for the theory tests.
+
+use atpm_graph::{GraphView, Node};
+use rand::Rng;
+
+use crate::cascade::CascadeEngine;
+use crate::realization::MaterializedRealization;
+
+/// Largest edge count accepted by [`exact_spread`]; `2^20` worlds ≈ 1M BFS
+/// runs is where "instant in a test" ends.
+pub const EXACT_SPREAD_MAX_EDGES: usize = 20;
+
+/// Monte-Carlo estimate of `E[I(S)]` over `samples` independent cascades.
+///
+/// The variance of a single cascade size is at most `n²/4`, so the standard
+/// error is `≤ n / (2√samples)`.
+pub fn mc_spread<V: GraphView, R: Rng + ?Sized>(
+    view: &V,
+    seeds: &[Node],
+    samples: usize,
+    rng: &mut R,
+) -> f64 {
+    assert!(samples > 0, "need at least one sample");
+    let mut engine = CascadeEngine::new();
+    mc_spread_with_engine(view, seeds, samples, rng, &mut engine)
+}
+
+/// [`mc_spread`] with a caller-provided engine (no per-call allocation).
+pub fn mc_spread_with_engine<V: GraphView, R: Rng + ?Sized>(
+    view: &V,
+    seeds: &[Node],
+    samples: usize,
+    rng: &mut R,
+    engine: &mut CascadeEngine,
+) -> f64 {
+    let mut total = 0usize;
+    for _ in 0..samples {
+        total += engine.random_cascade(view, seeds, rng);
+    }
+    total as f64 / samples as f64
+}
+
+/// Exact `E[I(S)]` by enumerating every realization of the base graph.
+///
+/// Works on residual views too: dead nodes neither count nor transmit.
+/// Panics if the base graph has more than [`EXACT_SPREAD_MAX_EDGES`] edges.
+pub fn exact_spread<V: GraphView>(view: &V, seeds: &[Node]) -> f64 {
+    let g = view.base();
+    let m = g.num_edges();
+    assert!(
+        m <= EXACT_SPREAD_MAX_EDGES,
+        "exact_spread enumerates 2^m worlds; m = {m} is too large"
+    );
+    let probs: Vec<f64> = (0..m as u32).map(|e| g.edge_prob(e) as f64).collect();
+    let mut engine = CascadeEngine::new();
+    let mut expectation = 0.0;
+    for mask in 0u64..(1u64 << m) {
+        let mut p_world = 1.0;
+        for (e, &p) in probs.iter().enumerate() {
+            if mask >> e & 1 == 1 {
+                p_world *= p;
+            } else {
+                p_world *= 1.0 - p;
+            }
+        }
+        if p_world == 0.0 {
+            continue;
+        }
+        let world = MaterializedRealization::from_bits(m, &[mask]);
+        let activated = engine.observe(view, &world, seeds).len();
+        expectation += p_world * activated as f64;
+    }
+    expectation
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atpm_graph::{GraphBuilder, ResidualGraph};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn chain(p: f32) -> atpm_graph::Graph {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, p).unwrap();
+        b.add_edge(1, 2, p).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn exact_spread_on_chain_matches_closed_form() {
+        // E[I({0})] = 1 + p + p^2 on the 2-edge chain.
+        for &p in &[0.25f32, 0.5, 0.75] {
+            let g = chain(p);
+            let got = exact_spread(&&g, &[0]);
+            let want = 1.0 + p as f64 + (p as f64).powi(2);
+            assert!((got - want).abs() < 1e-12, "p = {p}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn exact_spread_of_empty_seed_set_is_zero() {
+        let g = chain(0.5);
+        assert_eq!(exact_spread(&&g, &[]), 0.0);
+    }
+
+    #[test]
+    fn exact_spread_of_all_nodes_is_n() {
+        let g = chain(0.5);
+        assert!((exact_spread(&&g, &[0, 1, 2]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_spread_respects_residual_views() {
+        let g = chain(0.5);
+        let mut r = ResidualGraph::new(&g);
+        r.remove(1);
+        // With 1 dead the cascade from 0 cannot move: E = 1.
+        assert!((exact_spread(&r, &[0]) - 1.0).abs() < 1e-12);
+        // Dead seed: E = 0.
+        assert!((exact_spread(&r, &[1]) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_spread_on_diamond() {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3 with p = 0.5 everywhere.
+        // E[I({0})] = 1 + 0.5 + 0.5 + P(3 reached)
+        // P(3) = P(via 1 or via 2) = 1 - (1 - 0.25)^2 = 0.4375.
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 0.5).unwrap();
+        b.add_edge(0, 2, 0.5).unwrap();
+        b.add_edge(1, 3, 0.5).unwrap();
+        b.add_edge(2, 3, 0.5).unwrap();
+        let g = b.build();
+        let got = exact_spread(&&g, &[0]);
+        assert!((got - 2.4375).abs() < 1e-12, "{got}");
+    }
+
+    #[test]
+    fn mc_spread_converges_to_exact() {
+        let g = chain(0.5);
+        let mut rng = StdRng::seed_from_u64(11);
+        let exact = exact_spread(&&g, &[0]);
+        let mc = mc_spread(&&g, &[0], 60_000, &mut rng);
+        assert!(
+            (mc - exact).abs() < 0.02,
+            "MC {mc} should approximate exact {exact}"
+        );
+    }
+
+    #[test]
+    fn mc_spread_monotone_in_seeds_statistically() {
+        let g = chain(0.3);
+        let mut rng = StdRng::seed_from_u64(3);
+        let one = mc_spread(&&g, &[2], 20_000, &mut rng);
+        let two = mc_spread(&&g, &[0, 2], 20_000, &mut rng);
+        assert!(two > one, "supersets spread more: {two} vs {one}");
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn exact_spread_guards_edge_count() {
+        let mut b = GraphBuilder::new(30);
+        for i in 0..25u32 {
+            b.add_edge(i, i + 1, 0.5).unwrap();
+        }
+        let g = b.build();
+        let _ = exact_spread(&&g, &[0]);
+    }
+}

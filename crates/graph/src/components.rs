@@ -1,0 +1,164 @@
+//! Connected-component utilities and induced subgraphs.
+//!
+//! Used by dataset tooling (the SNAP datasets are usually reduced to their
+//! largest weakly-connected component before experiments) and by tests that
+//! need structurally-controlled inputs.
+
+use crate::{Graph, GraphBuilder, Node};
+
+/// Weakly-connected component labelling: edges are treated as undirected.
+/// Returns one label per node (labels are component-minimum node ids) and the
+/// number of components.
+pub fn weakly_connected_components(g: &Graph) -> (Vec<Node>, usize) {
+    let n = g.num_nodes();
+    let mut label: Vec<Node> = vec![Node::MAX; n];
+    let mut queue: Vec<Node> = Vec::new();
+    let mut components = 0usize;
+    for start in 0..n as Node {
+        if label[start as usize] != Node::MAX {
+            continue;
+        }
+        components += 1;
+        label[start as usize] = start;
+        queue.clear();
+        queue.push(start);
+        let mut head = 0;
+        while head < queue.len() {
+            let u = queue[head];
+            head += 1;
+            let (out, _, _) = g.out_slice(u);
+            let (inc, _, _) = g.in_slice(u);
+            for &v in out.iter().chain(inc) {
+                if label[v as usize] == Node::MAX {
+                    label[v as usize] = start;
+                    queue.push(v);
+                }
+            }
+        }
+    }
+    (label, components)
+}
+
+/// Extracts the subgraph induced by `keep` (a sorted-or-not list of node
+/// ids). Nodes are re-labelled densely in the order given; returns the
+/// subgraph and the old→new id mapping (dense vector, `Node::MAX` for
+/// dropped nodes).
+pub fn induced_subgraph(g: &Graph, keep: &[Node]) -> (Graph, Vec<Node>) {
+    let n = g.num_nodes();
+    let mut remap: Vec<Node> = vec![Node::MAX; n];
+    for (new_id, &u) in keep.iter().enumerate() {
+        assert!((u as usize) < n, "node {u} out of range");
+        assert!(remap[u as usize] == Node::MAX, "duplicate node {u} in keep list");
+        remap[u as usize] = new_id as Node;
+    }
+    let mut b = GraphBuilder::new(keep.len());
+    for &u in keep {
+        let (targets, probs, _) = g.out_slice(u);
+        for (i, &v) in targets.iter().enumerate() {
+            let nv = remap[v as usize];
+            if nv != Node::MAX {
+                b.add_edge(remap[u as usize], nv, probs[i])
+                    .expect("remapped endpoints are in range");
+            }
+        }
+    }
+    (b.build(), remap)
+}
+
+/// Restricts `g` to its largest weakly-connected component. Returns the
+/// subgraph and the old→new mapping.
+pub fn largest_wcc(g: &Graph) -> (Graph, Vec<Node>) {
+    let (labels, _) = weakly_connected_components(g);
+    let mut counts: std::collections::HashMap<Node, usize> = std::collections::HashMap::new();
+    for &l in &labels {
+        *counts.entry(l).or_insert(0) += 1;
+    }
+    let best = counts
+        .into_iter()
+        .max_by_key(|&(l, c)| (c, std::cmp::Reverse(l)))
+        .map(|(l, _)| l)
+        .unwrap_or(0);
+    let keep: Vec<Node> = (0..g.num_nodes() as Node)
+        .filter(|&u| labels[u as usize] == best)
+        .collect();
+    induced_subgraph(g, &keep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two components: a directed triangle {0,1,2} and an edge {3,4}; 5 isolated.
+    fn two_islands() -> Graph {
+        let mut b = GraphBuilder::new(6);
+        b.add_edge(0, 1, 0.5).unwrap();
+        b.add_edge(1, 2, 0.5).unwrap();
+        b.add_edge(2, 0, 0.5).unwrap();
+        b.add_edge(3, 4, 0.5).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn wcc_labels_and_counts() {
+        let g = two_islands();
+        let (labels, count) = weakly_connected_components(&g);
+        assert_eq!(count, 3);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[1], labels[2]);
+        assert_eq!(labels[3], labels[4]);
+        assert_ne!(labels[0], labels[3]);
+        assert_ne!(labels[5], labels[0]);
+        assert_ne!(labels[5], labels[3]);
+    }
+
+    #[test]
+    fn wcc_ignores_edge_direction() {
+        // 0 -> 1 <- 2: all weakly connected despite no directed path 0 -> 2.
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 0.5).unwrap();
+        b.add_edge(2, 1, 0.5).unwrap();
+        let (_, count) = weakly_connected_components(&b.build());
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges_only() {
+        let g = two_islands();
+        let (sub, remap) = induced_subgraph(&g, &[0, 1, 3]);
+        assert_eq!(sub.num_nodes(), 3);
+        // Only 0 -> 1 survives (1 -> 2 and 2 -> 0 lose an endpoint; 3 -> 4 too).
+        assert_eq!(sub.num_edges(), 1);
+        let e: Vec<_> = sub.edges().collect();
+        assert_eq!(e[0], (remap[0], remap[1], 0.5));
+        assert_eq!(remap[2], Node::MAX);
+    }
+
+    #[test]
+    fn largest_wcc_picks_the_triangle() {
+        let g = two_islands();
+        let (sub, remap) = largest_wcc(&g);
+        assert_eq!(sub.num_nodes(), 3);
+        assert_eq!(sub.num_edges(), 3);
+        assert_ne!(remap[0], Node::MAX);
+        assert_eq!(remap[3], Node::MAX);
+        assert_eq!(remap[5], Node::MAX);
+    }
+
+    #[test]
+    fn empty_and_singleton_graphs() {
+        let g = GraphBuilder::new(0).build();
+        let (_, count) = weakly_connected_components(&g);
+        assert_eq!(count, 0);
+        let g = GraphBuilder::new(1).build();
+        let (labels, count) = weakly_connected_components(&g);
+        assert_eq!(count, 1);
+        assert_eq!(labels, vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn induced_subgraph_rejects_duplicates() {
+        let g = two_islands();
+        let _ = induced_subgraph(&g, &[0, 0]);
+    }
+}

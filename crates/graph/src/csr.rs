@@ -1,0 +1,264 @@
+//! Immutable CSR graph storage with forward and reverse adjacency.
+
+use crate::{Edge, Node};
+
+/// An immutable probabilistic directed graph in compressed-sparse-row form.
+///
+/// Both the forward (out-edge) and reverse (in-edge) adjacency are stored so
+/// that forward cascades (out-edges) and reverse-reachability sampling
+/// (in-edges) are both cache-friendly linear scans.
+///
+/// Every directed edge has a stable id: its position in the forward CSR. The
+/// reverse CSR carries the same ids (`in_edge_ids`) so a *realization* — a
+/// deterministic coin per edge id — is observed consistently no matter which
+/// direction the edge is traversed from.
+#[derive(Clone)]
+pub struct Graph {
+    n: usize,
+    // Forward CSR.
+    out_offsets: Box<[u64]>,
+    out_targets: Box<[Node]>,
+    out_probs: Box<[f32]>,
+    // Reverse CSR.
+    in_offsets: Box<[u64]>,
+    in_sources: Box<[Node]>,
+    in_probs: Box<[f32]>,
+    in_edge_ids: Box<[Edge]>,
+}
+
+impl Graph {
+    /// Assembles a graph from pre-validated CSR parts. Internal; use
+    /// [`crate::GraphBuilder`] instead.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        n: usize,
+        out_offsets: Box<[u64]>,
+        out_targets: Box<[Node]>,
+        out_probs: Box<[f32]>,
+        in_offsets: Box<[u64]>,
+        in_sources: Box<[Node]>,
+        in_probs: Box<[f32]>,
+        in_edge_ids: Box<[Edge]>,
+    ) -> Self {
+        debug_assert_eq!(out_offsets.len(), n + 1);
+        debug_assert_eq!(in_offsets.len(), n + 1);
+        debug_assert_eq!(out_targets.len(), out_probs.len());
+        debug_assert_eq!(in_sources.len(), in_probs.len());
+        debug_assert_eq!(in_sources.len(), in_edge_ids.len());
+        debug_assert_eq!(out_targets.len(), in_sources.len());
+        Graph {
+            n,
+            out_offsets,
+            out_targets,
+            out_probs,
+            in_offsets,
+            in_sources,
+            in_probs,
+            in_edge_ids,
+        }
+    }
+
+    /// Number of nodes `n = |V|`.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Number of directed edges `m = |E|`.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.out_targets.len()
+    }
+
+    /// Out-degree of `u`.
+    #[inline]
+    pub fn out_degree(&self, u: Node) -> usize {
+        let u = u as usize;
+        (self.out_offsets[u + 1] - self.out_offsets[u]) as usize
+    }
+
+    /// In-degree of `v`.
+    #[inline]
+    pub fn in_degree(&self, v: Node) -> usize {
+        let v = v as usize;
+        (self.in_offsets[v + 1] - self.in_offsets[v]) as usize
+    }
+
+    /// Out-neighbours of `u` with probabilities and edge ids.
+    ///
+    /// Edge ids for out-edges of `u` are contiguous: `out_range(u)`.
+    #[inline]
+    pub fn out_slice(&self, u: Node) -> (&[Node], &[f32], std::ops::Range<u32>) {
+        let u = u as usize;
+        let lo = self.out_offsets[u] as usize;
+        let hi = self.out_offsets[u + 1] as usize;
+        (&self.out_targets[lo..hi], &self.out_probs[lo..hi], lo as u32..hi as u32)
+    }
+
+    /// In-neighbours of `v` with probabilities and (forward) edge ids.
+    #[inline]
+    pub fn in_slice(&self, v: Node) -> (&[Node], &[f32], &[Edge]) {
+        let v = v as usize;
+        let lo = self.in_offsets[v] as usize;
+        let hi = self.in_offsets[v + 1] as usize;
+        (&self.in_sources[lo..hi], &self.in_probs[lo..hi], &self.in_edge_ids[lo..hi])
+    }
+
+    /// Probability of edge `e` (by forward edge id).
+    #[inline]
+    pub fn edge_prob(&self, e: Edge) -> f32 {
+        self.out_probs[e as usize]
+    }
+
+    /// Target node of edge `e` (by forward edge id).
+    #[inline]
+    pub fn edge_target(&self, e: Edge) -> Node {
+        self.out_targets[e as usize]
+    }
+
+    /// Source node of edge `e`, recovered by binary search on the offset
+    /// array. O(log n); intended for tests and diagnostics, not hot loops.
+    pub fn edge_source(&self, e: Edge) -> Node {
+        let e = e as u64;
+        debug_assert!((e as usize) < self.num_edges());
+        // partition_point returns the first u with out_offsets[u] > e; the
+        // source is that index minus one.
+        let idx = self.out_offsets.partition_point(|&off| off <= e);
+        (idx - 1) as Node
+    }
+
+    /// Iterates all edges as `(src, dst, prob)` in edge-id order.
+    pub fn edges(&self) -> impl Iterator<Item = (Node, Node, f32)> + '_ {
+        (0..self.n as Node).flat_map(move |u| {
+            let (targets, probs, _) = self.out_slice(u);
+            targets
+                .iter()
+                .zip(probs.iter())
+                .map(move |(&v, &p)| (u, v, p))
+        })
+    }
+
+    /// Sum of all out-degrees divided by n; equals `m / n`.
+    pub fn avg_out_degree(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.num_edges() as f64 / self.n as f64
+        }
+    }
+
+    /// Returns a copy of this graph with every edge probability replaced by
+    /// the output of `f(src, dst, old_prob)`. Both CSR directions are kept
+    /// consistent. Used by the weighting schemes and by LT normalization.
+    pub fn map_probs(&self, mut f: impl FnMut(Node, Node, f32) -> f32) -> Graph {
+        let mut g = self.clone();
+        // Rebuild forward probs in edge-id order.
+        let mut out_probs = g.out_probs.to_vec();
+        for u in 0..self.n as Node {
+            let (targets, _, range) = self.out_slice(u);
+            for (i, &v) in targets.iter().enumerate() {
+                let e = range.start as usize + i;
+                out_probs[e] = f(u, v, out_probs[e]);
+            }
+        }
+        // Mirror into the reverse CSR via edge ids.
+        let mut in_probs = g.in_probs.to_vec();
+        for (slot, &e) in self.in_edge_ids.iter().enumerate() {
+            in_probs[slot] = out_probs[e as usize];
+        }
+        g.out_probs = out_probs.into_boxed_slice();
+        g.in_probs = in_probs.into_boxed_slice();
+        g
+    }
+
+    /// Approximate heap footprint in bytes (diagnostics only).
+    pub fn heap_bytes(&self) -> usize {
+        let m = self.num_edges();
+        (self.n + 1) * 8 * 2 // two offset arrays
+            + m * (4 + 4)    // out targets + probs
+            + m * (4 + 4 + 4) // in sources + probs + edge ids
+    }
+}
+
+impl std::fmt::Debug for Graph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Graph")
+            .field("n", &self.num_nodes())
+            .field("m", &self.num_edges())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::GraphBuilder;
+
+    fn diamond() -> crate::Graph {
+        // 0 -> 1 -> 3, 0 -> 2 -> 3
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 0.5).unwrap();
+        b.add_edge(0, 2, 0.25).unwrap();
+        b.add_edge(1, 3, 1.0).unwrap();
+        b.add_edge(2, 3, 0.75).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn degrees_and_counts() {
+        let g = diamond();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.out_degree(3), 0);
+        assert_eq!(g.in_degree(3), 2);
+        assert_eq!(g.in_degree(0), 0);
+        assert!((g.avg_out_degree() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn forward_and_reverse_agree_via_edge_ids() {
+        let g = diamond();
+        for v in 0..4u32 {
+            let (sources, probs, ids) = g.in_slice(v);
+            for i in 0..sources.len() {
+                let e = ids[i];
+                assert_eq!(g.edge_target(e), v);
+                assert_eq!(g.edge_source(e), sources[i]);
+                assert_eq!(g.edge_prob(e), probs[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn edge_source_binary_search_covers_all_edges() {
+        let g = diamond();
+        let mut listed: Vec<(u32, u32)> = g.edges().map(|(u, v, _)| (u, v)).collect();
+        listed.sort_unstable();
+        let mut via_ids: Vec<(u32, u32)> = (0..g.num_edges() as u32)
+            .map(|e| (g.edge_source(e), g.edge_target(e)))
+            .collect();
+        via_ids.sort_unstable();
+        assert_eq!(listed, via_ids);
+    }
+
+    #[test]
+    fn map_probs_updates_both_directions() {
+        let g = diamond();
+        let g2 = g.map_probs(|_, _, p| p / 2.0);
+        for v in 0..4u32 {
+            let (_, probs, ids) = g2.in_slice(v);
+            for i in 0..probs.len() {
+                assert_eq!(probs[i], g2.edge_prob(ids[i]));
+                assert_eq!(probs[i], g.edge_prob(ids[i]) / 2.0);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let g = GraphBuilder::new(0).build();
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.avg_out_degree(), 0.0);
+    }
+}

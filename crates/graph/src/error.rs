@@ -1,0 +1,102 @@
+//! Error types for graph construction and IO.
+
+use std::fmt;
+
+/// Errors surfaced while building, validating, or (de)serializing graphs.
+#[derive(Debug)]
+pub enum GraphError {
+    /// An edge referenced a node id `>= n`.
+    NodeOutOfRange {
+        /// Offending node id.
+        node: u64,
+        /// Number of nodes in the graph under construction.
+        num_nodes: u64,
+    },
+    /// An edge probability was outside `(0, 1]` or not finite.
+    InvalidProbability {
+        /// Source of the offending edge.
+        src: u64,
+        /// Destination of the offending edge.
+        dst: u64,
+        /// The rejected probability value.
+        prob: f64,
+    },
+    /// The graph exceeds the `u32` edge-id space.
+    TooManyEdges {
+        /// Attempted edge count.
+        edges: u64,
+    },
+    /// A text edge-list line could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation of the failure.
+        message: String,
+    },
+    /// A binary graph file had a bad magic number, version, or truncation.
+    Format(String),
+    /// Underlying IO failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, num_nodes } => {
+                write!(f, "node id {node} out of range (graph has {num_nodes} nodes)")
+            }
+            GraphError::InvalidProbability { src, dst, prob } => {
+                write!(f, "edge ({src} -> {dst}) has invalid probability {prob}; must be in (0, 1]")
+            }
+            GraphError::TooManyEdges { edges } => {
+                write!(f, "graph has {edges} edges which exceeds the u32 edge-id space")
+            }
+            GraphError::Parse { line, message } => {
+                write!(f, "edge list parse error at line {line}: {message}")
+            }
+            GraphError::Format(msg) => write!(f, "bad graph file: {msg}"),
+            GraphError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = GraphError::NodeOutOfRange { node: 9, num_nodes: 4 };
+        assert!(e.to_string().contains("9"));
+        assert!(e.to_string().contains("4"));
+
+        let e = GraphError::InvalidProbability { src: 1, dst: 2, prob: 1.5 };
+        assert!(e.to_string().contains("1.5"));
+
+        let e = GraphError::Parse { line: 7, message: "garbage".into() };
+        assert!(e.to_string().contains("line 7"));
+    }
+
+    #[test]
+    fn io_error_converts_and_chains() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "nope");
+        let e: GraphError = io.into();
+        assert!(matches!(e, GraphError::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

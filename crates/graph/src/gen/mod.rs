@@ -1,0 +1,23 @@
+//! Synthetic graph generators.
+//!
+//! The paper evaluates on four SNAP datasets (Table II) that cannot be
+//! shipped with this repository; [`presets`] provides deterministic synthetic
+//! stand-ins matched on directedness, node/edge counts, average degree and
+//! heavy-tailed degree skew (see DESIGN.md §3 for the substitution argument).
+//! The individual generator families are public so tests and ablations can
+//! build graphs with controlled structure:
+//!
+//! * [`erdos_renyi`] — uniform G(n, m), the "no skew" control;
+//! * [`pref_attach`] — Barabási–Albert (undirected) for collaboration
+//!   networks (NetHEPT, DBLP);
+//! * [`power_law`] — Chung–Lu style fixed-expected-degree directed model for
+//!   social/trust networks (Epinions, LiveJournal);
+//! * [`small_world`] — Watts–Strogatz, used in tests.
+
+pub mod erdos_renyi;
+pub mod power_law;
+pub mod pref_attach;
+pub mod presets;
+pub mod small_world;
+
+pub use presets::Dataset;

@@ -1,0 +1,231 @@
+//! Graph (de)serialization: SNAP-style text edge lists and a fast
+//! little-endian binary format.
+//!
+//! The text format is line-oriented: `src dst [prob]`, `#`-prefixed comments,
+//! whitespace-separated. When the probability column is omitted the caller's
+//! [`WeightingScheme`](crate::WeightingScheme) is expected to assign weights
+//! after loading (pass any placeholder scheme-dependent value at build time).
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::error::GraphError;
+use crate::{Graph, GraphBuilder, Node};
+
+const MAGIC: &[u8; 8] = b"ATPMGRF1";
+
+/// Parses a text edge list from `reader`.
+///
+/// * `n` is inferred as `max node id + 1` unless `num_nodes` is given.
+/// * `default_prob` is used for two-column lines.
+/// * `undirected` inserts both arcs per line.
+pub fn read_edge_list<R: Read>(
+    reader: R,
+    num_nodes: Option<usize>,
+    default_prob: f32,
+    undirected: bool,
+) -> Result<Graph, GraphError> {
+    let reader = BufReader::new(reader);
+    let mut edges: Vec<(Node, Node, f32)> = Vec::new();
+    let mut max_node: u64 = 0;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let parse_node = |tok: Option<&str>, what: &str| -> Result<u64, GraphError> {
+            tok.ok_or_else(|| GraphError::Parse {
+                line: lineno + 1,
+                message: format!("missing {what}"),
+            })?
+            .parse::<u64>()
+            .map_err(|e| GraphError::Parse {
+                line: lineno + 1,
+                message: format!("bad {what}: {e}"),
+            })
+        };
+        let src = parse_node(it.next(), "source")?;
+        let dst = parse_node(it.next(), "destination")?;
+        let prob = match it.next() {
+            Some(tok) => tok.parse::<f32>().map_err(|e| GraphError::Parse {
+                line: lineno + 1,
+                message: format!("bad probability: {e}"),
+            })?,
+            None => default_prob,
+        };
+        if src > u32::MAX as u64 || dst > u32::MAX as u64 {
+            return Err(GraphError::Parse {
+                line: lineno + 1,
+                message: "node id exceeds u32".into(),
+            });
+        }
+        max_node = max_node.max(src).max(dst);
+        edges.push((src as Node, dst as Node, prob));
+    }
+    let n = num_nodes.unwrap_or(if edges.is_empty() { 0 } else { max_node as usize + 1 });
+    let mut b = GraphBuilder::with_capacity(n, edges.len() * if undirected { 2 } else { 1 });
+    for (src, dst, p) in edges {
+        if undirected {
+            b.add_undirected(src, dst, p)?;
+        } else {
+            b.add_edge(src, dst, p)?;
+        }
+    }
+    b.try_build()
+}
+
+/// Loads a text edge list from a file path. See [`read_edge_list`].
+pub fn load_edge_list<P: AsRef<Path>>(
+    path: P,
+    num_nodes: Option<usize>,
+    default_prob: f32,
+    undirected: bool,
+) -> Result<Graph, GraphError> {
+    let file = std::fs::File::open(path)?;
+    read_edge_list(file, num_nodes, default_prob, undirected)
+}
+
+/// Writes `g` as a text edge list (`src dst prob` per line).
+pub fn write_edge_list<W: Write>(g: &Graph, writer: W) -> Result<(), GraphError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# atpm edge list: n={} m={}", g.num_nodes(), g.num_edges())?;
+    for (u, v, p) in g.edges() {
+        writeln!(w, "{u} {v} {p}")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes `g` in the versioned binary format (magic, n, m, then the forward
+/// edge array). Little-endian throughout.
+pub fn write_binary<W: Write>(g: &Graph, writer: W) -> Result<(), GraphError> {
+    let mut w = BufWriter::new(writer);
+    w.write_all(MAGIC)?;
+    w.write_all(&(g.num_nodes() as u64).to_le_bytes())?;
+    w.write_all(&(g.num_edges() as u64).to_le_bytes())?;
+    for (u, v, p) in g.edges() {
+        w.write_all(&u.to_le_bytes())?;
+        w.write_all(&v.to_le_bytes())?;
+        w.write_all(&p.to_le_bytes())?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a graph previously written by [`write_binary`].
+pub fn read_binary<R: Read>(reader: R) -> Result<Graph, GraphError> {
+    let mut r = BufReader::new(reader);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)
+        .map_err(|_| GraphError::Format("file too short for magic".into()))?;
+    if &magic != MAGIC {
+        return Err(GraphError::Format(format!(
+            "bad magic {:?}; expected {:?}",
+            magic, MAGIC
+        )));
+    }
+    let mut buf8 = [0u8; 8];
+    r.read_exact(&mut buf8)
+        .map_err(|_| GraphError::Format("missing node count".into()))?;
+    let n = u64::from_le_bytes(buf8) as usize;
+    r.read_exact(&mut buf8)
+        .map_err(|_| GraphError::Format("missing edge count".into()))?;
+    let m = u64::from_le_bytes(buf8) as usize;
+    let mut b = GraphBuilder::with_capacity(n, m);
+    let mut rec = [0u8; 12];
+    for i in 0..m {
+        r.read_exact(&mut rec)
+            .map_err(|_| GraphError::Format(format!("truncated at edge {i} of {m}")))?;
+        let src = u32::from_le_bytes(rec[0..4].try_into().expect("4 bytes"));
+        let dst = u32::from_le_bytes(rec[4..8].try_into().expect("4 bytes"));
+        let p = f32::from_le_bytes(rec[8..12].try_into().expect("4 bytes"));
+        b.add_edge(src, dst, p)?;
+    }
+    b.try_build()
+}
+
+/// Convenience: save to / load from a file path in binary format.
+pub fn save_binary<P: AsRef<Path>>(g: &Graph, path: P) -> Result<(), GraphError> {
+    write_binary(g, std::fs::File::create(path)?)
+}
+
+/// See [`save_binary`].
+pub fn load_binary<P: AsRef<Path>>(path: P) -> Result<Graph, GraphError> {
+    read_binary(std::fs::File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_graph() -> Graph {
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(0, 1, 0.5).unwrap();
+        b.add_edge(1, 2, 0.25).unwrap();
+        b.add_edge(4, 0, 1.0).unwrap();
+        b.build()
+    }
+
+    fn edges_of(g: &Graph) -> Vec<(u32, u32, f32)> {
+        g.edges().collect()
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let g = sample_graph();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(&buf[..], Some(5), 0.1, false).unwrap();
+        assert_eq!(edges_of(&g), edges_of(&g2));
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let g = sample_graph();
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        let g2 = read_binary(&buf[..]).unwrap();
+        assert_eq!(g.num_nodes(), g2.num_nodes());
+        assert_eq!(edges_of(&g), edges_of(&g2));
+    }
+
+    #[test]
+    fn text_parses_comments_defaults_and_infers_n() {
+        let text = "# comment\n\n0 1\n1 2 0.9\n";
+        let g = read_edge_list(text.as_bytes(), None, 0.33, false).unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        let e = edges_of(&g);
+        assert_eq!(e[0], (0, 1, 0.33));
+        assert_eq!(e[1], (1, 2, 0.9));
+    }
+
+    #[test]
+    fn text_undirected_doubles_edges() {
+        let g = read_edge_list("0 1 0.5\n".as_bytes(), None, 0.5, true).unwrap();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn text_reports_parse_errors_with_line_numbers() {
+        let err = read_edge_list("0 1 0.5\nxyz 2\n".as_bytes(), None, 0.5, false).unwrap_err();
+        match err {
+            GraphError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected Parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic_and_truncation() {
+        assert!(matches!(
+            read_binary(&b"NOTMAGIC"[..]),
+            Err(GraphError::Format(_))
+        ));
+        let g = sample_graph();
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(matches!(read_binary(&buf[..]), Err(GraphError::Format(_))));
+    }
+}

@@ -1,0 +1,341 @@
+//! Graph views: the [`GraphView`] trait and the alive-masked [`ResidualGraph`].
+//!
+//! The adaptive algorithms of the paper repeatedly shrink the graph: after a
+//! seed `u_i` is selected and its cascade `A(u_i)` observed, all activated
+//! nodes are removed, producing the residual graph `G_{i+1}` (paper §II-B).
+//! Copying a multi-million-edge CSR per iteration would dominate the runtime,
+//! so removal is represented as a bitmask *view* over the immutable base graph
+//! instead: `remove` is O(1) per node and all traversals simply skip dead
+//! endpoints.
+
+use rand::Rng;
+
+use crate::{Graph, Node};
+
+/// Read access to a (possibly residual) probabilistic graph.
+///
+/// Implemented by [`Graph`] itself (everything alive) and [`ResidualGraph`]
+/// (alive bitmask). Diffusion, RR-set sampling and all policies are generic
+/// over this trait, so the same code path serves the original and every
+/// residual graph.
+pub trait GraphView {
+    /// The immutable base graph that node/edge ids refer to.
+    fn base(&self) -> &Graph;
+
+    /// Total node count of the *base* graph (`n`). Alive or not, node ids
+    /// always range over `0..num_nodes()`.
+    fn num_nodes(&self) -> usize {
+        self.base().num_nodes()
+    }
+
+    /// Number of alive nodes (`n_i` in the paper).
+    fn num_alive(&self) -> usize;
+
+    /// Whether `u` is still present in this view.
+    fn is_alive(&self, u: Node) -> bool;
+
+    /// Out-neighbours of `u` in the base graph: `(targets, probs, edge-id range)`.
+    /// Callers must filter targets through [`is_alive`](Self::is_alive).
+    #[inline]
+    fn out_slice(&self, u: Node) -> (&[Node], &[f32], std::ops::Range<u32>) {
+        self.base().out_slice(u)
+    }
+
+    /// In-neighbours of `v` in the base graph: `(sources, probs, edge ids)`.
+    /// Callers must filter sources through [`is_alive`](Self::is_alive).
+    #[inline]
+    fn in_slice(&self, v: Node) -> (&[Node], &[f32], &[crate::Edge]) {
+        self.base().in_slice(v)
+    }
+
+    /// Samples a node uniformly from the alive set, or `None` if empty.
+    fn sample_alive<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<Node>;
+}
+
+impl GraphView for Graph {
+    #[inline]
+    fn base(&self) -> &Graph {
+        self
+    }
+
+    #[inline]
+    fn num_alive(&self) -> usize {
+        self.num_nodes()
+    }
+
+    #[inline]
+    fn is_alive(&self, _u: Node) -> bool {
+        true
+    }
+
+    fn sample_alive<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<Node> {
+        let n = self.num_nodes();
+        if n == 0 {
+            None
+        } else {
+            Some(rng.gen_range(0..n as Node))
+        }
+    }
+}
+
+impl<T: GraphView> GraphView for &T {
+    #[inline]
+    fn base(&self) -> &Graph {
+        (**self).base()
+    }
+    #[inline]
+    fn num_alive(&self) -> usize {
+        (**self).num_alive()
+    }
+    #[inline]
+    fn is_alive(&self, u: Node) -> bool {
+        (**self).is_alive(u)
+    }
+    #[inline]
+    fn sample_alive<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<Node> {
+        (**self).sample_alive(rng)
+    }
+}
+
+/// Word size of the alive bitmask.
+const WORD_BITS: usize = 64;
+
+/// When fewer than this fraction of nodes remain alive, uniform sampling
+/// switches from rejection to an explicit alive list (rebuilt lazily).
+const REJECTION_MIN_FRACTION: f64 = 1.0 / 64.0;
+
+/// A view of a base [`Graph`] from which some nodes have been removed.
+///
+/// This is the `G_i` of the paper: the residual graph after activated nodes
+/// have been deleted. Removal is monotone — nodes never come back (call
+/// [`reset`](ResidualGraph::reset) to start a new realization).
+pub struct ResidualGraph<'g> {
+    base: &'g Graph,
+    alive: Vec<u64>,
+    n_alive: usize,
+    /// Lazily materialized list of alive nodes, used for uniform sampling once
+    /// the alive fraction is too small for rejection sampling. Invalidated
+    /// (cleared) by every removal. A mutex (not `RefCell`) so residual views
+    /// can be shared across sampler threads.
+    alive_list: parking_lot::Mutex<Vec<Node>>,
+}
+
+impl<'g> ResidualGraph<'g> {
+    /// A view with every node alive.
+    pub fn new(base: &'g Graph) -> Self {
+        let n = base.num_nodes();
+        let words = n.div_ceil(WORD_BITS);
+        let mut alive = vec![!0u64; words];
+        // Clear the tail bits beyond n so popcounts stay exact.
+        if !n.is_multiple_of(WORD_BITS) && words > 0 {
+            alive[words - 1] = (1u64 << (n % WORD_BITS)) - 1;
+        }
+        ResidualGraph {
+            base,
+            alive,
+            n_alive: n,
+            alive_list: parking_lot::Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Removes `u` from the view. Idempotent.
+    pub fn remove(&mut self, u: Node) {
+        let (w, b) = (u as usize / WORD_BITS, u as usize % WORD_BITS);
+        let mask = 1u64 << b;
+        if self.alive[w] & mask != 0 {
+            self.alive[w] &= !mask;
+            self.n_alive -= 1;
+            self.alive_list.lock().clear();
+        }
+    }
+
+    /// Removes every node yielded by `nodes`.
+    pub fn remove_all<I: IntoIterator<Item = Node>>(&mut self, nodes: I) {
+        for u in nodes {
+            self.remove(u);
+        }
+    }
+
+    /// Restores every node (start of a fresh realization).
+    pub fn reset(&mut self) {
+        let n = self.base.num_nodes();
+        for w in self.alive.iter_mut() {
+            *w = !0;
+        }
+        let words = self.alive.len();
+        if !n.is_multiple_of(WORD_BITS) && words > 0 {
+            self.alive[words - 1] = (1u64 << (n % WORD_BITS)) - 1;
+        }
+        self.n_alive = n;
+        self.alive_list.lock().clear();
+    }
+
+    /// Iterates alive nodes in increasing id order.
+    pub fn alive_nodes(&self) -> impl Iterator<Item = Node> + '_ {
+        self.alive.iter().enumerate().flat_map(|(w, &word)| {
+            let mut bits = word;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let b = bits.trailing_zeros();
+                    bits &= bits - 1;
+                    Some((w * WORD_BITS) as Node + b)
+                }
+            })
+        })
+    }
+}
+
+impl GraphView for ResidualGraph<'_> {
+    #[inline]
+    fn base(&self) -> &Graph {
+        self.base
+    }
+
+    #[inline]
+    fn num_alive(&self) -> usize {
+        self.n_alive
+    }
+
+    #[inline]
+    fn is_alive(&self, u: Node) -> bool {
+        let (w, b) = (u as usize / WORD_BITS, u as usize % WORD_BITS);
+        self.alive[w] & (1u64 << b) != 0
+    }
+
+    fn sample_alive<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<Node> {
+        let n = self.base.num_nodes();
+        if self.n_alive == 0 {
+            return None;
+        }
+        let frac = self.n_alive as f64 / n as f64;
+        if frac >= REJECTION_MIN_FRACTION {
+            // Rejection sampling: exactly uniform over alive nodes, expected
+            // 1/frac < 64 draws.
+            loop {
+                let u = rng.gen_range(0..n as Node);
+                if self.is_alive(u) {
+                    return Some(u);
+                }
+            }
+        }
+        // Sparse regime: materialize (and cache) the alive list.
+        let mut list = self.alive_list.lock();
+        if list.is_empty() {
+            list.extend(self.alive_nodes());
+        }
+        debug_assert_eq!(list.len(), self.n_alive);
+        Some(list[rng.gen_range(0..list.len())])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn line_graph(n: usize) -> Graph {
+        let mut b = GraphBuilder::new(n);
+        for i in 0..n - 1 {
+            b.add_edge(i as Node, (i + 1) as Node, 0.5).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn fresh_view_has_everything_alive() {
+        let g = line_graph(130); // crosses two bitmask words
+        let r = ResidualGraph::new(&g);
+        assert_eq!(r.num_alive(), 130);
+        assert!((0..130).all(|u| r.is_alive(u)));
+        assert_eq!(r.alive_nodes().count(), 130);
+    }
+
+    #[test]
+    fn remove_is_idempotent_and_counts() {
+        let g = line_graph(10);
+        let mut r = ResidualGraph::new(&g);
+        r.remove(3);
+        r.remove(3);
+        r.remove(7);
+        assert_eq!(r.num_alive(), 8);
+        assert!(!r.is_alive(3));
+        assert!(!r.is_alive(7));
+        assert!(r.is_alive(0));
+        let alive: Vec<Node> = r.alive_nodes().collect();
+        assert_eq!(alive, vec![0, 1, 2, 4, 5, 6, 8, 9]);
+    }
+
+    #[test]
+    fn reset_restores_all() {
+        let g = line_graph(70);
+        let mut r = ResidualGraph::new(&g);
+        r.remove_all(0..35);
+        assert_eq!(r.num_alive(), 35);
+        r.reset();
+        assert_eq!(r.num_alive(), 70);
+        assert_eq!(r.alive_nodes().count(), 70);
+    }
+
+    #[test]
+    fn sample_alive_only_returns_alive_nodes() {
+        let g = line_graph(64);
+        let mut r = ResidualGraph::new(&g);
+        r.remove_all((0..64).filter(|u| u % 2 == 0));
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let u = r.sample_alive(&mut rng).unwrap();
+            assert!(u % 2 == 1, "sampled dead node {u}");
+        }
+    }
+
+    #[test]
+    fn sample_alive_sparse_regime_uses_list() {
+        let g = line_graph(1000);
+        let mut r = ResidualGraph::new(&g);
+        // Keep only 5 alive: fraction 0.005 < 1/64 forces the list path.
+        r.remove_all((0..1000).filter(|u| !matches!(u, 11 | 222 | 333 | 444 | 999)));
+        assert_eq!(r.num_alive(), 5);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..300 {
+            seen.insert(r.sample_alive(&mut rng).unwrap());
+        }
+        let mut seen: Vec<_> = seen.into_iter().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![11, 222, 333, 444, 999]);
+    }
+
+    #[test]
+    fn sample_alive_empty_returns_none() {
+        let g = line_graph(4);
+        let mut r = ResidualGraph::new(&g);
+        r.remove_all(0..4);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(r.sample_alive(&mut rng).is_none());
+    }
+
+    #[test]
+    fn sample_alive_is_roughly_uniform() {
+        let g = line_graph(8);
+        let mut r = ResidualGraph::new(&g);
+        r.remove(0);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut counts = [0usize; 8];
+        let draws = 70_000;
+        for _ in 0..draws {
+            counts[r.sample_alive(&mut rng).unwrap() as usize] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        let expected = draws as f64 / 7.0;
+        for &c in &counts[1..] {
+            assert!(
+                (c as f64 - expected).abs() < expected * 0.1,
+                "count {c} too far from uniform expectation {expected}"
+            );
+        }
+    }
+}

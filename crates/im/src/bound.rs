@@ -1,0 +1,68 @@
+//! High-probability lower bounds on a given set's expected spread.
+//!
+//! The cost-calibration of §VI-A sets `c(T) = E_l[I(T)]` where `E_l` is a
+//! lower bound on the target set's spread — using a lower bound (rather than
+//! the point estimate) makes the baseline profit `ρ(T) ≈ E[I(T)] − c(T)`
+//! nonnegative with high probability, which the problem definition requires.
+
+use atpm_graph::{GraphView, Node};
+use atpm_ris::bounds::coverage_lower_bound;
+use atpm_ris::sampler::generate_batch;
+
+/// Returns a `1 − delta` lower bound on `E[I(set)]` using `theta` RR sets.
+///
+/// Deterministic in `(view, set, theta, delta, seed, threads)`.
+pub fn spread_lower_bound<V: GraphView + Sync>(
+    view: &V,
+    set: &[Node],
+    theta: usize,
+    delta: f64,
+    seed: u64,
+    threads: usize,
+) -> f64 {
+    let c = generate_batch(view, theta, seed, threads);
+    if c.is_empty() {
+        return 0.0;
+    }
+    let cov = c.cov_set(set) as u64;
+    let frac = coverage_lower_bound(cov, c.len() as u64, delta);
+    c.n_alive() as f64 * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atpm_diffusion::exact_spread;
+    use atpm_graph::GraphBuilder;
+
+    fn chain(p: f32) -> atpm_graph::Graph {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, p).unwrap();
+        b.add_edge(1, 2, p).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn lower_bound_is_below_truth_and_tight() {
+        let g = chain(0.5);
+        let truth = exact_spread(&&g, &[0]); // 1.75
+        let lb = spread_lower_bound(&&g, &[0], 100_000, 0.001, 1, 2);
+        assert!(lb <= truth + 1e-9, "LB {lb} exceeds truth {truth}");
+        assert!(lb > truth * 0.9, "LB {lb} too loose vs {truth}");
+    }
+
+    #[test]
+    fn lower_bound_grows_with_more_samples() {
+        let g = chain(0.5);
+        let loose = spread_lower_bound(&&g, &[0], 500, 0.001, 2, 1);
+        let tight = spread_lower_bound(&&g, &[0], 50_000, 0.001, 2, 1);
+        assert!(tight >= loose, "tight {tight} < loose {loose}");
+    }
+
+    #[test]
+    fn empty_set_has_zero_bound() {
+        let g = chain(0.5);
+        let lb = spread_lower_bound(&&g, &[], 1000, 0.01, 3, 1);
+        assert_eq!(lb, 0.0);
+    }
+}

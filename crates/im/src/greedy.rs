@@ -1,0 +1,211 @@
+//! Lazy (CELF) greedy maximum coverage over an RR-set collection.
+//!
+//! Coverage is monotone submodular, so marginal gains only shrink as the
+//! seed set grows; CELF exploits this by keeping stale gains in a max-heap
+//! and re-evaluating only the top entry [Leskovec et al., KDD'07]. The
+//! output is identical to naive greedy, typically at a small fraction of the
+//! evaluations.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use atpm_graph::Node;
+use atpm_ris::RrCollection;
+
+/// Result of a greedy max-coverage run.
+#[derive(Debug, Clone)]
+pub struct GreedyResult {
+    /// Selected nodes in pick order.
+    pub seeds: Vec<Node>,
+    /// Number of RR sets covered by `seeds`.
+    pub coverage: usize,
+    /// Marginal coverage of each pick (same order as `seeds`).
+    pub gains: Vec<usize>,
+}
+
+impl GreedyResult {
+    /// Spread estimate of the selection: `n_alive · coverage / θ`.
+    pub fn spread(&self, c: &RrCollection) -> f64 {
+        c.scale(self.coverage)
+    }
+}
+
+/// Selects up to `k` nodes greedily maximizing RR-set coverage.
+///
+/// `candidates` restricts the selection universe (defaults to every node).
+/// Nodes with zero marginal gain are never selected, so fewer than `k` seeds
+/// can be returned when the collection is exhausted.
+pub fn max_coverage_greedy(
+    c: &RrCollection,
+    k: usize,
+    candidates: Option<&[Node]>,
+) -> GreedyResult {
+    let mut covered = vec![false; c.len()];
+    let mut result = GreedyResult { seeds: Vec::new(), coverage: 0, gains: Vec::new() };
+    if k == 0 || c.is_empty() {
+        return result;
+    }
+
+    // Heap of (gain, Reverse(node), round-evaluated). Reverse(node) makes
+    // ties deterministic (smaller id wins), independent of heap internals.
+    let mut heap: BinaryHeap<(usize, Reverse<Node>, usize)> = match candidates {
+        Some(cs) => {
+            let mut uniq: Vec<Node> = cs.to_vec();
+            uniq.sort_unstable();
+            uniq.dedup();
+            uniq.into_iter()
+                .map(|u| (c.cov_node(u), Reverse(u), 0))
+                .collect()
+        }
+        None => (0..c.len_universe() as Node)
+            .map(|u| (c.cov_node(u), Reverse(u), 0))
+            .collect(),
+    };
+
+    let mut round = 0usize;
+    while result.seeds.len() < k {
+        let Some((gain, Reverse(u), evaluated_at)) = heap.pop() else {
+            break;
+        };
+        if gain == 0 {
+            break; // nothing useful remains
+        }
+        if evaluated_at == round {
+            // Fresh gain: commit.
+            for &i in c.sets_containing(u) {
+                covered[i as usize] = true;
+            }
+            result.coverage += gain;
+            result.seeds.push(u);
+            result.gains.push(gain);
+            round += 1;
+        } else {
+            // Stale: re-evaluate and push back.
+            let fresh = c
+                .sets_containing(u)
+                .iter()
+                .filter(|&&i| !covered[i as usize])
+                .count();
+            heap.push((fresh, Reverse(u), round));
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collection() -> RrCollection {
+        let mut c = RrCollection::new(6, 6);
+        c.push(&[0, 1]);
+        c.push(&[0, 2]);
+        c.push(&[0, 3]);
+        c.push(&[4]);
+        c.push(&[4, 5]);
+        c.push(&[5]);
+        c.freeze();
+        c
+    }
+
+    #[test]
+    fn picks_best_cover_first() {
+        let c = collection();
+        let r = max_coverage_greedy(&c, 1, None);
+        assert_eq!(r.seeds, vec![0]); // covers 3 sets
+        assert_eq!(r.coverage, 3);
+        assert_eq!(r.gains, vec![3]);
+    }
+
+    #[test]
+    fn greedy_sequence_is_correct() {
+        let c = collection();
+        let r = max_coverage_greedy(&c, 3, None);
+        // 0 covers {0,1,2}; 4 covers {3,4}; then 5 covers {5}.
+        assert_eq!(r.seeds, vec![0, 4, 5]);
+        assert_eq!(r.coverage, 6);
+        assert_eq!(r.gains, vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn stops_at_zero_gain() {
+        let c = collection();
+        let r = max_coverage_greedy(&c, 6, None);
+        assert_eq!(r.coverage, 6);
+        assert!(r.seeds.len() <= 4, "no zero-gain picks: {:?}", r.seeds);
+    }
+
+    #[test]
+    fn candidate_restriction_is_respected() {
+        let c = collection();
+        let r = max_coverage_greedy(&c, 2, Some(&[1, 2, 5]));
+        assert!(r.seeds.iter().all(|u| [1, 2, 5].contains(u)));
+        // Best restricted: any of 1/2 covers 1 set, 5 covers 2 sets.
+        assert_eq!(r.seeds[0], 5);
+    }
+
+    #[test]
+    fn duplicate_candidates_do_not_double_pick() {
+        let c = collection();
+        let r = max_coverage_greedy(&c, 3, Some(&[0, 0, 0]));
+        assert_eq!(r.seeds, vec![0]);
+    }
+
+    #[test]
+    fn matches_naive_greedy_on_random_inputs() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        for trial in 0..20 {
+            let n = 12usize;
+            let mut c = RrCollection::new(n, n);
+            for _ in 0..40 {
+                let size = rng.gen_range(1..5);
+                let mut s: Vec<Node> =
+                    (0..size).map(|_| rng.gen_range(0..n as Node)).collect();
+                s.sort_unstable();
+                s.dedup();
+                c.push(&s);
+            }
+            c.freeze();
+
+            let lazy = max_coverage_greedy(&c, 4, None);
+
+            // Naive reference.
+            let mut covered = vec![false; c.len()];
+            let mut naive_cov = 0usize;
+            for _pick in 0..4 {
+                let mut best = (0usize, Node::MAX);
+                for u in 0..n as Node {
+                    let g = c
+                        .sets_containing(u)
+                        .iter()
+                        .filter(|&&i| !covered[i as usize])
+                        .count();
+                    if g > best.0 || (g == best.0 && u < best.1) {
+                        best = (g, u);
+                    }
+                }
+                if best.0 == 0 {
+                    break;
+                }
+                for &i in c.sets_containing(best.1) {
+                    covered[i as usize] = true;
+                }
+                naive_cov += best.0;
+            }
+            assert_eq!(lazy.coverage, naive_cov, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let mut c = RrCollection::new(3, 3);
+        c.freeze();
+        let r = max_coverage_greedy(&c, 2, None);
+        assert!(r.seeds.is_empty());
+        let c2 = collection();
+        let r2 = max_coverage_greedy(&c2, 0, None);
+        assert!(r2.seeds.is_empty());
+    }
+}

@@ -1,0 +1,24 @@
+//! # atpm-im
+//!
+//! Influence maximization substrate.
+//!
+//! The paper needs classical (cardinality-constrained, monotone) influence
+//! maximization in one place: picking the target set `T` as the top-`k`
+//! influential users with "one of the state of the arts \[28\]" — IMM
+//! [Tang–Shi–Xiao, SIGMOD'15]. This crate provides:
+//!
+//! * [`greedy`] — lazy (CELF) greedy maximum coverage over an
+//!   [`RrCollection`](atpm_ris::RrCollection), the selection core shared by
+//!   IMM and by the NSG baseline;
+//! * [`imm`] — the two-phase IMM algorithm (parameter estimation + node
+//!   selection) with the standard `(1 − 1/e − ε)` guarantee;
+//! * [`bound`] — high-probability lower bounds on a *given* set's spread,
+//!   used by the cost-calibration procedure of §VI-A (`c(T) = E_l[I(T)]`).
+
+pub mod bound;
+pub mod greedy;
+pub mod imm;
+
+pub use bound::spread_lower_bound;
+pub use greedy::{max_coverage_greedy, GreedyResult};
+pub use imm::{imm_select, ImmConfig, ImmResult};

@@ -1,0 +1,188 @@
+//! Concentration bounds: sample-size formulas and tail probabilities.
+//!
+//! Three families are used by the paper:
+//!
+//! * **Hoeffding** (Lemma 4) drives ADDATP: with `θ` samples of a `[0,1]`
+//!   variable, `Pr[|X̄ − μ| ≥ ζ] ≤ 2·e^{−2θζ²}`.
+//! * **Relative+Additive** (Lemma 7) drives HATP:
+//!   `Pr[X̄ ≥ (1+ε)μ + ζ] ≤ e^{−2θεζ/(1+ε/3)²}` and
+//!   `Pr[X̄ ≤ (1−ε)μ − ζ] ≤ e^{−2θεζ}`.
+//! * **One-sided coverage bounds** (martingale bounds of [Tang et al.,
+//!   SIGMOD'15/18]) turn an observed coverage count into high-probability
+//!   lower/upper bounds on the true mean — used to calibrate costs via
+//!   `E_l[I(T)]` (paper §VI-A).
+
+/// Sample size used by ADDATP (Algorithm 3, line 8):
+/// `θ = ln(8/δ) / (2ζ²)`.
+pub fn addatp_theta(zeta: f64, delta: f64) -> usize {
+    assert!(zeta > 0.0 && delta > 0.0 && delta < 1.0, "zeta={zeta} delta={delta}");
+    ((8.0 / delta).ln() / (2.0 * zeta * zeta)).ceil() as usize
+}
+
+/// Sample size used by HATP (Algorithm 4, line 8):
+/// `θ = (1 + ε/3)² / (2εζ) · ln(4/δ)`.
+pub fn hatp_theta(eps: f64, zeta: f64, delta: f64) -> usize {
+    assert!(
+        eps > 0.0 && zeta > 0.0 && delta > 0.0 && delta < 1.0,
+        "eps={eps} zeta={zeta} delta={delta}"
+    );
+    let c = (1.0 + eps / 3.0).powi(2);
+    (c / (2.0 * eps * zeta) * (4.0 / delta).ln()).ceil() as usize
+}
+
+/// Two-sided Hoeffding tail: `Pr[|X̄ − μ| ≥ ζ] ≤ 2e^{−2θζ²}` (Lemma 4).
+pub fn hoeffding_tail(theta: usize, zeta: f64) -> f64 {
+    (2.0 * (-2.0 * theta as f64 * zeta * zeta).exp()).min(1.0)
+}
+
+/// Upper tail of the Relative+Additive bound (Lemma 7, eq. 10):
+/// `Pr[X̄ ≥ (1+ε)μ + ζ] ≤ e^{−2θεζ/(1+ε/3)²}`.
+pub fn rel_add_upper_tail(theta: usize, eps: f64, zeta: f64) -> f64 {
+    ((-2.0 * theta as f64 * eps * zeta) / (1.0 + eps / 3.0).powi(2))
+        .exp()
+        .min(1.0)
+}
+
+/// Lower tail of the Relative+Additive bound (Lemma 7, eq. 11):
+/// `Pr[X̄ ≤ (1−ε)μ − ζ] ≤ e^{−2θεζ}`.
+pub fn rel_add_lower_tail(theta: usize, eps: f64, zeta: f64) -> f64 {
+    (-2.0 * theta as f64 * eps * zeta).exp().min(1.0)
+}
+
+/// High-probability (`1 − delta`) *lower* bound on the mean coverage
+/// probability `μ`, given `cov` hits over `theta` samples.
+///
+/// This is the martingale bound `μ ≥ ((√(Λ + 2η/9) − √(η/2))² − η/18) / θ`
+/// with `η = ln(1/δ)`, clamped to `[0, cov/θ]`.
+pub fn coverage_lower_bound(cov: u64, theta: u64, delta: f64) -> f64 {
+    assert!(theta > 0, "need at least one sample");
+    assert!(delta > 0.0 && delta < 1.0, "delta={delta}");
+    let eta = (1.0 / delta).ln();
+    let lam = cov as f64;
+    let root = (lam + 2.0 * eta / 9.0).sqrt() - (eta / 2.0).sqrt();
+    let lower = (root.max(0.0).powi(2) - eta / 18.0) / theta as f64;
+    lower.clamp(0.0, lam / theta as f64)
+}
+
+/// High-probability (`1 − delta`) *upper* bound on the mean coverage
+/// probability: `μ ≤ (√(Λ + η/2) + √(η/2))² / θ`, clamped to `[cov/θ, 1]`.
+pub fn coverage_upper_bound(cov: u64, theta: u64, delta: f64) -> f64 {
+    assert!(theta > 0, "need at least one sample");
+    assert!(delta > 0.0 && delta < 1.0, "delta={delta}");
+    let eta = (1.0 / delta).ln();
+    let lam = cov as f64;
+    let upper = ((lam + eta / 2.0).sqrt() + (eta / 2.0).sqrt()).powi(2) / theta as f64;
+    upper.clamp(lam / theta as f64, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn theta_formulas_match_paper_lines() {
+        // ADDATP: ln(8/δ)/(2ζ²)
+        let t = addatp_theta(0.1, 0.01);
+        let want = ((8.0f64 / 0.01).ln() / 0.02).ceil() as usize;
+        assert_eq!(t, want);
+        // HATP: (1+ε/3)²/(2εζ)·ln(4/δ)
+        let t = hatp_theta(0.5, 0.1, 0.01);
+        let want = ((1.0 + 0.5 / 3.0f64).powi(2) / (2.0 * 0.5 * 0.1) * (4.0f64 / 0.01).ln())
+            .ceil() as usize;
+        assert_eq!(t, want);
+    }
+
+    #[test]
+    fn theta_grows_as_errors_shrink() {
+        assert!(addatp_theta(0.05, 0.01) > addatp_theta(0.1, 0.01));
+        assert!(addatp_theta(0.1, 0.001) > addatp_theta(0.1, 0.01));
+        assert!(hatp_theta(0.25, 0.1, 0.01) > hatp_theta(0.5, 0.1, 0.01));
+        assert!(hatp_theta(0.5, 0.05, 0.01) > hatp_theta(0.5, 0.1, 0.01));
+    }
+
+    #[test]
+    fn hatp_needs_far_fewer_samples_than_addatp_at_small_zeta() {
+        // The §IV-A rationale: additive-only error needs O(1/ζ²) samples,
+        // hybrid needs O(1/(εζ)).
+        let zeta = 1e-4;
+        let delta = 1e-6;
+        let add = addatp_theta(zeta, delta);
+        let hyb = hatp_theta(0.1, zeta, delta);
+        assert!(
+            add > hyb * 100,
+            "additive {add} should dwarf hybrid {hyb} at zeta={zeta}"
+        );
+    }
+
+    #[test]
+    fn tails_decrease_with_theta_and_cap_at_one() {
+        assert!(hoeffding_tail(10, 0.1) > hoeffding_tail(1000, 0.1));
+        assert_eq!(hoeffding_tail(0, 0.5), 1.0);
+        assert!(rel_add_upper_tail(10_000, 0.1, 0.01) < 1e-8);
+        assert!(rel_add_lower_tail(10_000, 0.1, 0.01) < rel_add_upper_tail(10_000, 0.1, 0.01));
+    }
+
+    #[test]
+    fn hoeffding_theta_actually_bounds_deviation() {
+        // Empirical check: estimate a Bernoulli(0.3) mean with the ADDATP
+        // sample size for (ζ=0.05, δ=0.01); deviations beyond ζ should be
+        // (much) rarer than δ.
+        let zeta = 0.05;
+        let delta = 0.01;
+        let theta = addatp_theta(zeta, delta);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut violations = 0;
+        let trials = 200;
+        for _ in 0..trials {
+            let mut hits = 0u64;
+            for _ in 0..theta {
+                if rng.gen::<f64>() < 0.3 {
+                    hits += 1;
+                }
+            }
+            let xbar = hits as f64 / theta as f64;
+            if (xbar - 0.3).abs() >= zeta {
+                violations += 1;
+            }
+        }
+        assert!(
+            violations <= 2,
+            "{violations}/{trials} deviations ≥ ζ; bound promises ≤ {}",
+            delta * trials as f64
+        );
+    }
+
+    #[test]
+    fn coverage_bounds_bracket_truth() {
+        // 2000 samples of Bernoulli(0.4); LB <= 0.4 <= UB should essentially
+        // always hold at delta = 0.001.
+        let mut rng = StdRng::seed_from_u64(2);
+        for trial in 0..100 {
+            let theta = 2000u64;
+            let cov = (0..theta).filter(|_| rng.gen::<f64>() < 0.4).count() as u64;
+            let lb = coverage_lower_bound(cov, theta, 0.001);
+            let ub = coverage_upper_bound(cov, theta, 0.001);
+            assert!(lb <= ub);
+            assert!(lb <= 0.4 && 0.4 <= ub, "trial {trial}: [{lb}, {ub}] misses 0.4");
+        }
+    }
+
+    #[test]
+    fn coverage_bounds_tighten_with_samples() {
+        let lb1 = coverage_lower_bound(40, 100, 0.01);
+        let lb2 = coverage_lower_bound(4000, 10_000, 0.01);
+        assert!(lb2 > lb1);
+        let ub1 = coverage_upper_bound(40, 100, 0.01);
+        let ub2 = coverage_upper_bound(4000, 10_000, 0.01);
+        assert!(ub2 < ub1);
+    }
+
+    #[test]
+    fn coverage_bounds_edge_cases() {
+        assert_eq!(coverage_lower_bound(0, 100, 0.01), 0.0);
+        let ub = coverage_upper_bound(100, 100, 0.01);
+        assert_eq!(ub, 1.0);
+    }
+}

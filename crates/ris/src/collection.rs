@@ -1,0 +1,264 @@
+//! Stored RR-set batches with an inverted index and coverage queries.
+
+use atpm_graph::Node;
+
+use crate::nodeset::NodeSet;
+
+/// A batch of RR sets in flat storage plus an inverted node → set-id index.
+///
+/// `CovR(S)` (paper Table I) is the number of stored sets that intersect `S`.
+/// The inverted index is built once with a counting sort, so the per-node
+/// memory overhead is two flat arrays rather than `n` separate `Vec`s.
+#[derive(Debug)]
+pub struct RrCollection {
+    /// Universe size (total nodes of the view the sets were sampled on).
+    n: usize,
+    /// Alive-node count at generation time (`n_i`); spread estimates scale by
+    /// this, not by `n`.
+    n_alive: usize,
+    /// Flat member storage.
+    members: Vec<Node>,
+    /// `offsets[i]..offsets[i+1]` is set `i` in `members`.
+    offsets: Vec<u64>,
+    /// Inverted index: `idx_sets[idx_offsets[u]..idx_offsets[u+1]]` are the
+    /// ids of the sets containing `u`. Built on demand by `freeze`.
+    idx_offsets: Vec<u64>,
+    idx_sets: Vec<u32>,
+    frozen: bool,
+}
+
+impl RrCollection {
+    /// An empty collection over a view with `n` total and `n_alive` alive
+    /// nodes.
+    pub fn new(n: usize, n_alive: usize) -> Self {
+        RrCollection {
+            n,
+            n_alive,
+            members: Vec::new(),
+            offsets: vec![0],
+            idx_offsets: Vec::new(),
+            idx_sets: Vec::new(),
+            frozen: false,
+        }
+    }
+
+    /// Number of stored RR sets (`θ`).
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Whether no sets are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Alive-node count `n_i` the sets were generated against.
+    pub fn n_alive(&self) -> usize {
+        self.n_alive
+    }
+
+    /// Universe size: total node count of the base graph.
+    pub fn len_universe(&self) -> usize {
+        self.n
+    }
+
+    /// Total stored members (Σ |R|).
+    pub fn total_members(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Appends one RR set. Panics after [`freeze`](Self::freeze).
+    pub fn push(&mut self, set: &[Node]) {
+        assert!(!self.frozen, "cannot push into a frozen collection");
+        self.members.extend_from_slice(set);
+        self.offsets.push(self.members.len() as u64);
+    }
+
+    /// Members of set `i`.
+    pub fn set(&self, i: usize) -> &[Node] {
+        let lo = self.offsets[i] as usize;
+        let hi = self.offsets[i + 1] as usize;
+        &self.members[lo..hi]
+    }
+
+    /// Builds the inverted index (idempotent). Required before any
+    /// index-based query.
+    pub fn freeze(&mut self) {
+        if self.frozen {
+            return;
+        }
+        let mut counts = vec![0u64; self.n + 1];
+        for &u in &self.members {
+            counts[u as usize + 1] += 1;
+        }
+        for i in 0..self.n {
+            counts[i + 1] += counts[i];
+        }
+        let mut cursor = counts[..self.n].to_vec();
+        let mut idx_sets = vec![0u32; self.members.len()];
+        for i in 0..self.len() {
+            for &u in self.set(i) {
+                let slot = cursor[u as usize] as usize;
+                cursor[u as usize] += 1;
+                idx_sets[slot] = i as u32;
+            }
+        }
+        self.idx_offsets = counts;
+        self.idx_sets = idx_sets;
+        self.frozen = true;
+    }
+
+    /// Ids of the sets containing `u`. Requires [`freeze`](Self::freeze).
+    pub fn sets_containing(&self, u: Node) -> &[u32] {
+        assert!(self.frozen, "freeze() before querying the inverted index");
+        let lo = self.idx_offsets[u as usize] as usize;
+        let hi = self.idx_offsets[u as usize + 1] as usize;
+        &self.idx_sets[lo..hi]
+    }
+
+    /// `CovR({u})`: number of sets containing `u`.
+    pub fn cov_node(&self, u: Node) -> usize {
+        self.sets_containing(u).len()
+    }
+
+    /// `CovR(S)`: number of sets intersecting `S`.
+    pub fn cov_set(&self, s: &[Node]) -> usize {
+        assert!(self.frozen, "freeze() before querying the inverted index");
+        let mut hit = vec![false; self.len()];
+        let mut total = 0usize;
+        for &u in s {
+            for &i in self.sets_containing(u) {
+                if !hit[i as usize] {
+                    hit[i as usize] = true;
+                    total += 1;
+                }
+            }
+        }
+        total
+    }
+
+    /// `CovR(u | S)`: sets containing `u` but not intersecting `S`
+    /// (marginal coverage; `S` as a [`NodeSet`]).
+    pub fn cov_marginal(&self, u: Node, s: &NodeSet) -> usize {
+        self.sets_containing(u)
+            .iter()
+            .filter(|&&i| !s.intersects(self.set(i as usize)))
+            .count()
+    }
+
+    /// Estimated spread of `{u}` on the generation-time view:
+    /// `n_alive · CovR({u}) / θ`.
+    pub fn spread_node(&self, u: Node) -> f64 {
+        self.scale(self.cov_node(u))
+    }
+
+    /// Estimated spread of `S`: `n_alive · CovR(S) / θ`.
+    pub fn spread_set(&self, s: &[Node]) -> f64 {
+        self.scale(self.cov_set(s))
+    }
+
+    /// Converts a coverage count to a spread estimate.
+    pub fn scale(&self, cov: usize) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.n_alive as f64 * cov as f64 / self.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_collection() -> RrCollection {
+        let mut c = RrCollection::new(5, 5);
+        c.push(&[0, 1]);
+        c.push(&[1, 2]);
+        c.push(&[3]);
+        c.push(&[0, 2, 4]);
+        c.freeze();
+        c
+    }
+
+    #[test]
+    fn counts_and_sets() {
+        let c = sample_collection();
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.total_members(), 8);
+        assert_eq!(c.set(0), &[0, 1]);
+        assert_eq!(c.set(3), &[0, 2, 4]);
+    }
+
+    #[test]
+    fn inverted_index_is_exact() {
+        let c = sample_collection();
+        assert_eq!(c.sets_containing(0), &[0, 3]);
+        assert_eq!(c.sets_containing(1), &[0, 1]);
+        assert_eq!(c.sets_containing(2), &[1, 3]);
+        assert_eq!(c.sets_containing(3), &[2]);
+        assert_eq!(c.sets_containing(4), &[3]);
+    }
+
+    #[test]
+    fn coverage_queries() {
+        let c = sample_collection();
+        assert_eq!(c.cov_node(0), 2);
+        assert_eq!(c.cov_set(&[0, 1]), 3); // sets 0, 1, 3
+        assert_eq!(c.cov_set(&[0, 1, 3]), 4); // everything
+        assert_eq!(c.cov_set(&[]), 0);
+    }
+
+    #[test]
+    fn marginal_coverage() {
+        let c = sample_collection();
+        let s = NodeSet::from_iter(5, [1]);
+        // Sets containing 0: {0,1} (hit by 1), {0,2,4} (not hit) -> marginal 1.
+        assert_eq!(c.cov_marginal(0, &s), 1);
+        let empty = NodeSet::new(5);
+        assert_eq!(c.cov_marginal(0, &empty), 2);
+    }
+
+    #[test]
+    fn spread_scaling() {
+        let c = sample_collection();
+        // n_alive = 5, theta = 4: node 0 covered twice -> 5 * 2/4 = 2.5.
+        assert!((c.spread_node(0) - 2.5).abs() < 1e-12);
+        assert!((c.spread_set(&[0, 1, 3]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn submodularity_of_coverage() {
+        // Cov(A ∪ {u}) - Cov(A) >= Cov(B ∪ {u}) - Cov(B) for A ⊆ B.
+        let c = sample_collection();
+        let a: Vec<Node> = vec![1];
+        let b: Vec<Node> = vec![1, 3];
+        for u in [0u32, 2, 4] {
+            let ga = c.cov_set(&[&a[..], &[u]].concat()) - c.cov_set(&a);
+            let gb = c.cov_set(&[&b[..], &[u]].concat()) - c.cov_set(&b);
+            assert!(ga >= gb, "submodularity violated for {u}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "frozen")]
+    fn push_after_freeze_panics() {
+        let mut c = sample_collection();
+        c.push(&[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "freeze")]
+    fn query_before_freeze_panics() {
+        let mut c = RrCollection::new(3, 3);
+        c.push(&[0]);
+        let _ = c.cov_node(0);
+    }
+
+    #[test]
+    fn empty_collection_scales_to_zero() {
+        let mut c = RrCollection::new(3, 3);
+        c.freeze();
+        assert_eq!(c.spread_set(&[0, 1]), 0.0);
+    }
+}

@@ -1,0 +1,46 @@
+//! # atpm-ris
+//!
+//! Reverse-influence sampling (RIS) for the adaptive TPM stack.
+//!
+//! A *reverse-reachable (RR) set* rooted at a uniformly random node `r` is the
+//! set of nodes that reach `r` in a random possible world [Borgs et al.,
+//! SODA'14]. The fundamental identity the whole noise-model machinery rests
+//! on is
+//!
+//! ```text
+//! E[I(S)] = n_alive · Pr[RR set intersects S]
+//! ```
+//!
+//! so coverage counts over a batch of RR sets estimate expected spreads, and
+//! concentration bounds on the coverage translate directly into spread
+//! guarantees.
+//!
+//! Modules:
+//!
+//! * [`rr`] — single RR-set generation on any [`GraphView`](atpm_graph::GraphView)
+//!   (reverse BFS with fresh coins, dead nodes skipped);
+//! * [`collection`] — stored batches with an inverted node→set index and the
+//!   coverage/marginal-coverage queries used by the greedy algorithms;
+//! * [`coverage`] — incremental double-greedy coverage state (front / rear
+//!   marginals in O(sets-containing-u));
+//! * [`stream`] — streaming front/rear coverage counters for the adaptive
+//!   algorithms, which never need to store their per-iteration batches;
+//! * [`bounds`] — Hoeffding (paper Lemma 4), the Relative+Additive martingale
+//!   bound (paper Lemma 7), and the one-sided coverage bounds used for
+//!   `E_l[I(T)]` cost calibration;
+//! * [`sampler`] — deterministic multi-threaded batch generation;
+//! * [`nodeset`] — a plain bitset over node ids shared by the above.
+
+pub mod bounds;
+pub mod collection;
+pub mod coverage;
+pub mod nodeset;
+pub mod rr;
+pub mod sampler;
+pub mod stream;
+
+pub use collection::RrCollection;
+pub use coverage::DoubleGreedyCoverage;
+pub use nodeset::NodeSet;
+pub use rr::RrSampler;
+pub use sampler::generate_batch;

@@ -1,0 +1,54 @@
+//! The adaptivity gap, measured: sweep the edge strength of a small graph
+//! and compare the *optimal* adaptive policy against the *optimal*
+//! nonadaptive seed set (both brute-forced exactly), plus ADG's guaranteed
+//! fraction of the optimum.
+//!
+//! Intuition from the paper (§I, §II-B): feedback matters most when cascades
+//! are uncertain — at p → 0 or p → 1 there is nothing to learn, in between
+//! observing who got activated saves wasted seeding costs.
+//!
+//! ```text
+//! cargo run --release --example adaptive_vs_nonadaptive
+//! ```
+
+use adaptive_tpm::core::oracle::ExactOracle;
+use adaptive_tpm::core::policies::Adg;
+use adaptive_tpm::core::theory::{
+    exact_policy_value, optimal_adaptive_value, optimal_nonadaptive_value,
+};
+use adaptive_tpm::core::TpmInstance;
+use adaptive_tpm::graph::GraphBuilder;
+
+fn instance_with_strength(p: f32) -> TpmInstance {
+    // A chain 0 -> 1 -> 2 with both endpoints of the first edge targetable.
+    // Seeding 1 is worth it *only in the worlds where 0's cascade failed to
+    // reach it* — precisely the information an adaptive policy observes and
+    // a nonadaptive one must gamble on. Closed form for p > 0.05:
+    //   nonadaptive OPT = E[I({0})] - 0.4           = 0.6 + p + p²
+    //   adaptive OPT    = nonadaptive + (1-p)(p-0.05)
+    let mut b = GraphBuilder::new(3);
+    b.add_edge(0, 1, p).unwrap();
+    b.add_edge(1, 2, p).unwrap();
+    TpmInstance::new(b.build(), vec![0, 1], &[0.4, 1.05])
+}
+
+fn main() {
+    println!("edge p | nonadaptive OPT | adaptive OPT | gap    | Lambda(ADG) | >= OPT/3");
+    println!("-------+-----------------+--------------+--------+-------------+---------");
+    for pct in (5..=95).step_by(10) {
+        let p = pct as f32 / 100.0;
+        let inst = instance_with_strength(p);
+        let non = optimal_nonadaptive_value(&inst);
+        let ada = optimal_adaptive_value(&inst);
+        let adg = exact_policy_value(&inst, &mut Adg::new(ExactOracle));
+        let gap = if non > 1e-12 { 100.0 * (ada - non) / non } else { 0.0 };
+        let ok = adg >= ada / 3.0 - 1e-9;
+        println!(
+            "{p:6.2} | {non:15.4} | {ada:12.4} | {gap:5.1}% | {adg:11.4} | {}",
+            if ok { "yes" } else { "VIOLATION" }
+        );
+        assert!(ok, "Theorem 1 must hold");
+        assert!(ada >= non - 1e-9, "adaptive OPT dominates nonadaptive OPT");
+    }
+    println!("\nNote the inverted-U: the gap vanishes at the deterministic ends.");
+}

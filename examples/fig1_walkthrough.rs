@@ -1,0 +1,87 @@
+//! A reconstruction of the paper's Fig. 1 worked example: a 7-node social
+//! graph where the adaptive strategy beats the optimal nonadaptive solution
+//! by exploiting realized feedback.
+//!
+//! The paper's figure gives T = {v1, v2, v6}, every cost 1.5, and shows a
+//! realization where the adaptive policy earns profit 3 while the
+//! nonadaptive optimum (seeding all of T) earns 2.5. The exact edge list is
+//! not recoverable from the text, so this example builds a graph *in the
+//! spirit of the figure* — v2 reaches {v3, v4}, v6 reaches {v5, v7}, v1
+//! overlaps with v2's audience — and recomputes every number with the exact
+//! oracle so the story is verifiable end to end.
+//!
+//! ```text
+//! cargo run --release --example fig1_walkthrough
+//! ```
+
+use adaptive_tpm::core::oracle::ExactOracle;
+use adaptive_tpm::core::policies::Adg;
+use adaptive_tpm::core::theory::{
+    exact_policy_value, optimal_adaptive_value, optimal_nonadaptive_value,
+};
+use adaptive_tpm::core::{AdaptivePolicy, AdaptiveSession, TpmInstance};
+use adaptive_tpm::graph::GraphBuilder;
+
+fn main() {
+    // Nodes: 0..=6 standing in for v1..=v7.
+    let (v1, v2, v3, v4, v5, v6, v7) = (0u32, 1, 2, 3, 4, 5, 6);
+    let mut b = GraphBuilder::new(7);
+    b.add_edge(v1, v3, 0.4).unwrap(); // v1's audience overlaps v2's
+    b.add_edge(v2, v3, 0.8).unwrap();
+    b.add_edge(v2, v4, 0.7).unwrap();
+    b.add_edge(v3, v4, 0.6).unwrap();
+    b.add_edge(v6, v5, 0.7).unwrap();
+    b.add_edge(v6, v7, 0.6).unwrap();
+    b.add_edge(v5, v7, 0.3).unwrap();
+    let graph = b.build();
+
+    let instance = TpmInstance::new(graph, vec![v1, v2, v6], &[1.5, 1.5, 1.5]);
+
+    println!("== the Fig. 1 story, recomputed exactly ==\n");
+    let best_nonadaptive = optimal_nonadaptive_value(&instance);
+    let best_adaptive = optimal_adaptive_value(&instance);
+    println!("optimal nonadaptive profit  max_S rho(S) = {best_nonadaptive:.4}");
+    println!("optimal adaptive   profit  Lambda(pi*)  = {best_adaptive:.4}");
+    println!(
+        "adaptivity gap: {:.1}%\n",
+        100.0 * (best_adaptive - best_nonadaptive) / best_nonadaptive
+    );
+
+    // Λ(ADG) over every possible world, plus Theorem 1's bound.
+    let adg_value = exact_policy_value(&instance, &mut Adg::new(ExactOracle));
+    println!("Lambda(ADG) = {adg_value:.4}  (Theorem 1 floor: {:.4})", best_adaptive / 3.0);
+    assert!(adg_value >= best_adaptive / 3.0 - 1e-9);
+
+    // One concrete world, narrated like the figure: find a world seed where
+    // v2 activates both v3 and v4, then v6 activates v5 and v7.
+    println!("\n== one realization, step by step ==");
+    for world in 0..200u64 {
+        let mut session = AdaptiveSession::new(&instance, world);
+        let mut adg = Adg::new(ExactOracle);
+        let selected = adg.run(&mut session);
+        if selected == vec![v2, v6] && session.total_activated() == 6 {
+            // Re-run with narration.
+            let mut session = AdaptiveSession::new(&instance, world);
+            println!("world #{world}:");
+            let a = session.select(v2);
+            println!("  select v2 -> activates {} nodes: {:?}", a.len(), pretty(&a));
+            let b = session.select(v6);
+            println!("  select v6 -> activates {} nodes: {:?}", b.len(), pretty(&b));
+            println!(
+                "  adaptive profit: {} activated - {} cost = {}",
+                session.total_activated(),
+                3.0,
+                session.profit()
+            );
+            println!(
+                "  nonadaptive (seed all of T) in the same world would pay 4.5 in costs"
+            );
+            return;
+        }
+    }
+    println!("(no narrating world found in the first 200 seeds — unusual but harmless)");
+}
+
+fn pretty(nodes: &[u32]) -> Vec<String> {
+    nodes.iter().map(|u| format!("v{}", u + 1)).collect()
+}

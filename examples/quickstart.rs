@@ -1,0 +1,63 @@
+//! Quickstart: build a social graph, set up a target profit maximization
+//! instance, and run the paper's flagship algorithm (HATP) against the
+//! nonadaptive double greedy baseline.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use adaptive_tpm::core::policies::{Hatp, Ndg};
+use adaptive_tpm::core::runner::{evaluate_adaptive, evaluate_nonadaptive, standard_worlds};
+use adaptive_tpm::core::setup::{calibrated_instance, CalibrationConfig};
+use adaptive_tpm::core::CostSplit;
+use adaptive_tpm::graph::gen::Dataset;
+use adaptive_tpm::graph::GraphStats;
+
+fn main() {
+    // 1. A synthetic stand-in for the NetHEPT collaboration network at 20%
+    //    scale (~3K nodes), with the paper's weighted-cascade probabilities
+    //    p(u,v) = 1/indeg(v) already applied.
+    let graph = Dataset::NetHept.generate(0.2, 42);
+    println!("graph: {}", GraphStats::compute(&graph));
+
+    // 2. The paper's first workload (§VI-A): the target set T is the top-25
+    //    influential users (IMM), and the total seeding budget c(T) is
+    //    calibrated to a lower bound of T's expected spread, split uniformly.
+    let instance = calibrated_instance(
+        graph,
+        25,
+        CostSplit::Uniform,
+        CalibrationConfig { seed: 42, threads: 2, ..Default::default() },
+    );
+    println!(
+        "target set: k = {}, c(T) = {:.1}",
+        instance.k(),
+        instance.total_cost()
+    );
+
+    // 3. Evaluate over the paper's protocol: 20 sampled possible worlds.
+    let worlds = standard_worlds(7);
+
+    // Adaptive: HATP selects seeds one by one, watching each cascade land.
+    let mut hatp = Hatp { seed: 1, threads: 2, ..Default::default() };
+    let adaptive = evaluate_adaptive(&instance, &mut hatp, &worlds);
+
+    // Nonadaptive: NDG commits to one batch before the campaign starts.
+    let mut ndg = Ndg::new(100_000, 1, 2);
+    let nonadaptive = evaluate_nonadaptive(&instance, &mut ndg, &worlds);
+
+    println!("\n               mean profit    std      seeds   decision time");
+    for s in [&adaptive, &nonadaptive] {
+        println!(
+            "{:>10}    {:>10.1}  {:>7.1}  {:>7.1}   {:>10.2?}",
+            s.algorithm,
+            s.mean_profit(),
+            s.std_profit(),
+            s.mean_seeds(),
+            s.decision_time,
+        );
+    }
+    let lift = 100.0 * (adaptive.mean_profit() - nonadaptive.mean_profit())
+        / nonadaptive.mean_profit().abs().max(1e-9);
+    println!("\nadaptivity lift: {lift:+.1}% (paper reports ~10-15% on average)");
+}

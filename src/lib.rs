@@ -1,0 +1,45 @@
+//! # adaptive-tpm
+//!
+//! Facade crate for the adaptive target profit maximization (TPM) stack — a
+//! from-scratch Rust reproduction of *"Efficient Approximation Algorithms for
+//! Adaptive Target Profit Maximization"* (Huang, Tang, Xiao, Sun, Lim;
+//! ICDE 2020).
+//!
+//! The implementation lives in five focused crates, all re-exported here:
+//!
+//! * [`graph`] — probabilistic social graphs (CSR storage, residual views,
+//!   synthetic dataset presets);
+//! * [`diffusion`] — the independent-cascade engine (realizations, cascades,
+//!   spread estimation);
+//! * [`ris`] — reverse-influence sampling (RR sets, coverage, concentration
+//!   bounds);
+//! * [`im`] — influence maximization substrate (lazy greedy, IMM);
+//! * [`core`] — the paper's contribution: the adaptive TPM problem, the
+//!   ADG / ADDATP / HATP policies and all evaluated baselines.
+//!
+//! See `examples/quickstart.rs` for an end-to-end tour.
+//!
+//! ```
+//! use adaptive_tpm::core::policies::Hatp;
+//! use adaptive_tpm::core::runner::evaluate_adaptive;
+//! use adaptive_tpm::core::TpmInstance;
+//! use adaptive_tpm::graph::GraphBuilder;
+//!
+//! // A two-hop chain where the hub is worth seeding and the tail is not.
+//! let mut b = GraphBuilder::new(3);
+//! b.add_edge(0, 1, 1.0).unwrap();
+//! b.add_edge(1, 2, 1.0).unwrap();
+//! let instance = TpmInstance::new(b.build(), vec![0, 2], &[1.5, 2.0]);
+//!
+//! let mut hatp = Hatp { seed: 7, ..Default::default() };
+//! let summary = evaluate_adaptive(&instance, &mut hatp, &[1, 2, 3]);
+//! // Seeding the hub activates all 3 nodes at cost 1.5; the tail (already
+//! // activated) is skipped, so every world realizes profit 1.5.
+//! assert!((summary.mean_profit() - 1.5).abs() < 1e-9);
+//! ```
+
+pub use atpm_core as core;
+pub use atpm_diffusion as diffusion;
+pub use atpm_graph as graph;
+pub use atpm_im as im;
+pub use atpm_ris as ris;

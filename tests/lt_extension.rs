@@ -1,0 +1,93 @@
+//! Integration test for the linear-threshold extension: the adaptive
+//! feedback loop run manually under LT semantics, cross-validated against
+//! the IC machinery where the two models provably coincide.
+
+use adaptive_tpm::diffusion::lt::{lt_mc_spread, lt_observe, normalize_lt_weights, LtRealization};
+use adaptive_tpm::diffusion::{exact_spread, mc_spread};
+use adaptive_tpm::graph::gen::Dataset;
+use adaptive_tpm::graph::{GraphBuilder, GraphView, ResidualGraph};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// On in-degree-1 graphs, IC and LT have identical spread distributions
+/// (each node has a single potential activator in both formulations), so the
+/// two engines must agree.
+#[test]
+fn ic_and_lt_agree_on_indegree_one_graphs() {
+    // A directed tree: 0 -> {1, 2}, 1 -> {3, 4}, 2 -> {5}.
+    let mut b = GraphBuilder::new(6);
+    b.add_edge(0, 1, 0.7).unwrap();
+    b.add_edge(0, 2, 0.4).unwrap();
+    b.add_edge(1, 3, 0.5).unwrap();
+    b.add_edge(1, 4, 0.9).unwrap();
+    b.add_edge(2, 5, 0.6).unwrap();
+    let g = b.build();
+    let ic = exact_spread(&&g, &[0]);
+    let lt = lt_mc_spread(&&g, &[0], 120_000, 3);
+    assert!(
+        (ic - lt).abs() < 0.02,
+        "IC exact {ic} vs LT Monte-Carlo {lt}"
+    );
+}
+
+#[test]
+fn lt_spread_exceeds_ic_on_shared_wic_weights() {
+    // On WIC weights LT pools incoming weight (thresholds) while IC flips
+    // independent coins per edge; LT spread dominates on typical graphs.
+    let g = Dataset::NetHept.generate(0.03, 5);
+    let seeds: Vec<u32> = (0..5).collect();
+    let mut rng = StdRng::seed_from_u64(1);
+    let ic = mc_spread(&&g, &seeds, 15_000, &mut rng);
+    let lt = lt_mc_spread(&&g, &seeds, 15_000, 1);
+    assert!(
+        lt >= ic * 0.95,
+        "LT {lt} unexpectedly far below IC {ic}"
+    );
+}
+
+#[test]
+fn adaptive_lt_loop_ledger_is_consistent() {
+    let g = normalize_lt_weights(&Dataset::Epinions.generate(0.01, 7));
+    let world = LtRealization::new(42);
+    let mut residual = ResidualGraph::new(&g);
+    let mut total = 0usize;
+    let mut all: Vec<u32> = Vec::new();
+    for s in 0..20u32 {
+        if !residual.is_alive(s) {
+            continue;
+        }
+        let cascade = lt_observe(&residual, &world, &[s]);
+        total += cascade.len();
+        all.extend_from_slice(&cascade);
+        residual.remove_all(cascade.iter().copied());
+    }
+    // Ledger: activations and removals must match, with no duplicates.
+    assert_eq!(total, g.num_nodes() - residual.num_alive());
+    let mut sorted = all.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(sorted.len(), all.len(), "no node activated twice");
+}
+
+#[test]
+fn lt_sequential_observation_equals_joint() {
+    // Same soundness property the IC session relies on, under LT.
+    let g = normalize_lt_weights(&Dataset::NetHept.generate(0.02, 9));
+    for seed in 0..10u64 {
+        let world = LtRealization::new(seed);
+        let joint: std::collections::HashSet<u32> =
+            lt_observe(&&g, &world, &[0, 1, 2]).into_iter().collect();
+
+        let mut residual = ResidualGraph::new(&g);
+        let mut seq: std::collections::HashSet<u32> = Default::default();
+        for s in [0u32, 1, 2] {
+            if !residual.is_alive(s) {
+                continue;
+            }
+            let c = lt_observe(&residual, &world, &[s]);
+            residual.remove_all(c.iter().copied());
+            seq.extend(c);
+        }
+        assert_eq!(joint, seq, "world {seed}");
+    }
+}

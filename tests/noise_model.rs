@@ -1,0 +1,109 @@
+//! Cross-validation of the noise-model algorithms against the oracle model:
+//! with generous sampling, ADDATP and HATP must make the same decisions ADG
+//! makes with an exact oracle, and their per-world profits must coincide.
+
+use adaptive_tpm::core::oracle::{ExactOracle, McOracle, RisOracle, SpreadOracle};
+use adaptive_tpm::core::policies::{Addatp, Adg, Hatp};
+use adaptive_tpm::core::runner::evaluate_adaptive;
+use adaptive_tpm::core::TpmInstance;
+use adaptive_tpm::graph::{GraphBuilder, ResidualGraph};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Random instance with *comfortable margins*: costs are pushed away from
+/// the decision boundary so any estimator with moderate accuracy lands on
+/// the oracle decision. Margins are enforced by construction: cost is either
+/// 40% or 250% of the node's exact singleton spread.
+fn clear_margin_instance(seed: u64) -> TpmInstance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = rng.gen_range(5..9);
+    let mut b = GraphBuilder::new(n);
+    let m = rng.gen_range(3..10);
+    for _ in 0..m {
+        let u = rng.gen_range(0..n as u32);
+        let v = rng.gen_range(0..n as u32);
+        if u != v {
+            b.add_edge(u, v, rng.gen_range(0.2..0.9)).unwrap();
+        }
+    }
+    let g = b.build();
+    let k = 3.min(n);
+    let target: Vec<u32> = (0..k as u32).collect();
+    let costs: Vec<f64> = target
+        .iter()
+        .map(|&u| {
+            let spread = adaptive_tpm::diffusion::exact_spread(&&g, &[u]);
+            if rng.gen_bool(0.5) {
+                spread * 0.4
+            } else {
+                spread * 2.5
+            }
+        })
+        .collect();
+    TpmInstance::new(g, target, &costs)
+}
+
+#[test]
+fn addatp_and_hatp_replicate_adg_given_margins() {
+    let worlds: Vec<u64> = (0..6).collect();
+    for seed in 0..12u64 {
+        let inst = clear_margin_instance(seed);
+        let exact = evaluate_adaptive(&inst, &mut Adg::new(ExactOracle), &worlds);
+        let mut addatp = Addatp { seed, ..Default::default() };
+        let add = evaluate_adaptive(&inst, &mut addatp, &worlds);
+        let mut hatp = Hatp { seed, ..Default::default() };
+        let hat = evaluate_adaptive(&inst, &mut hatp, &worlds);
+        assert_eq!(exact.profits, add.profits, "seed {seed}: ADDATP diverged");
+        assert_eq!(exact.profits, hat.profits, "seed {seed}: HATP diverged");
+    }
+}
+
+#[test]
+fn mc_and_ris_oracles_reproduce_adg_decisions() {
+    let worlds: Vec<u64> = (0..4).collect();
+    for seed in 20..26u64 {
+        let inst = clear_margin_instance(seed);
+        let exact = evaluate_adaptive(&inst, &mut Adg::new(ExactOracle), &worlds);
+        let mc = evaluate_adaptive(&inst, &mut Adg::new(McOracle::new(8000, seed)), &worlds);
+        let ris =
+            evaluate_adaptive(&inst, &mut Adg::new(RisOracle::new(8000, seed, 2)), &worlds);
+        assert_eq!(exact.profits, mc.profits, "seed {seed}: MC oracle diverged");
+        assert_eq!(exact.profits, ris.profits, "seed {seed}: RIS oracle diverged");
+    }
+}
+
+#[test]
+fn oracle_estimates_agree_within_tolerance_on_residual_graphs() {
+    let inst = clear_margin_instance(77);
+    let mut view = ResidualGraph::new(inst.graph());
+    view.remove(0);
+    let set = [1u32, 2];
+    let mut exact = ExactOracle;
+    let truth = exact.spread(&view, &set);
+    let mut mc = McOracle::new(60_000, 3);
+    let mut ris = RisOracle::new(60_000, 3, 2);
+    assert!((mc.spread(&view, &set) - truth).abs() < 0.05 * truth.max(1.0));
+    assert!((ris.spread(&view, &set) - truth).abs() < 0.05 * truth.max(1.0));
+}
+
+#[test]
+fn hatp_work_scales_sublinearly_vs_addatp_with_borderline_nodes() {
+    // The §IV-A complexity claim at miniature scale: put one borderline node
+    // on progressively larger graphs; ADDATP's sampling grows ~n², HATP ~n.
+    let mut prev_ratio = 0.0f64;
+    for &n in &[200usize, 800] {
+        let b = GraphBuilder::new(n);
+        let inst = TpmInstance::new(b.build(), vec![0], &[1.0]);
+        let mut hatp = Hatp { seed: 1, ..Default::default() };
+        let h = evaluate_adaptive(&inst, &mut hatp, &[1]);
+        let mut addatp = Addatp { seed: 1, ..Default::default() };
+        let a = evaluate_adaptive(&inst, &mut addatp, &[1]);
+        let ratio = a.sampling_work as f64 / h.sampling_work.max(1) as f64;
+        assert!(
+            ratio > prev_ratio,
+            "ADDATP/HATP work ratio should grow with n: {ratio} after {prev_ratio}"
+        );
+        prev_ratio = ratio;
+    }
+    assert!(prev_ratio > 10.0, "at n=800 the gap should be large: {prev_ratio}");
+}

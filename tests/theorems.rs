@@ -1,0 +1,161 @@
+//! Machine checks of the paper's theory on exhaustively-solved instances.
+//!
+//! Theorem 1 (`Λ(ADG) ≥ Λ(π_opt)/3`), the Lemma 1 invariant
+//! (`ρ_f + ρ_r ≥ 0`), and the adaptivity gap (`Λ(π_opt) ≥ max_S ρ(S)`)
+//! are verified against brute-forced optima over randomized tiny instances.
+
+use adaptive_tpm::core::oracle::{ExactOracle, SpreadOracle};
+use adaptive_tpm::core::policies::Adg;
+use adaptive_tpm::core::theory::{
+    concat_seed_sets, exact_policy_value, intersect_seed_sets, optimal_adaptive_value,
+    optimal_nonadaptive_value,
+};
+use adaptive_tpm::core::TpmInstance;
+use adaptive_tpm::graph::{GraphBuilder, ResidualGraph};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Random instance: <= 5 nodes, <= 9 edges, 2-3 targets, costs near the
+/// interesting range (comparable to singleton spreads).
+///
+/// The paper's guarantees require `ρ(T) ≥ 0` (§II-B); random costs are
+/// rescaled to respect that precondition while staying close to the
+/// decision boundary.
+fn random_tiny_instance(seed: u64) -> TpmInstance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = rng.gen_range(3..6);
+    let mut b = GraphBuilder::new(n);
+    let m = rng.gen_range(2..10);
+    for _ in 0..m {
+        let u = rng.gen_range(0..n as u32);
+        let v = rng.gen_range(0..n as u32);
+        if u != v {
+            b.add_edge(u, v, rng.gen_range(0.1..0.95)).unwrap();
+        }
+    }
+    let g = b.build();
+    let k = rng.gen_range(2..4).min(n);
+    let mut target: Vec<u32> = (0..n as u32).collect();
+    // Deterministic shuffle.
+    for i in (1..target.len()).rev() {
+        target.swap(i, rng.gen_range(0..=i));
+    }
+    target.truncate(k);
+    let mut costs: Vec<f64> = (0..k).map(|_| rng.gen_range(0.3..2.5)).collect();
+    // Enforce the nonnegative-target-profit assumption: c(T) <= E[I(T)].
+    let spread_t = adaptive_tpm::diffusion::exact_spread(&&g, &target);
+    let total: f64 = costs.iter().sum();
+    if total > spread_t {
+        let shrink = spread_t / total;
+        for c in &mut costs {
+            *c *= shrink;
+        }
+    }
+    TpmInstance::new(g, target, &costs)
+}
+
+#[test]
+fn theorem_1_adg_is_a_third_approximation() {
+    let mut checked = 0;
+    for seed in 0..60u64 {
+        let inst = random_tiny_instance(seed);
+        let opt = optimal_adaptive_value(&inst);
+        let adg = exact_policy_value(&inst, &mut Adg::new(ExactOracle));
+        assert!(
+            adg >= opt / 3.0 - 1e-9,
+            "seed {seed}: Lambda(ADG) = {adg} < OPT/3 = {}",
+            opt / 3.0
+        );
+        assert!(adg <= opt + 1e-9, "seed {seed}: ADG {adg} exceeds OPT {opt}");
+        checked += 1;
+    }
+    assert_eq!(checked, 60);
+}
+
+#[test]
+fn adaptivity_gap_is_nonnegative_everywhere() {
+    for seed in 0..60u64 {
+        let inst = random_tiny_instance(seed);
+        let non = optimal_nonadaptive_value(&inst);
+        let ada = optimal_adaptive_value(&inst);
+        assert!(
+            ada >= non - 1e-9,
+            "seed {seed}: adaptive OPT {ada} below nonadaptive OPT {non}"
+        );
+    }
+}
+
+#[test]
+fn lemma_1_front_plus_rear_profit_is_nonnegative() {
+    // For any residual graph, any S ⊆ T' ∖ {u}: ρ_f + ρ_r =
+    // E[I(u | S)] − E[I(u | T' ∖ {u})] ≥ 0 by submodularity of spread.
+    let mut oracle = ExactOracle;
+    for seed in 100..140u64 {
+        let inst = random_tiny_instance(seed);
+        let target = inst.target().to_vec();
+        if target.len() < 2 {
+            continue;
+        }
+        let mut view = ResidualGraph::new(inst.graph());
+        // Also exercise a residual state.
+        if seed % 2 == 0 {
+            view.remove(target[target.len() - 1]);
+        }
+        let u = target[0];
+        if !view.is_alive_test(u) {
+            continue;
+        }
+        let rest: Vec<u32> = target[1..].to_vec();
+        let rho_f = oracle.marginal(&view, u, &[]) - inst.cost(u);
+        let rho_r = inst.cost(u) - oracle.marginal(&view, u, &rest);
+        assert!(
+            rho_f + rho_r >= -1e-9,
+            "seed {seed}: rho_f {rho_f} + rho_r {rho_r} < 0"
+        );
+    }
+}
+
+// ResidualGraph::is_alive needs the GraphView trait in scope; the helper
+// keeps the test body tidy.
+trait AliveExt {
+    fn is_alive_test(&self, u: u32) -> bool;
+}
+impl AliveExt for ResidualGraph<'_> {
+    fn is_alive_test(&self, u: u32) -> bool {
+        use adaptive_tpm::graph::GraphView;
+        self.is_alive(u)
+    }
+}
+
+#[test]
+fn policy_combinators_match_definitions() {
+    // S(π ⊕ π') = S(π) ∪ S(π'), S(π ⊗ π') = S(π) ∩ S(π') — Definitions 5/6.
+    let a = vec![1u32, 2, 3];
+    let b = vec![3u32, 4];
+    assert_eq!(concat_seed_sets(&a, &b), vec![1, 2, 3, 4]);
+    assert_eq!(intersect_seed_sets(&a, &b), vec![3]);
+    // π ⊗ π = π and π ⊕ π = π.
+    assert_eq!(concat_seed_sets(&a, &a), a);
+    assert_eq!(intersect_seed_sets(&a, &a), a);
+}
+
+#[test]
+fn theorem_2_style_bound_holds_for_addatp_on_tiny_instances() {
+    // ADDATP's guarantee is Λ ≥ (Λ(π_opt) − (2k+2))/3; on tiny instances the
+    // slack term dominates, so the bound is trivially satisfied — the
+    // meaningful check is that ADDATP never does something *worse than the
+    // bound* even with its noisy estimates.
+    use adaptive_tpm::core::policies::Addatp;
+    for seed in 0..10u64 {
+        let inst = random_tiny_instance(seed);
+        let k = inst.k() as f64;
+        let opt = optimal_adaptive_value(&inst);
+        let mut policy = Addatp { seed, max_theta: 1 << 14, ..Default::default() };
+        let val = exact_policy_value(&inst, &mut policy);
+        let floor = (opt - (2.0 * k + 2.0)) / 3.0;
+        assert!(
+            val >= floor - 1e-9,
+            "seed {seed}: ADDATP {val} below Theorem 2 floor {floor}"
+        );
+    }
+}
