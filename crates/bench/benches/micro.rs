@@ -2,20 +2,238 @@
 //! RR-set generation (serial and parallel), coverage queries, realization
 //! hashing, forward cascades, and one end-to-end policy decision per
 //! algorithm family.
+//!
+//! The `ris_engine` group is the performance contract of the RIS refactor:
+//! each stage of the sampling → coverage → greedy pipeline is benchmarked
+//! against its pre-refactor implementation (re-push merge, allocating
+//! coverage, re-scanning CELF) on a 100k-node preset graph. Run with
+//!
+//! ```text
+//! ATPM_BENCH_JSON=$PWD/BENCH_ris.json cargo bench -p atpm-bench --bench micro -- ris_engine
+//! ```
+//!
+//! (from the repo root) to refresh the committed `BENCH_ris.json`
+//! trajectory — the path must be absolute because cargo runs bench
+//! binaries with the package directory as CWD.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
-use atpm_core::policies::{Adg, Hatp, Ndg, Nsg};
 use atpm_core::oracle::McOracle;
+use atpm_core::policies::{Adg, Hatp, Ndg, Nsg};
 use atpm_core::runner::{evaluate_adaptive, evaluate_nonadaptive};
 use atpm_core::setup::{calibrated_instance, CalibrationConfig};
 use atpm_core::CostSplit;
 use atpm_diffusion::{CascadeEngine, HashedRealization, MaterializedRealization, Realization};
 use atpm_graph::gen::Dataset;
+use atpm_graph::GraphView;
+use atpm_im::greedy::max_coverage_greedy_rescan;
+use atpm_im::{max_coverage_greedy_with, GreedyResult, GreedyScratch};
 use atpm_ris::sampler::generate_batch;
-use atpm_ris::{NodeSet, RrSampler};
+use atpm_ris::workspace::run_sharded;
+use atpm_ris::{CoverageScratch, NodeSet, RrCollection, RrSampler, RrShard};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// The pre-refactor `generate_batch`: worker parts stored as collections,
+/// merged by re-pushing every set through the un-frozen API. Baseline leg of
+/// `ris_engine/generate_batch`.
+fn generate_batch_repush<V: GraphView + Sync>(
+    view: &V,
+    count: usize,
+    seed: u64,
+    threads: usize,
+) -> RrCollection {
+    let parts: Vec<RrCollection> = run_sharded(count, threads, seed, |_tid, quota, wseed| {
+        let mut local = RrCollection::new(view.num_nodes(), view.num_alive());
+        let mut sampler = RrSampler::new();
+        let mut rng = StdRng::seed_from_u64(wseed);
+        let mut buf = Vec::new();
+        for _ in 0..quota {
+            if !sampler.sample_into(view, &mut rng, &mut buf) {
+                break;
+            }
+            local.push(&buf);
+        }
+        local
+    });
+    let mut merged = RrCollection::new(view.num_nodes(), view.num_alive());
+    for part in &parts {
+        for i in 0..part.len() {
+            merged.push(part.set(i));
+        }
+    }
+    merged.freeze();
+    merged
+}
+
+/// The pre-refactor allocating coverage query: fresh `vec![false; θ]` per
+/// call. Baseline leg of `ris_engine/cov_set`.
+fn cov_set_alloc_baseline(c: &RrCollection, s: &[u32]) -> usize {
+    let mut hit = vec![false; c.len()];
+    let mut total = 0usize;
+    for &u in s {
+        for &i in c.sets_containing(u) {
+            if !hit[i as usize] {
+                hit[i as usize] = true;
+                total += 1;
+            }
+        }
+    }
+    total
+}
+
+fn bench_ris_engine(c: &mut Criterion) {
+    // The acceptance-criteria graph: a 100k-node preset (Epinions scaled).
+    let g = Dataset::Epinions.generate(0.76, 42);
+    assert!(
+        g.num_nodes() >= 100_000,
+        "preset too small: {}",
+        g.num_nodes()
+    );
+    let mut group = c.benchmark_group("ris_engine");
+    group.sample_size(10);
+
+    // ---- stage 1: batch generation, 4 workers ------------------------------
+    let count = 20_000usize;
+    group.throughput(Throughput::Elements(count as u64));
+    group.bench_function("generate_batch/sharded_4t", |b| {
+        b.iter(|| generate_batch(&&g, count, 7, 4));
+    });
+    group.bench_function("generate_batch/repush_4t", |b| {
+        b.iter(|| generate_batch_repush(&&g, count, 7, 4));
+    });
+
+    // ---- stage 1b: the merge in isolation (same pre-sampled sets) ----------
+    let shards: Vec<RrShard> = run_sharded(count, 4, 7, |_tid, quota, wseed| {
+        let mut shard = RrShard::new();
+        let mut sampler = RrSampler::new();
+        let mut rng = StdRng::seed_from_u64(wseed);
+        let mut buf = Vec::new();
+        for _ in 0..quota {
+            if !sampler.sample_into(&&g, &mut rng, &mut buf) {
+                break;
+            }
+            shard.push(&buf);
+        }
+        shard
+    });
+    let parts: Vec<Vec<Vec<u32>>> = run_sharded(count, 4, 7, |_tid, quota, wseed| {
+        let mut local = Vec::new();
+        let mut sampler = RrSampler::new();
+        let mut rng = StdRng::seed_from_u64(wseed);
+        let mut buf = Vec::new();
+        for _ in 0..quota {
+            if !sampler.sample_into(&&g, &mut rng, &mut buf) {
+                break;
+            }
+            local.push(buf.clone());
+        }
+        local
+    });
+    let (total_sets, total_members) = shards
+        .iter()
+        .fold((0, 0), |(s, m), sh| (s + sh.len(), m + sh.total_members()));
+    group.bench_function("merge/bulk_absorb", |b| {
+        b.iter(|| {
+            let mut merged = RrCollection::with_capacity(
+                g.num_nodes(),
+                g.num_alive(),
+                total_sets,
+                total_members,
+            );
+            for shard in &shards {
+                merged.absorb_shard(shard);
+            }
+            merged.freeze_parallel(4);
+            merged.len()
+        });
+    });
+    group.bench_function("merge/per_set_repush", |b| {
+        b.iter(|| {
+            let mut merged = RrCollection::new(g.num_nodes(), g.num_alive());
+            for part in &parts {
+                for set in part {
+                    merged.push(set);
+                }
+            }
+            merged.freeze();
+            merged.len()
+        });
+    });
+    // Fan-in isolated from the (shared) index build: this is the stage the
+    // sharded refactor actually rewrote.
+    group.bench_function("merge_nofreeze/bulk_absorb", |b| {
+        b.iter(|| {
+            let mut merged = RrCollection::with_capacity(
+                g.num_nodes(),
+                g.num_alive(),
+                total_sets,
+                total_members,
+            );
+            for shard in &shards {
+                merged.absorb_shard(shard);
+            }
+            merged.len()
+        });
+    });
+    group.bench_function("merge_nofreeze/per_set_repush", |b| {
+        b.iter(|| {
+            let mut merged = RrCollection::new(g.num_nodes(), g.num_alive());
+            for part in &parts {
+                for set in part {
+                    merged.push(set);
+                }
+            }
+            merged.len()
+        });
+    });
+
+    // ---- stage 2: coverage queries -----------------------------------------
+    let batch = generate_batch(&&g, 100_000, 5, 4);
+    let seeds: Vec<u32> = (0..50).collect();
+    let mut scratch = CoverageScratch::with_theta(batch.len());
+    group.bench_function("cov_set/scratch", |b| {
+        b.iter(|| batch.cov_set_with(&seeds, &mut scratch));
+    });
+    group.bench_function("cov_set/alloc_baseline", |b| {
+        b.iter(|| cov_set_alloc_baseline(&batch, &seeds));
+    });
+
+    let nodes: Vec<u32> = (0..2000u32)
+        .map(|i| (i * 37) % g.num_nodes() as u32)
+        .collect();
+    let cond = NodeSet::from_iter(g.num_nodes(), (0..200u32).map(|i| i * 41));
+    let mut out = Vec::new();
+    group.bench_function("cov_marginal/batched", |b| {
+        b.iter(|| {
+            batch.cov_nodes_into(&nodes, Some(&cond), &mut scratch, &mut out);
+            out.len()
+        });
+    });
+    group.bench_function("cov_marginal/per_node", |b| {
+        b.iter(|| {
+            nodes
+                .iter()
+                .map(|&u| batch.cov_marginal(u, &cond))
+                .sum::<usize>()
+        });
+    });
+
+    // ---- stage 3: greedy selection -----------------------------------------
+    let k = 100usize;
+    let mut gscratch = GreedyScratch::new();
+    let mut gresult = GreedyResult::default();
+    group.bench_function("greedy/decremental", |b| {
+        b.iter(|| {
+            max_coverage_greedy_with(&batch, k, None, &mut gscratch, &mut gresult);
+            gresult.coverage
+        });
+    });
+    group.bench_function("greedy/rescan_baseline", |b| {
+        b.iter(|| max_coverage_greedy_rescan(&batch, k, None).coverage);
+    });
+    group.finish();
+}
 
 fn bench_rr_generation(c: &mut Criterion) {
     let g = Dataset::Epinions.generate(0.05, 1); // ~6.6K nodes
@@ -93,14 +311,23 @@ fn bench_policies(c: &mut Criterion) {
         graph,
         8,
         CostSplit::Uniform,
-        CalibrationConfig { lb_theta: 30_000, seed: 6, threads: 4, ..Default::default() },
+        CalibrationConfig {
+            lb_theta: 30_000,
+            seed: 6,
+            threads: 4,
+            ..Default::default()
+        },
     );
     let worlds = [1u64, 2];
     let mut group = c.benchmark_group("policies");
     group.sample_size(10);
     group.bench_function("hatp_2_worlds", |b| {
         b.iter(|| {
-            let mut p = Hatp { seed: 1, threads: 4, ..Default::default() };
+            let mut p = Hatp {
+                seed: 1,
+                threads: 4,
+                ..Default::default()
+            };
             evaluate_adaptive(&inst, &mut p, &worlds).mean_profit()
         });
     });
@@ -139,6 +366,7 @@ fn bench_graph_generation(c: &mut Criterion) {
 
 criterion_group!(
     benches,
+    bench_ris_engine,
     bench_rr_generation,
     bench_rr_single,
     bench_coverage_queries,

@@ -5,7 +5,7 @@
 //!
 //! subcommands: table2 fig2 fig3 fig4a fig4b fig5 fig6 fig7 fig8 fig9 ablation all
 //! flags:       --paper | --quick | --scale F | --worlds N | --k a,b,c
-//!              --threads N | --seed S | --no-addatp
+//!              --threads N | --max-threads N | --seed S | --no-addatp
 //! ```
 
 use atpm_bench::config::ExpConfig;
@@ -17,7 +17,8 @@ use atpm_graph::gen::Dataset;
 fn usage() -> ! {
     eprintln!(
         "usage: experiments <table2|fig2|fig3|fig4a|fig4b|fig5|fig6|fig7|fig8|fig9|ablation|all> \
-         [--paper] [--quick] [--scale F] [--worlds N] [--k a,b,c] [--threads N] [--seed S] [--no-addatp]"
+         [--paper] [--quick] [--scale F] [--worlds N] [--k a,b,c] [--threads N] \
+         [--max-threads N] [--seed S] [--no-addatp]"
     );
     std::process::exit(2);
 }
@@ -41,8 +42,14 @@ fn main() {
         "table2" => print!("{}", runs::table2(&cfg)),
         "fig2" | "fig5" => {
             let res = runs::profit_grid(&cfg, CostSplit::DegreeProportional, &Dataset::ALL);
-            print!("{}", runs::render_profit(&res, "Fig. 2 (degree-proportional cost)"));
-            print!("{}", runs::render_time(&res, "Fig. 5 (degree-proportional cost)"));
+            print!(
+                "{}",
+                runs::render_profit(&res, "Fig. 2 (degree-proportional cost)")
+            );
+            print!(
+                "{}",
+                runs::render_time(&res, "Fig. 5 (degree-proportional cost)")
+            );
         }
         "fig3" | "fig6" => {
             let res = runs::profit_grid(&cfg, CostSplit::Uniform, &Dataset::ALL);
@@ -55,7 +62,10 @@ fn main() {
                 CostSplit::Random { seed: cfg.seed },
                 &[Dataset::Epinions],
             );
-            print!("{}", runs::render_profit(&res, "Fig. 4(a) (random cost, Epinions)"));
+            print!(
+                "{}",
+                runs::render_profit(&res, "Fig. 4(a) (random cost, Epinions)")
+            );
         }
         "fig4b" => print!("{}", runs::fig4b(&cfg)),
         "fig7" => print!("{}", runs::fig78(&cfg, TargetSelector::Ndg)),
@@ -65,8 +75,14 @@ fn main() {
         "all" => {
             print!("{}", runs::table2(&cfg));
             let res = runs::profit_grid(&cfg, CostSplit::DegreeProportional, &Dataset::ALL);
-            print!("{}", runs::render_profit(&res, "Fig. 2 (degree-proportional cost)"));
-            print!("{}", runs::render_time(&res, "Fig. 5 (degree-proportional cost)"));
+            print!(
+                "{}",
+                runs::render_profit(&res, "Fig. 2 (degree-proportional cost)")
+            );
+            print!(
+                "{}",
+                runs::render_time(&res, "Fig. 5 (degree-proportional cost)")
+            );
             let res = runs::profit_grid(&cfg, CostSplit::Uniform, &Dataset::ALL);
             print!("{}", runs::render_profit(&res, "Fig. 3 (uniform cost)"));
             print!("{}", runs::render_time(&res, "Fig. 6 (uniform cost)"));
@@ -75,7 +91,10 @@ fn main() {
                 CostSplit::Random { seed: cfg.seed },
                 &[Dataset::Epinions],
             );
-            print!("{}", runs::render_profit(&res, "Fig. 4(a) (random cost, Epinions)"));
+            print!(
+                "{}",
+                runs::render_profit(&res, "Fig. 4(a) (random cost, Epinions)")
+            );
             print!("{}", runs::fig4b(&cfg));
             print!("{}", runs::fig78(&cfg, TargetSelector::Ndg));
             print!("{}", runs::fig78(&cfg, TargetSelector::Nsg));

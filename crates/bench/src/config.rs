@@ -15,7 +15,9 @@ pub struct ExpConfig {
     pub worlds: usize,
     /// Seed-set sizes to sweep.
     pub k_grid: Vec<usize>,
-    /// Sampler worker threads.
+    /// Sampler worker threads. Defaults to the machine's available
+    /// parallelism (optionally capped by `ATPM_MAX_THREADS` or
+    /// `--max-threads`); the old hard-wired cap of 8 is gone.
     pub threads: usize,
     /// Base RNG seed.
     pub seed: u64,
@@ -33,7 +35,7 @@ impl Default for ExpConfig {
             paper: false,
             worlds: 5,
             k_grid: vec![10, 25, 50, 100],
-            threads: std::thread::available_parallelism().map(|p| p.get().min(8)).unwrap_or(2),
+            threads: atpm_ris::sampler::default_threads(),
             seed: 20200420, // ICDE'20 opening day
             with_addatp: true,
             addatp_max_theta: 1 << 20,
@@ -85,6 +87,12 @@ impl ExpConfig {
                         .parse()
                         .map_err(|e| format!("bad --threads: {e}"))?;
                 }
+                "--max-threads" => {
+                    let cap: usize = value_of("--max-threads")?
+                        .parse()
+                        .map_err(|e| format!("bad --max-threads: {e}"))?;
+                    cfg.threads = atpm_ris::workspace::available_threads(Some(cap));
+                }
                 "--seed" => {
                     cfg.seed = value_of("--seed")?
                         .parse()
@@ -108,6 +116,9 @@ impl ExpConfig {
         }
         if cfg.worlds == 0 || cfg.k_grid.is_empty() {
             return Err("need at least one world and one k".into());
+        }
+        if cfg.threads == 0 {
+            return Err("need at least one worker thread".into());
         }
         Ok(cfg)
     }
@@ -174,6 +185,25 @@ mod tests {
         assert!(ExpConfig::parse(&s(&["--worlds"])).is_err());
         assert!(ExpConfig::parse(&s(&["--worlds", "x"])).is_err());
         assert!(ExpConfig::parse(&s(&["--worlds", "0"])).is_err());
+        assert!(ExpConfig::parse(&s(&["--threads", "0"])).is_err());
+        assert!(ExpConfig::parse(&s(&["--max-threads", "zero"])).is_err());
+    }
+
+    #[test]
+    fn threads_default_uses_machine_parallelism() {
+        let cfg = ExpConfig::default();
+        assert!(cfg.threads >= 1);
+        // No silent throttle: the default tracks available parallelism.
+        assert_eq!(cfg.threads, atpm_ris::sampler::default_threads());
+    }
+
+    #[test]
+    fn max_threads_caps_the_worker_count() {
+        let cfg = ExpConfig::parse(&s(&["--max-threads", "2"])).unwrap();
+        assert!(cfg.threads <= 2 && cfg.threads >= 1);
+        // Explicit --threads still wins when given last.
+        let cfg = ExpConfig::parse(&s(&["--max-threads", "2", "--threads", "5"])).unwrap();
+        assert_eq!(cfg.threads, 5);
     }
 
     #[test]

@@ -28,7 +28,11 @@ impl Table {
 
     /// Records one measurement.
     pub fn push(&mut self, x: u64, series: &str, value: f64) {
-        self.cells.push(Cell { x, series: series.to_string(), value });
+        self.cells.push(Cell {
+            x,
+            series: series.to_string(),
+            value,
+        });
     }
 
     /// All recorded cells.

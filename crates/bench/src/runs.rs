@@ -40,11 +40,16 @@ pub fn nsg_ndg_theta(n: usize, cfg: &ExpConfig) -> usize {
 }
 
 fn dataset_graph(d: Dataset, cfg: &ExpConfig) -> Graph {
-    d.generate(cfg.scale_of(d), cfg.seed ^ (d as u64 + 1).wrapping_mul(0x9E3779B9))
+    d.generate(
+        cfg.scale_of(d),
+        cfg.seed ^ (d as u64 + 1).wrapping_mul(0x9E3779B9),
+    )
 }
 
 fn record(table: &mut GridResult, x: u64, summary: &EvalSummary) {
-    table.profit.push(x, summary.algorithm, summary.mean_profit());
+    table
+        .profit
+        .push(x, summary.algorithm, summary.mean_profit());
     table
         .time
         .push(x, summary.algorithm, summary.decision_time.as_secs_f64());
@@ -80,7 +85,11 @@ pub fn table2(cfg: &ExpConfig) -> String {
             d.name(),
             GraphStats::human(s.nodes),
             GraphStats::human(m_reported),
-            if d.directed() { "directed" } else { "undirected" },
+            if d.directed() {
+                "directed"
+            } else {
+                "undirected"
+            },
             deg,
             GraphStats::human(d.paper_nodes()),
             GraphStats::human(d.paper_edges()),
@@ -92,14 +101,21 @@ pub fn table2(cfg: &ExpConfig) -> String {
 
 /// Shared driver for Figs. 2/3/4(a) (+ timing views 5/6): the k-sweep over
 /// all algorithms under a given cost split.
-pub fn profit_grid(cfg: &ExpConfig, split: CostSplit, datasets: &[Dataset]) -> Vec<(Dataset, GridResult)> {
+pub fn profit_grid(
+    cfg: &ExpConfig,
+    split: CostSplit,
+    datasets: &[Dataset],
+) -> Vec<(Dataset, GridResult)> {
     let worlds = cfg.world_seeds();
     let mut results = Vec::new();
     for &d in datasets {
         let graph = dataset_graph(d, cfg);
         let n = graph.num_nodes();
         let batch_theta = nsg_ndg_theta(n, cfg);
-        let mut grid = GridResult { profit: Table::new(), time: Table::new() };
+        let mut grid = GridResult {
+            profit: Table::new(),
+            time: Table::new(),
+        };
         for &k in &cfg.k_grid {
             if k >= n {
                 continue;
@@ -117,7 +133,11 @@ pub fn profit_grid(cfg: &ExpConfig, split: CostSplit, datasets: &[Dataset]) -> V
             );
             let x = k as u64;
 
-            let mut hatp = Hatp { seed: cfg.seed, threads: cfg.threads, ..Default::default() };
+            let mut hatp = Hatp {
+                seed: cfg.seed,
+                threads: cfg.threads,
+                ..Default::default()
+            };
             record(&mut grid, x, &evaluate_adaptive(&inst, &mut hatp, &worlds));
 
             if cfg.addatp_enabled(d, k) {
@@ -127,7 +147,11 @@ pub fn profit_grid(cfg: &ExpConfig, split: CostSplit, datasets: &[Dataset]) -> V
                     max_theta: cfg.addatp_max_theta,
                     ..Default::default()
                 };
-                record(&mut grid, x, &evaluate_adaptive(&inst, &mut addatp, &worlds));
+                record(
+                    &mut grid,
+                    x,
+                    &evaluate_adaptive(&inst, &mut addatp, &worlds),
+                );
             }
 
             let mut hntp = Hntp::new(Hatp {
@@ -135,18 +159,34 @@ pub fn profit_grid(cfg: &ExpConfig, split: CostSplit, datasets: &[Dataset]) -> V
                 threads: cfg.threads,
                 ..Default::default()
             });
-            record(&mut grid, x, &evaluate_nonadaptive(&inst, &mut hntp, &worlds));
+            record(
+                &mut grid,
+                x,
+                &evaluate_nonadaptive(&inst, &mut hntp, &worlds),
+            );
 
             let mut nsg = Nsg::new(batch_theta, cfg.seed, cfg.threads);
-            record(&mut grid, x, &evaluate_nonadaptive(&inst, &mut nsg, &worlds));
+            record(
+                &mut grid,
+                x,
+                &evaluate_nonadaptive(&inst, &mut nsg, &worlds),
+            );
 
             let mut ndg = Ndg::new(batch_theta, cfg.seed, cfg.threads);
-            record(&mut grid, x, &evaluate_nonadaptive(&inst, &mut ndg, &worlds));
+            record(
+                &mut grid,
+                x,
+                &evaluate_nonadaptive(&inst, &mut ndg, &worlds),
+            );
 
             let mut ars = Ars::default();
             record(&mut grid, x, &evaluate_adaptive(&inst, &mut ars, &worlds));
 
-            record(&mut grid, x, &evaluate_nonadaptive(&inst, &mut Baseline, &worlds));
+            record(
+                &mut grid,
+                x,
+                &evaluate_nonadaptive(&inst, &mut Baseline, &worlds),
+            );
         }
         results.push((d, grid));
     }
@@ -278,7 +318,11 @@ pub fn fig78(cfg: &ExpConfig, selector: TargetSelector) -> String {
                 t.push(lambda, rival_name, 0.0);
                 continue;
             }
-            let mut hatp = Hatp { seed: cfg.seed, threads: cfg.threads, ..Default::default() };
+            let mut hatp = Hatp {
+                seed: cfg.seed,
+                threads: cfg.threads,
+                ..Default::default()
+            };
             let h = evaluate_adaptive(&inst, &mut hatp, &worlds);
             t.push(lambda, "HATP", h.mean_profit());
             let rival = match selector {
@@ -373,12 +417,23 @@ pub fn ablation(cfg: &ExpConfig) -> String {
     // grows (§IV-A rationale). ADDATP runs *uncapped* here so the n² trend is
     // visible; the borderline node lives on an empty graph, so its RR sets
     // are singletons and even 10⁸ of them stay affordable.
-    let _ = writeln!(out, "## Ablation 1 — hybrid vs additive error (RR sets per borderline decision)");
-    let _ = writeln!(out, "{:>8} {:>14} {:>14} {:>8}", "n", "ADDATP", "HATP", "ratio");
+    let _ = writeln!(
+        out,
+        "## Ablation 1 — hybrid vs additive error (RR sets per borderline decision)"
+    );
+    let _ = writeln!(
+        out,
+        "{:>8} {:>14} {:>14} {:>8}",
+        "n", "ADDATP", "HATP", "ratio"
+    );
     for &n in &[250usize, 1000, 2500] {
         let b = atpm_graph::GraphBuilder::new(n);
         let inst = TpmInstance::new(b.build(), vec![0], &[1.0]);
-        let mut hatp = Hatp { seed: cfg.seed, threads: cfg.threads, ..Default::default() };
+        let mut hatp = Hatp {
+            seed: cfg.seed,
+            threads: cfg.threads,
+            ..Default::default()
+        };
         let h = evaluate_adaptive(&inst, &mut hatp, &[1]);
         let mut addatp = Addatp {
             seed: cfg.seed,
@@ -410,7 +465,11 @@ pub fn ablation(cfg: &ExpConfig) -> String {
             ..Default::default()
         },
     );
-    let mut sched = Hatp { seed: cfg.seed, threads: cfg.threads, ..Default::default() };
+    let mut sched = Hatp {
+        seed: cfg.seed,
+        threads: cfg.threads,
+        ..Default::default()
+    };
     let s_on = evaluate_adaptive(&inst, &mut sched, &worlds);
     let mut fixed = Hatp {
         seed: cfg.seed,
@@ -419,7 +478,10 @@ pub fn ablation(cfg: &ExpConfig) -> String {
         ..Default::default()
     };
     let s_off = evaluate_adaptive(&inst, &mut fixed, &worlds);
-    let _ = writeln!(out, "\n## Ablation 2 — HATP error schedule (lines 19–23) vs fixed /√2 decay");
+    let _ = writeln!(
+        out,
+        "\n## Ablation 2 — HATP error schedule (lines 19–23) vs fixed /√2 decay"
+    );
     let _ = writeln!(
         out,
         "adaptive schedule: profit {:.1}, RR sets {}",
@@ -442,8 +504,15 @@ pub fn ablation(cfg: &ExpConfig) -> String {
     let t0 = Instant::now();
     let c2 = atpm_ris::sampler::generate_batch(&&g, count, cfg.seed, cfg.threads);
     let parallel = t0.elapsed().as_secs_f64();
-    let _ = writeln!(out, "\n## Ablation 3 — RR batch generation ({count} sets on Epinions)");
-    let _ = writeln!(out, "serial:   {serial:.2}s ({} members)", c1.total_members());
+    let _ = writeln!(
+        out,
+        "\n## Ablation 3 — RR batch generation ({count} sets on Epinions)"
+    );
+    let _ = writeln!(
+        out,
+        "serial:   {serial:.2}s ({} members)",
+        c1.total_members()
+    );
     let _ = writeln!(
         out,
         "{} threads: {parallel:.2}s ({} members), speedup {:.1}x",

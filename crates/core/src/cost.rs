@@ -45,8 +45,14 @@ impl CostSplit {
 /// Degree-proportional falls back to a uniform split when every target has
 /// out-degree zero.
 pub fn split_total_cost(g: &Graph, target: &[Node], split: CostSplit, total: f64) -> Vec<f64> {
-    assert!(total >= 0.0 && total.is_finite(), "total cost must be finite, got {total}");
-    assert!(!target.is_empty(), "cannot split cost over an empty target set");
+    assert!(
+        total >= 0.0 && total.is_finite(),
+        "total cost must be finite, got {total}"
+    );
+    assert!(
+        !target.is_empty(),
+        "cannot split cost over an empty target set"
+    );
     let weights: Vec<f64> = match split {
         CostSplit::DegreeProportional => {
             let degs: Vec<f64> = target.iter().map(|&u| g.out_degree(u) as f64).collect();
@@ -72,7 +78,10 @@ pub fn split_total_cost(g: &Graph, target: &[Node], split: CostSplit, total: f64
 /// uniform and random behave as in [`split_total_cost`] with
 /// `total = λ·n`.
 pub fn predefined_costs(g: &Graph, lambda: f64, split: CostSplit) -> Vec<f64> {
-    assert!(lambda > 0.0 && lambda.is_finite(), "lambda must be positive, got {lambda}");
+    assert!(
+        lambda > 0.0 && lambda.is_finite(),
+        "lambda must be positive, got {lambda}"
+    );
     let all: Vec<Node> = (0..g.num_nodes() as Node).collect();
     split_total_cost(g, &all, split, lambda * g.num_nodes() as f64)
 }

@@ -33,11 +33,18 @@ impl TpmInstance {
         for (&u, &c) in target.iter().zip(target_costs) {
             assert!((u as usize) < n, "target node {u} out of range");
             assert!(!seen[u as usize], "duplicate target node {u}");
-            assert!(c.is_finite() && c >= 0.0, "cost of {u} must be finite and >= 0, got {c}");
+            assert!(
+                c.is_finite() && c >= 0.0,
+                "cost of {u} must be finite and >= 0, got {c}"
+            );
             seen[u as usize] = true;
             costs[u as usize] = c;
         }
-        TpmInstance { graph, target, costs }
+        TpmInstance {
+            graph,
+            target,
+            costs,
+        }
     }
 
     /// The underlying graph.

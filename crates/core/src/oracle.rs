@@ -9,9 +9,10 @@
 //!   converges to the exact oracle, usable at moderate scale;
 //! * [`RisOracle`] — RR-set sampling with a fixed batch size.
 
-use atpm_graph::{Node, ResidualGraph};
 use atpm_diffusion::{exact_spread, CascadeEngine};
+use atpm_graph::{Node, ResidualGraph};
 use atpm_ris::sampler::generate_batch;
+use atpm_ris::CoverageScratch;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -59,16 +60,20 @@ impl McOracle {
     /// Oracle answering with the mean of `samples` cascades.
     pub fn new(samples: usize, seed: u64) -> Self {
         assert!(samples > 0, "need at least one sample");
-        McOracle { samples, seed, calls: 0, engine: CascadeEngine::new() }
+        McOracle {
+            samples,
+            seed,
+            calls: 0,
+            engine: CascadeEngine::new(),
+        }
     }
 }
 
 impl SpreadOracle for McOracle {
     fn spread(&mut self, view: &ResidualGraph<'_>, set: &[Node]) -> f64 {
         self.calls += 1;
-        let mut rng = StdRng::seed_from_u64(
-            self.seed ^ self.calls.wrapping_mul(0x9E3779B97F4A7C15),
-        );
+        let mut rng =
+            StdRng::seed_from_u64(self.seed ^ self.calls.wrapping_mul(0x9E3779B97F4A7C15));
         let mut total = 0usize;
         for _ in 0..self.samples {
             total += self.engine.random_cascade(view, set, &mut rng);
@@ -83,13 +88,22 @@ pub struct RisOracle {
     seed: u64,
     threads: usize,
     calls: u64,
+    /// Reused across queries: the coverage count is evaluated through the
+    /// epoch-marked scratch instead of allocating per-set flags per call.
+    scratch: CoverageScratch,
 }
 
 impl RisOracle {
     /// Oracle answering from `theta` RR sets per query.
     pub fn new(theta: usize, seed: u64, threads: usize) -> Self {
         assert!(theta > 0, "need at least one RR set");
-        RisOracle { theta, seed, threads, calls: 0 }
+        RisOracle {
+            theta,
+            seed,
+            threads,
+            calls: 0,
+            scratch: CoverageScratch::with_theta(theta),
+        }
     }
 }
 
@@ -98,7 +112,7 @@ impl SpreadOracle for RisOracle {
         self.calls += 1;
         let batch_seed = self.seed ^ self.calls.wrapping_mul(0xD6E8FEB86659FD93);
         let c = generate_batch(view, self.theta, batch_seed, self.threads);
-        c.spread_set(set)
+        c.scale(c.cov_set_with(set, &mut self.scratch))
     }
 }
 

@@ -135,9 +135,7 @@ impl AdaptivePolicy for Addatp {
                 let rho_f = nif * counts.cov_front as f64 / tf - c;
                 let rho_r = c - nif * counts.cov_rear as f64 / tf;
                 let nz = nif * zeta;
-                let c1 = (rho_f - rho_r).abs() >= 2.0 * nz
-                    || rho_f <= -nz
-                    || rho_r <= -nz;
+                let c1 = (rho_f - rho_r).abs() >= 2.0 * nz || rho_f <= -nz || rho_r <= -nz;
                 let c2 = nz <= eta;
                 let forced = theta >= self.max_theta;
                 if c1 || c2 || forced {
@@ -181,7 +179,10 @@ mod tests {
     fn clear_cut_decisions_match_adg() {
         let inst = star_instance();
         let worlds = [1u64, 2, 3];
-        let mut addatp = Addatp { seed: 5, ..Default::default() };
+        let mut addatp = Addatp {
+            seed: 5,
+            ..Default::default()
+        };
         let noisy = evaluate_adaptive(&inst, &mut addatp, &worlds);
         let mut adg = Adg::new(ExactOracle);
         let exact = evaluate_adaptive(&inst, &mut adg, &worlds);
@@ -194,7 +195,10 @@ mod tests {
         let mut b = GraphBuilder::new(2);
         b.add_edge(0, 1, 1.0).unwrap();
         let inst = TpmInstance::new(b.build(), vec![0, 1], &[0.1, 0.1]);
-        let mut p = Addatp { seed: 1, ..Default::default() };
+        let mut p = Addatp {
+            seed: 1,
+            ..Default::default()
+        };
         let s = evaluate_adaptive(&inst, &mut p, &[3]);
         assert_eq!(s.seeds_per_run, vec![1]);
         assert!((s.profits[0] - 1.9).abs() < 1e-9);
@@ -206,7 +210,10 @@ mod tests {
         // cost 1 (isolated node). C2 (n_i ζ_i <= 1) must terminate sampling.
         let b = GraphBuilder::new(3);
         let inst = TpmInstance::new(b.build(), vec![0], &[1.0]);
-        let mut p = Addatp { seed: 2, ..Default::default() };
+        let mut p = Addatp {
+            seed: 2,
+            ..Default::default()
+        };
         let s = evaluate_adaptive(&inst, &mut p, &[1]);
         // Whatever the decision, profit is 0 (spread 1 - cost 1 or nothing).
         assert!(s.profits[0].abs() < 1e-9);
@@ -218,7 +225,11 @@ mod tests {
     #[test]
     fn max_theta_forces_decisions() {
         let inst = star_instance();
-        let mut p = Addatp { seed: 3, max_theta: 64, ..Default::default() };
+        let mut p = Addatp {
+            seed: 3,
+            max_theta: 64,
+            ..Default::default()
+        };
         let s = evaluate_adaptive(&inst, &mut p, &[1]);
         // 2 nodes examined, <= 64 sets each round, one round each.
         assert!(s.sampling_work <= 128, "work {}", s.sampling_work);
@@ -246,8 +257,14 @@ mod tests {
     fn deterministic_given_seed() {
         let inst = star_instance();
         let worlds = [9u64, 10];
-        let mut p1 = Addatp { seed: 42, ..Default::default() };
-        let mut p2 = Addatp { seed: 42, ..Default::default() };
+        let mut p1 = Addatp {
+            seed: 42,
+            ..Default::default()
+        };
+        let mut p2 = Addatp {
+            seed: 42,
+            ..Default::default()
+        };
         let a = evaluate_adaptive(&inst, &mut p1, &worlds);
         let b = evaluate_adaptive(&inst, &mut p2, &worlds);
         assert_eq!(a.profits, b.profits);

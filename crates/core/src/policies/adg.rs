@@ -170,6 +170,10 @@ mod tests {
             assert!(p >= -1.0 - 1e-9, "world {i}: profit {p}");
         }
         // On average, clearly positive.
-        assert!(summary.mean_profit() > 0.5, "mean {}", summary.mean_profit());
+        assert!(
+            summary.mean_profit() > 0.5,
+            "mean {}",
+            summary.mean_profit()
+        );
     }
 }

@@ -37,8 +37,9 @@ impl AdaptivePolicy for Ars {
 
     fn run(&mut self, session: &mut AdaptiveSession<'_>) -> Vec<Node> {
         assert!((0.0..=1.0).contains(&self.prob), "prob must be in [0,1]");
-        let mut rng =
-            StdRng::seed_from_u64(self.seed ^ session.world_seed().wrapping_mul(0x9E3779B97F4A7C15));
+        let mut rng = StdRng::seed_from_u64(
+            self.seed ^ session.world_seed().wrapping_mul(0x9E3779B97F4A7C15),
+        );
         let target: Vec<Node> = session.instance().target().to_vec();
         for u in target {
             if session.is_activated(u) {
@@ -120,9 +121,11 @@ mod tests {
         let inst = instance();
         let mut p = Ars::default();
         let s = evaluate_adaptive(&inst, &mut p, &standard_worlds(4));
-        let distinct: std::collections::HashSet<usize> =
-            s.seeds_per_run.iter().copied().collect();
-        assert!(distinct.len() > 1, "different worlds should flip different coins");
+        let distinct: std::collections::HashSet<usize> = s.seeds_per_run.iter().copied().collect();
+        assert!(
+            distinct.len() > 1,
+            "different worlds should flip different coins"
+        );
     }
 
     #[test]

@@ -108,13 +108,22 @@ impl Hatp {
         let mut eps = self.eps0;
         let mut zeta = (self.initial_nzeta / nif).min(0.5);
         let mut delta = 1.0 / (n * n.max(2.0)); // δ_0 = 1/(kn) ≤ 1/n²-ish; see note below
-        // The paper initializes δ_i = 1/(kn); using 1/n² is never looser for
-        // k ≤ n and spares threading `k` through HNTP's reuse.
+                                                // The paper initializes δ_i = 1/(kn); using 1/n² is never looser for
+                                                // k ≤ n and spares threading `k` through HNTP's reuse.
         loop {
-            *round_salt = round_salt.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            *round_salt = round_salt
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let theta = hatp_theta(eps, zeta, delta).min(self.max_theta);
-            let counts =
-                front_rear_counts_shared(view, u, front_cond, rear_cond, theta, *round_salt, self.threads);
+            let counts = front_rear_counts_shared(
+                view,
+                u,
+                front_cond,
+                rear_cond,
+                theta,
+                *round_salt,
+                self.threads,
+            );
             *work += counts.theta as u64;
             if counts.theta == 0 {
                 return false;
@@ -227,7 +236,10 @@ mod tests {
     fn clear_cut_decisions_match_adg() {
         let inst = star_instance();
         let worlds = [1u64, 2, 3];
-        let mut hatp = Hatp { seed: 5, ..Default::default() };
+        let mut hatp = Hatp {
+            seed: 5,
+            ..Default::default()
+        };
         let noisy = evaluate_adaptive(&inst, &mut hatp, &worlds);
         let mut adg = Adg::new(ExactOracle);
         let exact = evaluate_adaptive(&inst, &mut adg, &worlds);
@@ -242,9 +254,15 @@ mod tests {
         let n = 2000;
         let b = GraphBuilder::new(n);
         let inst = TpmInstance::new(b.build(), vec![0], &[1.0]);
-        let mut hatp = Hatp { seed: 2, ..Default::default() };
+        let mut hatp = Hatp {
+            seed: 2,
+            ..Default::default()
+        };
         let h = evaluate_adaptive(&inst, &mut hatp, &[1]);
-        let mut addatp = Addatp { seed: 2, ..Default::default() };
+        let mut addatp = Addatp {
+            seed: 2,
+            ..Default::default()
+        };
         let a = evaluate_adaptive(&inst, &mut addatp, &[1]);
         assert!(
             h.sampling_work * 10 < a.sampling_work,
@@ -266,12 +284,11 @@ mod tests {
             b.add_edge(0, v, 1.0).unwrap();
         }
         b.add_edge(21, 22, 0.5).unwrap();
-        let inst = TpmInstance::new(
-            b.build(),
-            vec![0, 21, 30],
-            &[5.0, 1.2, 1.0],
-        );
-        let mut hatp = Hatp { seed: 3, ..Default::default() };
+        let inst = TpmInstance::new(b.build(), vec![0, 21, 30], &[5.0, 1.2, 1.0]);
+        let mut hatp = Hatp {
+            seed: 3,
+            ..Default::default()
+        };
         let s = evaluate_adaptive(&inst, &mut hatp, &[1, 2, 3, 4]);
         // Hub always selected: profit >= 21 - 5 - (other costs bounded by 2.2).
         for p in &s.profits {
@@ -282,8 +299,14 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let inst = star_instance();
-        let mut p1 = Hatp { seed: 7, ..Default::default() };
-        let mut p2 = Hatp { seed: 7, ..Default::default() };
+        let mut p1 = Hatp {
+            seed: 7,
+            ..Default::default()
+        };
+        let mut p2 = Hatp {
+            seed: 7,
+            ..Default::default()
+        };
         let a = evaluate_adaptive(&inst, &mut p1, &[4, 5]);
         let b = evaluate_adaptive(&inst, &mut p2, &[4, 5]);
         assert_eq!(a.profits, b.profits);
@@ -295,7 +318,10 @@ mod tests {
     fn rejects_bad_eps0() {
         let b = GraphBuilder::new(2);
         let inst = TpmInstance::new(b.build(), vec![0], &[1.0]);
-        let mut p = Hatp { eps0: 1.5, ..Default::default() };
+        let mut p = Hatp {
+            eps0: 1.5,
+            ..Default::default()
+        };
         let _ = evaluate_adaptive(&inst, &mut p, &[1]);
     }
 }

@@ -11,8 +11,8 @@
 //! | [`Ars`] / [`Rs`] | (adaptive) random set \[10\] | §VI-A |
 //! | [`Baseline`] | deploy the whole target set | §VI-B |
 
-mod adg;
 mod addatp;
+mod adg;
 mod ars;
 mod baseline;
 mod hatp;

@@ -50,7 +50,10 @@ pub struct AdaptiveSession<'a> {
 impl<'a> AdaptiveSession<'a> {
     /// Opens a session on `instance` for the possible world `world_seed`.
     pub fn new(instance: &'a TpmInstance, world_seed: u64) -> Self {
-        Self::with_world(instance, SessionWorld::Hashed(HashedRealization::new(world_seed)))
+        Self::with_world(
+            instance,
+            SessionWorld::Hashed(HashedRealization::new(world_seed)),
+        )
     }
 
     /// Opens a session against an explicit world (exact enumeration, tests).

@@ -26,7 +26,13 @@ pub struct CalibrationConfig {
 
 impl Default for CalibrationConfig {
     fn default() -> Self {
-        CalibrationConfig { imm_eps: 0.5, lb_theta: 50_000, lb_delta: 0.01, seed: 0, threads: 1 }
+        CalibrationConfig {
+            imm_eps: 0.5,
+            lb_theta: 50_000,
+            lb_delta: 0.01,
+            seed: 0,
+            threads: 1,
+        }
     }
 }
 
@@ -41,13 +47,16 @@ pub fn calibrated_instance(
     split: CostSplit,
     cfg: CalibrationConfig,
 ) -> TpmInstance {
-    let imm = imm_select(&&graph, ImmConfig {
-        k,
-        eps: cfg.imm_eps,
-        ell: 1.0,
-        seed: cfg.seed,
-        threads: cfg.threads,
-    });
+    let imm = imm_select(
+        &&graph,
+        ImmConfig {
+            k,
+            eps: cfg.imm_eps,
+            ell: 1.0,
+            seed: cfg.seed,
+            threads: cfg.threads,
+        },
+    );
     let target = imm.seeds;
     let el = spread_lower_bound(
         &&graph,
@@ -98,8 +107,7 @@ pub fn predefined_instance(
     let candidates: Vec<Node> = (0..graph.num_nodes() as Node)
         .filter(|&u| costs_all[u as usize] > 0.0)
         .collect();
-    let candidate_costs: Vec<f64> =
-        candidates.iter().map(|&u| costs_all[u as usize]).collect();
+    let candidate_costs: Vec<f64> = candidates.iter().map(|&u| costs_all[u as usize]).collect();
     let scratch = TpmInstance::new(graph, candidates, &candidate_costs);
     let mut target = match selector {
         TargetSelector::Ndg => Ndg::new(theta, seed, threads).select(&scratch),
@@ -129,7 +137,10 @@ mod tests {
             g,
             5,
             CostSplit::Uniform,
-            CalibrationConfig { lb_theta: 20_000, ..Default::default() },
+            CalibrationConfig {
+                lb_theta: 20_000,
+                ..Default::default()
+            },
         );
         assert_eq!(inst.k(), 5);
         // c(T) = E_l[I(T)] <= E[I(T)] <= n; and it must be positive.
@@ -150,7 +161,10 @@ mod tests {
             g,
             8,
             CostSplit::DegreeProportional,
-            CalibrationConfig { lb_theta: 10_000, ..Default::default() },
+            CalibrationConfig {
+                lb_theta: 10_000,
+                ..Default::default()
+            },
         );
         // Costs ordered like degrees.
         let t = inst.target().to_vec();

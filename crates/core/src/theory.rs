@@ -60,8 +60,7 @@ pub fn exact_policy_value<P: AdaptivePolicy>(instance: &TpmInstance, policy: &mu
     enumerate_worlds(instance)
         .into_iter()
         .map(|(mask, p)| {
-            let world =
-                SessionWorld::Materialized(MaterializedRealization::from_bits(m, &[mask]));
+            let world = SessionWorld::Materialized(MaterializedRealization::from_bits(m, &[mask]));
             let mut session = AdaptiveSession::with_world(instance, world);
             policy.run(&mut session);
             p * session.profit()
@@ -192,8 +191,7 @@ pub fn exact_policy_value_via_reruns<P: AdaptivePolicy>(
     enumerate_worlds(instance)
         .into_iter()
         .map(|(mask, p)| {
-            let world =
-                SessionWorld::Materialized(MaterializedRealization::from_bits(m, &[mask]));
+            let world = SessionWorld::Materialized(MaterializedRealization::from_bits(m, &[mask]));
             let mut session = AdaptiveSession::with_world(instance, world);
             let seeds = policy.run(&mut session);
             p * world_profit(instance, mask, &seeds)

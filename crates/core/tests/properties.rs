@@ -14,10 +14,8 @@ use proptest::prelude::*;
 fn arb_instance() -> impl Strategy<Value = TpmInstance> {
     (3usize..7)
         .prop_flat_map(|n| {
-            let edges = proptest::collection::vec(
-                (0..n as u32, 0..n as u32, 0.1f32..0.9f32),
-                1..10,
-            );
+            let edges =
+                proptest::collection::vec((0..n as u32, 0..n as u32, 0.1f32..0.9f32), 1..10);
             let k = 2usize..4;
             let costs = proptest::collection::vec(0.2f64..2.0, 3);
             (Just(n), edges, k, costs)

@@ -26,7 +26,11 @@ impl Default for CascadeEngine {
 impl CascadeEngine {
     /// Creates an empty engine; buffers grow on first use.
     pub fn new() -> Self {
-        CascadeEngine { mark: Vec::new(), epoch: 0, queue: Vec::new() }
+        CascadeEngine {
+            mark: Vec::new(),
+            epoch: 0,
+            queue: Vec::new(),
+        }
     }
 
     /// Prepares the visited buffer for a graph of `n` nodes and opens a new
@@ -85,9 +89,7 @@ impl CascadeEngine {
             let (targets, probs, ids) = view.out_slice(u);
             for i in 0..targets.len() {
                 let v = targets[i];
-                if view.is_alive(v)
-                    && real.is_live(ids.start + i as u32, probs[i])
-                    && self.visit(v)
+                if view.is_alive(v) && real.is_live(ids.start + i as u32, probs[i]) && self.visit(v)
                 {
                     self.queue.push(v);
                     out.push(v);
@@ -210,8 +212,7 @@ mod tests {
             let a0 = eng.observe(&r, &real, &[0]);
             r.remove_all(a0.iter().copied());
             let a2 = eng.observe(&r, &real, &[2]);
-            let split: std::collections::HashSet<_> =
-                a0.into_iter().chain(a2).collect();
+            let split: std::collections::HashSet<_> = a0.into_iter().chain(a2).collect();
             assert_eq!(joint, split, "world {seed}");
         }
     }

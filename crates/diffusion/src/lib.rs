@@ -24,6 +24,6 @@ pub mod realization;
 pub mod spread;
 
 pub use cascade::CascadeEngine;
-pub use realization::{HashedRealization, MaterializedRealization, Realization};
 pub use lt::{lt_mc_spread, lt_observe, LtRealization};
+pub use realization::{HashedRealization, MaterializedRealization, Realization};
 pub use spread::{exact_spread, mc_spread};

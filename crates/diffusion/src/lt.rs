@@ -138,12 +138,7 @@ pub fn lt_observe<V: GraphView>(view: &V, real: &LtRealization, seeds: &[Node]) 
 
 /// Monte-Carlo LT spread: the mean cascade size over `samples` worlds
 /// derived from `seed_base`.
-pub fn lt_mc_spread<V: GraphView>(
-    view: &V,
-    seeds: &[Node],
-    samples: usize,
-    seed_base: u64,
-) -> f64 {
+pub fn lt_mc_spread<V: GraphView>(view: &V, seeds: &[Node], samples: usize, seed_base: u64) -> f64 {
     assert!(samples > 0, "need at least one sample");
     let total: usize = (0..samples as u64)
         .map(|i| lt_observe(view, &LtRealization::new(seed_base.wrapping_add(i)), seeds).len())

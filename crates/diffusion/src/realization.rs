@@ -93,7 +93,9 @@ impl MaterializedRealization {
     pub fn from_bits(num_edges: usize, mask: &[u64]) -> Self {
         let words = num_edges.div_ceil(64);
         assert!(mask.len() >= words, "mask too short for {num_edges} edges");
-        MaterializedRealization { live: mask[..words].to_vec() }
+        MaterializedRealization {
+            live: mask[..words].to_vec(),
+        }
     }
 
     /// Builds a world where exactly the listed edges are live.
@@ -176,10 +178,7 @@ mod tests {
         for &p in &[0.1f32, 0.5, 0.9] {
             let live = (0..50_000u32).filter(|&e| r.is_live(e, p)).count();
             let rate = live as f64 / 50_000.0;
-            assert!(
-                (rate - p as f64).abs() < 0.01,
-                "p = {p}: live rate {rate}"
-            );
+            assert!((rate - p as f64).abs() < 0.01, "p = {p}: live rate {rate}");
         }
     }
 

@@ -12,10 +12,8 @@ use rand::SeedableRng;
 fn tiny_graph_strategy() -> impl Strategy<Value = atpm_graph::Graph> {
     (2usize..7)
         .prop_flat_map(|n| {
-            let edges = proptest::collection::vec(
-                (0..n as u32, 0..n as u32, 0.1f32..=0.9f32),
-                0..10,
-            );
+            let edges =
+                proptest::collection::vec((0..n as u32, 0..n as u32, 0.1f32..=0.9f32), 0..10);
             (Just(n), edges)
         })
         .prop_map(|(n, edges)| {

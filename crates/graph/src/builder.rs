@@ -20,12 +20,18 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Creates a builder for a graph over nodes `0..n`.
     pub fn new(n: usize) -> Self {
-        GraphBuilder { n, edges: Vec::new() }
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+        }
     }
 
     /// Creates a builder and pre-reserves space for `m` edges.
     pub fn with_capacity(n: usize, m: usize) -> Self {
-        GraphBuilder { n, edges: Vec::with_capacity(m) }
+        GraphBuilder {
+            n,
+            edges: Vec::with_capacity(m),
+        }
     }
 
     /// Number of nodes this builder was created with.
@@ -44,10 +50,16 @@ impl GraphBuilder {
     /// Returns an error if either endpoint is out of range or `prob ∉ (0, 1]`.
     pub fn add_edge(&mut self, src: Node, dst: Node, prob: f32) -> Result<(), GraphError> {
         if src as usize >= self.n {
-            return Err(GraphError::NodeOutOfRange { node: src as u64, num_nodes: self.n as u64 });
+            return Err(GraphError::NodeOutOfRange {
+                node: src as u64,
+                num_nodes: self.n as u64,
+            });
         }
         if dst as usize >= self.n {
-            return Err(GraphError::NodeOutOfRange { node: dst as u64, num_nodes: self.n as u64 });
+            return Err(GraphError::NodeOutOfRange {
+                node: dst as u64,
+                num_nodes: self.n as u64,
+            });
         }
         if !(prob > 0.0 && prob <= 1.0) {
             return Err(GraphError::InvalidProbability {
@@ -172,7 +184,10 @@ mod tests {
         let mut b = GraphBuilder::new(3);
         for p in [0.0f32, -0.1, 1.5, f32::NAN, f32::INFINITY] {
             assert!(
-                matches!(b.add_edge(0, 1, p), Err(GraphError::InvalidProbability { .. })),
+                matches!(
+                    b.add_edge(0, 1, p),
+                    Err(GraphError::InvalidProbability { .. })
+                ),
                 "p = {p} should be rejected"
             );
         }
@@ -197,7 +212,10 @@ mod tests {
         let g = b.build();
         assert_eq!(g.num_edges(), 1);
         let (_, probs, _) = g.out_slice(0);
-        assert!((probs[0] - 0.75).abs() < 1e-6, "noisy-or of two 0.5s is 0.75");
+        assert!(
+            (probs[0] - 0.75).abs() < 1e-6,
+            "noisy-or of two 0.5s is 0.75"
+        );
     }
 
     #[test]

@@ -48,7 +48,10 @@ pub fn induced_subgraph(g: &Graph, keep: &[Node]) -> (Graph, Vec<Node>) {
     let mut remap: Vec<Node> = vec![Node::MAX; n];
     for (new_id, &u) in keep.iter().enumerate() {
         assert!((u as usize) < n, "node {u} out of range");
-        assert!(remap[u as usize] == Node::MAX, "duplicate node {u} in keep list");
+        assert!(
+            remap[u as usize] == Node::MAX,
+            "duplicate node {u} in keep list"
+        );
         remap[u as usize] = new_id as Node;
     }
     let mut b = GraphBuilder::new(keep.len());

@@ -92,7 +92,11 @@ impl Graph {
         let u = u as usize;
         let lo = self.out_offsets[u] as usize;
         let hi = self.out_offsets[u + 1] as usize;
-        (&self.out_targets[lo..hi], &self.out_probs[lo..hi], lo as u32..hi as u32)
+        (
+            &self.out_targets[lo..hi],
+            &self.out_probs[lo..hi],
+            lo as u32..hi as u32,
+        )
     }
 
     /// In-neighbours of `v` with probabilities and (forward) edge ids.
@@ -101,7 +105,11 @@ impl Graph {
         let v = v as usize;
         let lo = self.in_offsets[v] as usize;
         let hi = self.in_offsets[v + 1] as usize;
-        (&self.in_sources[lo..hi], &self.in_probs[lo..hi], &self.in_edge_ids[lo..hi])
+        (
+            &self.in_sources[lo..hi],
+            &self.in_probs[lo..hi],
+            &self.in_edge_ids[lo..hi],
+        )
     }
 
     /// Probability of edge `e` (by forward edge id).

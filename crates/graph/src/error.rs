@@ -43,13 +43,22 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::NodeOutOfRange { node, num_nodes } => {
-                write!(f, "node id {node} out of range (graph has {num_nodes} nodes)")
+                write!(
+                    f,
+                    "node id {node} out of range (graph has {num_nodes} nodes)"
+                )
             }
             GraphError::InvalidProbability { src, dst, prob } => {
-                write!(f, "edge ({src} -> {dst}) has invalid probability {prob}; must be in (0, 1]")
+                write!(
+                    f,
+                    "edge ({src} -> {dst}) has invalid probability {prob}; must be in (0, 1]"
+                )
             }
             GraphError::TooManyEdges { edges } => {
-                write!(f, "graph has {edges} edges which exceeds the u32 edge-id space")
+                write!(
+                    f,
+                    "graph has {edges} edges which exceeds the u32 edge-id space"
+                )
             }
             GraphError::Parse { line, message } => {
                 write!(f, "edge list parse error at line {line}: {message}")
@@ -81,14 +90,24 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = GraphError::NodeOutOfRange { node: 9, num_nodes: 4 };
+        let e = GraphError::NodeOutOfRange {
+            node: 9,
+            num_nodes: 4,
+        };
         assert!(e.to_string().contains("9"));
         assert!(e.to_string().contains("4"));
 
-        let e = GraphError::InvalidProbability { src: 1, dst: 2, prob: 1.5 };
+        let e = GraphError::InvalidProbability {
+            src: 1,
+            dst: 2,
+            prob: 1.5,
+        };
         assert!(e.to_string().contains("1.5"));
 
-        let e = GraphError::Parse { line: 7, message: "garbage".into() };
+        let e = GraphError::Parse {
+            line: 7,
+            message: "garbage".into(),
+        };
         assert!(e.to_string().contains("line 7"));
     }
 

@@ -13,7 +13,10 @@ use crate::{Graph, GraphBuilder, Node};
 pub fn gnm_directed(n: usize, m: usize, seed: u64) -> Graph {
     assert!(n >= 2 || m == 0, "need at least two nodes for any edge");
     let possible = n.saturating_mul(n.saturating_sub(1));
-    assert!(m <= possible, "requested {m} edges but only {possible} possible");
+    assert!(
+        m <= possible,
+        "requested {m} edges but only {possible} possible"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let mut seen = std::collections::HashSet::with_capacity(m * 2);
     let mut b = GraphBuilder::with_capacity(n, m);
@@ -36,7 +39,10 @@ pub fn gnm_directed(n: usize, m: usize, seed: u64) -> Graph {
 pub fn gnm_undirected(n: usize, m: usize, seed: u64) -> Graph {
     assert!(n >= 2 || m == 0, "need at least two nodes for any edge");
     let possible = n.saturating_mul(n.saturating_sub(1)) / 2;
-    assert!(m <= possible, "requested {m} edges but only {possible} possible");
+    assert!(
+        m <= possible,
+        "requested {m} edges but only {possible} possible"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let mut seen = std::collections::HashSet::with_capacity(m * 2);
     let mut b = GraphBuilder::with_capacity(n, 2 * m);

@@ -62,7 +62,13 @@ fn pareto_weights(n: usize, alpha: f64, rng: &mut StdRng) -> Vec<f64> {
 /// Generates the directed power-law graph described by `cfg`. Probabilities
 /// are 1.0 placeholders; apply a [`crate::WeightingScheme`] afterwards.
 pub fn directed_power_law(cfg: PowerLawConfig) -> Graph {
-    let PowerLawConfig { nodes: n, edges: m, alpha_out, alpha_in, seed } = cfg;
+    let PowerLawConfig {
+        nodes: n,
+        edges: m,
+        alpha_out,
+        alpha_in,
+        seed,
+    } = cfg;
     assert!(n >= 2, "need at least 2 nodes");
     assert!(alpha_out > 0.0 && alpha_in > 0.0, "alpha must be positive");
     let mut rng = StdRng::seed_from_u64(seed);
@@ -137,7 +143,12 @@ mod tests {
 
     #[test]
     fn deterministic_under_seed() {
-        let cfg = PowerLawConfig { nodes: 500, edges: 2000, seed: 9, ..Default::default() };
+        let cfg = PowerLawConfig {
+            nodes: 500,
+            edges: 2000,
+            seed: 9,
+            ..Default::default()
+        };
         let g1 = directed_power_law(cfg);
         let g2 = directed_power_law(cfg);
         assert_eq!(

@@ -63,7 +63,8 @@ pub fn barabasi_albert(n: usize, mean_attach: f64, seed: u64) -> Graph {
 
     let mut b = GraphBuilder::with_capacity(n, edges.len() * 2);
     for (u, v) in edges {
-        b.add_undirected(u, v, 1.0).expect("endpoints < n by construction");
+        b.add_undirected(u, v, 1.0)
+            .expect("endpoints < n by construction");
     }
     b.build()
 }

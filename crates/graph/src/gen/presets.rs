@@ -37,8 +37,12 @@ pub enum Dataset {
 
 impl Dataset {
     /// All four datasets in the paper's order.
-    pub const ALL: [Dataset; 4] =
-        [Dataset::NetHept, Dataset::Epinions, Dataset::Dblp, Dataset::LiveJournal];
+    pub const ALL: [Dataset; 4] = [
+        Dataset::NetHept,
+        Dataset::Epinions,
+        Dataset::Dblp,
+        Dataset::LiveJournal,
+    ];
 
     /// The paper's display name.
     pub fn name(self) -> &'static str {
@@ -212,7 +216,11 @@ mod tests {
             "expected heavy tail"
         );
         // avg out-degree ≈ 841K/132K ≈ 6.4
-        assert!((4.5..=8.5).contains(&s.avg_out_degree), "{}", s.avg_out_degree);
+        assert!(
+            (4.5..=8.5).contains(&s.avg_out_degree),
+            "{}",
+            s.avg_out_degree
+        );
     }
 
     #[test]

@@ -47,7 +47,9 @@ pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> Graph {
 
     let mut builder = GraphBuilder::with_capacity(n, edges.len() * 2);
     for (a, b) in edges {
-        builder.add_undirected(a, b, 1.0).expect("validated endpoints");
+        builder
+            .add_undirected(a, b, 1.0)
+            .expect("validated endpoints");
     }
     builder.build()
 }

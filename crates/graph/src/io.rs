@@ -64,7 +64,11 @@ pub fn read_edge_list<R: Read>(
         max_node = max_node.max(src).max(dst);
         edges.push((src as Node, dst as Node, prob));
     }
-    let n = num_nodes.unwrap_or(if edges.is_empty() { 0 } else { max_node as usize + 1 });
+    let n = num_nodes.unwrap_or(if edges.is_empty() {
+        0
+    } else {
+        max_node as usize + 1
+    });
     let mut b = GraphBuilder::with_capacity(n, edges.len() * if undirected { 2 } else { 1 });
     for (src, dst, p) in edges {
         if undirected {
@@ -90,7 +94,12 @@ pub fn load_edge_list<P: AsRef<Path>>(
 /// Writes `g` as a text edge list (`src dst prob` per line).
 pub fn write_edge_list<W: Write>(g: &Graph, writer: W) -> Result<(), GraphError> {
     let mut w = BufWriter::new(writer);
-    writeln!(w, "# atpm edge list: n={} m={}", g.num_nodes(), g.num_edges())?;
+    writeln!(
+        w,
+        "# atpm edge list: n={} m={}",
+        g.num_nodes(),
+        g.num_edges()
+    )?;
     for (u, v, p) in g.edges() {
         writeln!(w, "{u} {v} {p}")?;
     }

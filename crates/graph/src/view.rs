@@ -117,7 +117,7 @@ pub struct ResidualGraph<'g> {
     /// the alive fraction is too small for rejection sampling. Invalidated
     /// (cleared) by every removal. A mutex (not `RefCell`) so residual views
     /// can be shared across sampler threads.
-    alive_list: parking_lot::Mutex<Vec<Node>>,
+    alive_list: std::sync::Mutex<Vec<Node>>,
 }
 
 impl<'g> ResidualGraph<'g> {
@@ -134,7 +134,7 @@ impl<'g> ResidualGraph<'g> {
             base,
             alive,
             n_alive: n,
-            alive_list: parking_lot::Mutex::new(Vec::new()),
+            alive_list: std::sync::Mutex::new(Vec::new()),
         }
     }
 
@@ -145,7 +145,7 @@ impl<'g> ResidualGraph<'g> {
         if self.alive[w] & mask != 0 {
             self.alive[w] &= !mask;
             self.n_alive -= 1;
-            self.alive_list.lock().clear();
+            self.alive_list.lock().expect("alive list poisoned").clear();
         }
     }
 
@@ -167,7 +167,7 @@ impl<'g> ResidualGraph<'g> {
             self.alive[words - 1] = (1u64 << (n % WORD_BITS)) - 1;
         }
         self.n_alive = n;
-        self.alive_list.lock().clear();
+        self.alive_list.lock().expect("alive list poisoned").clear();
     }
 
     /// Iterates alive nodes in increasing id order.
@@ -221,7 +221,7 @@ impl GraphView for ResidualGraph<'_> {
             }
         }
         // Sparse regime: materialize (and cache) the alive list.
-        let mut list = self.alive_list.lock();
+        let mut list = self.alive_list.lock().expect("alive list poisoned");
         if list.is_empty() {
             list.extend(self.alive_nodes());
         }

@@ -42,7 +42,7 @@ impl WeightingScheme {
             WeightingScheme::Trivalency { seed } => {
                 const LEVELS: [f32; 3] = [0.1, 0.01, 0.001];
                 let mut rng = StdRng::seed_from_u64(seed);
-                g.map_probs(|_, _, _| LEVELS[rng.gen_range(0..3)])
+                g.map_probs(|_, _, _| LEVELS[rng.gen_range(0..3usize)])
             }
         }
     }
@@ -68,7 +68,10 @@ mod tests {
         let (_, probs, _) = g.in_slice(0);
         assert_eq!(probs.len(), 4);
         for &p in probs {
-            assert!((p - 0.25).abs() < 1e-6, "indeg 4 should give p = 1/4, got {p}");
+            assert!(
+                (p - 0.25).abs() < 1e-6,
+                "indeg 4 should give p = 1/4, got {p}"
+            );
         }
     }
 

@@ -8,10 +8,7 @@ use proptest::prelude::*;
 /// Arbitrary edge lists over a small node universe.
 fn edge_list_strategy(max_n: u32) -> impl Strategy<Value = (u32, Vec<(u32, u32, f32)>)> {
     (2..max_n).prop_flat_map(move |n| {
-        let edges = proptest::collection::vec(
-            (0..n, 0..n, 0.01f32..=1.0f32),
-            0..60,
-        );
+        let edges = proptest::collection::vec((0..n, 0..n, 0.01f32..=1.0f32), 0..60);
         (Just(n), edges)
     })
 }

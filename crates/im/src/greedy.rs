@@ -1,19 +1,48 @@
-//! Lazy (CELF) greedy maximum coverage over an RR-set collection.
+//! Lazy (CELF) greedy maximum coverage over an RR-set collection —
+//! decremental bucket-queue edition.
 //!
 //! Coverage is monotone submodular, so marginal gains only shrink as the
-//! seed set grows; CELF exploits this by keeping stale gains in a max-heap
-//! and re-evaluating only the top entry [Leskovec et al., KDD'07]. The
-//! output is identical to naive greedy, typically at a small fraction of the
-//! evaluations.
+//! seed set grows; CELF exploits this by keeping stale gains in a priority
+//! structure and re-evaluating only the top entry [Leskovec et al.,
+//! KDD'07]. The pre-refactor implementation used a binary heap over *every*
+//! node of the universe — on a 100k-node graph the O(n) tuple collect +
+//! heapify dominated the entire selection (the k picks themselves touch only
+//! a few hundred entries).
+//!
+//! This implementation replaces the heap with a **decremental bucket
+//! queue**: gains are small integers, so node ids are binned by gain with a
+//! comparison-free O(n) build (zero-gain nodes never enter), a cursor walks
+//! buckets top-down, and a stale entry is *demoted* to its fresh bucket in
+//! O(1) (gains only decrease, so the cursor never has to look up again).
+//! Each node exists in exactly one bucket; only the buckets the cursor
+//! actually reaches are ever sorted (for deterministic smallest-id
+//! tie-breaking), and with power-law coverage those top buckets hold a
+//! handful of entries — the huge low-gain tail is never touched.
+//!
+//! A full gain-cache variant (decrement every member of every newly covered
+//! set through the inverted index, making stale checks O(1)) was measured
+//! and rejected: its Σ|R|-bounded cache maintenance costs more than the few
+//! rescans it saves on RIS workloads, where the average node sits in only
+//! `Σ|R|/n` sets (see `BENCH_ris.json`; `ris_engine/greedy/*`).
+//!
+//! All working state lives in a reusable [`GreedyScratch`]; with a
+//! caller-provided scratch and result the selection loop performs zero heap
+//! allocation after warm-up (see `tests/alloc_discipline.rs`).
+//!
+//! The pre-refactor re-scanning binary-heap implementation is kept as
+//! [`max_coverage_greedy_rescan`] — a test-only oracle proving the bucket
+//! path returns byte-identical results (see `tests/properties.rs`) and the
+//! baseline leg of the `ris_engine` micro-benchmarks.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use atpm_graph::Node;
+use atpm_ris::workspace::EpochMarks;
 use atpm_ris::RrCollection;
 
 /// Result of a greedy max-coverage run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct GreedyResult {
     /// Selected nodes in pick order.
     pub seeds: Vec<Node>,
@@ -28,6 +57,49 @@ impl GreedyResult {
     pub fn spread(&self, c: &RrCollection) -> f64 {
         c.scale(self.coverage)
     }
+
+    fn clear(&mut self) {
+        self.seeds.clear();
+        self.gains.clear();
+        self.coverage = 0;
+    }
+}
+
+/// Reusable working state for [`max_coverage_greedy_with`]: covered flags
+/// per set, candidate-dedup marks, and the gain buckets' backing storage.
+/// Allocation settles after the first run at a given `(universe, θ, max
+/// gain)` size.
+#[derive(Debug, Default)]
+pub struct GreedyScratch {
+    covered: EpochMarks,
+    active: EpochMarks,
+    /// `buckets[g]` holds the ids whose last-known gain is `g`. Vectors keep
+    /// their capacity across runs; `buckets_used` caps the reset loop.
+    buckets: Vec<Vec<Node>>,
+    buckets_used: usize,
+}
+
+impl GreedyScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        GreedyScratch::default()
+    }
+
+    fn reset_buckets(&mut self) {
+        for b in &mut self.buckets[..self.buckets_used] {
+            b.clear();
+        }
+        self.buckets_used = 0;
+    }
+
+    #[inline]
+    fn bucket_push(&mut self, gain: usize, u: Node) {
+        if self.buckets.len() <= gain {
+            self.buckets.resize_with(gain + 1, Vec::new);
+        }
+        self.buckets[gain].push(u);
+        self.buckets_used = self.buckets_used.max(gain + 1);
+    }
 }
 
 /// Selects up to `k` nodes greedily maximizing RR-set coverage.
@@ -35,19 +107,126 @@ impl GreedyResult {
 /// `candidates` restricts the selection universe (defaults to every node).
 /// Nodes with zero marginal gain are never selected, so fewer than `k` seeds
 /// can be returned when the collection is exhausted.
+///
+/// Convenience wrapper allocating fresh scratch and result; hot loops (IMM's
+/// phase-1 rounds, repeated policy decisions) should hold a
+/// [`GreedyScratch`] and call [`max_coverage_greedy_with`].
 pub fn max_coverage_greedy(
     c: &RrCollection,
     k: usize,
     candidates: Option<&[Node]>,
 ) -> GreedyResult {
+    let mut result = GreedyResult::default();
+    max_coverage_greedy_with(c, k, candidates, &mut GreedyScratch::new(), &mut result);
+    result
+}
+
+/// Decremental bucket-queue CELF into caller-provided buffers (`result` is
+/// cleared first). Zero heap allocation once `scratch` and `result`
+/// capacities have warmed up.
+///
+/// Output-identical to [`max_coverage_greedy_rescan`]: the commit at bucket
+/// level `g` is always the smallest-id node whose fresh gain equals `g`,
+/// which is exactly the binary heap's `(gain, Reverse(node))` maximum.
+pub fn max_coverage_greedy_with(
+    c: &RrCollection,
+    k: usize,
+    candidates: Option<&[Node]>,
+    scratch: &mut GreedyScratch,
+    result: &mut GreedyResult,
+) {
+    result.clear();
+    if k == 0 || c.is_empty() {
+        return;
+    }
+    scratch.covered.begin(c.len());
+    scratch.reset_buckets();
+
+    // Comparison-free build: bin every candidate by its initial gain (plain
+    // coverage count). Zero-gain nodes can never be selected and never
+    // enter; `active` dedups repeated candidates.
+    let mut max_gain = 0usize;
+    match candidates {
+        Some(cs) => {
+            scratch.active.begin(c.len_universe());
+            for &u in cs {
+                if scratch.active.mark(u as usize) {
+                    let g = c.cov_node(u);
+                    if g > 0 {
+                        scratch.bucket_push(g, u);
+                        max_gain = max_gain.max(g);
+                    }
+                }
+            }
+        }
+        None => {
+            for (u, g) in c.nonzero_cov_nodes() {
+                scratch.bucket_push(g, u);
+                max_gain = max_gain.max(g);
+            }
+        }
+    }
+
+    // Cursor walk, top bucket first. Gains only shrink, so a popped entry's
+    // fresh gain is ≤ the cursor level: fresh hits commit, stale entries are
+    // demoted to their fresh bucket in O(1) and the cursor never revisits
+    // them at this level. Only buckets the cursor actually reaches are
+    // sorted (deterministic smallest-id tie-breaking); with power-law
+    // coverage the low-gain tail stays untouched.
+    let mut cur = max_gain;
+    'outer: while cur > 0 && result.seeds.len() < k {
+        // Detach the bucket so demotions (always to lower levels) can push
+        // freely; swapping back preserves its capacity for the next run.
+        let mut bucket = std::mem::take(&mut scratch.buckets[cur]);
+        bucket.sort_unstable();
+        for &u in bucket.iter() {
+            let fresh = c
+                .sets_containing(u)
+                .iter()
+                .filter(|&&i| !scratch.covered.is_marked(i as usize))
+                .count();
+            if fresh == cur {
+                // Fresh maximum: commit.
+                for &i in c.sets_containing(u) {
+                    scratch.covered.mark(i as usize);
+                }
+                result.coverage += fresh;
+                result.seeds.push(u);
+                result.gains.push(fresh);
+                if result.seeds.len() == k {
+                    // Undrained entries are cleared by the next run's reset.
+                    scratch.buckets[cur] = bucket;
+                    break 'outer;
+                }
+            } else if fresh > 0 {
+                debug_assert!(fresh < cur, "gains only shrink");
+                scratch.bucket_push(fresh, u);
+            }
+        }
+        bucket.clear();
+        scratch.buckets[cur] = bucket;
+        cur -= 1;
+    }
+}
+
+/// The pre-refactor lazy greedy: stale heap entries trigger an
+/// O(|sets containing u|) coverage rescan.
+///
+/// Kept as the equivalence oracle for the decremental path (and as the
+/// baseline leg of the `ris_engine` micro-benchmarks) — not for production
+/// use.
+#[doc(hidden)]
+pub fn max_coverage_greedy_rescan(
+    c: &RrCollection,
+    k: usize,
+    candidates: Option<&[Node]>,
+) -> GreedyResult {
     let mut covered = vec![false; c.len()];
-    let mut result = GreedyResult { seeds: Vec::new(), coverage: 0, gains: Vec::new() };
+    let mut result = GreedyResult::default();
     if k == 0 || c.is_empty() {
         return result;
     }
 
-    // Heap of (gain, Reverse(node), round-evaluated). Reverse(node) makes
-    // ties deterministic (smaller id wins), independent of heap internals.
     let mut heap: BinaryHeap<(usize, Reverse<Node>, usize)> = match candidates {
         Some(cs) => {
             let mut uniq: Vec<Node> = cs.to_vec();
@@ -68,10 +247,9 @@ pub fn max_coverage_greedy(
             break;
         };
         if gain == 0 {
-            break; // nothing useful remains
+            break;
         }
         if evaluated_at == round {
-            // Fresh gain: commit.
             for &i in c.sets_containing(u) {
                 covered[i as usize] = true;
             }
@@ -80,7 +258,6 @@ pub fn max_coverage_greedy(
             result.gains.push(gain);
             round += 1;
         } else {
-            // Stale: re-evaluate and push back.
             let fresh = c
                 .sets_containing(u)
                 .iter()
@@ -152,6 +329,55 @@ mod tests {
     }
 
     #[test]
+    fn scratch_reuse_across_runs_is_clean() {
+        let c = collection();
+        let mut scratch = GreedyScratch::new();
+        let mut result = GreedyResult::default();
+        max_coverage_greedy_with(&c, 3, None, &mut scratch, &mut result);
+        let first = result.clone();
+        // A different collection with the same scratch: no state leak.
+        let mut c2 = RrCollection::new(4, 4);
+        c2.push(&[1]);
+        c2.push(&[1, 2]);
+        c2.freeze();
+        max_coverage_greedy_with(&c2, 2, None, &mut scratch, &mut result);
+        assert_eq!(result.seeds, vec![1]);
+        assert_eq!(result.coverage, 2);
+        // And back: identical to the first run.
+        max_coverage_greedy_with(&c, 3, None, &mut scratch, &mut result);
+        assert_eq!(result, first);
+    }
+
+    #[test]
+    fn decremental_matches_rescan_oracle_on_random_inputs() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut scratch = GreedyScratch::new();
+        let mut result = GreedyResult::default();
+        for trial in 0..40 {
+            let n = 12usize;
+            let mut c = RrCollection::new(n, n);
+            for _ in 0..40 {
+                let size = rng.gen_range(1..5);
+                let mut s: Vec<Node> = (0..size).map(|_| rng.gen_range(0..n as Node)).collect();
+                s.sort_unstable();
+                s.dedup();
+                c.push(&s);
+            }
+            c.freeze();
+
+            for k in [1usize, 2, 4, 8] {
+                let oracle = max_coverage_greedy_rescan(&c, k, None);
+                max_coverage_greedy_with(&c, k, None, &mut scratch, &mut result);
+                assert_eq!(result.seeds, oracle.seeds, "trial {trial} k {k}");
+                assert_eq!(result.gains, oracle.gains, "trial {trial} k {k}");
+                assert_eq!(result.coverage, oracle.coverage, "trial {trial} k {k}");
+            }
+        }
+    }
+
+    #[test]
     fn matches_naive_greedy_on_random_inputs() {
         use rand::rngs::StdRng;
         use rand::{Rng, SeedableRng};
@@ -161,8 +387,7 @@ mod tests {
             let mut c = RrCollection::new(n, n);
             for _ in 0..40 {
                 let size = rng.gen_range(1..5);
-                let mut s: Vec<Node> =
-                    (0..size).map(|_| rng.gen_range(0..n as Node)).collect();
+                let mut s: Vec<Node> = (0..size).map(|_| rng.gen_range(0..n as Node)).collect();
                 s.sort_unstable();
                 s.dedup();
                 c.push(&s);

@@ -15,7 +15,7 @@
 use atpm_graph::{GraphView, Node};
 use atpm_ris::sampler::generate_batch;
 
-use crate::greedy::max_coverage_greedy;
+use crate::greedy::{max_coverage_greedy_with, GreedyResult, GreedyScratch};
 
 /// IMM parameters.
 #[derive(Debug, Clone, Copy)]
@@ -34,7 +34,13 @@ pub struct ImmConfig {
 
 impl Default for ImmConfig {
     fn default() -> Self {
-        ImmConfig { k: 50, eps: 0.5, ell: 1.0, seed: 0, threads: 1 }
+        ImmConfig {
+            k: 50,
+            eps: 0.5,
+            ell: 1.0,
+            seed: 0,
+            threads: 1,
+        }
     }
 }
 
@@ -77,10 +83,13 @@ pub fn imm_select<V: GraphView + Sync>(view: &V, cfg: ImmConfig) -> ImmResult {
     // ---- Phase 1: estimate a lower bound of OPT ----------------------------
     let eps_prime = 2f64.sqrt() * cfg.eps;
     // λ' = (2 + 2ε'/3)·(ln C(n,k) + ℓ ln n + ln log2 n)·n / ε'²  (IMM eq. 9)
-    let lambda_prime = (2.0 + 2.0 * eps_prime / 3.0)
-        * (ln_nk + ell * nf.ln() + log2n.ln())
-        * nf
+    let lambda_prime = (2.0 + 2.0 * eps_prime / 3.0) * (ln_nk + ell * nf.ln() + log2n.ln()) * nf
         / (eps_prime * eps_prime);
+
+    // One scratch + result pair reused across every halving round and the
+    // final selection: the greedy loop allocates nothing after round one.
+    let mut scratch = GreedyScratch::new();
+    let mut g = GreedyResult::default();
 
     let mut lb = 1.0f64;
     let max_rounds = (log2n.ceil() as usize).max(1);
@@ -91,7 +100,7 @@ pub fn imm_select<V: GraphView + Sync>(view: &V, cfg: ImmConfig) -> ImmResult {
         if c.is_empty() {
             break;
         }
-        let g = max_coverage_greedy(&c, k, None);
+        max_coverage_greedy_with(&c, k, None, &mut scratch, &mut g);
         let est = g.spread(&c);
         if est >= (1.0 + eps_prime) * x {
             lb = est / (1.0 + eps_prime);
@@ -107,14 +116,22 @@ pub fn imm_select<V: GraphView + Sync>(view: &V, cfg: ImmConfig) -> ImmResult {
     let alpha = (ell * nf.ln() + 2f64.ln()).sqrt();
     let one_minus_inv_e = 1.0 - 1.0 / std::f64::consts::E;
     let beta = (one_minus_inv_e * (ln_nk + ell * nf.ln() + 2f64.ln())).sqrt();
-    let lambda_star =
-        2.0 * nf * (one_minus_inv_e * alpha + beta).powi(2) / (cfg.eps * cfg.eps);
+    let lambda_star = 2.0 * nf * (one_minus_inv_e * alpha + beta).powi(2) / (cfg.eps * cfg.eps);
     let theta = (lambda_star / lb).ceil() as usize;
 
-    let c = generate_batch(view, theta, cfg.seed.wrapping_mul(0x9E37).wrapping_add(77), cfg.threads);
-    let g = max_coverage_greedy(&c, k, None);
+    let c = generate_batch(
+        view,
+        theta,
+        cfg.seed.wrapping_mul(0x9E37).wrapping_add(77),
+        cfg.threads,
+    );
+    max_coverage_greedy_with(&c, k, None, &mut scratch, &mut g);
     let est_spread = g.spread(&c);
-    ImmResult { seeds: g.seeds, est_spread, theta: c.len() }
+    ImmResult {
+        seeds: g.seeds,
+        est_spread,
+        theta: c.len(),
+    }
 }
 
 #[cfg(test)]
@@ -146,19 +163,42 @@ mod tests {
     #[test]
     fn imm_finds_the_hub() {
         let g = star_plus_chain();
-        let r = imm_select(&&g, ImmConfig { k: 1, eps: 0.3, seed: 3, ..Default::default() });
+        let r = imm_select(
+            &&g,
+            ImmConfig {
+                k: 1,
+                eps: 0.3,
+                seed: 3,
+                ..Default::default()
+            },
+        );
         assert_eq!(r.seeds, vec![0], "hub must win");
         // True spread of {0} is 6.
-        assert!((r.est_spread - 6.0).abs() < 0.5, "estimate {}", r.est_spread);
+        assert!(
+            (r.est_spread - 6.0).abs() < 0.5,
+            "estimate {}",
+            r.est_spread
+        );
     }
 
     #[test]
     fn imm_k2_adds_the_secondary_source() {
         let g = star_plus_chain();
-        let r = imm_select(&&g, ImmConfig { k: 2, eps: 0.3, seed: 4, ..Default::default() });
+        let r = imm_select(
+            &&g,
+            ImmConfig {
+                k: 2,
+                eps: 0.3,
+                seed: 4,
+                ..Default::default()
+            },
+        );
         assert_eq!(r.seeds.len(), 2);
         assert!(r.seeds.contains(&0));
-        assert!(r.seeds.contains(&6), "6 is the only other node with spread > 1");
+        assert!(
+            r.seeds.contains(&6),
+            "6 is the only other node with spread > 1"
+        );
     }
 
     #[test]
@@ -167,7 +207,15 @@ mod tests {
         // the exhaustive best pair.
         let raw = atpm_graph::gen::erdos_renyi::gnm_directed(10, 14, 9);
         let g = WeightingScheme::WeightedCascade.apply(&raw);
-        let r = imm_select(&&g, ImmConfig { k: 2, eps: 0.2, seed: 1, ..Default::default() });
+        let r = imm_select(
+            &&g,
+            ImmConfig {
+                k: 2,
+                eps: 0.2,
+                seed: 1,
+                ..Default::default()
+            },
+        );
         let imm_spread = exact_spread(&&g, &r.seeds);
 
         let mut best = 0.0f64;
@@ -186,7 +234,12 @@ mod tests {
     #[test]
     fn deterministic_under_seed() {
         let g = star_plus_chain();
-        let cfg = ImmConfig { k: 2, eps: 0.4, seed: 11, ..Default::default() };
+        let cfg = ImmConfig {
+            k: 2,
+            eps: 0.4,
+            seed: 11,
+            ..Default::default()
+        };
         let a = imm_select(&&g, cfg);
         let b = imm_select(&&g, cfg);
         assert_eq!(a.seeds, b.seeds);
@@ -197,6 +250,12 @@ mod tests {
     #[should_panic(expected = "exceeds alive")]
     fn rejects_k_larger_than_n() {
         let g = star_plus_chain();
-        let _ = imm_select(&&g, ImmConfig { k: 9, ..Default::default() });
+        let _ = imm_select(
+            &&g,
+            ImmConfig {
+                k: 9,
+                ..Default::default()
+            },
+        );
     }
 }

@@ -7,9 +7,13 @@
 //! influential users with "one of the state of the arts \[28\]" — IMM
 //! [Tang–Shi–Xiao, SIGMOD'15]. This crate provides:
 //!
-//! * [`greedy`] — lazy (CELF) greedy maximum coverage over an
-//!   [`RrCollection`](atpm_ris::RrCollection), the selection core shared by
-//!   IMM and by the NSG baseline;
+//! * [`greedy`] — decremental bucket-queue lazy (CELF) greedy maximum
+//!   coverage over an [`RrCollection`](atpm_ris::RrCollection), the
+//!   selection core shared by IMM and by the NSG baseline — gains are
+//!   binned comparison-free, stale entries demote between buckets in O(1)
+//!   (their fresh gain is recounted through the inverted index on pop),
+//!   and a reusable [`GreedyScratch`] makes the selection loop
+//!   allocation-free after warm-up;
 //! * [`imm`] — the two-phase IMM algorithm (parameter estimation + node
 //!   selection) with the standard `(1 − 1/e − ε)` guarantee;
 //! * [`bound`] — high-probability lower bounds on a *given* set's spread,
@@ -20,5 +24,5 @@ pub mod greedy;
 pub mod imm;
 
 pub use bound::spread_lower_bound;
-pub use greedy::{max_coverage_greedy, GreedyResult};
+pub use greedy::{max_coverage_greedy, max_coverage_greedy_with, GreedyResult, GreedyScratch};
 pub use imm::{imm_select, ImmConfig, ImmResult};

@@ -1,0 +1,86 @@
+//! Enforces the allocation discipline of the decremental lazy greedy: with
+//! a caller-provided [`GreedyScratch`] and result, selection performs zero
+//! heap allocation after warm-up.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocations_during<F: FnOnce()>(f: F) -> u64 {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    f();
+    ALLOCATIONS.load(Ordering::Relaxed) - before
+}
+
+#[test]
+fn greedy_selection_does_not_allocate_after_warmup() {
+    use atpm_graph::GraphBuilder;
+    use atpm_im::greedy::{max_coverage_greedy_with, GreedyResult, GreedyScratch};
+    use atpm_ris::sampler::generate_batch;
+
+    let mut b = GraphBuilder::new(300);
+    for i in 0..299u32 {
+        b.add_edge(i, i + 1, 0.5).unwrap();
+        b.add_edge(i, (i * 7 + 3) % 300, 0.2).unwrap();
+    }
+    let g = b.build();
+    let collection = generate_batch(&&g, 30_000, 11, 1);
+
+    let candidates: Vec<u32> = (0..150u32).collect();
+    let mut scratch = GreedyScratch::new();
+    let mut result = GreedyResult::default();
+
+    // Warm-up sizes the scratch, heap, and result buffers.
+    max_coverage_greedy_with(
+        &collection,
+        25,
+        Some(&candidates),
+        &mut scratch,
+        &mut result,
+    );
+    max_coverage_greedy_with(&collection, 25, None, &mut scratch, &mut result);
+    let warm = result.clone();
+
+    let allocs = allocations_during(|| {
+        for _ in 0..5 {
+            max_coverage_greedy_with(
+                &collection,
+                25,
+                Some(&candidates),
+                &mut scratch,
+                &mut result,
+            );
+            max_coverage_greedy_with(&collection, 25, None, &mut scratch, &mut result);
+        }
+    });
+    assert_eq!(allocs, 0, "greedy selection allocated after warm-up");
+    assert_eq!(result, warm, "repeated runs must be identical");
+    assert!(!result.seeds.is_empty());
+}

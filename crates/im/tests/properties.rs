@@ -1,7 +1,11 @@
 //! Property-based tests for the influence-maximization substrate.
 
 use atpm_graph::{GraphBuilder, WeightingScheme};
-use atpm_im::{imm_select, max_coverage_greedy, spread_lower_bound, ImmConfig};
+use atpm_im::greedy::max_coverage_greedy_rescan;
+use atpm_im::{
+    imm_select, max_coverage_greedy, max_coverage_greedy_with, spread_lower_bound, GreedyResult,
+    GreedyScratch, ImmConfig,
+};
 use atpm_ris::sampler::generate_batch;
 use atpm_ris::RrCollection;
 use proptest::prelude::*;
@@ -60,6 +64,32 @@ proptest! {
         prop_assert_eq!(r.coverage, best);
     }
 
+    /// Engine equivalence: the decremental CELF returns byte-identical
+    /// results to the pre-refactor re-scanning implementation on randomized
+    /// collections — unrestricted, candidate-restricted, and with duplicate
+    /// candidates — including across scratch reuse.
+    #[test]
+    fn decremental_celf_equals_rescan_oracle(g in arb_graph(), seed in 0u64..100) {
+        let c = generate_batch(&&g, 600, seed, 2);
+        let n = g.num_nodes() as u32;
+        let mut scratch = GreedyScratch::new();
+        let mut result = GreedyResult::default();
+        for k in [1usize, 2, 5, 9] {
+            let oracle = max_coverage_greedy_rescan(&c, k, None);
+            max_coverage_greedy_with(&c, k, None, &mut scratch, &mut result);
+            prop_assert_eq!(&result, &oracle, "k = {}", k);
+
+            let candidates: Vec<u32> = (0..n).filter(|u| u % 2 == seed as u32 % 2).collect();
+            let oracle = max_coverage_greedy_rescan(&c, k, Some(&candidates));
+            max_coverage_greedy_with(&c, k, Some(&candidates), &mut scratch, &mut result);
+            prop_assert_eq!(&result, &oracle, "restricted, k = {}", k);
+
+            let dups: Vec<u32> = candidates.iter().chain(candidates.iter()).copied().collect();
+            max_coverage_greedy_with(&c, k, Some(&dups), &mut scratch, &mut result);
+            prop_assert_eq!(&result, &oracle, "duplicated candidates, k = {}", k);
+        }
+    }
+
     /// The spread lower bound is monotone in the seed set.
     #[test]
     fn spread_lower_bound_monotone(g in arb_graph(), seed in 0u64..20) {
@@ -82,7 +112,15 @@ fn imm_estimate_is_unbiased_enough_on_fixed_graph() {
     b.add_edge(7, 8, 0.8).unwrap();
     b.add_edge(8, 9, 0.8).unwrap();
     let g = b.build();
-    let r = imm_select(&&g, ImmConfig { k: 2, eps: 0.2, seed: 5, ..Default::default() });
+    let r = imm_select(
+        &&g,
+        ImmConfig {
+            k: 2,
+            eps: 0.2,
+            seed: 5,
+            ..Default::default()
+        },
+    );
     assert!(r.seeds.contains(&0), "hub must be selected: {:?}", r.seeds);
     assert!(r.seeds.contains(&7), "chain head is the best second pick");
     let exact = atpm_diffusion::exact_spread(&&g, &r.seeds);

@@ -15,7 +15,10 @@
 /// Sample size used by ADDATP (Algorithm 3, line 8):
 /// `θ = ln(8/δ) / (2ζ²)`.
 pub fn addatp_theta(zeta: f64, delta: f64) -> usize {
-    assert!(zeta > 0.0 && delta > 0.0 && delta < 1.0, "zeta={zeta} delta={delta}");
+    assert!(
+        zeta > 0.0 && delta > 0.0 && delta < 1.0,
+        "zeta={zeta} delta={delta}"
+    );
     ((8.0 / delta).ln() / (2.0 * zeta * zeta)).ceil() as usize
 }
 
@@ -89,8 +92,8 @@ mod tests {
         assert_eq!(t, want);
         // HATP: (1+ε/3)²/(2εζ)·ln(4/δ)
         let t = hatp_theta(0.5, 0.1, 0.01);
-        let want = ((1.0 + 0.5 / 3.0f64).powi(2) / (2.0 * 0.5 * 0.1) * (4.0f64 / 0.01).ln())
-            .ceil() as usize;
+        let want = ((1.0 + 0.5 / 3.0f64).powi(2) / (2.0 * 0.5 * 0.1) * (4.0f64 / 0.01).ln()).ceil()
+            as usize;
         assert_eq!(t, want);
     }
 
@@ -165,7 +168,10 @@ mod tests {
             let lb = coverage_lower_bound(cov, theta, 0.001);
             let ub = coverage_upper_bound(cov, theta, 0.001);
             assert!(lb <= ub);
-            assert!(lb <= 0.4 && 0.4 <= ub, "trial {trial}: [{lb}, {ub}] misses 0.4");
+            assert!(
+                lb <= 0.4 && 0.4 <= ub,
+                "trial {trial}: [{lb}, {ub}] misses 0.4"
+            );
         }
     }
 

@@ -1,8 +1,80 @@
 //! Stored RR-set batches with an inverted index and coverage queries.
+//!
+//! Allocation discipline: the collection itself is three flat arrays plus a
+//! flat inverted index, built exactly once by [`RrCollection::freeze`].
+//! Parallel generation produces [`RrShard`]s whose storage is merged with
+//! two `extend_from_slice` calls per shard ([`RrCollection::absorb_shard`])
+//! instead of re-pushing set by set. Hot queries go through a reusable
+//! [`CoverageScratch`] (epoch-stamped, O(1) bulk clear) so steady-state
+//! coverage evaluation performs **zero heap allocation per query** — see
+//! `tests/alloc_discipline.rs`.
 
 use atpm_graph::Node;
 
 use crate::nodeset::NodeSet;
+use crate::workspace::EpochMarks;
+
+/// A worker-local batch of RR sets in the same flat layout as
+/// [`RrCollection`], ready to be merged by bulk copy.
+///
+/// `offsets` always starts with `0` and holds one entry per stored set plus
+/// the sentinel, exactly like the collection's own offsets but relative to
+/// the shard.
+#[derive(Debug)]
+pub struct RrShard {
+    members: Vec<Node>,
+    offsets: Vec<u64>,
+}
+
+// Not derived: a derived Default would skip the leading-0 sentinel in
+// `offsets` and break the flat-layout invariant.
+impl Default for RrShard {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RrShard {
+    /// An empty shard.
+    pub fn new() -> Self {
+        RrShard {
+            members: Vec::new(),
+            offsets: vec![0],
+        }
+    }
+
+    /// An empty shard pre-sized for `sets` RR sets of `avg_size` expected
+    /// members, so worker-side pushes settle into at most a few grows.
+    pub fn with_capacity(sets: usize, avg_size: usize) -> Self {
+        let mut offsets = Vec::with_capacity(sets + 1);
+        offsets.push(0);
+        RrShard {
+            members: Vec::with_capacity(sets.saturating_mul(avg_size)),
+            offsets,
+        }
+    }
+
+    /// Appends one RR set.
+    pub fn push(&mut self, set: &[Node]) {
+        self.members.extend_from_slice(set);
+        self.offsets.push(self.members.len() as u64);
+    }
+
+    /// Number of stored sets.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Whether no sets are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total stored members.
+    pub fn total_members(&self) -> usize {
+        self.members.len()
+    }
+}
 
 /// A batch of RR sets in flat storage plus an inverted node → set-id index.
 ///
@@ -67,11 +139,39 @@ impl RrCollection {
         self.members.len()
     }
 
+    /// An empty collection pre-sized for `sets` RR sets totalling `members`
+    /// stored nodes (capacity hints only — exceeding them is fine).
+    pub fn with_capacity(n: usize, n_alive: usize, sets: usize, members: usize) -> Self {
+        let mut offsets = Vec::with_capacity(sets + 1);
+        offsets.push(0);
+        RrCollection {
+            n,
+            n_alive,
+            members: Vec::with_capacity(members),
+            offsets,
+            idx_offsets: Vec::new(),
+            idx_sets: Vec::new(),
+            frozen: false,
+        }
+    }
+
     /// Appends one RR set. Panics after [`freeze`](Self::freeze).
     pub fn push(&mut self, set: &[Node]) {
         assert!(!self.frozen, "cannot push into a frozen collection");
         self.members.extend_from_slice(set);
         self.offsets.push(self.members.len() as u64);
+    }
+
+    /// Merges a worker shard by bulk copy: one `extend_from_slice` for the
+    /// members, one offset-rebased extend for the set boundaries. This is
+    /// the fan-in half of sharded generation — no per-set re-push, no
+    /// per-set bounds checks. Panics after [`freeze`](Self::freeze).
+    pub fn absorb_shard(&mut self, shard: &RrShard) {
+        assert!(!self.frozen, "cannot absorb into a frozen collection");
+        let base = self.members.len() as u64;
+        self.members.extend_from_slice(&shard.members);
+        self.offsets
+            .extend(shard.offsets[1..].iter().map(|&o| o + base));
     }
 
     /// Members of set `i`.
@@ -94,16 +194,111 @@ impl RrCollection {
         for i in 0..self.n {
             counts[i + 1] += counts[i];
         }
-        let mut cursor = counts[..self.n].to_vec();
+        // counts[u] is the start of u's posting list; placement advances it
+        // to the end (= start of u+1), so shifting right by one afterwards
+        // rebuilds the offsets without a cursor clone.
         let mut idx_sets = vec![0u32; self.members.len()];
         for i in 0..self.len() {
             for &u in self.set(i) {
-                let slot = cursor[u as usize] as usize;
-                cursor[u as usize] += 1;
+                let slot = counts[u as usize] as usize;
+                counts[u as usize] += 1;
                 idx_sets[slot] = i as u32;
             }
         }
+        counts.copy_within(0..self.n, 1);
+        counts[0] = 0;
         self.idx_offsets = counts;
+        self.idx_sets = idx_sets;
+        self.frozen = true;
+    }
+
+    /// [`freeze`](Self::freeze) with the counting sort parallelized across
+    /// `threads` workers (idempotent; produces an identical index).
+    ///
+    /// The index is partitioned by **node range**, each range sized to hold
+    /// ~`Σ|R| / threads` postings: every worker scans the full member array
+    /// but counts and places only the nodes it owns, so the output slices
+    /// are disjoint (`split_at_mut` — no atomics) and each node's posting
+    /// list is still filled in ascending set order, exactly like the
+    /// sequential build. Redundant reads are cheap (sequential scans);
+    /// scattered writes — the expensive half — are what gets split.
+    pub fn freeze_parallel(&mut self, threads: usize) {
+        // Workers do redundant reads, so more workers than cores is strictly
+        // counterproductive — clamp to the machine.
+        let threads = threads
+            .max(1)
+            .min(crate::workspace::available_threads(None));
+        // Below ~64k postings the spawn overhead beats the savings.
+        if self.frozen || threads == 1 || self.members.len() < (1 << 16) {
+            return self.freeze();
+        }
+        self.freeze_parallel_impl(threads);
+    }
+
+    /// The parallel build without the core-count clamp or size fallback
+    /// (separated so tests exercise it on any machine).
+    fn freeze_parallel_impl(&mut self, threads: usize) {
+        let m = self.members.len();
+        let members = &self.members;
+
+        // Node-range boundaries balanced by posting count.
+        let mut counts = vec![0u32; self.n + 1];
+        for &u in members {
+            counts[u as usize + 1] += 1;
+        }
+        let mut boundaries = Vec::with_capacity(threads + 1);
+        boundaries.push(0usize);
+        let per = m.div_ceil(threads);
+        let mut acc = 0usize;
+        for u in 0..self.n {
+            acc += counts[u + 1] as usize;
+            if acc >= per * boundaries.len() && boundaries.len() < threads {
+                boundaries.push(u + 1);
+            }
+        }
+        boundaries.push(self.n);
+
+        // Global offsets from the histogram.
+        let mut offsets = vec![0u64; self.n + 1];
+        for u in 0..self.n {
+            offsets[u + 1] = offsets[u] + u64::from(counts[u + 1]);
+        }
+
+        // Disjoint output slices per node range; each worker re-scans the
+        // sets and places only its own nodes, in ascending set order.
+        let mut idx_sets = vec![0u32; m];
+        let set_offsets = &self.offsets;
+        std::thread::scope(|scope| {
+            let mut rest: &mut [u32] = &mut idx_sets;
+            let mut consumed = 0u64;
+            // Skewed histograms can yield fewer ranges than workers.
+            for w in 0..boundaries.len() - 1 {
+                let (lo, hi) = (boundaries[w], boundaries[w + 1]);
+                let range_postings = (offsets[hi] - offsets[lo]) as usize;
+                let (mine, tail) = rest.split_at_mut(range_postings);
+                rest = tail;
+                let base = consumed;
+                consumed += range_postings as u64;
+                let offsets = &offsets;
+                scope.spawn(move || {
+                    // Local cursors relative to this range's slice.
+                    let mut cursor: Vec<usize> =
+                        (lo..hi).map(|u| (offsets[u] - base) as usize).collect();
+                    for i in 0..set_offsets.len() - 1 {
+                        let set = &members[set_offsets[i] as usize..set_offsets[i + 1] as usize];
+                        for &u in set {
+                            let u = u as usize;
+                            if (lo..hi).contains(&u) {
+                                let slot = &mut cursor[u - lo];
+                                mine[*slot] = i as u32;
+                                *slot += 1;
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        self.idx_offsets = offsets;
         self.idx_sets = idx_sets;
         self.frozen = true;
     }
@@ -121,15 +316,40 @@ impl RrCollection {
         self.sets_containing(u).len()
     }
 
-    /// `CovR(S)`: number of sets intersecting `S`.
-    pub fn cov_set(&self, s: &[Node]) -> usize {
+    /// Iterates `(u, CovR({u}))` over every node with nonzero coverage, in
+    /// increasing node order.
+    ///
+    /// One sequential pass over the inverted index's offset array — the fast
+    /// path for bulk gain initialization (the greedy build), without the
+    /// per-call slicing of [`cov_node`](Self::cov_node).
+    pub fn nonzero_cov_nodes(&self) -> impl Iterator<Item = (Node, usize)> + '_ {
         assert!(self.frozen, "freeze() before querying the inverted index");
-        let mut hit = vec![false; self.len()];
+        self.idx_offsets
+            .windows(2)
+            .enumerate()
+            .filter_map(|(u, w)| {
+                let c = (w[1] - w[0]) as usize;
+                (c > 0).then_some((u as Node, c))
+            })
+    }
+
+    /// `CovR(S)`: number of sets intersecting `S`.
+    ///
+    /// Convenience wrapper allocating a fresh scratch; hot paths should hold
+    /// a [`CoverageScratch`] and call [`cov_set_with`](Self::cov_set_with).
+    pub fn cov_set(&self, s: &[Node]) -> usize {
+        self.cov_set_with(s, &mut CoverageScratch::new())
+    }
+
+    /// `CovR(S)` using a reusable scratch: zero heap allocation once the
+    /// scratch has warmed up to this collection's size.
+    pub fn cov_set_with(&self, s: &[Node], scratch: &mut CoverageScratch) -> usize {
+        assert!(self.frozen, "freeze() before querying the inverted index");
+        scratch.marks.begin(self.len());
         let mut total = 0usize;
         for &u in s {
             for &i in self.sets_containing(u) {
-                if !hit[i as usize] {
-                    hit[i as usize] = true;
+                if scratch.marks.mark(i as usize) {
                     total += 1;
                 }
             }
@@ -138,12 +358,55 @@ impl RrCollection {
     }
 
     /// `CovR(u | S)`: sets containing `u` but not intersecting `S`
-    /// (marginal coverage; `S` as a [`NodeSet`]).
+    /// (marginal coverage; `S` as a [`NodeSet`]). Allocation-free by
+    /// construction (pure index walk).
     pub fn cov_marginal(&self, u: Node, s: &NodeSet) -> usize {
         self.sets_containing(u)
             .iter()
             .filter(|&&i| !s.intersects(self.set(i as usize)))
             .count()
+    }
+
+    /// Batch marginal coverage: for each query node `u` in `nodes`, writes
+    /// `CovR(u)` (when `cond` is `None`) or `CovR(u | cond)` into `out`.
+    ///
+    /// The win over calling [`cov_marginal`](Self::cov_marginal) per node is
+    /// that the "does `cond` hit set `i`" verdict is computed **once per
+    /// distinct set** and cached in the scratch for the rest of the batch —
+    /// query nodes in the same neighbourhood share most of their RR sets, so
+    /// the member-array walks are amortized away. Zero heap allocation after
+    /// warm-up (`out` included, once its capacity has grown).
+    pub fn cov_nodes_into(
+        &self,
+        nodes: &[Node],
+        cond: Option<&NodeSet>,
+        scratch: &mut CoverageScratch,
+        out: &mut Vec<u32>,
+    ) {
+        assert!(self.frozen, "freeze() before querying the inverted index");
+        out.clear();
+        out.reserve(nodes.len());
+        let Some(cond) = cond else {
+            out.extend(nodes.iter().map(|&u| self.sets_containing(u).len() as u32));
+            return;
+        };
+        scratch.marks.begin(self.len());
+        scratch.ensure_hit_words(self.len());
+        for &u in nodes {
+            let mut cnt = 0u32;
+            for &i in self.sets_containing(u) {
+                let i = i as usize;
+                let hit = if scratch.marks.mark(i) {
+                    let hit = cond.intersects(self.set(i));
+                    scratch.set_hit(i, hit);
+                    hit
+                } else {
+                    scratch.hit(i)
+                };
+                cnt += u32::from(!hit);
+            }
+            out.push(cnt);
+        }
     }
 
     /// Estimated spread of `{u}` on the generation-time view:
@@ -164,6 +427,62 @@ impl RrCollection {
         } else {
             self.n_alive as f64 * cov as f64 / self.len() as f64
         }
+    }
+}
+
+/// Reusable per-set scratch for coverage queries.
+///
+/// Holds an [`EpochMarks`] over set ids (which sets the current query has
+/// touched) plus a hit bitset (whether a touched set intersects the query's
+/// condition set). Clearing between queries is an O(1) epoch bump; the
+/// backing arrays are allocated once per collection size and then reused, so
+/// `cov_set_with` / `cov_nodes_into` are allocation-free in steady state.
+///
+/// One scratch per thread: queries borrow it mutably.
+#[derive(Debug, Default)]
+pub struct CoverageScratch {
+    marks: EpochMarks,
+    hit_words: Vec<u64>,
+}
+
+impl CoverageScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        CoverageScratch {
+            marks: EpochMarks::new(),
+            hit_words: Vec::new(),
+        }
+    }
+
+    /// A scratch pre-sized for collections of `theta` sets (avoids the one
+    /// warm-up allocation).
+    pub fn with_theta(theta: usize) -> Self {
+        let mut s = CoverageScratch::new();
+        s.marks.begin(theta);
+        s.ensure_hit_words(theta);
+        s
+    }
+
+    fn ensure_hit_words(&mut self, theta: usize) {
+        let words = theta.div_ceil(64);
+        if self.hit_words.len() < words {
+            self.hit_words.resize(words, 0);
+        }
+    }
+
+    #[inline]
+    fn set_hit(&mut self, i: usize, hit: bool) {
+        let (w, b) = (i / 64, i % 64);
+        if hit {
+            self.hit_words[w] |= 1 << b;
+        } else {
+            self.hit_words[w] &= !(1 << b);
+        }
+    }
+
+    #[inline]
+    fn hit(&self, i: usize) -> bool {
+        self.hit_words[i / 64] & (1 << (i % 64)) != 0
     }
 }
 
@@ -260,5 +579,169 @@ mod tests {
         let mut c = RrCollection::new(3, 3);
         c.freeze();
         assert_eq!(c.spread_set(&[0, 1]), 0.0);
+    }
+
+    #[test]
+    fn absorb_shard_matches_per_set_push() {
+        let mut a = RrShard::with_capacity(2, 2);
+        a.push(&[0, 1]);
+        a.push(&[1, 2]);
+        let mut b = RrShard::new();
+        b.push(&[3]);
+        b.push(&[0, 2, 4]);
+        assert_eq!(a.len(), 2);
+        assert_eq!(b.total_members(), 4);
+
+        let mut merged = RrCollection::with_capacity(5, 5, 4, 8);
+        merged.absorb_shard(&a);
+        merged.absorb_shard(&b);
+        merged.freeze();
+
+        let reference = sample_collection(); // same four sets pushed one by one
+        assert_eq!(merged.len(), reference.len());
+        assert_eq!(merged.total_members(), reference.total_members());
+        for i in 0..reference.len() {
+            assert_eq!(merged.set(i), reference.set(i), "set {i}");
+        }
+        for u in 0..5u32 {
+            assert_eq!(
+                merged.sets_containing(u),
+                reference.sets_containing(u),
+                "node {u}"
+            );
+        }
+    }
+
+    #[test]
+    fn freeze_parallel_matches_sequential_index() {
+        // Big enough to clear the sequential-fallback threshold (2^16
+        // postings), with a skewed node distribution.
+        let n = 700usize;
+        let build = || {
+            let mut c = RrCollection::new(n, n);
+            let mut x = 9u64;
+            for i in 0..30_000usize {
+                let mut set = Vec::new();
+                for j in 0..3 + (i % 4) {
+                    x = x
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    // Square to skew toward low ids (power-law-ish).
+                    let r = (x >> 33) as usize % (n * n);
+                    let u = ((r as f64).sqrt() as usize).min(n - 1) as Node;
+                    if !set.contains(&u) {
+                        set.push(u);
+                    }
+                    let _ = j;
+                }
+                c.push(&set);
+            }
+            c
+        };
+        let mut seq = build();
+        assert!(
+            seq.total_members() >= (1 << 16),
+            "need to exercise the parallel path"
+        );
+        seq.freeze();
+        for threads in [2usize, 3, 8] {
+            let mut par = build();
+            // Call the unclamped impl so the parallel path is exercised even
+            // on single-core CI machines.
+            par.freeze_parallel_impl(threads);
+            assert_eq!(par.len(), seq.len());
+            for u in 0..n as Node {
+                assert_eq!(
+                    par.sets_containing(u),
+                    seq.sets_containing(u),
+                    "threads {threads}, node {u}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn default_shard_upholds_the_offset_invariant() {
+        let mut shard = RrShard::default();
+        assert!(shard.is_empty());
+        assert_eq!(shard.len(), 0);
+        shard.push(&[1, 2]);
+        let mut c = RrCollection::new(3, 3);
+        c.absorb_shard(&shard);
+        c.freeze();
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.set(0), &[1, 2]);
+    }
+
+    #[test]
+    fn absorbing_empty_shards_is_a_noop() {
+        let mut c = RrCollection::new(3, 3);
+        c.absorb_shard(&RrShard::new());
+        let mut s = RrShard::new();
+        s.push(&[1]);
+        c.absorb_shard(&s);
+        c.absorb_shard(&RrShard::new());
+        c.freeze();
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.set(0), &[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "frozen")]
+    fn absorb_after_freeze_panics() {
+        let mut c = sample_collection();
+        c.absorb_shard(&RrShard::new());
+    }
+
+    #[test]
+    fn scratch_cov_set_matches_allocating_path() {
+        let c = sample_collection();
+        let mut scratch = CoverageScratch::new();
+        for query in [
+            &[][..],
+            &[0],
+            &[0, 1],
+            &[0, 1, 3],
+            &[4, 4, 4],
+            &[0, 1, 2, 3, 4],
+        ] {
+            assert_eq!(
+                c.cov_set_with(query, &mut scratch),
+                c.cov_set(query),
+                "{query:?}"
+            );
+        }
+        // Back-to-back reuse must not leak marks between queries.
+        assert_eq!(c.cov_set_with(&[0, 1, 3], &mut scratch), 4);
+        assert_eq!(c.cov_set_with(&[3], &mut scratch), 1);
+    }
+
+    #[test]
+    fn cov_nodes_into_matches_per_node_queries() {
+        let c = sample_collection();
+        let mut scratch = CoverageScratch::with_theta(c.len());
+        let mut out = Vec::new();
+        let nodes = [0u32, 1, 2, 3, 4];
+
+        c.cov_nodes_into(&nodes, None, &mut scratch, &mut out);
+        let plain: Vec<u32> = nodes.iter().map(|&u| c.cov_node(u) as u32).collect();
+        assert_eq!(out, plain);
+
+        let cond = NodeSet::from_iter(5, [1]);
+        c.cov_nodes_into(&nodes, Some(&cond), &mut scratch, &mut out);
+        let expected: Vec<u32> = nodes
+            .iter()
+            .map(|&u| c.cov_marginal(u, &cond) as u32)
+            .collect();
+        assert_eq!(out, expected);
+
+        // Reuse with a different condition: the hit cache must be rebuilt.
+        let cond2 = NodeSet::from_iter(5, [0, 2]);
+        c.cov_nodes_into(&nodes, Some(&cond2), &mut scratch, &mut out);
+        let expected2: Vec<u32> = nodes
+            .iter()
+            .map(|&u| c.cov_marginal(u, &cond2) as u32)
+            .collect();
+        assert_eq!(out, expected2);
     }
 }

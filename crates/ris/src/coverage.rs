@@ -29,7 +29,13 @@ impl<'a> DoubleGreedyCoverage<'a> {
     /// frozen.
     pub fn new(c: &'a RrCollection, candidates: &[Node]) -> Self {
         let mut q_count = vec![0u32; c.len()];
-        let mut in_q = NodeSet::new(candidates.iter().map(|&u| u as usize + 1).max().unwrap_or(0));
+        let mut in_q = NodeSet::new(
+            candidates
+                .iter()
+                .map(|&u| u as usize + 1)
+                .max()
+                .unwrap_or(0),
+        );
         for &u in candidates {
             if in_q.insert(u) {
                 for &i in c.sets_containing(u) {
@@ -37,7 +43,12 @@ impl<'a> DoubleGreedyCoverage<'a> {
                 }
             }
         }
-        DoubleGreedyCoverage { c, covered_by_s: vec![false; c.len()], q_count, in_q }
+        DoubleGreedyCoverage {
+            c,
+            covered_by_s: vec![false; c.len()],
+            q_count,
+            in_q,
+        }
     }
 
     /// `CovR(u | S)`.

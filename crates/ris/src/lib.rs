@@ -15,12 +15,44 @@
 //! concentration bounds on the coverage translate directly into spread
 //! guarantees.
 //!
+//! ## Engine architecture
+//!
+//! The sampling → coverage → greedy pipeline is the hot path of every policy
+//! (ADDATP/HATP regenerate their batches every round), so the engine is built
+//! around two rules:
+//!
+//! 1. **Zero per-query heap allocation.** All transient state lives in
+//!    reusable, epoch-stamped buffers ([`workspace::EpochMarks`]): clearing
+//!    is an O(1) epoch bump, the backing arrays are allocated once per size
+//!    and reused forever. [`RrSampler`] uses them for visit marks,
+//!    [`collection::CoverageScratch`] for coverage queries
+//!    ([`RrCollection::cov_set_with`], [`RrCollection::cov_nodes_into`]), and
+//!    the decremental lazy greedy in `atpm-im` for its gain cache. The
+//!    discipline is enforced by a counting-allocator test
+//!    (`tests/alloc_discipline.rs`).
+//! 2. **Merge parallel work by bulk copy.** [`sampler::generate_batch`]
+//!    workers fill [`collection::RrShard`]s in the collection's own flat
+//!    layout; fan-in is two `extend_from_slice`-style copies per shard with
+//!    offset rebasing ([`RrCollection::absorb_shard`]), and the inverted
+//!    node→set index is built exactly once over the merged arrays by
+//!    [`RrCollection::freeze`]. Worker seeding ([`workspace::worker_seed`],
+//!    pinned by a golden test) and the fan-out/fan-in scaffolding
+//!    ([`workspace::run_sharded`]) are shared by the batch sampler and the
+//!    streaming counters, so "deterministic in `(input, seed, threads)`" is
+//!    defined in one place.
+//!
+//! Perf baselines for every stage live in `crates/bench/benches/micro.rs`
+//! (group `ris_engine`), which emits the committed `BENCH_ris.json`
+//! trajectory — run it before and after touching any of these paths.
+//!
 //! Modules:
 //!
 //! * [`rr`] — single RR-set generation on any [`GraphView`](atpm_graph::GraphView)
-//!   (reverse BFS with fresh coins, dead nodes skipped);
-//! * [`collection`] — stored batches with an inverted node→set index and the
-//!   coverage/marginal-coverage queries used by the greedy algorithms;
+//!   (reverse BFS with fresh coins, dead nodes skipped, O(1) last-sample
+//!   membership probes);
+//! * [`collection`] — stored batches with an inverted node→set index, shard
+//!   absorption, and the scratch-buffer coverage oracle used by the greedy
+//!   algorithms;
 //! * [`coverage`] — incremental double-greedy coverage state (front / rear
 //!   marginals in O(sets-containing-u));
 //! * [`stream`] — streaming front/rear coverage counters for the adaptive
@@ -29,6 +61,7 @@
 //!   bound (paper Lemma 7), and the one-sided coverage bounds used for
 //!   `E_l[I(T)]` cost calibration;
 //! * [`sampler`] — deterministic multi-threaded batch generation;
+//! * [`workspace`] — worker seeding, sharded fan-out/fan-in, epoch marks;
 //! * [`nodeset`] — a plain bitset over node ids shared by the above.
 
 pub mod bounds;
@@ -38,8 +71,9 @@ pub mod nodeset;
 pub mod rr;
 pub mod sampler;
 pub mod stream;
+pub mod workspace;
 
-pub use collection::RrCollection;
+pub use collection::{CoverageScratch, RrCollection, RrShard};
 pub use coverage::DoubleGreedyCoverage;
 pub use nodeset::NodeSet;
 pub use rr::RrSampler;

@@ -13,7 +13,10 @@ pub struct NodeSet {
 impl NodeSet {
     /// An empty set over the universe `0..n`.
     pub fn new(n: usize) -> Self {
-        NodeSet { words: vec![0; n.div_ceil(64)], len: 0 }
+        NodeSet {
+            words: vec![0; n.div_ceil(64)],
+            len: 0,
+        }
     }
 
     /// Builds a set from an iterator of node ids.

@@ -1,23 +1,29 @@
 //! Deterministic (optionally multi-threaded) batch RR-set generation.
+//!
+//! Workers fill pre-sized [`RrShard`]s in the collection's own flat layout;
+//! the merge is two bulk copies per shard (`extend_from_slice` + offset
+//! rebasing) and the inverted index is built exactly once over the merged
+//! arrays. Worker seeding and fan-out/fan-in go through
+//! [`crate::workspace`], shared with the streaming counters.
 
 use atpm_graph::GraphView;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::collection::RrCollection;
+use crate::collection::{RrCollection, RrShard};
 use crate::rr::RrSampler;
+use crate::workspace::{available_threads, run_sharded};
 
-/// Derives the RNG seed of worker `tid` from the batch seed; workers must not
-/// share streams.
-fn worker_seed(seed: u64, tid: u64) -> u64 {
-    seed ^ tid.wrapping_mul(0xA0761D6478BD642F).wrapping_add(0xE7037ED1A0B428DB)
-}
+/// Expected RR-set size used only for shard pre-sizing (the truth is graph-
+/// dependent; over-estimating wastes a little reserve, under-estimating
+/// costs one or two grows per worker).
+const AVG_SET_SIZE_HINT: usize = 8;
 
 /// Generates `count` RR sets on `view` into a frozen [`RrCollection`].
 ///
 /// Work is split across `threads` workers, each with an independent seeded
-/// RNG; partial collections are merged in worker order, so the result is a
-/// pure function of `(view, count, seed, threads)` — experiments stay
+/// RNG; worker shards are merged in worker order by bulk copy, so the result
+/// is a pure function of `(view, count, seed, threads)` — experiments stay
 /// reproducible under parallelism (though changing `threads` changes which
 /// worlds are drawn).
 ///
@@ -28,67 +34,46 @@ pub fn generate_batch<V: GraphView + Sync>(
     seed: u64,
     threads: usize,
 ) -> RrCollection {
-    let threads = threads.max(1);
-    let mut merged = RrCollection::new(view.num_nodes(), view.num_alive());
     if count == 0 || view.num_alive() == 0 {
+        let mut merged = RrCollection::new(view.num_nodes(), view.num_alive());
         merged.freeze();
         return merged;
     }
-    if threads == 1 {
+    let shards: Vec<RrShard> = run_sharded(count, threads, seed, |_tid, quota, wseed| {
+        let mut shard = RrShard::with_capacity(quota, AVG_SET_SIZE_HINT);
         let mut sampler = RrSampler::new();
-        let mut rng = StdRng::seed_from_u64(worker_seed(seed, 0));
+        let mut rng = StdRng::seed_from_u64(wseed);
         let mut buf = Vec::new();
-        for _ in 0..count {
+        for _ in 0..quota {
             if !sampler.sample_into(view, &mut rng, &mut buf) {
                 break;
             }
-            merged.push(&buf);
+            shard.push(&buf);
         }
-        merged.freeze();
-        return merged;
-    }
-
-    let per = count / threads;
-    let extra = count % threads;
-    let parts: Vec<RrCollection> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|tid| {
-                let quota = per + usize::from(tid < extra);
-                scope.spawn(move || {
-                    let mut local = RrCollection::new(view.num_nodes(), view.num_alive());
-                    let mut sampler = RrSampler::new();
-                    let mut rng = StdRng::seed_from_u64(worker_seed(seed, tid as u64));
-                    let mut buf = Vec::new();
-                    for _ in 0..quota {
-                        if !sampler.sample_into(view, &mut rng, &mut buf) {
-                            break;
-                        }
-                        local.push(&buf);
-                    }
-                    local
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("sampler worker panicked"))
-            .collect()
+        shard
     });
-    for part in &parts {
-        for i in 0..part.len() {
-            merged.push(part.set(i));
-        }
+    let sets: usize = shards.iter().map(RrShard::len).sum();
+    let members: usize = shards.iter().map(RrShard::total_members).sum();
+    let mut merged = RrCollection::with_capacity(view.num_nodes(), view.num_alive(), sets, members);
+    for shard in &shards {
+        merged.absorb_shard(shard);
     }
-    merged.freeze();
+    merged.freeze_parallel(threads);
     merged
 }
 
-/// Picks a sensible worker count: available parallelism capped at 8 (RR-set
-/// generation saturates memory bandwidth quickly).
+/// Picks a sensible worker count: available parallelism, optionally capped
+/// by the `ATPM_MAX_THREADS` environment variable.
+///
+/// There is deliberately no built-in hard cap anymore (the old limit of 8
+/// silently throttled large machines); deployments that do want a ceiling
+/// set `ATPM_MAX_THREADS` or pass an explicit thread count through
+/// `ExpConfig`/policy configs.
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|p| p.get().min(8))
-        .unwrap_or(1)
+    let cap = std::env::var("ATPM_MAX_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok());
+    available_threads(cap)
 }
 
 #[cfg(test)]
@@ -123,6 +108,44 @@ mod tests {
     }
 
     #[test]
+    fn sharded_merge_matches_per_set_repush() {
+        // The pre-refactor merge re-pushed every set of every worker part
+        // through the un-frozen API. The bulk-copy merge must produce a
+        // byte-identical collection: same worker seeds, same split, same
+        // order.
+        let g = chain(0.5);
+        for threads in [1usize, 2, 3, 4, 8] {
+            let fast = generate_batch(&&g, 999, 13, threads);
+            // Reference: per-worker sampling identical to the sharded path,
+            // merged set by set.
+            let mut slow = RrCollection::new(3, 3);
+            let parts = crate::workspace::run_sharded(999, threads, 13, |_tid, quota, wseed| {
+                let mut local: Vec<Vec<u32>> = Vec::new();
+                let mut sampler = RrSampler::new();
+                let mut rng = StdRng::seed_from_u64(wseed);
+                let mut buf = Vec::new();
+                for _ in 0..quota {
+                    if !sampler.sample_into(&&g, &mut rng, &mut buf) {
+                        break;
+                    }
+                    local.push(buf.clone());
+                }
+                local
+            });
+            for part in &parts {
+                for set in part {
+                    slow.push(set);
+                }
+            }
+            slow.freeze();
+            assert_eq!(fast.len(), slow.len(), "threads {threads}");
+            for i in 0..fast.len() {
+                assert_eq!(fast.set(i), slow.set(i), "threads {threads}, set {i}");
+            }
+        }
+    }
+
+    #[test]
     fn parallel_and_serial_agree_statistically() {
         let g = chain(0.5);
         let serial = generate_batch(&&g, 30_000, 1, 1);
@@ -153,7 +176,20 @@ mod tests {
         // minus overlap? No: I({0,2}) counts union of reach; exact = ?
         // From enumeration: reach(0) = {0,1?,2?}, reach(2) = {2}. Union size
         // E = 1(for 0) + p(1 reached)·1 + 1(for 2) = 1 + 0.5 + 1 = 2.5.
-        assert!((c.spread_node(0) - 1.75).abs() < 0.03, "{}", c.spread_node(0));
-        assert!((c.spread_set(&[0, 2]) - 2.5).abs() < 0.03, "{}", c.spread_set(&[0, 2]));
+        assert!(
+            (c.spread_node(0) - 1.75).abs() < 0.03,
+            "{}",
+            c.spread_node(0)
+        );
+        assert!(
+            (c.spread_set(&[0, 2]) - 2.5).abs() < 0.03,
+            "{}",
+            c.spread_set(&[0, 2])
+        );
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
     }
 }

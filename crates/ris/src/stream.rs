@@ -13,7 +13,9 @@
 //!   avoid every other remaining candidate.
 //!
 //! Materializing those batches would waste memory and time, so this module
-//! streams them: generate a set, bump two counters, drop it.
+//! streams them: generate a set, bump two counters, drop it. Worker seeding
+//! and the fan-out/fan-in scaffolding are shared with the batch sampler via
+//! [`crate::workspace`] (the two used to carry diverged private copies).
 
 use atpm_graph::{GraphView, Node};
 use rand::rngs::StdRng;
@@ -21,6 +23,7 @@ use rand::SeedableRng;
 
 use crate::nodeset::NodeSet;
 use crate::rr::RrSampler;
+use crate::workspace::run_sharded;
 
 /// Result of one streamed sampling round.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,10 +41,6 @@ pub struct FrontRearCounts {
     pub work: u64,
 }
 
-fn worker_seed(seed: u64, tid: u64) -> u64 {
-    seed ^ tid.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(0x2545F4914F6CDD1D)
-}
-
 fn shared_worker<V: GraphView>(
     view: &V,
     u: Node,
@@ -53,13 +52,19 @@ fn shared_worker<V: GraphView>(
     let mut sampler = RrSampler::new();
     let mut rng = StdRng::seed_from_u64(seed);
     let mut buf = Vec::new();
-    let mut counts = FrontRearCounts { cov_front: 0, cov_rear: 0, theta: 0, work: 0 };
+    let mut counts = FrontRearCounts {
+        cov_front: 0,
+        cov_rear: 0,
+        theta: 0,
+        work: 0,
+    };
     for _ in 0..quota {
         if !sampler.sample_into(view, &mut rng, &mut buf) {
             break;
         }
         counts.work += buf.len() as u64;
-        if buf.contains(&u) {
+        // O(1) epoch-mark membership probe instead of scanning the buffer.
+        if sampler.contains_last(u) {
             if !front_cond.intersects(&buf) {
                 counts.cov_front += 1;
             }
@@ -89,30 +94,28 @@ pub fn front_rear_counts_shared<V: GraphView + Sync>(
     seed: u64,
     threads: usize,
 ) -> FrontRearCounts {
-    let threads = threads.max(1);
     if theta == 0 || view.num_alive() == 0 {
-        return FrontRearCounts { cov_front: 0, cov_rear: 0, theta: 0, work: 0 };
+        return FrontRearCounts {
+            cov_front: 0,
+            cov_rear: 0,
+            theta: 0,
+            work: 0,
+        };
     }
-    if threads == 1 {
-        return shared_worker(view, u, front_cond, rear_cond, theta, worker_seed(seed, 0));
-    }
-    let per = theta / threads;
-    let extra = theta % threads;
-    let parts: Vec<FrontRearCounts> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|tid| {
-                let quota = per + usize::from(tid < extra);
-                scope.spawn(move || {
-                    shared_worker(view, u, front_cond, rear_cond, quota, worker_seed(seed, tid as u64))
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("stream worker panicked"))
-            .collect()
+    let parts = run_sharded(theta, threads, seed, |_tid, quota, wseed| {
+        shared_worker(view, u, front_cond, rear_cond, quota, wseed)
     });
-    let mut total = FrontRearCounts { cov_front: 0, cov_rear: 0, theta: 0, work: 0 };
+    merge_counts(parts)
+}
+
+/// Sums per-worker counters (fan-in half of the sharded runs).
+fn merge_counts(parts: Vec<FrontRearCounts>) -> FrontRearCounts {
+    let mut total = FrontRearCounts {
+        cov_front: 0,
+        cov_rear: 0,
+        theta: 0,
+        work: 0,
+    };
     for p in parts {
         total.cov_front += p.cov_front;
         total.cov_rear += p.cov_rear;
@@ -143,7 +146,7 @@ fn stream_worker<V: GraphView>(
             break;
         }
         work += buf.len() as u64;
-        if buf.contains(&u) && !front_cond.intersects(&buf) {
+        if sampler.contains_last(u) && !front_cond.intersects(&buf) {
             cov_front += 1;
         }
         // R2 sample: u present, rear condition set absent.
@@ -151,12 +154,17 @@ fn stream_worker<V: GraphView>(
             break;
         }
         work += buf.len() as u64;
-        if buf.contains(&u) && !rear_cond.intersects(&buf) {
+        if sampler.contains_last(u) && !rear_cond.intersects(&buf) {
             cov_rear += 1;
         }
         done += 1;
     }
-    FrontRearCounts { cov_front, cov_rear, theta: done, work }
+    FrontRearCounts {
+        cov_front,
+        cov_rear,
+        theta: done,
+        work,
+    }
 }
 
 /// Streams `theta` RR-set pairs on `view` and returns the conditional
@@ -174,37 +182,18 @@ pub fn front_rear_counts<V: GraphView + Sync>(
     seed: u64,
     threads: usize,
 ) -> FrontRearCounts {
-    let threads = threads.max(1);
     if theta == 0 || view.num_alive() == 0 {
-        return FrontRearCounts { cov_front: 0, cov_rear: 0, theta: 0, work: 0 };
+        return FrontRearCounts {
+            cov_front: 0,
+            cov_rear: 0,
+            theta: 0,
+            work: 0,
+        };
     }
-    if threads == 1 {
-        return stream_worker(view, u, front_cond, rear_cond, theta, worker_seed(seed, 0));
-    }
-    let per = theta / threads;
-    let extra = theta % threads;
-    let parts: Vec<FrontRearCounts> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|tid| {
-                let quota = per + usize::from(tid < extra);
-                scope.spawn(move || {
-                    stream_worker(view, u, front_cond, rear_cond, quota, worker_seed(seed, tid as u64))
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("stream worker panicked"))
-            .collect()
+    let parts = run_sharded(theta, threads, seed, |_tid, quota, wseed| {
+        stream_worker(view, u, front_cond, rear_cond, quota, wseed)
     });
-    let mut total = FrontRearCounts { cov_front: 0, cov_rear: 0, theta: 0, work: 0 };
-    for p in parts {
-        total.cov_front += p.cov_front;
-        total.cov_rear += p.cov_rear;
-        total.theta += p.theta;
-        total.work += p.work;
-    }
-    total
+    merge_counts(parts)
 }
 
 #[cfg(test)]
@@ -272,6 +261,58 @@ mod tests {
         let a = front_rear_counts(&&g, 0, &empty, &rest, 5000, 42, 3);
         let b = front_rear_counts(&&g, 0, &empty, &rest, 5000, 42, 3);
         assert_eq!(a, b);
+    }
+
+    /// Golden values: the streamed counters draw their worlds through the
+    /// shared `workspace::worker_seed` + shim `StdRng`; these exact counts
+    /// pin that stream so a silent reseeding (like the pre-dedup drift
+    /// between sampler.rs and stream.rs) fails loudly instead of quietly
+    /// redrawing every stored experiment trajectory.
+    #[test]
+    fn stream_values_are_pinned() {
+        let g = chain();
+        let empty = NodeSet::new(3);
+        let rear = NodeSet::from_iter(3, [2]);
+        let indep1 = front_rear_counts(&&g, 0, &empty, &rear, 1000, 42, 1);
+        assert_eq!(
+            indep1,
+            FrontRearCounts {
+                cov_front: 590,
+                cov_rear: 493,
+                theta: 1000,
+                work: 2892
+            }
+        );
+        let shared1 = front_rear_counts_shared(&&g, 0, &empty, &rear, 1000, 42, 1);
+        assert_eq!(
+            shared1,
+            FrontRearCounts {
+                cov_front: 612,
+                cov_rear: 505,
+                theta: 1000,
+                work: 1451
+            }
+        );
+        let indep2 = front_rear_counts(&&g, 0, &empty, &rear, 1000, 42, 2);
+        assert_eq!(
+            indep2,
+            FrontRearCounts {
+                cov_front: 582,
+                cov_rear: 512,
+                theta: 1000,
+                work: 2853
+            }
+        );
+        let shared2 = front_rear_counts_shared(&&g, 0, &empty, &rear, 1000, 42, 2);
+        assert_eq!(
+            shared2,
+            FrontRearCounts {
+                cov_front: 583,
+                cov_rear: 506,
+                theta: 1000,
+                work: 1402
+            }
+        );
     }
 
     #[test]

@@ -1,0 +1,121 @@
+//! Enforces the engine's allocation discipline: after warm-up, the hot
+//! query paths (`cov_set_with`, `cov_nodes_into`, `cov_marginal`, and
+//! repeated `sample_into` on a reused sampler) perform **zero heap
+//! allocation per query**.
+//!
+//! A counting global allocator wraps `System`; everything runs inside one
+//! `#[test]` so no concurrent test pollutes the counters. Batch
+//! *generation* (`generate_batch`) is excluded by design — it returns a
+//! freshly allocated collection.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+/// Allocation count attributable to `f`.
+fn allocations_during<F: FnOnce()>(f: F) -> u64 {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    f();
+    ALLOCATIONS.load(Ordering::Relaxed) - before
+}
+
+#[test]
+fn hot_query_paths_do_not_allocate_after_warmup() {
+    use atpm_graph::GraphBuilder;
+    use atpm_ris::sampler::generate_batch;
+    use atpm_ris::{CoverageScratch, NodeSet, RrSampler};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    // A graph big enough that RR sets and coverage structures are nontrivial.
+    let mut b = GraphBuilder::new(200);
+    for i in 0..199u32 {
+        b.add_edge(i, i + 1, 0.6).unwrap();
+        b.add_edge(i + 1, i, 0.3).unwrap();
+    }
+    let g = b.build();
+    let collection = generate_batch(&&g, 20_000, 7, 1);
+    assert!(collection.len() == 20_000);
+
+    let queries: Vec<Vec<u32>> = (0..8)
+        .map(|q| (0..50u32).map(|i| (i * 3 + q) % 200).collect())
+        .collect();
+    let cond = NodeSet::from_iter(200, (0..30).map(|i| i * 5));
+
+    // ---- cov_set_with ------------------------------------------------------
+    let mut scratch = CoverageScratch::new();
+    let mut blackhole = 0usize;
+    // Warm-up sizes the scratch to this collection.
+    blackhole += collection.cov_set_with(&queries[0], &mut scratch);
+    let allocs = allocations_during(|| {
+        for q in &queries {
+            blackhole += collection.cov_set_with(q, &mut scratch);
+        }
+    });
+    assert_eq!(allocs, 0, "cov_set_with allocated after warm-up");
+
+    // ---- cov_marginal (allocation-free by construction) --------------------
+    let allocs = allocations_during(|| {
+        for u in 0..200u32 {
+            blackhole += collection.cov_marginal(u, &cond);
+        }
+    });
+    assert_eq!(allocs, 0, "cov_marginal allocated");
+
+    // ---- cov_nodes_into ----------------------------------------------------
+    let mut out = Vec::new();
+    collection.cov_nodes_into(&queries[0], Some(&cond), &mut scratch, &mut out); // warm-up
+    let allocs = allocations_during(|| {
+        for q in &queries {
+            collection.cov_nodes_into(q, Some(&cond), &mut scratch, &mut out);
+            blackhole += out.iter().map(|&c| c as usize).sum::<usize>();
+            collection.cov_nodes_into(q, None, &mut scratch, &mut out);
+            blackhole += out.len();
+        }
+    });
+    assert_eq!(allocs, 0, "cov_nodes_into allocated after warm-up");
+
+    // ---- repeated sampling on a reused sampler -----------------------------
+    let mut sampler = RrSampler::new();
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut buf = Vec::new();
+    for _ in 0..500 {
+        sampler.sample_into(&&g, &mut rng, &mut buf); // warm-up: buffers reach max size
+    }
+    let allocs = allocations_during(|| {
+        for _ in 0..500 {
+            sampler.sample_into(&&g, &mut rng, &mut buf);
+            blackhole += usize::from(sampler.contains_last(0));
+        }
+    });
+    assert_eq!(allocs, 0, "sample_into allocated after warm-up");
+
+    assert!(blackhole > 0, "keep the optimizer honest");
+}

@@ -2,28 +2,23 @@
 //! monotonicity, and estimator consistency.
 
 use atpm_graph::{GraphBuilder, GraphView};
-use atpm_ris::bounds::{
-    addatp_theta, coverage_lower_bound, coverage_upper_bound, hatp_theta,
-};
+use atpm_ris::bounds::{addatp_theta, coverage_lower_bound, coverage_upper_bound, hatp_theta};
 use atpm_ris::sampler::generate_batch;
 use atpm_ris::{DoubleGreedyCoverage, NodeSet, RrCollection};
 use proptest::prelude::*;
 
 fn arb_collection() -> impl Strategy<Value = (usize, RrCollection)> {
     (3usize..10).prop_flat_map(|n| {
-        proptest::collection::vec(
-            proptest::collection::btree_set(0..n as u32, 1..4),
-            1..40,
-        )
-        .prop_map(move |sets| {
-            let mut c = RrCollection::new(n, n);
-            for s in &sets {
-                let v: Vec<u32> = s.iter().copied().collect();
-                c.push(&v);
-            }
-            c.freeze();
-            (n, c)
-        })
+        proptest::collection::vec(proptest::collection::btree_set(0..n as u32, 1..4), 1..40)
+            .prop_map(move |sets| {
+                let mut c = RrCollection::new(n, n);
+                for s in &sets {
+                    let v: Vec<u32> = s.iter().copied().collect();
+                    c.push(&v);
+                }
+                c.freeze();
+                (n, c)
+            })
     })
 }
 
@@ -103,6 +98,77 @@ proptest! {
         prop_assert!(ub >= point - 1e-12);
         prop_assert!((0.0..=1.0).contains(&lb));
         prop_assert!((0.0..=1.0).contains(&ub));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `generate_batch` is a pure function of `(view, count, seed, threads)`
+    /// after the sharded merge: re-running any configuration reproduces the
+    /// collection byte for byte, and single-worker runs are unaffected by
+    /// requesting more workers than items.
+    #[test]
+    fn generate_batch_is_pure_across_thread_counts(
+        count in 1usize..400,
+        seed in 0u64..1000,
+        p in 0.1f32..0.9,
+    ) {
+        let mut b = GraphBuilder::new(12);
+        for i in 0..11u32 {
+            b.add_edge(i, i + 1, p).unwrap();
+            b.add_edge((i * 5 + 1) % 12, i, p * 0.5).unwrap();
+        }
+        let g = b.build();
+        for threads in [1usize, 2, 4, 8] {
+            let a = generate_batch(&&g, count, seed, threads);
+            let b2 = generate_batch(&&g, count, seed, threads);
+            prop_assert_eq!(a.len(), count);
+            prop_assert_eq!(a.len(), b2.len());
+            for i in 0..a.len() {
+                prop_assert_eq!(a.set(i), b2.set(i), "threads {}, set {}", threads, i);
+            }
+            prop_assert_eq!(a.total_members(), b2.total_members());
+        }
+        // Requesting more workers than RR sets must degrade to the same
+        // result as exactly `count` workers (quota-0 workers contribute
+        // nothing and draw nothing).
+        let exact = generate_batch(&&g, count, seed, count);
+        let oversub = generate_batch(&&g, count, seed, count + 7);
+        prop_assert_eq!(exact.len(), oversub.len());
+        for i in 0..exact.len() {
+            prop_assert_eq!(exact.set(i), oversub.set(i));
+        }
+    }
+
+    /// The scratch-based coverage oracle agrees with a from-scratch
+    /// recomputation on arbitrary collections and query sets, across reuses.
+    #[test]
+    fn scratch_coverage_matches_reference((n, c) in arb_collection(), seed in 0u64..500) {
+        use atpm_ris::CoverageScratch;
+        let mut scratch = CoverageScratch::new();
+        let mut out = Vec::new();
+        let nodes: Vec<u32> = (0..n as u32).collect();
+        // A couple of different conditions exercise hit-cache rebuilds.
+        for shift in 0..3u32 {
+            let cond = NodeSet::from_iter(n, nodes.iter().copied().filter(|u| (u + shift + seed as u32).is_multiple_of(3)));
+            c.cov_nodes_into(&nodes, Some(&cond), &mut scratch, &mut out);
+            for (j, &u) in nodes.iter().enumerate() {
+                prop_assert_eq!(out[j] as usize, c.cov_marginal(u, &cond), "node {}", u);
+            }
+            let query: Vec<u32> = nodes.iter().copied().filter(|u| (u + shift) % 2 == 0).collect();
+            let mut reference = 0usize;
+            let mut hit = vec![false; c.len()];
+            for &u in &query {
+                for &i in c.sets_containing(u) {
+                    if !hit[i as usize] {
+                        hit[i as usize] = true;
+                        reference += 1;
+                    }
+                }
+            }
+            prop_assert_eq!(c.cov_set_with(&query, &mut scratch), reference);
+        }
     }
 }
 

@@ -1,0 +1,399 @@
+//! Offline shim for the subset of the `criterion` API this workspace uses.
+//!
+//! The build environment has no network access, so this in-tree crate
+//! provides a small statistically honest bench harness with criterion's
+//! surface: [`Criterion`], [`BenchmarkGroup`], [`Bencher::iter`],
+//! [`BenchmarkId`], [`Throughput`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Each benchmark is warmed up, then measured over batches until the
+//! measurement budget is spent; the median, mean, and min per-iteration times
+//! are reported on stdout and collected into a process-wide registry.
+//! [`finalize`] (called by `criterion_main!`) writes every record as a JSON
+//! array to `$ATPM_BENCH_JSON` when that variable is set — this is how the
+//! repo's `BENCH_ris.json` perf trajectory is produced.
+//!
+//! Environment knobs:
+//!
+//! * `ATPM_BENCH_JSON=path` — write results as JSON to `path`;
+//! * `ATPM_BENCH_QUICK=1` — 10x smaller time budget (CI smoke mode);
+//! * `ATPM_BENCH_FILTER=substr` — run only benchmarks whose id contains
+//!   `substr` (the harness also honors a trailing CLI filter argument, like
+//!   `cargo bench -- substr`).
+
+use std::fmt::Display;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Full benchmark id (`group/name/param` or `name`).
+    pub id: String,
+    /// Median time per iteration, nanoseconds.
+    pub median_ns: f64,
+    /// Mean time per iteration, nanoseconds.
+    pub mean_ns: f64,
+    /// Fastest observed batch, nanoseconds per iteration.
+    pub min_ns: f64,
+    /// Total iterations measured.
+    pub iterations: u64,
+    /// Optional throughput denominator (elements or bytes per iteration).
+    pub throughput: Option<Throughput>,
+}
+
+static RECORDS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+
+fn quick_mode() -> bool {
+    std::env::var("ATPM_BENCH_QUICK").is_ok_and(|v| v != "0")
+}
+
+fn filter() -> Option<String> {
+    if let Ok(f) = std::env::var("ATPM_BENCH_FILTER") {
+        return Some(f);
+    }
+    // `cargo bench -- substr` passes harness flags plus the filter; take the
+    // last non-flag argument.
+    std::env::args().skip(1).rfind(|a| !a.starts_with('-'))
+}
+
+/// Throughput annotation for a benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier carrying a function name and a parameter value.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new<P: Display>(name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only id (used when the group name already identifies the
+    /// function).
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Types accepted as benchmark ids.
+pub trait IntoBenchmarkId {
+    /// The rendered id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    batches_ns: Vec<f64>,
+    iterations: u64,
+    measure_budget: Duration,
+    warmup_budget: Duration,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        let scale = if quick_mode() { 10 } else { 1 };
+        // sample_size maps to the measurement budget the way criterion's
+        // sample count scales total runtime (bounded so a single bench never
+        // dominates the suite).
+        let measure_ms = (20 * sample_size as u64).clamp(100, 2_000) / scale;
+        let warmup_ms = (measure_ms / 4).max(5);
+        Bencher {
+            batches_ns: Vec::new(),
+            iterations: 0,
+            measure_budget: Duration::from_millis(measure_ms),
+            warmup_budget: Duration::from_millis(warmup_ms),
+        }
+    }
+
+    /// Runs `f` repeatedly, timing batches after a warm-up period.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: also sizes the batch so each timed batch is ~1ms or more.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warmup_budget || warm_iters == 0 {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let batch = ((1e-3 / per_iter.max(1e-9)) as u64).clamp(1, 1 << 22);
+
+        let start = Instant::now();
+        while start.elapsed() < self.measure_budget || self.batches_ns.is_empty() {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let ns = t0.elapsed().as_nanos() as f64 / batch as f64;
+            self.batches_ns.push(ns);
+            self.iterations += batch;
+        }
+    }
+
+    fn record(mut self, id: String, throughput: Option<Throughput>) {
+        if self.batches_ns.is_empty() {
+            return; // closure never called iter()
+        }
+        self.batches_ns
+            .sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let median = self.batches_ns[self.batches_ns.len() / 2];
+        let mean = self.batches_ns.iter().sum::<f64>() / self.batches_ns.len() as f64;
+        let min = self.batches_ns[0];
+        let rec = BenchRecord {
+            id,
+            median_ns: median,
+            mean_ns: mean,
+            min_ns: min,
+            iterations: self.iterations,
+            throughput,
+        };
+        println!(
+            "bench: {:<48} median {:>12}  mean {:>12}  ({} iters)",
+            rec.id,
+            format_ns(rec.median_ns),
+            format_ns(rec.mean_ns),
+            rec.iterations
+        );
+        RECORDS.lock().expect("bench registry poisoned").push(rec);
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    id: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    if let Some(filt) = filter() {
+        if !id.contains(&filt) {
+            return;
+        }
+    }
+    let mut b = Bencher::new(sample_size);
+    f(&mut b);
+    b.record(id, throughput);
+}
+
+/// Top-level benchmark registry and runner.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 50 }
+    }
+}
+
+impl Criterion {
+    /// Runs a single benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(id.to_string(), self.sample_size, None, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            sample_size: 50,
+            throughput: None,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the measurement effort (criterion's sample count knob).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput denominator.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs a benchmark inside the group.
+    pub fn bench_function<I: IntoBenchmarkId, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_id());
+        run_one(full, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: IntoBenchmarkId, T: ?Sized, F: FnMut(&mut Bencher, &T)>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_id());
+        run_one(full, self.sample_size, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Serializes all collected records as a JSON array (no external
+/// serialization dependency; the schema is flat).
+pub fn records_to_json() -> String {
+    let records = RECORDS.lock().expect("bench registry poisoned");
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        let tp = match r.throughput {
+            Some(Throughput::Elements(n)) => format!(
+                ",\n    \"throughput\": {{ \"per_iteration\": {n}, \"unit\": \"elements\" }}"
+            ),
+            Some(Throughput::Bytes(n)) => {
+                format!(",\n    \"throughput\": {{ \"per_iteration\": {n}, \"unit\": \"bytes\" }}")
+            }
+            None => String::new(),
+        };
+        let _ = write!(
+            out,
+            "  {{\n    \"id\": {:?},\n    \"median_ns\": {:.1},\n    \"mean_ns\": {:.1},\n    \"min_ns\": {:.1},\n    \"iterations\": {}{}\n  }}{}\n",
+            r.id,
+            r.median_ns,
+            r.mean_ns,
+            r.min_ns,
+            r.iterations,
+            tp,
+            if i + 1 < records.len() { "," } else { "" }
+        );
+    }
+    out.push(']');
+    out.push('\n');
+    out
+}
+
+/// Writes collected results to `$ATPM_BENCH_JSON` (if set). Called by
+/// [`criterion_main!`] after all groups ran.
+pub fn finalize() {
+    if let Ok(path) = std::env::var("ATPM_BENCH_JSON") {
+        let json = records_to_json();
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("criterion shim: failed to write {path}: {e}");
+        } else {
+            println!(
+                "bench: wrote {} records to {path}",
+                RECORDS.lock().unwrap().len()
+            );
+        }
+    }
+}
+
+/// Declares a group-runner function calling each target with a fresh
+/// [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running every group, then [`finalize`](crate::finalize).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+            $crate::finalize();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_record_and_json_schema() {
+        run_one(
+            "unit/test_bench".into(),
+            1,
+            Some(Throughput::Elements(4)),
+            |b| b.iter(|| black_box(2u64 + 2)),
+        );
+        let json = records_to_json();
+        assert!(json.contains("\"unit/test_bench\""));
+        assert!(json.contains("\"median_ns\""));
+        assert!(json.contains("\"elements\""));
+        let recs = RECORDS.lock().unwrap();
+        let r = recs.iter().find(|r| r.id == "unit/test_bench").unwrap();
+        assert!(r.median_ns > 0.0 && r.min_ns <= r.mean_ns * 1.01);
+    }
+
+    #[test]
+    fn format_ns_scales_units() {
+        assert!(format_ns(12.0).ends_with("ns"));
+        assert!(format_ns(12_000.0).contains("µs"));
+        assert!(format_ns(12_000_000.0).contains("ms"));
+        assert!(format_ns(2e9).ends_with(" s"));
+    }
+}

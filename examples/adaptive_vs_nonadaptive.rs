@@ -41,7 +41,11 @@ fn main() {
         let non = optimal_nonadaptive_value(&inst);
         let ada = optimal_adaptive_value(&inst);
         let adg = exact_policy_value(&inst, &mut Adg::new(ExactOracle));
-        let gap = if non > 1e-12 { 100.0 * (ada - non) / non } else { 0.0 };
+        let gap = if non > 1e-12 {
+            100.0 * (ada - non) / non
+        } else {
+            0.0
+        };
         let ok = adg >= ada / 3.0 - 1e-9;
         println!(
             "{p:6.2} | {non:15.4} | {ada:12.4} | {gap:5.1}% | {adg:11.4} | {}",

@@ -49,7 +49,10 @@ fn main() {
 
     // Λ(ADG) over every possible world, plus Theorem 1's bound.
     let adg_value = exact_policy_value(&instance, &mut Adg::new(ExactOracle));
-    println!("Lambda(ADG) = {adg_value:.4}  (Theorem 1 floor: {:.4})", best_adaptive / 3.0);
+    println!(
+        "Lambda(ADG) = {adg_value:.4}  (Theorem 1 floor: {:.4})",
+        best_adaptive / 3.0
+    );
     assert!(adg_value >= best_adaptive / 3.0 - 1e-9);
 
     // One concrete world, narrated like the figure: find a world seed where
@@ -64,18 +67,24 @@ fn main() {
             let mut session = AdaptiveSession::new(&instance, world);
             println!("world #{world}:");
             let a = session.select(v2);
-            println!("  select v2 -> activates {} nodes: {:?}", a.len(), pretty(&a));
+            println!(
+                "  select v2 -> activates {} nodes: {:?}",
+                a.len(),
+                pretty(&a)
+            );
             let b = session.select(v6);
-            println!("  select v6 -> activates {} nodes: {:?}", b.len(), pretty(&b));
+            println!(
+                "  select v6 -> activates {} nodes: {:?}",
+                b.len(),
+                pretty(&b)
+            );
             println!(
                 "  adaptive profit: {} activated - {} cost = {}",
                 session.total_activated(),
                 3.0,
                 session.profit()
             );
-            println!(
-                "  nonadaptive (seed all of T) in the same world would pay 4.5 in costs"
-            );
+            println!("  nonadaptive (seed all of T) in the same world would pay 4.5 in costs");
             return;
         }
     }

@@ -46,7 +46,10 @@ fn main() {
         let cascade = lt_observe(&residual, &world, &[s]);
         total += cascade.len();
         residual.remove_all(cascade.iter().copied());
-        println!("  seed {s}: activated {} nodes (running total {total})", cascade.len());
+        println!(
+            "  seed {s}: activated {} nodes (running total {total})",
+            cascade.len()
+        );
     }
     assert_eq!(
         total,

@@ -41,7 +41,11 @@ fn main() {
 
     let worlds = standard_worlds(3);
 
-    let mut wave_based = Hatp { seed: 5, threads: 2, ..Default::default() };
+    let mut wave_based = Hatp {
+        seed: 5,
+        threads: 2,
+        ..Default::default()
+    };
     let adaptive = evaluate_adaptive(&instance, &mut wave_based, &worlds);
 
     let mut one_shot = Ndg::new(50_000, 5, 2);

@@ -27,7 +27,11 @@ fn main() {
         graph,
         25,
         CostSplit::Uniform,
-        CalibrationConfig { seed: 42, threads: 2, ..Default::default() },
+        CalibrationConfig {
+            seed: 42,
+            threads: 2,
+            ..Default::default()
+        },
     );
     println!(
         "target set: k = {}, c(T) = {:.1}",
@@ -39,7 +43,11 @@ fn main() {
     let worlds = standard_worlds(7);
 
     // Adaptive: HATP selects seeds one by one, watching each cascade land.
-    let mut hatp = Hatp { seed: 1, threads: 2, ..Default::default() };
+    let mut hatp = Hatp {
+        seed: 1,
+        threads: 2,
+        ..Default::default()
+    };
     let adaptive = evaluate_adaptive(&instance, &mut hatp, &worlds);
 
     // Nonadaptive: NDG commits to one batch before the campaign starts.

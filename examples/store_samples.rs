@@ -40,7 +40,11 @@ fn main() {
 
     let worlds = standard_worlds(17);
 
-    let mut careful = Hatp { seed: 2, threads: 2, ..Default::default() };
+    let mut careful = Hatp {
+        seed: 2,
+        threads: 2,
+        ..Default::default()
+    };
     let hatp = evaluate_adaptive(&instance, &mut careful, &worlds);
 
     let mut coin_flip = Ars::default();

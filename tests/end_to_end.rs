@@ -16,7 +16,12 @@ fn small_instance(split: CostSplit) -> TpmInstance {
         graph,
         6,
         split,
-        CalibrationConfig { lb_theta: 8_000, seed: 5, threads: 2, ..Default::default() },
+        CalibrationConfig {
+            lb_theta: 8_000,
+            seed: 5,
+            threads: 2,
+            ..Default::default()
+        },
     )
 }
 
@@ -25,8 +30,17 @@ fn full_pipeline_all_policies_produce_finite_profits() {
     let inst = small_instance(CostSplit::Uniform);
     let worlds: Vec<u64> = (0..5).collect();
 
-    let mut hatp = Hatp { seed: 1, threads: 2, ..Default::default() };
-    let mut addatp = Addatp { seed: 1, threads: 2, max_theta: 1 << 16, ..Default::default() };
+    let mut hatp = Hatp {
+        seed: 1,
+        threads: 2,
+        ..Default::default()
+    };
+    let mut addatp = Addatp {
+        seed: 1,
+        threads: 2,
+        max_theta: 1 << 16,
+        ..Default::default()
+    };
     let mut ars = Ars::default();
     let adaptive = [
         evaluate_adaptive(&inst, &mut hatp, &worlds),
@@ -67,7 +81,11 @@ fn informed_policies_beat_the_baseline_on_average() {
     let inst = small_instance(CostSplit::DegreeProportional);
     let worlds: Vec<u64> = (0..5).collect();
 
-    let mut hatp = Hatp { seed: 3, threads: 2, ..Default::default() };
+    let mut hatp = Hatp {
+        seed: 3,
+        threads: 2,
+        ..Default::default()
+    };
     let hatp_sum = evaluate_adaptive(&inst, &mut hatp, &worlds);
     let mut ndg = Ndg::new(20_000, 3, 2);
     let ndg_sum = evaluate_nonadaptive(&inst, &mut ndg, &worlds);
@@ -90,12 +108,21 @@ fn informed_policies_beat_the_baseline_on_average() {
 #[test]
 fn adaptive_hatp_at_least_matches_its_nonadaptive_tailoring() {
     // Fig. 2/3's second message: HATP >= HNTP (adaptivity helps). On a small
-    // instance the gap can be thin, so compare means with a small tolerance.
+    // instance the gap can be thin and the per-world variance large, so
+    // average over enough worlds and compare with a small tolerance.
     let inst = small_instance(CostSplit::Uniform);
-    let worlds: Vec<u64> = (0..6).collect();
-    let mut hatp = Hatp { seed: 7, threads: 2, ..Default::default() };
+    let worlds: Vec<u64> = (0..16).collect();
+    let mut hatp = Hatp {
+        seed: 7,
+        threads: 2,
+        ..Default::default()
+    };
     let a = evaluate_adaptive(&inst, &mut hatp, &worlds);
-    let mut hntp = Hntp::new(Hatp { seed: 7, threads: 2, ..Default::default() });
+    let mut hntp = Hntp::new(Hatp {
+        seed: 7,
+        threads: 2,
+        ..Default::default()
+    });
     let na = evaluate_nonadaptive(&inst, &mut hntp, &worlds);
     assert!(
         a.mean_profit() >= na.mean_profit() - 0.05 * na.mean_profit().abs(),
@@ -125,7 +152,11 @@ fn predefined_cost_pipeline_works_with_both_selectors() {
             continue;
         }
         let worlds: Vec<u64> = (0..3).collect();
-        let mut hatp = Hatp { seed: 2, threads: 2, ..Default::default() };
+        let mut hatp = Hatp {
+            seed: 2,
+            threads: 2,
+            ..Default::default()
+        };
         let s = evaluate_adaptive(&inst, &mut hatp, &worlds);
         assert!(s.mean_profit().is_finite());
     }
@@ -136,7 +167,11 @@ fn whole_pipeline_is_deterministic() {
     let run = || {
         let inst = small_instance(CostSplit::Uniform);
         let worlds: Vec<u64> = (0..3).collect();
-        let mut hatp = Hatp { seed: 11, threads: 3, ..Default::default() };
+        let mut hatp = Hatp {
+            seed: 11,
+            threads: 3,
+            ..Default::default()
+        };
         evaluate_adaptive(&inst, &mut hatp, &worlds).profits
     };
     assert_eq!(run(), run());

@@ -39,10 +39,7 @@ fn lt_spread_exceeds_ic_on_shared_wic_weights() {
     let mut rng = StdRng::seed_from_u64(1);
     let ic = mc_spread(&&g, &seeds, 15_000, &mut rng);
     let lt = lt_mc_spread(&&g, &seeds, 15_000, 1);
-    assert!(
-        lt >= ic * 0.95,
-        "LT {lt} unexpectedly far below IC {ic}"
-    );
+    assert!(lt >= ic * 0.95, "LT {lt} unexpectedly far below IC {ic}");
 }
 
 #[test]

@@ -34,7 +34,7 @@ fn random_tiny_instance(seed: u64) -> TpmInstance {
         }
     }
     let g = b.build();
-    let k = rng.gen_range(2..4).min(n);
+    let k = rng.gen_range(2..4usize).min(n);
     let mut target: Vec<u32> = (0..n as u32).collect();
     // Deterministic shuffle.
     for i in (1..target.len()).rev() {
@@ -66,7 +66,10 @@ fn theorem_1_adg_is_a_third_approximation() {
             "seed {seed}: Lambda(ADG) = {adg} < OPT/3 = {}",
             opt / 3.0
         );
-        assert!(adg <= opt + 1e-9, "seed {seed}: ADG {adg} exceeds OPT {opt}");
+        assert!(
+            adg <= opt + 1e-9,
+            "seed {seed}: ADG {adg} exceeds OPT {opt}"
+        );
         checked += 1;
     }
     assert_eq!(checked, 60);
@@ -150,7 +153,11 @@ fn theorem_2_style_bound_holds_for_addatp_on_tiny_instances() {
         let inst = random_tiny_instance(seed);
         let k = inst.k() as f64;
         let opt = optimal_adaptive_value(&inst);
-        let mut policy = Addatp { seed, max_theta: 1 << 14, ..Default::default() };
+        let mut policy = Addatp {
+            seed,
+            max_theta: 1 << 14,
+            ..Default::default()
+        };
         let val = exact_policy_value(&inst, &mut policy);
         let floor = (opt - (2.0 * k + 2.0)) / 3.0;
         assert!(
