@@ -6,6 +6,7 @@
 //! subcommands: table2 fig2 fig3 fig4a fig4b fig5 fig6 fig7 fig8 fig9 ablation all
 //! flags:       --paper | --quick | --scale F | --worlds N | --k a,b,c
 //!              --threads N | --max-threads N | --seed S | --no-addatp
+//!              --graph PATH (external edge-list/ATPMGRF1 file instead of presets)
 //! ```
 
 use atpm_bench::config::ExpConfig;
@@ -18,7 +19,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: experiments <table2|fig2|fig3|fig4a|fig4b|fig5|fig6|fig7|fig8|fig9|ablation|all> \
          [--paper] [--quick] [--scale F] [--worlds N] [--k a,b,c] [--threads N] \
-         [--max-threads N] [--seed S] [--no-addatp]"
+         [--max-threads N] [--seed S] [--no-addatp] [--graph PATH]"
     );
     std::process::exit(2);
 }
@@ -37,11 +38,27 @@ fn main() {
         "# config: paper={} worlds={} k={:?} threads={} seed={} scale_mult={}",
         cfg.paper, cfg.worlds, cfg.k_grid, cfg.threads, cfg.seed, cfg.scale_mult
     );
+    // Validate an external graph up front so a bad path fails fast with a
+    // clean message instead of mid-run.
+    if let Some(path) = &cfg.graph_path {
+        match cfg.load_graph_override() {
+            Ok(Some(g)) => eprintln!(
+                "# external graph {path}: n={} m={} (replaces preset generation; grids run one dataset slot)",
+                g.num_nodes(),
+                g.num_edges()
+            ),
+            Ok(None) => unreachable!(),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
     let t0 = std::time::Instant::now();
     match cmd.as_str() {
         "table2" => print!("{}", runs::table2(&cfg)),
         "fig2" | "fig5" => {
-            let res = runs::profit_grid(&cfg, CostSplit::DegreeProportional, &Dataset::ALL);
+            let res = runs::profit_grid(&cfg, CostSplit::DegreeProportional, cfg.datasets());
             print!(
                 "{}",
                 runs::render_profit(&res, "Fig. 2 (degree-proportional cost)")
@@ -52,7 +69,7 @@ fn main() {
             );
         }
         "fig3" | "fig6" => {
-            let res = runs::profit_grid(&cfg, CostSplit::Uniform, &Dataset::ALL);
+            let res = runs::profit_grid(&cfg, CostSplit::Uniform, cfg.datasets());
             print!("{}", runs::render_profit(&res, "Fig. 3 (uniform cost)"));
             print!("{}", runs::render_time(&res, "Fig. 6 (uniform cost)"));
         }
@@ -74,7 +91,7 @@ fn main() {
         "ablation" => print!("{}", runs::ablation(&cfg)),
         "all" => {
             print!("{}", runs::table2(&cfg));
-            let res = runs::profit_grid(&cfg, CostSplit::DegreeProportional, &Dataset::ALL);
+            let res = runs::profit_grid(&cfg, CostSplit::DegreeProportional, cfg.datasets());
             print!(
                 "{}",
                 runs::render_profit(&res, "Fig. 2 (degree-proportional cost)")
@@ -83,7 +100,7 @@ fn main() {
                 "{}",
                 runs::render_time(&res, "Fig. 5 (degree-proportional cost)")
             );
-            let res = runs::profit_grid(&cfg, CostSplit::Uniform, &Dataset::ALL);
+            let res = runs::profit_grid(&cfg, CostSplit::Uniform, cfg.datasets());
             print!("{}", runs::render_profit(&res, "Fig. 3 (uniform cost)"));
             print!("{}", runs::render_time(&res, "Fig. 6 (uniform cost)"));
             let res = runs::profit_grid(

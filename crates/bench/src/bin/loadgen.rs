@@ -1,0 +1,55 @@
+//! `atpm-loadgen` — hammer an `atpm-serve` instance over loopback and
+//! report throughput + latency percentiles per concurrency level.
+//!
+//! ```text
+//! cargo run -p atpm-bench --release --bin atpm-loadgen -- [flags]
+//!
+//! flags: --quick                smoke configuration (CI serve-smoke job)
+//!        --addr HOST:PORT       drive an external server (default: boot one)
+//!        --levels a,b,c         concurrent-session levels   (default 1,2,4)
+//!        --sessions N           sessions per level          (default 16)
+//!        --mix p=w,p=w          session mix                 (default hatp=1,ars=2,deploy_all=3)
+//!        --scale F --k N --rr-theta N --seed S    snapshot knobs
+//!        --json PATH            report file (default BENCH_serve.json); --no-json
+//! ```
+
+use atpm_bench::loadgen::{render, run, LoadgenConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = match LoadgenConfig::parse(&args) {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!(
+                "usage: atpm-loadgen [--quick] [--addr HOST:PORT] [--levels a,b,c] \
+                 [--sessions N] [--mix p=w,...] [--scale F] [--k N] [--rr-theta N] \
+                 [--seed S] [--json PATH | --no-json]"
+            );
+            std::process::exit(2);
+        }
+    };
+    eprintln!(
+        "# loadgen: levels={:?} sessions/level={} mix={:?} scale={} k={} target={}",
+        cfg.levels,
+        cfg.sessions_per_level,
+        cfg.mix,
+        cfg.scale,
+        cfg.k,
+        cfg.addr.as_deref().unwrap_or("(self-booted server)"),
+    );
+    let t0 = std::time::Instant::now();
+    match run(&cfg) {
+        Ok(reports) => {
+            print!("{}", render(&reports));
+            if let Some(path) = &cfg.json_path {
+                eprintln!("# wrote {path}");
+            }
+            eprintln!("# total wall-clock: {:.1?}", t0.elapsed());
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

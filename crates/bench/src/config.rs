@@ -2,6 +2,7 @@
 //! dependency; the grammar is tiny).
 
 use atpm_graph::gen::Dataset;
+use atpm_graph::Graph;
 
 /// Knobs shared by all experiments.
 #[derive(Debug, Clone)]
@@ -26,6 +27,10 @@ pub struct ExpConfig {
     pub with_addatp: bool,
     /// Per-round RR cap applied to ADDATP (keeps its n² tail affordable).
     pub addatp_max_theta: usize,
+    /// External graph file (`--graph`): when set, experiments run on this
+    /// graph (text edge list or `ATPMGRF1` binary, auto-sniffed) instead of
+    /// the generated preset stand-ins.
+    pub graph_path: Option<String>,
 }
 
 impl Default for ExpConfig {
@@ -39,6 +44,7 @@ impl Default for ExpConfig {
             seed: 20200420, // ICDE'20 opening day
             with_addatp: true,
             addatp_max_theta: 1 << 20,
+            graph_path: None,
         }
     }
 }
@@ -105,6 +111,7 @@ impl ExpConfig {
                         .collect::<Result<_, _>>()?;
                 }
                 "--no-addatp" => cfg.with_addatp = false,
+                "--graph" => cfg.graph_path = Some(value_of("--graph")?),
                 "--quick" => {
                     cfg.worlds = 3;
                     cfg.k_grid = vec![10, 25, 50];
@@ -140,6 +147,49 @@ impl ExpConfig {
     /// we additionally bound k to keep the default run short).
     pub fn addatp_enabled(&self, d: Dataset, k: usize) -> bool {
         self.with_addatp && d == Dataset::NetHept && (self.paper || k <= 25)
+    }
+
+    /// Loads the `--graph` override, if one was given. The file format is
+    /// sniffed: `ATPMGRF1` magic means binary, anything else is parsed as a
+    /// text edge list (two-column lines get probability 0.1, the trivalency
+    /// midpoint).
+    ///
+    /// Loads are cached process-wide by path: an `experiments all` run asks
+    /// for the graph once per figure driver, and re-parsing a multi-GB file
+    /// nine times would dominate the run. Cache hits hand out clones (CSR
+    /// clone is a flat memcpy, orders of magnitude cheaper than parsing).
+    pub fn load_graph_override(&self) -> Result<Option<Graph>, String> {
+        use std::collections::HashMap;
+        use std::sync::{Mutex, OnceLock};
+        static CACHE: OnceLock<Mutex<HashMap<String, Graph>>> = OnceLock::new();
+        match &self.graph_path {
+            None => Ok(None),
+            Some(path) => {
+                let mut cache = CACHE
+                    .get_or_init(Default::default)
+                    .lock()
+                    .expect("graph cache poisoned");
+                if let Some(g) = cache.get(path) {
+                    return Ok(Some(g.clone()));
+                }
+                let g = atpm_graph::io::load_auto(path, 0.1)
+                    .map_err(|e| format!("--graph {path}: {e}"))?;
+                cache.insert(path.clone(), g.clone());
+                Ok(Some(g))
+            }
+        }
+    }
+
+    /// Datasets a grid run should cover: all four stand-ins normally, a
+    /// single slot when an external `--graph` replaces generation (the
+    /// external graph is the same file regardless of the dataset label, so
+    /// running it four times would report duplicates).
+    pub fn datasets(&self) -> &'static [Dataset] {
+        if self.graph_path.is_some() {
+            &[Dataset::NetHept]
+        } else {
+            &Dataset::ALL
+        }
     }
 }
 
@@ -204,6 +254,30 @@ mod tests {
         // Explicit --threads still wins when given last.
         let cfg = ExpConfig::parse(&s(&["--max-threads", "2", "--threads", "5"])).unwrap();
         assert_eq!(cfg.threads, 5);
+    }
+
+    #[test]
+    fn graph_override_parses_loads_and_gates_datasets() {
+        let cfg = ExpConfig::parse(&[]).unwrap();
+        assert!(cfg.graph_path.is_none());
+        assert!(cfg.load_graph_override().unwrap().is_none());
+        assert_eq!(cfg.datasets().len(), 4);
+
+        // Write a tiny edge list and load it through the override.
+        let path = std::env::temp_dir().join("atpm_expconfig_graph.txt");
+        std::fs::write(&path, "0 1 0.5\n1 2\n").unwrap();
+        let cfg = ExpConfig::parse(&s(&["--graph", path.to_str().unwrap()])).unwrap();
+        assert_eq!(cfg.datasets().len(), 1);
+        let g = cfg.load_graph_override().unwrap().unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 2);
+        let _ = std::fs::remove_file(&path);
+
+        // Missing file: an error message, not a panic.
+        let cfg = ExpConfig::parse(&s(&["--graph", "/no/such/file"])).unwrap();
+        assert!(cfg.load_graph_override().is_err());
+        // Missing value: parse error.
+        assert!(ExpConfig::parse(&s(&["--graph"])).is_err());
     }
 
     #[test]

@@ -23,6 +23,7 @@
 //! EXPERIMENTS.md records paper-vs-measured per artifact.
 
 pub mod config;
+pub mod loadgen;
 pub mod report;
 pub mod runs;
 

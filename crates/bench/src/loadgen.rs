@@ -1,0 +1,495 @@
+//! Load generator for the `atpm-serve` HTTP service.
+//!
+//! Drives full adaptive sessions (create → next/observe loop → ledger →
+//! delete) over loopback from `level` concurrent connections, with a
+//! configurable policy mix, and reports throughput plus p50/p95/p99
+//! per-request latency per concurrency level. Results extend the committed
+//! perf trajectory as `BENCH_serve.json` (same spirit as `BENCH_ris.json`
+//! for the in-process engine).
+//!
+//! By default the generator boots its own server on an ephemeral loopback
+//! port (one process, zero setup — what the CI `serve-smoke` job runs);
+//! `--addr` points it at an externally started server instead.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use atpm_serve::client::{HttpClient, ProtocolClient};
+use atpm_serve::json::Json;
+use atpm_serve::protocol::{CreateSessionReq, PolicySpec, SnapshotReq, SnapshotSource};
+use atpm_serve::server::{AppState, ServeConfig, Server};
+
+/// Loadgen knobs.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Address of a running server; `None` boots one in-process.
+    pub addr: Option<String>,
+    /// Concurrent-session levels to sweep (one measurement each).
+    pub levels: Vec<usize>,
+    /// Full sessions to run per level (split across the connections).
+    pub sessions_per_level: usize,
+    /// Snapshot preset scale (NetHEPT stand-in).
+    pub scale: f64,
+    /// Snapshot target-set size.
+    pub k: usize,
+    /// Snapshot pre-frozen RR index size.
+    pub rr_theta: usize,
+    /// Base RNG seed (snapshot build, per-session worlds).
+    pub seed: u64,
+    /// Session mix as `(policy, weight)`; sessions cycle through the
+    /// weighted expansion deterministically.
+    pub mix: Vec<(String, usize)>,
+    /// Where to write the JSON report (`None` = don't write).
+    pub json_path: Option<String>,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            addr: None,
+            levels: vec![1, 2, 4],
+            sessions_per_level: 16,
+            scale: 0.02,
+            k: 6,
+            rr_theta: 10_000,
+            seed: 20200420,
+            mix: vec![
+                ("hatp".into(), 1),
+                ("ars".into(), 2),
+                ("deploy_all".into(), 3),
+            ],
+            json_path: Some("BENCH_serve.json".into()),
+        }
+    }
+}
+
+impl LoadgenConfig {
+    /// `--quick`: the CI smoke configuration (seconds, not minutes, on one
+    /// vCPU).
+    pub fn quick() -> Self {
+        LoadgenConfig {
+            levels: vec![1, 2],
+            sessions_per_level: 6,
+            scale: 0.01,
+            k: 4,
+            rr_theta: 4_000,
+            ..Default::default()
+        }
+    }
+
+    /// Parses CLI flags.
+    pub fn parse(args: &[String]) -> Result<Self, String> {
+        let mut cfg = LoadgenConfig::default();
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            let mut value_of = |name: &str| -> Result<String, String> {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| format!("flag {name} needs a value"))
+            };
+            match arg.as_str() {
+                "--quick" => {
+                    let keep = (cfg.json_path.clone(), cfg.addr.clone());
+                    cfg = LoadgenConfig::quick();
+                    (cfg.json_path, cfg.addr) = keep;
+                }
+                "--addr" => cfg.addr = Some(value_of("--addr")?),
+                "--levels" => {
+                    cfg.levels = value_of("--levels")?
+                        .split(',')
+                        .map(|t| t.parse().map_err(|e| format!("bad --levels: {e}")))
+                        .collect::<Result<_, _>>()?;
+                }
+                "--sessions" => {
+                    cfg.sessions_per_level = value_of("--sessions")?
+                        .parse()
+                        .map_err(|e| format!("bad --sessions: {e}"))?;
+                }
+                "--scale" => {
+                    cfg.scale = value_of("--scale")?
+                        .parse()
+                        .map_err(|e| format!("bad --scale: {e}"))?;
+                }
+                "--k" => {
+                    cfg.k = value_of("--k")?
+                        .parse()
+                        .map_err(|e| format!("bad --k: {e}"))?;
+                }
+                "--rr-theta" => {
+                    cfg.rr_theta = value_of("--rr-theta")?
+                        .parse()
+                        .map_err(|e| format!("bad --rr-theta: {e}"))?;
+                }
+                "--seed" => {
+                    cfg.seed = value_of("--seed")?
+                        .parse()
+                        .map_err(|e| format!("bad --seed: {e}"))?;
+                }
+                "--mix" => {
+                    cfg.mix = value_of("--mix")?
+                        .split(',')
+                        .map(|part| {
+                            let (name, w) = part
+                                .split_once('=')
+                                .ok_or_else(|| format!("bad --mix part '{part}'"))?;
+                            let w: usize =
+                                w.parse().map_err(|e| format!("bad --mix weight: {e}"))?;
+                            Ok((name.to_string(), w))
+                        })
+                        .collect::<Result<_, String>>()?;
+                }
+                "--json" => cfg.json_path = Some(value_of("--json")?),
+                "--no-json" => cfg.json_path = None,
+                other => return Err(format!("unknown flag: {other}")),
+            }
+        }
+        if cfg.levels.is_empty() || cfg.levels.contains(&0) {
+            return Err("need at least one nonzero concurrency level".into());
+        }
+        if cfg.sessions_per_level == 0 {
+            return Err("need at least one session per level".into());
+        }
+        if cfg.mix.is_empty() || cfg.mix.iter().all(|(_, w)| *w == 0) {
+            return Err("mix needs at least one positive weight".into());
+        }
+        for (name, _) in &cfg.mix {
+            policy_spec(name, 0).ok_or_else(|| {
+                format!("unknown policy '{name}' in mix (expected hatp | ars | deploy_all)")
+            })?;
+        }
+        Ok(cfg)
+    }
+
+    /// The deterministic session → policy assignment: the weighted mix
+    /// expanded and cycled.
+    pub fn mix_schedule(&self) -> Vec<String> {
+        self.mix
+            .iter()
+            .flat_map(|(name, w)| std::iter::repeat_n(name.clone(), *w))
+            .collect()
+    }
+}
+
+/// Builds the policy spec a mix entry names. Sampling knobs are deliberately
+/// modest: loadgen measures the *service*, not HATP's asymptotics.
+fn policy_spec(name: &str, session_seed: u64) -> Option<PolicySpec> {
+    match name {
+        "hatp" => Some(PolicySpec::Hatp {
+            eps_threshold: Some(0.2),
+            max_theta: Some(1 << 14),
+            seed: session_seed,
+            threads: 1,
+        }),
+        "ars" => Some(PolicySpec::Ars {
+            prob: 0.5,
+            seed: session_seed,
+        }),
+        "deploy_all" => Some(PolicySpec::DeployAll),
+        _ => None,
+    }
+}
+
+/// One level's measurement.
+#[derive(Debug, Clone)]
+pub struct LevelReport {
+    /// Concurrent connections, each driving sessions back-to-back.
+    pub level: usize,
+    /// Completed sessions.
+    pub sessions: usize,
+    /// Total HTTP requests issued.
+    pub requests: usize,
+    /// Total seeds committed across sessions.
+    pub seeds: usize,
+    /// Wall-clock for the whole level, seconds.
+    pub wall_s: f64,
+    /// Requests per second.
+    pub rps: f64,
+    /// Latency percentiles over all requests, microseconds.
+    pub p50_us: f64,
+    /// 95th percentile, microseconds.
+    pub p95_us: f64,
+    /// 99th percentile, microseconds.
+    pub p99_us: f64,
+}
+
+impl LevelReport {
+    /// JSON form (one element of `BENCH_serve.json`).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("level", Json::Num(self.level as f64)),
+            ("sessions", Json::Num(self.sessions as f64)),
+            ("requests", Json::Num(self.requests as f64)),
+            ("seeds", Json::Num(self.seeds as f64)),
+            ("wall_s", Json::Num(self.wall_s)),
+            ("rps", Json::Num(self.rps)),
+            ("p50_us", Json::Num(self.p50_us)),
+            ("p95_us", Json::Num(self.p95_us)),
+            ("p99_us", Json::Num(self.p99_us)),
+        ])
+    }
+}
+
+/// Per-thread measurement accumulator.
+#[derive(Default)]
+struct ThreadStats {
+    latencies_ns: Vec<u64>,
+    sessions: usize,
+    seeds: usize,
+}
+
+/// An `HttpClient` wrapper that records per-request latency.
+struct TimedClient {
+    inner: HttpClient,
+    latencies_ns: Vec<u64>,
+}
+
+impl ProtocolClient for TimedClient {
+    fn call(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &Json,
+    ) -> Result<Json, atpm_serve::protocol::ApiError> {
+        let t0 = Instant::now();
+        let out = self.inner.call(method, path, body);
+        self.latencies_ns.push(t0.elapsed().as_nanos() as u64);
+        out
+    }
+}
+
+fn percentile(sorted_ns: &[u64], q: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ns.len() as f64 - 1.0) * q).round() as usize;
+    sorted_ns[idx] as f64 / 1_000.0
+}
+
+/// The snapshot every loadgen run measures against.
+pub fn snapshot_req(cfg: &LoadgenConfig) -> SnapshotReq {
+    SnapshotReq {
+        name: "bench".into(),
+        source: SnapshotSource::Preset {
+            dataset: "nethept".into(),
+            scale: cfg.scale,
+        },
+        k: cfg.k,
+        rr_theta: cfg.rr_theta,
+        seed: cfg.seed,
+        threads: 1,
+    }
+}
+
+/// Runs the sweep. Boots an in-process server unless `cfg.addr` is set.
+/// Returns one report per level; writes `cfg.json_path` if set.
+pub fn run(cfg: &LoadgenConfig) -> Result<Vec<LevelReport>, String> {
+    // Boot or attach.
+    let mut own_server: Option<Server> = None;
+    let addr = match &cfg.addr {
+        Some(a) => a.clone(),
+        None => {
+            let workers = cfg.levels.iter().copied().max().unwrap_or(1) + 1;
+            let server = Server::start(
+                AppState::new(),
+                &ServeConfig {
+                    addr: "127.0.0.1:0".into(),
+                    workers,
+                },
+            )
+            .map_err(|e| format!("cannot start server: {e}"))?;
+            let addr = server.addr().to_string();
+            own_server = Some(server);
+            addr
+        }
+    };
+
+    // Load the snapshot once (not part of the measurement).
+    let mut setup = HttpClient::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    setup
+        .create_snapshot(&snapshot_req(cfg))
+        .map_err(|e| format!("snapshot build failed: {e}"))?;
+    drop(setup);
+
+    let schedule = cfg.mix_schedule();
+    let mut reports = Vec::new();
+    for &level in &cfg.levels {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let t0 = Instant::now();
+        let stats: Vec<ThreadStats> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..level)
+                .map(|_| {
+                    let addr = addr.clone();
+                    let counter = counter.clone();
+                    let schedule = &schedule;
+                    let total = cfg.sessions_per_level;
+                    let seed = cfg.seed;
+                    scope.spawn(move || -> Result<ThreadStats, String> {
+                        let mut client = TimedClient {
+                            inner: HttpClient::connect(&addr)
+                                .map_err(|e| format!("connect: {e}"))?,
+                            latencies_ns: Vec::new(),
+                        };
+                        let mut stats = ThreadStats::default();
+                        loop {
+                            let i = counter.fetch_add(1, Ordering::Relaxed);
+                            if i >= total {
+                                break;
+                            }
+                            let name = &schedule[i % schedule.len()];
+                            let spec =
+                                policy_spec(name, seed ^ (i as u64) << 17).expect("mix validated");
+                            let ledger = client
+                                .run_session(&CreateSessionReq {
+                                    snapshot: "bench".into(),
+                                    policy: spec,
+                                    world_seed: seed.wrapping_add(i as u64),
+                                })
+                                .map_err(|e| format!("session {i} ({name}): {e}"))?;
+                            stats.sessions += 1;
+                            stats.seeds += ledger.selected.len();
+                        }
+                        stats.latencies_ns = client.latencies_ns;
+                        Ok(stats)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("loadgen thread panicked"))
+                .collect::<Result<Vec<_>, String>>()
+        })?;
+        let wall_s = t0.elapsed().as_secs_f64();
+
+        let mut latencies: Vec<u64> = stats
+            .iter()
+            .flat_map(|s| s.latencies_ns.iter().copied())
+            .collect();
+        latencies.sort_unstable();
+        let requests = latencies.len();
+        reports.push(LevelReport {
+            level,
+            sessions: stats.iter().map(|s| s.sessions).sum(),
+            requests,
+            seeds: stats.iter().map(|s| s.seeds).sum(),
+            wall_s,
+            rps: requests as f64 / wall_s.max(1e-9),
+            p50_us: percentile(&latencies, 0.50),
+            p95_us: percentile(&latencies, 0.95),
+            p99_us: percentile(&latencies, 0.99),
+        });
+    }
+
+    if let Some(server) = own_server.as_mut() {
+        server.shutdown();
+    }
+
+    if let Some(path) = &cfg.json_path {
+        let json = Json::Arr(reports.iter().map(LevelReport::to_json).collect()).encode();
+        std::fs::write(path, json + "\n").map_err(|e| format!("write {path}: {e}"))?;
+    }
+    Ok(reports)
+}
+
+/// Renders the report table.
+pub fn render(reports: &[LevelReport]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>6} {:>9} {:>9} {:>6} {:>8} {:>9} {:>9} {:>9} {:>9}",
+        "level", "sessions", "requests", "seeds", "wall_s", "rps", "p50_us", "p95_us", "p99_us"
+    );
+    for r in reports {
+        let _ = writeln!(
+            out,
+            "{:>6} {:>9} {:>9} {:>6} {:>8.2} {:>9.0} {:>9.0} {:>9.0} {:>9.0}",
+            r.level, r.sessions, r.requests, r.seeds, r.wall_s, r.rps, r.p50_us, r.p95_us, r.p99_us
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(args: &[&str]) -> Vec<String> {
+        args.iter().map(|a| a.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_defaults_and_flags() {
+        let cfg = LoadgenConfig::parse(&[]).unwrap();
+        assert!(cfg.levels.len() >= 2, "default sweeps >= 2 levels");
+        let cfg = LoadgenConfig::parse(&s(&[
+            "--levels",
+            "1,8",
+            "--sessions",
+            "10",
+            "--mix",
+            "ars=1",
+            "--no-json",
+        ]))
+        .unwrap();
+        assert_eq!(cfg.levels, vec![1, 8]);
+        assert_eq!(cfg.sessions_per_level, 10);
+        assert!(cfg.json_path.is_none());
+        assert_eq!(cfg.mix_schedule(), vec!["ars"]);
+    }
+
+    #[test]
+    fn quick_keeps_json_and_addr_overrides() {
+        let cfg = LoadgenConfig::parse(&s(&["--json", "out.json", "--quick"])).unwrap();
+        assert_eq!(cfg.json_path.as_deref(), Some("out.json"));
+        assert_eq!(cfg.levels, vec![1, 2]);
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        assert!(LoadgenConfig::parse(&s(&["--levels", "0"])).is_err());
+        assert!(LoadgenConfig::parse(&s(&["--sessions", "0"])).is_err());
+        assert!(LoadgenConfig::parse(&s(&["--mix", "nope=1"])).is_err());
+        assert!(LoadgenConfig::parse(&s(&["--mix", "hatp"])).is_err());
+        assert!(LoadgenConfig::parse(&s(&["--whatever"])).is_err());
+    }
+
+    #[test]
+    fn mix_schedule_expands_weights() {
+        let cfg = LoadgenConfig::parse(&s(&["--mix", "hatp=1,deploy_all=2"])).unwrap();
+        assert_eq!(cfg.mix_schedule(), vec!["hatp", "deploy_all", "deploy_all"]);
+    }
+
+    #[test]
+    fn percentiles_are_sane() {
+        let ns: Vec<u64> = (1..=100).map(|i| i * 1_000).collect();
+        assert!((percentile(&ns, 0.5) - 50.0).abs() <= 1.0);
+        assert!((percentile(&ns, 0.99) - 99.0).abs() <= 1.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn smoke_run_measures_two_levels() {
+        // A miniature end-to-end sweep: real server, real sockets, tiny
+        // snapshot. Keeps CI honest about the whole loadgen path.
+        let cfg = LoadgenConfig {
+            levels: vec![1, 2],
+            sessions_per_level: 2,
+            scale: 0.005,
+            k: 2,
+            rr_theta: 500,
+            mix: vec![("deploy_all".into(), 1)],
+            json_path: None,
+            ..Default::default()
+        };
+        let reports = run(&cfg).unwrap();
+        assert_eq!(reports.len(), 2);
+        for r in &reports {
+            assert_eq!(r.sessions, 2);
+            assert!(r.requests > 0);
+            assert!(r.rps > 0.0);
+            assert!(r.p50_us <= r.p95_us && r.p95_us <= r.p99_us);
+        }
+        assert!(render(&reports).contains("rps"));
+    }
+}

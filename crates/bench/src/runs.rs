@@ -40,6 +40,14 @@ pub fn nsg_ndg_theta(n: usize, cfg: &ExpConfig) -> usize {
 }
 
 fn dataset_graph(d: Dataset, cfg: &ExpConfig) -> Graph {
+    // `--graph` replaces generation: experiments run on the external file
+    // (validated up front by the CLI, hence the expect here).
+    if let Some(g) = cfg
+        .load_graph_override()
+        .expect("--graph file validated at startup")
+    {
+        return g;
+    }
     d.generate(
         cfg.scale_of(d),
         cfg.seed ^ (d as u64 + 1).wrapping_mul(0x9E3779B9),
@@ -49,10 +57,10 @@ fn dataset_graph(d: Dataset, cfg: &ExpConfig) -> Graph {
 fn record(table: &mut GridResult, x: u64, summary: &EvalSummary) {
     table
         .profit
-        .push(x, summary.algorithm, summary.mean_profit());
+        .push(x, &summary.algorithm, summary.mean_profit());
     table
         .time
-        .push(x, summary.algorithm, summary.decision_time.as_secs_f64());
+        .push(x, &summary.algorithm, summary.decision_time.as_secs_f64());
 }
 
 /// Table II: generate the four presets and report their statistics next to
@@ -69,7 +77,7 @@ pub fn table2(cfg: &ExpConfig) -> String {
         "{:<12} {:>8} {:>8} {:>10} {:>9} | {:>8} {:>8} {:>9}",
         "dataset", "n", "m", "type", "avg.deg", "paper n", "paper m", "paper deg"
     );
-    for d in Dataset::ALL {
+    for &d in cfg.datasets() {
         let g = dataset_graph(d, cfg);
         let s = GraphStats::compute(&g);
         // Table II convention: `m` is undirected-edge count for the

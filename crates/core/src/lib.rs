@@ -20,7 +20,11 @@
 //! * [`oracle`] — spread oracles for the oracle model (exact enumeration,
 //!   Monte-Carlo, RIS);
 //! * [`session`] — the adaptive feedback loop: select a seed, observe its
-//!   cascade in the current realization, shrink the residual graph;
+//!   cascade in the current realization, shrink the residual graph; sessions
+//!   suspend into owned [`SessionState`]s and accept external observations,
+//!   so a network service can host them across requests;
+//! * [`stepper`] — adaptive policies in resumable one-seed-at-a-time form
+//!   ([`PolicyStepper`]), the inversion of control the serve layer drives;
 //! * [`runner`] — evaluation over batches of realizations (the paper's
 //!   20-world protocol) with profit and wall-clock accounting;
 //! * [`policies`] — every algorithm of the paper:
@@ -43,13 +47,15 @@ pub mod policies;
 pub mod runner;
 pub mod session;
 pub mod setup;
+pub mod stepper;
 pub mod theory;
 
 pub use cost::CostSplit;
 pub use instance::TpmInstance;
 pub use oracle::{ExactOracle, McOracle, RisOracle, SpreadOracle};
 pub use runner::{evaluate_adaptive, evaluate_nonadaptive, EvalSummary};
-pub use session::AdaptiveSession;
+pub use session::{AdaptiveSession, SessionState};
+pub use stepper::{run_stepper, PolicyStepper};
 
 /// Node id re-exported from the graph substrate.
 pub type Node = atpm_graph::Node;

@@ -6,12 +6,15 @@
 //! order, skip the ones already activated, flip a fair coin for the rest and
 //! observe/remove the cascade after every selection.
 
+use std::borrow::Cow;
+
 use atpm_graph::Node;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::instance::TpmInstance;
 use crate::session::AdaptiveSession;
+use crate::stepper::{run_stepper, PolicyStepper};
 use crate::{AdaptivePolicy, NonadaptivePolicy};
 
 /// Adaptive random set.
@@ -30,26 +33,59 @@ impl Default for Ars {
     }
 }
 
+impl Ars {
+    /// The resumable form of this policy (see [`crate::stepper`]).
+    ///
+    /// Coins mix in the session's world seed, so the RNG is created lazily
+    /// on the first [`next_seed`](PolicyStepper::next_seed) call.
+    pub fn stepper(&self) -> ArsStepper {
+        assert!((0.0..=1.0).contains(&self.prob), "prob must be in [0,1]");
+        ArsStepper {
+            cfg: self.clone(),
+            idx: 0,
+            rng: None,
+        }
+    }
+}
+
+/// [`Ars`] in resumable, one-seed-at-a-time form.
+pub struct ArsStepper {
+    cfg: Ars,
+    idx: usize,
+    rng: Option<StdRng>,
+}
+
+impl PolicyStepper for ArsStepper {
+    fn name(&self) -> Cow<'static, str> {
+        "ARS".into()
+    }
+
+    fn next_seed(&mut self, session: &mut AdaptiveSession<'_>) -> Option<Node> {
+        let world = session.world_seed();
+        let rng = self.rng.get_or_insert_with(|| {
+            StdRng::seed_from_u64(self.cfg.seed ^ world.wrapping_mul(0x9E3779B97F4A7C15))
+        });
+        while self.idx < session.instance().target().len() {
+            let u = session.instance().target()[self.idx];
+            self.idx += 1;
+            if session.is_activated(u) {
+                continue;
+            }
+            if rng.gen_bool(self.cfg.prob) {
+                return Some(u);
+            }
+        }
+        None
+    }
+}
+
 impl AdaptivePolicy for Ars {
     fn name(&self) -> &'static str {
         "ARS"
     }
 
     fn run(&mut self, session: &mut AdaptiveSession<'_>) -> Vec<Node> {
-        assert!((0.0..=1.0).contains(&self.prob), "prob must be in [0,1]");
-        let mut rng = StdRng::seed_from_u64(
-            self.seed ^ session.world_seed().wrapping_mul(0x9E3779B97F4A7C15),
-        );
-        let target: Vec<Node> = session.instance().target().to_vec();
-        for u in target {
-            if session.is_activated(u) {
-                continue;
-            }
-            if rng.gen_bool(self.prob) {
-                session.select(u);
-            }
-        }
-        session.selected().to_vec()
+        run_stepper(&mut self.stepper(), session)
     }
 }
 

@@ -31,12 +31,15 @@
 //! `O(k·m·E[I(v°)]/ε · ln(n/ε))` (Theorem 5) — a factor `≈ ε·n` cheaper than
 //! ADDATP.
 
+use std::borrow::Cow;
+
 use atpm_graph::{GraphView, Node};
 use atpm_ris::bounds::hatp_theta;
 use atpm_ris::stream::front_rear_counts_shared;
 use atpm_ris::NodeSet;
 
 use crate::session::AdaptiveSession;
+use crate::stepper::{run_stepper, PolicyStepper};
 use crate::AdaptivePolicy;
 
 const SQRT_2: f64 = std::f64::consts::SQRT_2;
@@ -173,45 +176,79 @@ impl Hatp {
     }
 }
 
+impl Hatp {
+    /// The resumable form of this policy (see [`crate::stepper`]); `run`
+    /// drives it in-process, the serve layer drives it over the protocol.
+    pub fn stepper(&self) -> HatpStepper {
+        HatpStepper {
+            cfg: self.clone(),
+            idx: 0,
+            round_salt: self.seed,
+            sets: None,
+        }
+    }
+}
+
+/// [`Hatp`] in resumable, one-seed-at-a-time form. All per-run state lives
+/// here: the candidate cursor, the sampling salt chain, and the `T_rest`
+/// conditioning set of Algorithm 4.
+pub struct HatpStepper {
+    cfg: Hatp,
+    idx: usize,
+    round_salt: u64,
+    /// `(empty front condition, T_rest)`, lazily sized on the first call
+    /// (the stepper does not know `n` until it sees a session).
+    sets: Option<(NodeSet, NodeSet)>,
+}
+
+impl PolicyStepper for HatpStepper {
+    fn name(&self) -> Cow<'static, str> {
+        "HATP".into()
+    }
+
+    fn next_seed(&mut self, session: &mut AdaptiveSession<'_>) -> Option<Node> {
+        let n = session.instance().graph().num_nodes();
+        let (empty, t_rest) = self.sets.get_or_insert_with(|| {
+            (
+                NodeSet::new(n),
+                NodeSet::from_iter(n, session.instance().target().iter().copied()),
+            )
+        });
+        while self.idx < session.instance().target().len() {
+            let u = session.instance().target()[self.idx];
+            self.idx += 1;
+            t_rest.remove(u);
+            if session.is_activated(u) {
+                continue;
+            }
+            let cost = session.instance().cost(u);
+            let mut work = 0u64;
+            let keep = self.cfg.decide_node(
+                session.residual(),
+                u,
+                cost,
+                empty,
+                t_rest,
+                &mut self.round_salt,
+                &mut work,
+            );
+            session.add_sampling_work(work);
+            if keep {
+                t_rest.insert(u);
+                return Some(u);
+            }
+        }
+        None
+    }
+}
+
 impl AdaptivePolicy for Hatp {
     fn name(&self) -> &'static str {
         "HATP"
     }
 
     fn run(&mut self, session: &mut AdaptiveSession<'_>) -> Vec<Node> {
-        let target: Vec<Node> = session.instance().target().to_vec();
-        if target.is_empty() {
-            return Vec::new();
-        }
-        let n = session.instance().graph().num_nodes();
-        let empty = NodeSet::new(n);
-        let mut t_rest = NodeSet::from_iter(n, target.iter().copied());
-        let mut round_salt = self.seed;
-
-        for &u in &target {
-            if session.is_activated(u) {
-                t_rest.remove(u);
-                continue;
-            }
-            t_rest.remove(u);
-            let cost = session.instance().cost(u);
-            let mut work = 0u64;
-            let keep = self.decide_node(
-                session.residual(),
-                u,
-                cost,
-                &empty,
-                &t_rest,
-                &mut round_salt,
-                &mut work,
-            );
-            session.add_sampling_work(work);
-            if keep {
-                session.select(u);
-                t_rest.insert(u);
-            }
-        }
-        session.selected().to_vec()
+        run_stepper(&mut self.stepper(), session)
     }
 }
 

@@ -22,9 +22,9 @@ mod nsg;
 
 pub use addatp::Addatp;
 pub use adg::Adg;
-pub use ars::{Ars, Rs};
-pub use baseline::Baseline;
-pub use hatp::Hatp;
+pub use ars::{Ars, ArsStepper, Rs};
+pub use baseline::{Baseline, DeployAll, DeployAllStepper};
+pub use hatp::{Hatp, HatpStepper};
 pub use hntp::Hntp;
 pub use ndg::Ndg;
 pub use nsg::Nsg;

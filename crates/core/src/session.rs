@@ -6,6 +6,24 @@
 //! removes the activated nodes from the residual graph and keeps the profit
 //! ledger. Everything a policy may legally observe is exposed here — and
 //! nothing more (no peeking at un-cascaded coins).
+//!
+//! Two service-friendly extensions support driving this loop over a network
+//! protocol (the `atpm-serve` crate) instead of in-process:
+//!
+//! * [`AdaptiveSession::apply_observation`] decouples *deciding* a seed from
+//!   *simulating* its cascade: the realized activation set can come from an
+//!   external source (a real deployment, or a client-side simulator) and is
+//!   applied to the residual state exactly the way [`select`] applies an
+//!   internally simulated cascade — `select` is itself implemented on top of
+//!   it, so the two paths cannot drift.
+//! * [`AdaptiveSession::suspend`] / [`AdaptiveSession::resume`] move a
+//!   session's entire mutable state into an owned, `'static`
+//!   [`SessionState`] and back. A server keeps the suspended state in its
+//!   session table between requests and re-attaches it to the shared
+//!   [`TpmInstance`] for the duration of one request — no self-referential
+//!   structs, no per-request allocation (the buffers are moved, not copied).
+//!
+//! [`select`]: AdaptiveSession::select
 
 use atpm_diffusion::{CascadeEngine, HashedRealization, MaterializedRealization, Realization};
 use atpm_graph::{Edge, Node, ResidualGraph};
@@ -104,13 +122,47 @@ impl<'a> AdaptiveSession<'a> {
             "policy selected already-activated node {u}"
         );
         let cascade = self.engine.observe(&self.residual, &self.realization, &[u]);
-        for &v in &cascade {
-            self.activated.insert(v);
-            self.residual.remove(v);
-        }
-        self.total_activated += cascade.len();
-        self.selected.push(u);
+        self.apply_observation(u, &cascade);
         cascade
+    }
+
+    /// Commits `u` as a seed with an *externally observed* activation set
+    /// instead of simulating the cascade against this session's realization.
+    /// Returns the number of newly activated nodes.
+    ///
+    /// This is the network-protocol entry point: a service decides seeds with
+    /// [`select`](Self::select)'s policy machinery but learns the realized
+    /// cascade from the outside world. Already-activated nodes in `activated`
+    /// are ignored (external reports may overlap), so the profit ledger stays
+    /// consistent; when `activated` *is* a true cascade of the residual graph
+    /// (as in [`select`](Self::select)) every node is new and the two paths
+    /// update the state identically.
+    ///
+    /// Panics like [`select`](Self::select) on non-target or
+    /// already-activated `u`, and on out-of-range activation ids — services
+    /// must validate untrusted input first.
+    pub fn apply_observation(&mut self, u: Node, activated: &[Node]) -> usize {
+        assert!(
+            self.instance.is_target(u),
+            "policy selected non-target node {u}"
+        );
+        assert!(
+            !self.is_activated(u),
+            "policy selected already-activated node {u}"
+        );
+        let n = self.instance.graph().num_nodes();
+        let mut newly = 0usize;
+        for &v in activated {
+            assert!((v as usize) < n, "activated node {v} out of range");
+            if !self.activated.contains(v) {
+                self.activated.insert(v);
+                self.residual.remove(v);
+                newly += 1;
+            }
+        }
+        self.total_activated += newly;
+        self.selected.push(u);
+        newly
     }
 
     /// Seeds committed so far, in selection order.
@@ -145,6 +197,90 @@ impl<'a> AdaptiveSession<'a> {
             SessionWorld::Hashed(r) => r.seed(),
             SessionWorld::Materialized(_) => 0,
         }
+    }
+
+    /// Detaches the session from its instance, returning its entire mutable
+    /// state as an owned [`SessionState`]. Buffers are moved, not copied.
+    pub fn suspend(self) -> SessionState {
+        let (alive_words, n_alive) = self.residual.into_parts();
+        SessionState {
+            realization: self.realization,
+            alive_words,
+            n_alive,
+            engine: self.engine,
+            activated: self.activated,
+            selected: self.selected,
+            total_activated: self.total_activated,
+            sampling_work: self.sampling_work,
+        }
+    }
+
+    /// Re-attaches a suspended state to `instance`, restoring the session
+    /// exactly as [`suspend`](Self::suspend) left it. Panics if the state
+    /// was suspended from a different-sized instance.
+    pub fn resume(instance: &'a TpmInstance, state: SessionState) -> Self {
+        let residual =
+            ResidualGraph::from_parts(instance.graph(), state.alive_words, state.n_alive);
+        AdaptiveSession {
+            instance,
+            realization: state.realization,
+            residual,
+            engine: state.engine,
+            activated: state.activated,
+            selected: state.selected,
+            total_activated: state.total_activated,
+            sampling_work: state.sampling_work,
+        }
+    }
+}
+
+/// A suspended [`AdaptiveSession`]: every mutable field in owned form, with
+/// no borrow of the instance. Produced by [`AdaptiveSession::suspend`],
+/// consumed by [`AdaptiveSession::resume`].
+///
+/// Read access to the ledger is provided directly so services can answer
+/// status queries without re-attaching to the instance.
+pub struct SessionState {
+    realization: SessionWorld,
+    alive_words: Vec<u64>,
+    n_alive: usize,
+    engine: CascadeEngine,
+    activated: NodeSet,
+    selected: Vec<Node>,
+    total_activated: usize,
+    sampling_work: u64,
+}
+
+impl SessionState {
+    /// Seeds committed so far, in selection order.
+    pub fn selected(&self) -> &[Node] {
+        &self.selected
+    }
+
+    /// Number of nodes activated so far.
+    pub fn total_activated(&self) -> usize {
+        self.total_activated
+    }
+
+    /// Alive-node count of the suspended residual graph.
+    pub fn num_alive(&self) -> usize {
+        self.n_alive
+    }
+
+    /// Total RR sets reported by noise-model policies.
+    pub fn sampling_work(&self) -> u64 {
+        self.sampling_work
+    }
+
+    /// Whether `u` was activated before suspension.
+    pub fn is_activated(&self, u: Node) -> bool {
+        self.activated.contains(u)
+    }
+
+    /// Realized profit so far against `instance` (the instance the session
+    /// was suspended from): `I_φ(S) − c(S)`.
+    pub fn profit(&self, instance: &TpmInstance) -> f64 {
+        self.total_activated as f64 - instance.cost_of(&self.selected)
     }
 }
 
@@ -214,6 +350,81 @@ mod tests {
             let mut s1 = AdaptiveSession::new(&inst, seed);
             let mut s2 = AdaptiveSession::new(&inst, seed);
             assert_eq!(s1.select(0), s2.select(0), "world {seed}");
+        }
+    }
+
+    #[test]
+    fn apply_observation_matches_select_on_true_cascades() {
+        let inst = instance();
+        let mut simulated = AdaptiveSession::new(&inst, 7);
+        let cascade = simulated.select(0);
+        // An "external" session fed the same observation lands in the same
+        // state: residual, ledger, profit.
+        let mut external = AdaptiveSession::new(&inst, 999); // world unused
+        let newly = external.apply_observation(0, &cascade);
+        assert_eq!(newly, cascade.len());
+        assert_eq!(external.selected(), simulated.selected());
+        assert_eq!(external.total_activated(), simulated.total_activated());
+        assert_eq!(
+            external.residual().num_alive(),
+            simulated.residual().num_alive()
+        );
+        assert_eq!(external.profit().to_bits(), simulated.profit().to_bits());
+    }
+
+    #[test]
+    fn apply_observation_ignores_already_activated_reports() {
+        let inst = instance();
+        let mut s = AdaptiveSession::new(&inst, 7);
+        s.select(0); // activates {0, 1}
+        let newly = s.apply_observation(2, &[2, 1, 0]);
+        assert_eq!(newly, 1, "only node 2 is new");
+        assert_eq!(s.total_activated(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn apply_observation_rejects_out_of_range_nodes() {
+        let inst = instance();
+        let mut s = AdaptiveSession::new(&inst, 7);
+        s.apply_observation(0, &[99]);
+    }
+
+    #[test]
+    fn suspend_resume_round_trips_mid_run() {
+        let inst = instance();
+        let mut s = AdaptiveSession::new(&inst, 7);
+        s.select(0);
+        s.add_sampling_work(42);
+        let state = s.suspend();
+        assert_eq!(state.selected(), &[0]);
+        assert_eq!(state.total_activated(), 2);
+        assert_eq!(state.num_alive(), 1);
+        assert_eq!(state.sampling_work(), 42);
+        assert!(state.is_activated(1));
+        assert!((state.profit(&inst) - (2.0 - 1.5)).abs() < 1e-12);
+        let mut s = AdaptiveSession::resume(&inst, state);
+        s.select(2);
+        assert_eq!(s.selected(), &[0, 2]);
+        assert_eq!(s.total_activated(), 3);
+        assert!((s.profit() - (3.0 - 1.75)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn suspended_world_replays_identically_after_resume() {
+        // The realization travels with the state: a resumed session observes
+        // the same coins a never-suspended one does.
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 0.5).unwrap();
+        b.add_edge(1, 2, 0.5).unwrap();
+        let inst = TpmInstance::new(b.build(), vec![0], &[0.5]);
+        for seed in 0..10u64 {
+            let mut direct = AdaptiveSession::new(&inst, seed);
+            let a = direct.select(0);
+            let fresh = AdaptiveSession::new(&inst, seed);
+            let mut resumed = AdaptiveSession::resume(&inst, fresh.suspend());
+            let b = resumed.select(0);
+            assert_eq!(a, b, "world {seed}");
         }
     }
 

@@ -123,7 +123,24 @@ pub fn write_binary<W: Write>(g: &Graph, writer: W) -> Result<(), GraphError> {
     Ok(())
 }
 
+/// Node ids are `u32`, so a header claiming more nodes than `u32::MAX + 1`
+/// cannot describe an addressable graph — reject it before allocating.
+const MAX_BINARY_NODES: u64 = u32::MAX as u64 + 1;
+
+/// Pre-reservation cap for the declared edge count: a corrupt or hostile
+/// header may claim up to `u64::MAX` edges, and reserving that up front
+/// would abort the process before the truncation check ever runs. Beyond
+/// this cap the builder grows on demand and a lying header fails with a
+/// clean `truncated` error instead.
+const MAX_EDGE_PREALLOC: usize = 1 << 24;
+
 /// Reads a graph previously written by [`write_binary`].
+///
+/// Every failure mode of an untrusted input — short file, bad magic,
+/// truncated edge array, node ids outside the declared range, header counts
+/// beyond what the format can address — is reported as a [`GraphError`];
+/// this path never panics or aborts on malformed bytes (pinned by the
+/// `binary_*` tests below).
 pub fn read_binary<R: Read>(reader: R) -> Result<Graph, GraphError> {
     let mut r = BufReader::new(reader);
     let mut magic = [0u8; 8];
@@ -138,11 +155,19 @@ pub fn read_binary<R: Read>(reader: R) -> Result<Graph, GraphError> {
     let mut buf8 = [0u8; 8];
     r.read_exact(&mut buf8)
         .map_err(|_| GraphError::Format("missing node count".into()))?;
-    let n = u64::from_le_bytes(buf8) as usize;
+    let n = u64::from_le_bytes(buf8);
+    if n > MAX_BINARY_NODES {
+        return Err(GraphError::Format(format!(
+            "node count {n} exceeds the u32 id space"
+        )));
+    }
+    let n = n as usize;
     r.read_exact(&mut buf8)
         .map_err(|_| GraphError::Format("missing edge count".into()))?;
-    let m = u64::from_le_bytes(buf8) as usize;
-    let mut b = GraphBuilder::with_capacity(n, m);
+    let m64 = u64::from_le_bytes(buf8);
+    let m = usize::try_from(m64)
+        .map_err(|_| GraphError::Format(format!("edge count {m64} exceeds this platform")))?;
+    let mut b = GraphBuilder::with_capacity(n, m.min(MAX_EDGE_PREALLOC));
     let mut rec = [0u8; 12];
     for i in 0..m {
         r.read_exact(&mut rec)
@@ -153,6 +178,19 @@ pub fn read_binary<R: Read>(reader: R) -> Result<Graph, GraphError> {
         b.add_edge(src, dst, p)?;
     }
     b.try_build()
+}
+
+/// Loads a graph from `path`, sniffing the format: files starting with the
+/// `ATPMGRF1` magic are read as [`read_binary`], everything else as a text
+/// edge list (`n` inferred, `default_prob` for two-column lines, directed).
+pub fn load_auto<P: AsRef<Path>>(path: P, default_prob: f32) -> Result<Graph, GraphError> {
+    let mut file = BufReader::new(std::fs::File::open(path)?);
+    let head = file.fill_buf()?;
+    if head.starts_with(MAGIC) {
+        read_binary(file)
+    } else {
+        read_edge_list(file, None, default_prob, false)
+    }
 }
 
 /// Convenience: save to / load from a file path in binary format.
@@ -223,6 +261,87 @@ mod tests {
             GraphError::Parse { line, .. } => assert_eq!(line, 2),
             other => panic!("expected Parse error, got {other}"),
         }
+    }
+
+    /// Hand-assembles a binary file with the given header and edge records.
+    fn raw_binary(n: u64, m: u64, edges: &[(u32, u32, f32)]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&n.to_le_bytes());
+        buf.extend_from_slice(&m.to_le_bytes());
+        for &(u, v, p) in edges {
+            buf.extend_from_slice(&u.to_le_bytes());
+            buf.extend_from_slice(&v.to_le_bytes());
+            buf.extend_from_slice(&p.to_le_bytes());
+        }
+        buf
+    }
+
+    #[test]
+    fn binary_rejects_node_id_overflowing_declared_count() {
+        // Header says 2 nodes; an edge references node 5. Must surface as a
+        // GraphError (NodeOutOfRange via the builder), not a panic.
+        let buf = raw_binary(2, 1, &[(0, 5, 0.5)]);
+        assert!(matches!(
+            read_binary(&buf[..]),
+            Err(GraphError::NodeOutOfRange { node: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn binary_rejects_node_count_beyond_u32_id_space() {
+        let buf = raw_binary(1u64 << 40, 0, &[]);
+        assert!(matches!(read_binary(&buf[..]), Err(GraphError::Format(_))));
+    }
+
+    #[test]
+    fn binary_hostile_edge_count_fails_clean_instead_of_aborting() {
+        // A header claiming 2^60 edges must not pre-allocate 2^60 records;
+        // it reads what is there and reports truncation.
+        let buf = raw_binary(3, 1u64 << 60, &[(0, 1, 0.5)]);
+        match read_binary(&buf[..]) {
+            Err(GraphError::Format(msg)) => assert!(msg.contains("truncated"), "{msg}"),
+            other => panic!("expected truncation error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn binary_rejects_missing_header_fields() {
+        // Magic only: node count missing.
+        assert!(matches!(
+            read_binary(&MAGIC[..]),
+            Err(GraphError::Format(_))
+        ));
+        // Magic + node count, edge count missing.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&3u64.to_le_bytes());
+        assert!(matches!(read_binary(&buf[..]), Err(GraphError::Format(_))));
+    }
+
+    #[test]
+    fn binary_rejects_invalid_probability_records() {
+        let buf = raw_binary(2, 1, &[(0, 1, 7.5)]);
+        assert!(matches!(
+            read_binary(&buf[..]),
+            Err(GraphError::InvalidProbability { .. })
+        ));
+    }
+
+    #[test]
+    fn load_auto_sniffs_binary_and_text() {
+        let g = sample_graph();
+        let dir = std::env::temp_dir();
+        let bin_path = dir.join("atpm_io_test_auto.bin");
+        let txt_path = dir.join("atpm_io_test_auto.txt");
+        save_binary(&g, &bin_path).unwrap();
+        write_edge_list(&g, std::fs::File::create(&txt_path).unwrap()).unwrap();
+        let from_bin = load_auto(&bin_path, 0.1).unwrap();
+        let from_txt = load_auto(&txt_path, 0.1).unwrap();
+        assert_eq!(edges_of(&g), edges_of(&from_bin));
+        assert_eq!(edges_of(&g), edges_of(&from_txt));
+        let _ = std::fs::remove_file(bin_path);
+        let _ = std::fs::remove_file(txt_path);
     }
 
     #[test]

@@ -170,6 +170,39 @@ impl<'g> ResidualGraph<'g> {
         self.alive_list.lock().expect("alive list poisoned").clear();
     }
 
+    /// Decomposes the view into its owned parts `(alive bitmask words,
+    /// alive count)`, detaching it from the base graph. Together with
+    /// [`from_parts`](ResidualGraph::from_parts) this lets long-lived
+    /// services suspend a residual view into owned storage between requests
+    /// and re-attach it to the (separately owned) base graph later, without
+    /// self-referential structs or re-allocation.
+    pub fn into_parts(self) -> (Vec<u64>, usize) {
+        (self.alive, self.n_alive)
+    }
+
+    /// Reconstructs a view from parts produced by
+    /// [`into_parts`](ResidualGraph::into_parts) against the same base graph
+    /// (or any graph with the same node count).
+    ///
+    /// Panics if the word count does not match `base` or if `n_alive`
+    /// disagrees with the bitmask's popcount.
+    pub fn from_parts(base: &'g Graph, alive: Vec<u64>, n_alive: usize) -> Self {
+        let n = base.num_nodes();
+        assert_eq!(
+            alive.len(),
+            n.div_ceil(WORD_BITS),
+            "alive bitmask sized for a different graph"
+        );
+        let pop: usize = alive.iter().map(|w| w.count_ones() as usize).sum();
+        assert_eq!(pop, n_alive, "n_alive disagrees with bitmask popcount");
+        ResidualGraph {
+            base,
+            alive,
+            n_alive,
+            alive_list: std::sync::Mutex::new(Vec::new()),
+        }
+    }
+
     /// Iterates alive nodes in increasing id order.
     pub fn alive_nodes(&self) -> impl Iterator<Item = Node> + '_ {
         self.alive.iter().enumerate().flat_map(|(w, &word)| {
@@ -278,6 +311,27 @@ mod tests {
         r.reset();
         assert_eq!(r.num_alive(), 70);
         assert_eq!(r.alive_nodes().count(), 70);
+    }
+
+    #[test]
+    fn parts_round_trip_preserves_the_view() {
+        let g = line_graph(130);
+        let mut r = ResidualGraph::new(&g);
+        r.remove_all([0, 64, 129]);
+        let (words, n_alive) = r.into_parts();
+        let r2 = ResidualGraph::from_parts(&g, words, n_alive);
+        assert_eq!(r2.num_alive(), 127);
+        assert!(!r2.is_alive(0) && !r2.is_alive(64) && !r2.is_alive(129));
+        assert!(r2.is_alive(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "popcount")]
+    fn from_parts_rejects_inconsistent_count() {
+        let g = line_graph(10);
+        let r = ResidualGraph::new(&g);
+        let (words, _) = r.into_parts();
+        let _ = ResidualGraph::from_parts(&g, words, 3);
     }
 
     #[test]

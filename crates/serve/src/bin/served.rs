@@ -1,0 +1,155 @@
+//! `atpm-served` — run the adaptive-seeding service standalone.
+//!
+//! ```text
+//! cargo run -p atpm-serve --release --bin atpm-served -- [flags]
+//!
+//! flags: --addr HOST:PORT   bind address        (default 127.0.0.1:8080)
+//!        --workers N        worker threads      (default 4)
+//!        --preset NAME      preload a snapshot from a Table II preset
+//!        --graph PATH       ...or from an edge-list/ATPMGRF1 file
+//!        --name NAME        snapshot store key   (default "default")
+//!        --scale F --k N --rr-theta N --seed S   snapshot knobs
+//! ```
+//!
+//! Without `--preset`/`--graph` the server starts with an empty store;
+//! load snapshots over the API (`POST /snapshots`). Runs until killed.
+
+use atpm_serve::protocol::{SnapshotReq, SnapshotSource};
+use atpm_serve::server::{AppState, ServeConfig, Server};
+use atpm_serve::snapshot::Snapshot;
+
+struct Args {
+    cfg: ServeConfig,
+    snapshot: Option<SnapshotReq>,
+}
+
+fn parse(args: &[String]) -> Result<Args, String> {
+    let mut cfg = ServeConfig {
+        addr: "127.0.0.1:8080".into(),
+        workers: 4,
+    };
+    let mut name = "default".to_string();
+    let mut source: Option<SnapshotSource> = None;
+    let (mut scale, mut k, mut rr_theta, mut seed) = (0.05f64, 8usize, 10_000usize, 7u64);
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value_of = |flag: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("flag {flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--addr" => cfg.addr = value_of("--addr")?,
+            "--workers" => {
+                cfg.workers = value_of("--workers")?
+                    .parse()
+                    .map_err(|e| format!("bad --workers: {e}"))?;
+            }
+            "--preset" => {
+                source = Some(SnapshotSource::Preset {
+                    dataset: value_of("--preset")?,
+                    scale,
+                });
+            }
+            "--graph" => {
+                source = Some(SnapshotSource::File {
+                    path: value_of("--graph")?,
+                    default_prob: 0.1,
+                });
+            }
+            "--name" => name = value_of("--name")?,
+            "--scale" => {
+                scale = value_of("--scale")?
+                    .parse()
+                    .map_err(|e| format!("bad --scale: {e}"))?;
+                if let Some(SnapshotSource::Preset { scale: s, .. }) = &mut source {
+                    *s = scale;
+                }
+            }
+            "--k" => {
+                k = value_of("--k")?
+                    .parse()
+                    .map_err(|e| format!("bad --k: {e}"))?;
+            }
+            "--rr-theta" => {
+                rr_theta = value_of("--rr-theta")?
+                    .parse()
+                    .map_err(|e| format!("bad --rr-theta: {e}"))?;
+            }
+            "--seed" => {
+                seed = value_of("--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    if cfg.workers == 0 {
+        return Err("need at least one worker".into());
+    }
+    Ok(Args {
+        cfg,
+        snapshot: source.map(|source| SnapshotReq {
+            name,
+            source,
+            k,
+            rr_theta,
+            seed,
+            threads: 1,
+        }),
+    })
+}
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse(&raw) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!(
+                "usage: atpm-served [--addr HOST:PORT] [--workers N] \
+                 [--preset NAME | --graph PATH] [--name NAME] [--scale F] \
+                 [--k N] [--rr-theta N] [--seed S]"
+            );
+            std::process::exit(2);
+        }
+    };
+    let state = AppState::new();
+    if let Some(req) = &args.snapshot {
+        eprintln!("# building snapshot '{}'...", req.name);
+        match Snapshot::build(req) {
+            Ok(snap) => {
+                eprintln!(
+                    "# snapshot '{}': n={} m={} targets={} rr_sets={}",
+                    snap.name,
+                    snap.instance.graph().num_nodes(),
+                    snap.instance.graph().num_edges(),
+                    snap.instance.k(),
+                    snap.rr.len(),
+                );
+                state.store.insert(snap);
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    match Server::start(state, &args.cfg) {
+        Ok(server) => {
+            eprintln!(
+                "# atpm-served listening on http://{} ({} workers); Ctrl-C to stop",
+                server.addr(),
+                args.cfg.workers,
+            );
+            // Run until killed: the worker pool owns the process.
+            loop {
+                std::thread::park();
+            }
+        }
+        Err(e) => {
+            eprintln!("error: cannot bind {}: {e}", args.cfg.addr);
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,329 @@
+//! Hand-rolled HTTP/1.1 request parsing and response writing — just enough
+//! protocol for a loopback JSON API, std-only.
+//!
+//! Supported: request line + headers, `Content-Length` bodies, keep-alive
+//! (the HTTP/1.1 default) and `Connection: close`. Not supported (rejected
+//! cleanly): chunked transfer encoding, upgrades, multi-line headers.
+//! Header and body sizes are capped so a misbehaving client cannot balloon
+//! a worker's memory.
+
+use std::io::{self, BufRead, Write};
+
+/// Longest accepted request head (request line + headers), bytes.
+const MAX_HEAD: usize = 64 * 1024;
+/// Largest accepted body, bytes (observation lists on million-node graphs
+/// fit comfortably; anything bigger is a client bug).
+const MAX_BODY: usize = 64 * 1024 * 1024;
+
+/// A parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercased method (`GET`, `POST`, `DELETE`, ...).
+    pub method: String,
+    /// Path with any `?query` suffix stripped.
+    pub path: String,
+    /// Lowercased header names with trimmed values, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// Raw body bytes (`Content-Length`-delimited; empty if absent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of header `name` (lowercase), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to drop the connection after this exchange.
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+
+    /// Path split into non-empty segments: `/sessions/s1/next` →
+    /// `["sessions", "s1", "next"]`.
+    pub fn segments(&self) -> Vec<&str> {
+        self.path.split('/').filter(|s| !s.is_empty()).collect()
+    }
+}
+
+/// Outcome of reading one request off a connection.
+pub enum ReadOutcome {
+    /// A complete request.
+    Ok(Request),
+    /// Clean EOF before any bytes — the peer closed an idle keep-alive
+    /// connection; not an error.
+    Closed,
+    /// The peer sent something unusable; the caller should answer with this
+    /// status and close.
+    Malformed(u16, String),
+}
+
+/// Reads one HTTP/1.1 request from `stream`.
+pub fn read_request<R: BufRead>(stream: &mut R) -> io::Result<ReadOutcome> {
+    // Request line + headers, byte-capped (including any single oversized
+    // line — the budget is bytes consumed so far, not line count).
+    let mut head: Vec<Vec<u8>> = Vec::new();
+    let mut head_bytes = 0usize;
+    loop {
+        if head_bytes >= MAX_HEAD {
+            // Also guards the leading-blank-line tolerance below from being
+            // fed forever.
+            return Ok(ReadOutcome::Malformed(431, "request head too large".into()));
+        }
+        let mut line = Vec::new();
+        let n = match read_line_crlf(stream, &mut line, MAX_HEAD - head_bytes) {
+            Ok(n) => n,
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                return Ok(ReadOutcome::Malformed(431, "request head too large".into()));
+            }
+            Err(e) => return Err(e),
+        };
+        if n == 0 {
+            return Ok(if head.is_empty() && head_bytes == 0 {
+                ReadOutcome::Closed
+            } else {
+                ReadOutcome::Malformed(400, "connection closed mid-header".into())
+            });
+        }
+        head_bytes += n;
+        if line.is_empty() {
+            if head.is_empty() {
+                // Tolerate leading blank lines per RFC 9112 §2.2.
+                continue;
+            }
+            break;
+        }
+        head.push(line);
+        if head_bytes > MAX_HEAD {
+            return Ok(ReadOutcome::Malformed(431, "request head too large".into()));
+        }
+    }
+
+    let request_line = String::from_utf8_lossy(&head[0]).into_owned();
+    let mut parts = request_line.split_ascii_whitespace();
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Ok(ReadOutcome::Malformed(400, "bad request line".into()));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Ok(ReadOutcome::Malformed(
+            505,
+            "unsupported HTTP version".into(),
+        ));
+    }
+
+    let mut headers = Vec::with_capacity(head.len() - 1);
+    for line in &head[1..] {
+        let text = String::from_utf8_lossy(line);
+        let Some((name, value)) = text.split_once(':') else {
+            return Ok(ReadOutcome::Malformed(400, "bad header line".into()));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let mut req = Request {
+        method: method.to_ascii_uppercase(),
+        path: target.split('?').next().unwrap_or(target).to_string(),
+        headers,
+        body: Vec::new(),
+    };
+
+    if req
+        .header("transfer-encoding")
+        .is_some_and(|v| !v.eq_ignore_ascii_case("identity"))
+    {
+        return Ok(ReadOutcome::Malformed(
+            501,
+            "chunked transfer encoding not supported".into(),
+        ));
+    }
+    if let Some(len) = req.header("content-length") {
+        let Ok(len) = len.parse::<usize>() else {
+            return Ok(ReadOutcome::Malformed(400, "bad content-length".into()));
+        };
+        if len > MAX_BODY {
+            return Ok(ReadOutcome::Malformed(413, "body too large".into()));
+        }
+        let mut body = vec![0u8; len];
+        stream.read_exact(&mut body)?;
+        req.body = body;
+    }
+    Ok(ReadOutcome::Ok(req))
+}
+
+/// Reads one CRLF- (or bare-LF-) terminated line into `out` (terminator
+/// stripped). Returns bytes consumed; 0 means EOF. Errors if the line
+/// exceeds `limit`.
+fn read_line_crlf<R: BufRead>(
+    stream: &mut R,
+    out: &mut Vec<u8>,
+    limit: usize,
+) -> io::Result<usize> {
+    let mut consumed = 0usize;
+    loop {
+        let buf = stream.fill_buf()?;
+        if buf.is_empty() {
+            return Ok(consumed);
+        }
+        if let Some(nl) = buf.iter().position(|&b| b == b'\n') {
+            out.extend_from_slice(&buf[..nl]);
+            stream.consume(nl + 1);
+            consumed += nl + 1;
+            if out.last() == Some(&b'\r') {
+                out.pop();
+            }
+            return Ok(consumed);
+        }
+        let n = buf.len();
+        out.extend_from_slice(buf);
+        stream.consume(n);
+        consumed += n;
+        if consumed > limit {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "header line too long",
+            ));
+        }
+    }
+}
+
+/// Writes a JSON response. `keep_alive` controls the `Connection` header;
+/// the caller decides whether to actually keep reading.
+pub fn write_response<W: Write>(
+    stream: &mut W,
+    status: u16,
+    body: &[u8],
+    keep_alive: bool,
+) -> io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+        reason(status),
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    )?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Minimal reason-phrase table for the statuses the API emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        505 => "HTTP Version Not Supported",
+        _ => "Status",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> ReadOutcome {
+        read_request(&mut BufReader::new(raw.as_bytes())).unwrap()
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let out = parse(
+            "POST /sessions/s1/next?verbose=1 HTTP/1.1\r\nHost: x\r\nContent-Length: 7\r\n\r\n{\"a\":1}",
+        );
+        let ReadOutcome::Ok(req) = out else {
+            panic!("expected Ok")
+        };
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/sessions/s1/next");
+        assert_eq!(req.segments(), vec!["sessions", "s1", "next"]);
+        assert_eq!(req.body, b"{\"a\":1}");
+        assert_eq!(req.header("host"), Some("x"));
+        assert!(!req.wants_close());
+    }
+
+    #[test]
+    fn parses_get_without_body_and_close_header() {
+        let ReadOutcome::Ok(req) = parse("GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n")
+        else {
+            panic!("expected Ok")
+        };
+        assert_eq!(req.method, "GET");
+        assert!(req.body.is_empty());
+        assert!(req.wants_close());
+    }
+
+    #[test]
+    fn clean_eof_is_closed_not_error() {
+        assert!(matches!(parse(""), ReadOutcome::Closed));
+    }
+
+    #[test]
+    fn malformed_inputs_get_statuses() {
+        let cases: Vec<(&str, u16)> = vec![
+            ("GARBAGE\r\n\r\n", 400),
+            ("GET /x SPDY/3\r\n\r\n", 505),
+            ("GET /x HTTP/1.1\r\nbadheader\r\n\r\n", 400),
+            ("POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n", 400),
+            (
+                "POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+                501,
+            ),
+        ];
+        for (raw, want) in cases {
+            match parse(raw) {
+                ReadOutcome::Malformed(status, _) => assert_eq!(status, want, "{raw:?}"),
+                _ => panic!("{raw:?} should be malformed"),
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_single_header_line_gets_431_not_a_dropped_connection() {
+        let raw = format!("GET /x HTTP/1.1\r\nx-pad: {}\r\n\r\n", "a".repeat(MAX_HEAD));
+        match read_request(&mut BufReader::new(raw.as_bytes())).unwrap() {
+            ReadOutcome::Malformed(status, _) => assert_eq!(status, 431),
+            _ => panic!("expected 431"),
+        }
+    }
+
+    #[test]
+    fn response_wire_format() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, b"{}", true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("content-length: 2\r\n"));
+        assert!(text.contains("connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+
+    #[test]
+    fn keep_alive_sequencing_on_one_stream() {
+        let raw = "GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n";
+        let mut stream = BufReader::new(raw.as_bytes());
+        let ReadOutcome::Ok(a) = read_request(&mut stream).unwrap() else {
+            panic!()
+        };
+        let ReadOutcome::Ok(b) = read_request(&mut stream).unwrap() else {
+            panic!()
+        };
+        assert_eq!(a.path, "/a");
+        assert_eq!(b.path, "/b");
+        assert!(matches!(
+            read_request(&mut stream).unwrap(),
+            ReadOutcome::Closed
+        ));
+    }
+}

@@ -1,0 +1,463 @@
+//! The concurrent session manager: adaptive sessions keyed by token.
+//!
+//! Each session pairs a [`PolicyStepper`] with a suspended
+//! [`SessionState`]; the serve-observe-update loop of the paper's adaptive
+//! protocol (§II-B) is driven one request at a time:
+//!
+//! 1. `next` — resume the session, let the policy commit its next seed,
+//!    suspend again. The seed is now *pending*: the residual graph is not
+//!    touched until its cascade is observed.
+//! 2. `observe` — apply the realized activations (client-reported, or
+//!    server-simulated against the session's possible world) and clear the
+//!    pending seed.
+//! 3. `ledger` — read the profit ledger at any time.
+//!
+//! Concurrency: the table itself is a `Mutex<HashMap>` held only for
+//! lookup/insert; each session sits behind its own `Arc<Mutex<_>>`, so
+//! requests for different sessions proceed in parallel and requests for the
+//! same session serialize (the protocol is inherently sequential per
+//! session). Out-of-order calls (`next` with an observation outstanding,
+//! `observe` with nothing pending or the wrong seed) are rejected with 409
+//! rather than corrupting the run — the serve protocol stays byte-identical
+//! to the in-process [`run_stepper`](atpm_core::run_stepper) drive.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use atpm_core::{AdaptiveSession, PolicyStepper, SessionState};
+use atpm_graph::Node;
+
+use crate::protocol::{ApiError, CreateSessionReq, Ledger, ObserveReq};
+use crate::snapshot::{Snapshot, SnapshotStore};
+
+/// One hosted session.
+struct SessionEntry {
+    snapshot: Arc<Snapshot>,
+    stepper: Box<dyn PolicyStepper>,
+    /// Suspended between requests; `Some` except transiently inside a
+    /// request handler.
+    state: Option<SessionState>,
+    /// Seed committed by `next` and not yet observed.
+    pending: Option<Node>,
+    /// Policy exhausted (stepper returned `None`).
+    done: bool,
+}
+
+/// The error a session answers with after a handler panic tore its state:
+/// the run cannot be continued consistently, only discarded.
+fn corrupted() -> ApiError {
+    ApiError::new(
+        500,
+        "session state lost by an earlier panic; DELETE it and open a new one",
+    )
+}
+
+impl SessionEntry {
+    /// Runs `f` on the resumed session, suspending the result back. If `f`
+    /// panics, the state stays `None` and the panic propagates (the server
+    /// catches it at the request boundary); later calls get a clean 500
+    /// from [`corrupted`] instead of a cascading panic.
+    fn with_session<T>(
+        &mut self,
+        f: impl FnOnce(&mut Box<dyn PolicyStepper>, &mut AdaptiveSession<'_>) -> T,
+    ) -> Result<T, ApiError> {
+        let state = self.state.take().ok_or_else(corrupted)?;
+        let snapshot = self.snapshot.clone();
+        let mut session = AdaptiveSession::resume(&snapshot.instance, state);
+        let out = f(&mut self.stepper, &mut session);
+        self.state = Some(session.suspend());
+        Ok(out)
+    }
+
+    fn ledger(&self) -> Result<Ledger, ApiError> {
+        let state = self.state.as_ref().ok_or_else(corrupted)?;
+        Ok(Ledger {
+            algorithm: self.stepper.name().into_owned(),
+            selected: state.selected().to_vec(),
+            profit: state.profit(&self.snapshot.instance),
+            total_activated: state.total_activated(),
+            num_alive: state.num_alive(),
+            sampling_work: state.sampling_work(),
+            done: self.done,
+        })
+    }
+}
+
+/// Response of `next`: the committed seed batch (empty when done).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NextBatch {
+    /// Seeds awaiting observation (the double-greedy family commits one at
+    /// a time, so this is 0 or 1 seeds; the field is a batch so richer
+    /// policies can extend the protocol without changing the wire format).
+    pub seeds: Vec<Node>,
+    /// Whether the policy has finished.
+    pub done: bool,
+}
+
+/// Response of `observe`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Observed {
+    /// The activation set that was applied (as reported, or as simulated).
+    pub activated: Vec<Node>,
+    /// How many of those were newly activated.
+    pub newly_activated: usize,
+    /// Ledger after applying the observation.
+    pub ledger: Ledger,
+}
+
+/// Concurrent session table over a snapshot store.
+pub struct SessionManager {
+    store: Arc<SnapshotStore>,
+    sessions: Mutex<HashMap<String, Arc<Mutex<SessionEntry>>>>,
+    next_id: AtomicU64,
+}
+
+impl SessionManager {
+    /// A manager over `store`.
+    pub fn new(store: Arc<SnapshotStore>) -> Self {
+        SessionManager {
+            store,
+            sessions: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+        }
+    }
+
+    /// The snapshot store sessions draw from.
+    pub fn store(&self) -> &Arc<SnapshotStore> {
+        &self.store
+    }
+
+    /// Number of live sessions.
+    pub fn len(&self) -> usize {
+        self.sessions
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .len()
+    }
+
+    /// Whether no sessions are live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Opens a session; returns `(token, algorithm name, k)`.
+    pub fn create(&self, req: &CreateSessionReq) -> Result<(String, String, usize), ApiError> {
+        let snapshot = self
+            .store
+            .get(&req.snapshot)
+            .ok_or_else(|| ApiError::not_found("snapshot", &req.snapshot))?;
+        let stepper = req.policy.build()?;
+        let algorithm = stepper.name().into_owned();
+        let k = snapshot.instance.k();
+        let state = AdaptiveSession::new(&snapshot.instance, req.world_seed).suspend();
+        let token = format!(
+            "s{:08x}",
+            splitmix64(self.next_id.fetch_add(1, Ordering::Relaxed))
+        );
+        let entry = SessionEntry {
+            snapshot,
+            stepper,
+            state: Some(state),
+            pending: None,
+            done: false,
+        };
+        self.sessions
+            .lock()
+            .expect("session table poisoned")
+            .insert(token.clone(), Arc::new(Mutex::new(entry)));
+        Ok((token, algorithm, k))
+    }
+
+    fn entry(&self, token: &str) -> Result<Arc<Mutex<SessionEntry>>, ApiError> {
+        self.sessions
+            .lock()
+            .expect("session table poisoned")
+            .get(token)
+            .cloned()
+            .ok_or_else(|| ApiError::not_found("session", token))
+    }
+
+    /// Advances the policy to its next committed seed.
+    pub fn next(&self, token: &str) -> Result<NextBatch, ApiError> {
+        let entry = self.entry(token)?;
+        let mut entry = lock_entry(&entry);
+        if let Some(u) = entry.pending {
+            return Err(ApiError::new(
+                409,
+                format!("seed {u} awaits observation; POST observe first"),
+            ));
+        }
+        if entry.done {
+            return Ok(NextBatch {
+                seeds: Vec::new(),
+                done: true,
+            });
+        }
+        let decided = entry.with_session(|stepper, session| stepper.next_seed(session))?;
+        match decided {
+            Some(u) => {
+                entry.pending = Some(u);
+                Ok(NextBatch {
+                    seeds: vec![u],
+                    done: false,
+                })
+            }
+            None => {
+                entry.done = true;
+                Ok(NextBatch {
+                    seeds: Vec::new(),
+                    done: true,
+                })
+            }
+        }
+    }
+
+    /// Applies an observation for the pending seed.
+    pub fn observe(&self, token: &str, req: &ObserveReq) -> Result<Observed, ApiError> {
+        let entry = self.entry(token)?;
+        let mut entry = entry.lock().expect("session poisoned");
+        let pending = entry
+            .pending
+            .ok_or_else(|| ApiError::new(409, "no seed awaiting observation; POST next first"))?;
+        if req.seed() != pending {
+            return Err(ApiError::new(
+                409,
+                format!(
+                    "observation is for seed {}, but seed {pending} is pending",
+                    req.seed()
+                ),
+            ));
+        }
+        let n = entry.snapshot.instance.graph().num_nodes();
+        let (activated, newly_activated) = match req {
+            ObserveReq::Simulate { seed } => {
+                let cascade = entry.with_session(|_, session| session.select(*seed))?;
+                let newly = cascade.len();
+                (cascade, newly)
+            }
+            ObserveReq::Report { seed, activated } => {
+                if let Some(&bad) = activated.iter().find(|&&v| v as usize >= n) {
+                    return Err(ApiError::bad_request(format!(
+                        "activated node {bad} out of range for a {n}-node graph"
+                    )));
+                }
+                // Under the IC model a committed seed always activates
+                // itself (it was alive when the stepper proposed it); a
+                // report omitting it would leave the ledger paying for a
+                // seed the residual graph still considers inactive.
+                if !activated.contains(seed) {
+                    return Err(ApiError::bad_request(format!(
+                        "activated must include the seed {seed} itself"
+                    )));
+                }
+                let seed = *seed;
+                let reported = activated.clone();
+                let newly = entry
+                    .with_session(move |_, session| session.apply_observation(seed, &reported))?;
+                (activated.clone(), newly)
+            }
+        };
+        entry.pending = None;
+        let ledger = entry.ledger()?;
+        Ok(Observed {
+            newly_activated,
+            activated,
+            ledger,
+        })
+    }
+
+    /// The session's current profit ledger.
+    pub fn ledger(&self, token: &str) -> Result<Ledger, ApiError> {
+        let entry = self.entry(token)?;
+        let entry = lock_entry(&entry);
+        entry.ledger()
+    }
+
+    /// Closes a session; returns whether it existed.
+    pub fn delete(&self, token: &str) -> bool {
+        self.sessions
+            .lock()
+            .expect("session table poisoned")
+            .remove(token)
+            .is_some()
+    }
+}
+
+/// Locks a session entry, recovering from poison: a panic inside an earlier
+/// request must quarantine that session (handled via the taken-state check),
+/// not wedge every later request on the same entry.
+fn lock_entry(entry: &Arc<Mutex<SessionEntry>>) -> std::sync::MutexGuard<'_, SessionEntry> {
+    entry.lock().unwrap_or_else(|poison| poison.into_inner())
+}
+
+/// SplitMix64 — scrambles the sequential counter into opaque-looking tokens.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{PolicySpec, SnapshotReq, SnapshotSource};
+
+    fn manager() -> SessionManager {
+        let store = Arc::new(SnapshotStore::new());
+        store.insert(
+            Snapshot::build(&SnapshotReq {
+                name: "g".into(),
+                source: SnapshotSource::Preset {
+                    dataset: "nethept".into(),
+                    scale: 0.02,
+                },
+                k: 5,
+                rr_theta: 5_000,
+                seed: 1,
+                threads: 1,
+            })
+            .unwrap(),
+        );
+        SessionManager::new(store)
+    }
+
+    fn create(m: &SessionManager, policy: PolicySpec, world: u64) -> String {
+        m.create(&CreateSessionReq {
+            snapshot: "g".into(),
+            policy,
+            world_seed: world,
+        })
+        .unwrap()
+        .0
+    }
+
+    #[test]
+    fn full_deploy_all_run_through_the_protocol() {
+        let m = manager();
+        let token = create(&m, PolicySpec::DeployAll, 7);
+        let mut selected = Vec::new();
+        loop {
+            let batch = m.next(&token).unwrap();
+            if batch.done {
+                break;
+            }
+            let seed = batch.seeds[0];
+            let obs = m.observe(&token, &ObserveReq::Simulate { seed }).unwrap();
+            assert!(obs.activated.contains(&seed));
+            selected.push(seed);
+        }
+        let ledger = m.ledger(&token).unwrap();
+        assert!(ledger.done);
+        assert_eq!(ledger.selected, selected);
+        assert_eq!(ledger.algorithm, "DeployAll");
+        assert!(!selected.is_empty());
+        assert!(m.delete(&token));
+        assert!(!m.delete(&token));
+        assert!(m.ledger(&token).is_err());
+    }
+
+    #[test]
+    fn out_of_order_calls_conflict() {
+        let m = manager();
+        let token = create(&m, PolicySpec::DeployAll, 7);
+        // observe before any next: 409.
+        let err = m
+            .observe(&token, &ObserveReq::Simulate { seed: 0 })
+            .unwrap_err();
+        assert_eq!(err.status, 409);
+        let batch = m.next(&token).unwrap();
+        let seed = batch.seeds[0];
+        // next again without observing: 409.
+        assert_eq!(m.next(&token).unwrap_err().status, 409);
+        // observing the wrong seed: 409.
+        let err = m
+            .observe(&token, &ObserveReq::Simulate { seed: seed + 1 })
+            .unwrap_err();
+        assert_eq!(err.status, 409);
+        // correct observation unblocks.
+        m.observe(&token, &ObserveReq::Simulate { seed }).unwrap();
+        assert!(m.next(&token).is_ok());
+    }
+
+    #[test]
+    fn report_mode_validates_and_applies_external_activations() {
+        let m = manager();
+        let token = create(&m, PolicySpec::DeployAll, 7);
+        let seed = m.next(&token).unwrap().seeds[0];
+        let err = m
+            .observe(
+                &token,
+                &ObserveReq::Report {
+                    seed,
+                    activated: vec![u32::MAX],
+                },
+            )
+            .unwrap_err();
+        assert_eq!(err.status, 400);
+        // A report omitting the seed itself is inconsistent under IC: 400.
+        let err = m
+            .observe(
+                &token,
+                &ObserveReq::Report {
+                    seed,
+                    activated: vec![],
+                },
+            )
+            .unwrap_err();
+        assert_eq!(err.status, 400);
+        let obs = m
+            .observe(
+                &token,
+                &ObserveReq::Report {
+                    seed,
+                    activated: vec![seed],
+                },
+            )
+            .unwrap();
+        assert_eq!(obs.ledger.total_activated, 1);
+        assert_eq!(obs.ledger.selected, vec![seed]);
+    }
+
+    #[test]
+    fn unknown_tokens_and_snapshots_are_404() {
+        let m = manager();
+        assert_eq!(m.next("nope").unwrap_err().status, 404);
+        let err = m
+            .create(&CreateSessionReq {
+                snapshot: "missing".into(),
+                policy: PolicySpec::DeployAll,
+                world_seed: 0,
+            })
+            .unwrap_err();
+        assert_eq!(err.status, 404);
+    }
+
+    #[test]
+    fn sessions_progress_independently() {
+        let m = manager();
+        let a = create(&m, PolicySpec::DeployAll, 1);
+        let b = create(&m, PolicySpec::Ars { prob: 1.0, seed: 0 }, 1);
+        assert_eq!(m.len(), 2);
+        let sa = m.next(&a).unwrap().seeds[0];
+        let sb = m.next(&b).unwrap().seeds[0];
+        // Same snapshot, same world, both policies take the first target.
+        assert_eq!(sa, sb);
+        m.observe(&a, &ObserveReq::Simulate { seed: sa }).unwrap();
+        // b still pending; a can continue.
+        assert!(m.next(&a).is_ok());
+        assert_eq!(m.next(&b).unwrap_err().status, 409);
+        m.observe(&b, &ObserveReq::Simulate { seed: sb }).unwrap();
+        assert!(m.next(&b).is_ok());
+    }
+
+    #[test]
+    fn tokens_are_unique() {
+        let m = manager();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..50 {
+            assert!(seen.insert(create(&m, PolicySpec::DeployAll, 0)));
+        }
+    }
+}

@@ -1,0 +1,477 @@
+//! The TCP front end: a fixed worker pool over `std::net::TcpListener`, a
+//! path router, and the shared application state.
+//!
+//! Each worker owns a [`CoverageScratch`] for the lifetime of the process:
+//! estimate queries against a snapshot's pre-frozen RR index reuse it across
+//! requests, so the steady-state read path performs zero heap allocation in
+//! the coverage oracle (the same discipline the RIS engine enforces
+//! in-process). Workers `accept` concurrently on the shared listener — the
+//! kernel load-balances — and hold a connection through its keep-alive
+//! lifetime; concurrency across *sessions* comes from the per-session locks
+//! in [`SessionManager`], not from the pool size.
+
+use std::collections::HashMap;
+use std::io::{self, BufReader};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use atpm_ris::CoverageScratch;
+
+use crate::http::{read_request, write_response, ReadOutcome, Request};
+use crate::json::Json;
+use crate::manager::SessionManager;
+use crate::protocol::{nodes_field, ApiError, CreateSessionReq, ObserveReq, SnapshotReq};
+use crate::snapshot::{Snapshot, SnapshotStore};
+
+/// Everything the routes need: snapshot store + session manager.
+pub struct AppState {
+    /// Named snapshots.
+    pub store: Arc<SnapshotStore>,
+    /// Live sessions.
+    pub manager: SessionManager,
+}
+
+impl AppState {
+    /// Fresh state with an empty store.
+    pub fn new() -> Arc<AppState> {
+        let store = Arc::new(SnapshotStore::new());
+        Arc::new(AppState {
+            manager: SessionManager::new(store.clone()),
+            store,
+        })
+    }
+}
+
+/// Dispatches one protocol call. Both the HTTP workers and the in-process
+/// [`LocalClient`](crate::client::LocalClient) land here, so the two drive
+/// paths cannot diverge.
+pub fn route(
+    state: &AppState,
+    method: &str,
+    path: &str,
+    body: &Json,
+    scratch: &mut CoverageScratch,
+) -> Result<(u16, Json), ApiError> {
+    let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+    match (method, segments.as_slice()) {
+        ("GET", ["healthz"]) => Ok((200, Json::obj([("ok", Json::Bool(true))]))),
+
+        ("GET", ["snapshots"]) => Ok((200, state.store.list_json())),
+        ("POST", ["snapshots"]) => {
+            let req = SnapshotReq::from_json(body)?;
+            let snap = Snapshot::build(&req)?;
+            let info = snap.info_json();
+            state.store.insert(snap);
+            Ok((201, info))
+        }
+        ("GET", ["snapshots", name]) => {
+            let snap = state
+                .store
+                .get(name)
+                .ok_or_else(|| ApiError::not_found("snapshot", name))?;
+            Ok((200, snap.info_json()))
+        }
+        ("DELETE", ["snapshots", name]) => {
+            if state.store.remove(name) {
+                Ok((200, Json::obj([])))
+            } else {
+                Err(ApiError::not_found("snapshot", name))
+            }
+        }
+        ("POST", ["snapshots", name, "estimate"]) => {
+            let snap = state
+                .store
+                .get(name)
+                .ok_or_else(|| ApiError::not_found("snapshot", name))?;
+            let nodes = nodes_field(body, "nodes")?;
+            let spread = snap.estimate_spread(&nodes, scratch)?;
+            Ok((
+                200,
+                Json::obj([
+                    ("spread", Json::Num(spread)),
+                    ("rr_sets", Json::Num(snap.rr.len() as f64)),
+                ]),
+            ))
+        }
+
+        ("POST", ["sessions"]) => {
+            let req = CreateSessionReq::from_json(body)?;
+            let (token, algorithm, k) = state.manager.create(&req)?;
+            Ok((
+                201,
+                Json::obj([
+                    ("session", Json::Str(token)),
+                    ("algorithm", Json::Str(algorithm)),
+                    ("k", Json::Num(k as f64)),
+                ]),
+            ))
+        }
+        ("POST", ["sessions", token, "next"]) => {
+            let batch = state.manager.next(token)?;
+            Ok((
+                200,
+                Json::obj([
+                    ("seeds", Json::nums(batch.seeds.iter().copied())),
+                    ("done", Json::Bool(batch.done)),
+                ]),
+            ))
+        }
+        ("POST", ["sessions", token, "observe"]) => {
+            let req = ObserveReq::from_json(body)?;
+            let obs = state.manager.observe(token, &req)?;
+            Ok((
+                200,
+                Json::obj([
+                    ("activated", Json::nums(obs.activated.iter().copied())),
+                    ("newly_activated", Json::Num(obs.newly_activated as f64)),
+                    ("ledger", obs.ledger.to_json()),
+                ]),
+            ))
+        }
+        ("GET", ["sessions", token, "ledger"]) => Ok((200, state.manager.ledger(token)?.to_json())),
+        ("DELETE", ["sessions", token]) => {
+            if state.manager.delete(token) {
+                Ok((200, Json::obj([])))
+            } else {
+                Err(ApiError::not_found("session", token))
+            }
+        }
+
+        _ => Err(ApiError::new(404, format!("no route for {method} {path}"))),
+    }
+}
+
+/// Runs `route` on a raw request, folding parse failures and `ApiError`s
+/// into JSON error responses.
+fn respond(state: &AppState, req: &Request, scratch: &mut CoverageScratch) -> (u16, Json) {
+    let body = if req.body.is_empty() {
+        Ok(Json::obj([]))
+    } else {
+        std::str::from_utf8(&req.body)
+            .map_err(|_| "body is not UTF-8".to_string())
+            .and_then(|text| Json::parse(text).map_err(|e| e.to_string()))
+    };
+    let result = match body {
+        Ok(body) => {
+            // A panicking handler (policy assertion, arithmetic bug) must
+            // cost one request, not the worker thread — an unwound worker
+            // silently shrinks the accept pool until the server is deaf.
+            // The panicked session quarantines itself: its state was taken
+            // and not restored, so later calls on it get a clean 500.
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                route(state, &req.method, &req.path, &body, scratch)
+            }))
+            .unwrap_or_else(|_| Err(ApiError::new(500, "internal error (handler panicked)")))
+        }
+        Err(msg) => Err(ApiError::bad_request(msg)),
+    };
+    match result {
+        Ok(ok) => ok,
+        Err(e) => (e.status, Json::obj([("error", Json::Str(e.message))])),
+    }
+}
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads (= concurrently served connections).
+    pub workers: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+        }
+    }
+}
+
+/// Live connections, so shutdown can interrupt workers parked in a
+/// keep-alive read (a worker blocked on an idle client would otherwise
+/// never observe the stop flag and `join` would deadlock).
+#[derive(Default)]
+struct ConnRegistry {
+    map: Mutex<HashMap<u64, TcpStream>>,
+    next: AtomicU64,
+}
+
+impl ConnRegistry {
+    fn register(&self, stream: &TcpStream) -> u64 {
+        let id = self.next.fetch_add(1, Ordering::Relaxed);
+        if let Ok(clone) = stream.try_clone() {
+            self.map
+                .lock()
+                .expect("conn registry poisoned")
+                .insert(id, clone);
+        }
+        id
+    }
+
+    fn deregister(&self, id: u64) {
+        self.map.lock().expect("conn registry poisoned").remove(&id);
+    }
+
+    fn close_all(&self) {
+        for stream in self.map.lock().expect("conn registry poisoned").values() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+/// A running server; dropping it (or calling [`shutdown`](Server::shutdown))
+/// stops the workers.
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    conns: Arc<ConnRegistry>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds and starts the worker pool.
+    pub fn start(state: Arc<AppState>, cfg: &ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let conns = Arc::new(ConnRegistry::default());
+        let workers = (0..cfg.workers.max(1))
+            .map(|_| {
+                let listener = listener.try_clone().expect("clone listener");
+                let state = state.clone();
+                let stop = stop.clone();
+                let conns = conns.clone();
+                std::thread::spawn(move || worker_loop(&listener, &state, &stop, &conns))
+            })
+            .collect();
+        Ok(Server {
+            addr,
+            stop,
+            conns,
+            workers,
+        })
+    }
+
+    /// The bound address (with the resolved ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, interrupts live connections, and joins the workers.
+    /// Idempotent.
+    pub fn shutdown(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Workers mid-connection: yank the socket out from under the read.
+        self.conns.close_all();
+        // Workers parked in accept(): poke them awake.
+        for _ in 0..self.workers.len() {
+            let _ = TcpStream::connect(self.addr);
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(listener: &TcpListener, state: &AppState, stop: &AtomicBool, conns: &ConnRegistry) {
+    // One scratch per worker, reused across every request it ever serves.
+    let mut scratch = CoverageScratch::new();
+    while !stop.load(Ordering::SeqCst) {
+        let Ok((stream, _)) = listener.accept() else {
+            continue;
+        };
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let id = conns.register(&stream);
+        // Re-check after registering: a shutdown between accept and register
+        // would have missed this connection in close_all.
+        if stop.load(Ordering::SeqCst) {
+            let _ = stream.shutdown(Shutdown::Both);
+            conns.deregister(id);
+            return;
+        }
+        let _ = serve_connection(stream, state, stop, &mut scratch);
+        conns.deregister(id);
+    }
+}
+
+fn serve_connection(
+    stream: TcpStream,
+    state: &AppState,
+    stop: &AtomicBool,
+    scratch: &mut CoverageScratch,
+) -> io::Result<()> {
+    stream.set_nodelay(true).ok();
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        match read_request(&mut reader)? {
+            ReadOutcome::Closed => return Ok(()),
+            ReadOutcome::Malformed(status, message) => {
+                let body = Json::obj([("error", Json::Str(message))]).encode();
+                write_response(&mut writer, status, body.as_bytes(), false)?;
+                return Ok(());
+            }
+            ReadOutcome::Ok(req) => {
+                let (status, body) = respond(state, &req, scratch);
+                let keep = !req.wants_close();
+                write_response(&mut writer, status, body.encode().as_bytes(), keep)?;
+                if !keep {
+                    return Ok(());
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{PolicySpec, SnapshotSource};
+
+    fn state_with_snapshot() -> Arc<AppState> {
+        let state = AppState::new();
+        state.store.insert(
+            Snapshot::build(&SnapshotReq {
+                name: "g".into(),
+                source: SnapshotSource::Preset {
+                    dataset: "nethept".into(),
+                    scale: 0.02,
+                },
+                k: 4,
+                rr_theta: 4_000,
+                seed: 1,
+                threads: 1,
+            })
+            .unwrap(),
+        );
+        state
+    }
+
+    fn call(state: &AppState, method: &str, path: &str, body: Json) -> (u16, Json) {
+        let mut scratch = CoverageScratch::new();
+        match route(state, method, path, &body, &mut scratch) {
+            Ok(ok) => ok,
+            Err(e) => (e.status, Json::obj([("error", Json::Str(e.message))])),
+        }
+    }
+
+    #[test]
+    fn routes_cover_the_protocol_surface() {
+        let state = state_with_snapshot();
+        let (status, health) = call(&state, "GET", "/healthz", Json::obj([]));
+        assert_eq!(
+            (status, health.get("ok").and_then(Json::as_bool)),
+            (200, Some(true))
+        );
+
+        let (status, list) = call(&state, "GET", "/snapshots", Json::obj([]));
+        assert_eq!(status, 200);
+        assert_eq!(list.as_arr().unwrap().len(), 1);
+
+        let (status, info) = call(&state, "GET", "/snapshots/g", Json::obj([]));
+        assert_eq!(status, 200);
+        assert_eq!(info.get("targets").unwrap().as_u64(), Some(4));
+
+        let (status, est) = call(
+            &state,
+            "POST",
+            "/snapshots/g/estimate",
+            Json::obj([("nodes", Json::nums([0u32, 1]))]),
+        );
+        assert_eq!(status, 200);
+        assert!(est.get("spread").unwrap().as_f64().unwrap() >= 0.0);
+
+        let create = CreateSessionReq {
+            snapshot: "g".into(),
+            policy: PolicySpec::DeployAll,
+            world_seed: 3,
+        };
+        let (status, resp) = call(&state, "POST", "/sessions", create.to_json());
+        assert_eq!(status, 201);
+        let token = resp.get("session").unwrap().as_str().unwrap().to_string();
+
+        let (status, batch) = call(
+            &state,
+            "POST",
+            &format!("/sessions/{token}/next"),
+            Json::obj([]),
+        );
+        assert_eq!(status, 200);
+        let seed = batch.get("seeds").unwrap().as_arr().unwrap()[0]
+            .as_u64()
+            .unwrap() as u32;
+
+        let (status, obs) = call(
+            &state,
+            "POST",
+            &format!("/sessions/{token}/observe"),
+            ObserveReq::Simulate { seed }.to_json(),
+        );
+        assert_eq!(status, 200);
+        assert!(obs.get("newly_activated").unwrap().as_u64().unwrap() >= 1);
+
+        let (status, ledger) = call(
+            &state,
+            "GET",
+            &format!("/sessions/{token}/ledger"),
+            Json::obj([]),
+        );
+        assert_eq!(status, 200);
+        assert_eq!(ledger.get("selected").unwrap().as_arr().unwrap().len(), 1);
+
+        let (status, _) = call(
+            &state,
+            "DELETE",
+            &format!("/sessions/{token}"),
+            Json::obj([]),
+        );
+        assert_eq!(status, 200);
+        let (status, _) = call(&state, "DELETE", "/snapshots/g", Json::obj([]));
+        assert_eq!(status, 200);
+    }
+
+    #[test]
+    fn unknown_routes_are_404_and_errors_carry_messages() {
+        let state = state_with_snapshot();
+        let (status, body) = call(&state, "GET", "/nope", Json::obj([]));
+        assert_eq!(status, 404);
+        assert!(body
+            .get("error")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("/nope"));
+        let (status, _) = call(&state, "PATCH", "/healthz", Json::obj([]));
+        assert_eq!(status, 404);
+        let (status, body) = call(&state, "POST", "/sessions", Json::obj([]));
+        assert_eq!(status, 400);
+        assert!(body.get("error").is_some());
+    }
+
+    #[test]
+    fn server_boots_and_shuts_down() {
+        let state = state_with_snapshot();
+        let mut server = Server::start(state, &ServeConfig::default()).unwrap();
+        let addr = server.addr();
+        assert_ne!(addr.port(), 0);
+        server.shutdown();
+        server.shutdown(); // idempotent
+    }
+}

@@ -1,0 +1,253 @@
+//! The snapshot store: named, refcounted graph snapshots with a pre-frozen
+//! RR index.
+//!
+//! A [`Snapshot`] bundles everything a session needs to start instantly:
+//! the immutable [`TpmInstance`] (graph + IMM-selected targets + calibrated
+//! costs) and a frozen [`RrCollection`] sampled at load time. Sessions and
+//! estimate queries share the snapshot through an `Arc`, so creating a
+//! session is O(1) in graph size — the expensive work (graph generation or
+//! file load, IMM target selection, cost calibration, RR sampling +
+//! index freeze) happens exactly once per snapshot, and concurrent readers
+//! never contend: the store's `RwLock` is only held to look up or swap the
+//! `Arc`, never while a query runs.
+
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+use atpm_core::setup::{calibrated_instance, CalibrationConfig};
+use atpm_core::{CostSplit, TpmInstance};
+use atpm_graph::gen::Dataset;
+use atpm_graph::io;
+use atpm_ris::{generate_batch, CoverageScratch, RrCollection};
+
+use crate::json::Json;
+use crate::protocol::{ApiError, SnapshotReq, SnapshotSource};
+
+/// A loaded snapshot: instance + warm RR index.
+pub struct Snapshot {
+    /// Store key.
+    pub name: String,
+    /// The problem instance sessions run against.
+    pub instance: TpmInstance,
+    /// Frozen RR index over the full graph, sampled at load time. Spread
+    /// estimates answer from this without resampling.
+    pub rr: RrCollection,
+}
+
+impl Snapshot {
+    /// Builds a snapshot from a request: loads/generates the graph, selects
+    /// the target set, calibrates costs, samples and freezes the RR index.
+    pub fn build(req: &SnapshotReq) -> Result<Snapshot, ApiError> {
+        let graph = match &req.source {
+            SnapshotSource::Preset { dataset, scale } => {
+                let d = Dataset::parse(dataset).ok_or_else(|| {
+                    ApiError::bad_request(format!(
+                        "unknown preset '{dataset}' (expected nethept | epinions | dblp | livejournal)"
+                    ))
+                })?;
+                if !(*scale > 0.0 && *scale <= 1.0) {
+                    return Err(ApiError::bad_request("scale must be in (0, 1]"));
+                }
+                d.generate(*scale, req.seed)
+            }
+            SnapshotSource::File { path, default_prob } => {
+                io::load_auto(path, *default_prob as f32)
+                    .map_err(|e| ApiError::bad_request(format!("cannot load '{path}': {e}")))?
+            }
+        };
+        let n = graph.num_nodes();
+        if req.k == 0 || req.k >= n.max(1) {
+            return Err(ApiError::bad_request(format!(
+                "k = {} out of range for a {n}-node graph",
+                req.k
+            )));
+        }
+        let instance = calibrated_instance(
+            graph,
+            req.k,
+            CostSplit::DegreeProportional,
+            CalibrationConfig {
+                lb_theta: req.rr_theta.clamp(1_000, 400_000),
+                seed: req.seed,
+                threads: req.threads,
+                ..Default::default()
+            },
+        );
+        let rr = generate_batch(
+            &instance.graph(),
+            req.rr_theta,
+            req.seed.wrapping_add(0x5EED),
+            req.threads,
+        );
+        Ok(Snapshot {
+            name: req.name.clone(),
+            instance,
+            rr,
+        })
+    }
+
+    /// Store/info wire form.
+    pub fn info_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::Str(self.name.clone())),
+            ("nodes", Json::Num(self.instance.graph().num_nodes() as f64)),
+            ("edges", Json::Num(self.instance.graph().num_edges() as f64)),
+            ("targets", Json::Num(self.instance.k() as f64)),
+            ("total_cost", Json::Num(self.instance.total_cost())),
+            ("rr_sets", Json::Num(self.rr.len() as f64)),
+        ])
+    }
+
+    /// Warm-start spread estimate of a seed set: `n · CovR(S)/θ` against the
+    /// pre-frozen index, using the caller's reusable scratch (the server
+    /// keeps one per worker thread, so steady-state queries allocate
+    /// nothing).
+    pub fn estimate_spread(
+        &self,
+        nodes: &[u32],
+        scratch: &mut CoverageScratch,
+    ) -> Result<f64, ApiError> {
+        let n = self.instance.graph().num_nodes();
+        if let Some(&bad) = nodes.iter().find(|&&u| u as usize >= n) {
+            return Err(ApiError::bad_request(format!(
+                "node {bad} out of range for a {n}-node graph"
+            )));
+        }
+        Ok(self.rr.scale(self.rr.cov_set_with(nodes, scratch)))
+    }
+}
+
+/// Named snapshots behind a `RwLock`: cheap concurrent lookup, exclusive
+/// only for insert/remove.
+#[derive(Default)]
+pub struct SnapshotStore {
+    map: RwLock<HashMap<String, Arc<Snapshot>>>,
+}
+
+impl SnapshotStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts (or replaces) a snapshot under its name. Sessions opened on a
+    /// replaced snapshot keep their `Arc` and finish against the old data.
+    pub fn insert(&self, snapshot: Snapshot) -> Arc<Snapshot> {
+        let arc = Arc::new(snapshot);
+        self.map
+            .write()
+            .expect("snapshot store poisoned")
+            .insert(arc.name.clone(), arc.clone());
+        arc
+    }
+
+    /// Looks up a snapshot by name.
+    pub fn get(&self, name: &str) -> Option<Arc<Snapshot>> {
+        self.map
+            .read()
+            .expect("snapshot store poisoned")
+            .get(name)
+            .cloned()
+    }
+
+    /// Removes a snapshot; returns whether it existed. Live sessions keep
+    /// their `Arc`.
+    pub fn remove(&self, name: &str) -> bool {
+        self.map
+            .write()
+            .expect("snapshot store poisoned")
+            .remove(name)
+            .is_some()
+    }
+
+    /// Info for every stored snapshot, name-sorted.
+    pub fn list_json(&self) -> Json {
+        let map = self.map.read().expect("snapshot store poisoned");
+        let mut names: Vec<&String> = map.keys().collect();
+        names.sort();
+        Json::Arr(names.iter().map(|n| map[*n].info_json()).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_req(name: &str) -> SnapshotReq {
+        SnapshotReq {
+            name: name.into(),
+            source: SnapshotSource::Preset {
+                dataset: "nethept".into(),
+                scale: 0.02,
+            },
+            k: 5,
+            rr_theta: 5_000,
+            seed: 1,
+            threads: 1,
+        }
+    }
+
+    #[test]
+    fn build_produces_frozen_index_and_targets() {
+        let snap = Snapshot::build(&tiny_req("g")).unwrap();
+        assert_eq!(snap.instance.k(), 5);
+        assert_eq!(snap.rr.len(), 5_000);
+        // Frozen index answers estimates immediately.
+        let mut scratch = CoverageScratch::new();
+        let t = snap.instance.target().to_vec();
+        let spread = snap.estimate_spread(&t, &mut scratch).unwrap();
+        assert!(spread >= 1.0, "IMM targets must reach someone: {spread}");
+        assert!(spread <= snap.instance.graph().num_nodes() as f64);
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let a = Snapshot::build(&tiny_req("a")).unwrap();
+        let b = Snapshot::build(&tiny_req("b")).unwrap();
+        assert_eq!(a.instance.target(), b.instance.target());
+        assert_eq!(a.rr.len(), b.rr.len());
+    }
+
+    #[test]
+    fn build_rejects_bad_requests() {
+        let mut bad = tiny_req("x");
+        bad.k = 0;
+        assert!(Snapshot::build(&bad).is_err());
+        let mut bad = tiny_req("x");
+        bad.source = SnapshotSource::Preset {
+            dataset: "nope".into(),
+            scale: 0.02,
+        };
+        assert!(Snapshot::build(&bad).is_err());
+        let mut bad = tiny_req("x");
+        bad.source = SnapshotSource::File {
+            path: "/definitely/not/here.bin".into(),
+            default_prob: 0.1,
+        };
+        assert!(Snapshot::build(&bad).is_err());
+    }
+
+    #[test]
+    fn store_insert_get_replace_remove() {
+        let store = SnapshotStore::new();
+        assert!(store.get("g").is_none());
+        let first = store.insert(Snapshot::build(&tiny_req("g")).unwrap());
+        let got = store.get("g").unwrap();
+        assert!(Arc::ptr_eq(&first, &got));
+        // Replacement: old Arc stays valid for live sessions.
+        let second = store.insert(Snapshot::build(&tiny_req("g")).unwrap());
+        assert!(!Arc::ptr_eq(&first, &store.get("g").unwrap()));
+        assert!(Arc::ptr_eq(&second, &store.get("g").unwrap()));
+        assert_eq!(first.instance.k(), 5);
+        assert!(store.remove("g"));
+        assert!(!store.remove("g"));
+        assert_eq!(store.list_json(), Json::Arr(vec![]));
+    }
+
+    #[test]
+    fn estimate_rejects_out_of_range_nodes() {
+        let snap = Snapshot::build(&tiny_req("g")).unwrap();
+        let mut scratch = CoverageScratch::new();
+        assert!(snap.estimate_spread(&[u32::MAX], &mut scratch).is_err());
+    }
+}

@@ -15,9 +15,12 @@
 //!   bounds);
 //! * [`im`] — influence maximization substrate (lazy greedy, IMM);
 //! * [`core`] — the paper's contribution: the adaptive TPM problem, the
-//!   ADG / ADDATP / HATP policies and all evaluated baselines.
+//!   ADG / ADDATP / HATP policies and all evaluated baselines;
+//! * [`serve`] — the serve-observe-update loop as a concurrent HTTP service
+//!   (snapshot store, session manager, protocol clients).
 //!
-//! See `examples/quickstart.rs` for an end-to-end tour.
+//! See `examples/quickstart.rs` for an end-to-end tour and
+//! `examples/serve_campaign.rs` for the service protocol.
 //!
 //! ```
 //! use adaptive_tpm::core::policies::Hatp;
@@ -43,3 +46,4 @@ pub use atpm_diffusion as diffusion;
 pub use atpm_graph as graph;
 pub use atpm_im as im;
 pub use atpm_ris as ris;
+pub use atpm_serve as serve;
