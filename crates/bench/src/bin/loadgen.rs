@@ -6,8 +6,14 @@
 //!
 //! flags: --quick                smoke configuration (CI serve-smoke job)
 //!        --addr HOST:PORT       drive an external server (default: boot one)
+//!        --backend epoll|pool   self-booted server transport (default epoll)
+//!        --boot-workers N       self-booted worker threads
+//!                               (default: 4 for epoll; max level + 1 for pool)
 //!        --levels a,b,c         concurrent-session levels   (default 1,2,4)
 //!        --sessions N           sessions per level          (default 16)
+//!        --rate R               ALSO run open-loop: R session arrivals/s
+//!        --open-sessions N      open-loop total arrivals    (default 48)
+//!        --open-workers N       open-loop client threads    (default 16)
 //!        --mix p=w,p=w          session mix                 (default hatp=1,ars=2,deploy_all=3)
 //!        --scale F --k N --rr-theta N --seed S    snapshot knobs
 //!        --json PATH            report file (default BENCH_serve.json); --no-json
@@ -22,21 +28,26 @@ fn main() {
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: atpm-loadgen [--quick] [--addr HOST:PORT] [--levels a,b,c] \
-                 [--sessions N] [--mix p=w,...] [--scale F] [--k N] [--rr-theta N] \
-                 [--seed S] [--json PATH | --no-json]"
+                "usage: atpm-loadgen [--quick] [--addr HOST:PORT] [--backend epoll|pool] \
+                 [--boot-workers N] [--levels a,b,c] [--sessions N] [--rate R] \
+                 [--open-sessions N] [--open-workers N] [--mix p=w,...] [--scale F] \
+                 [--k N] [--rr-theta N] [--seed S] [--json PATH | --no-json]"
             );
             std::process::exit(2);
         }
     };
     eprintln!(
-        "# loadgen: levels={:?} sessions/level={} mix={:?} scale={} k={} target={}",
+        "# loadgen: levels={:?} sessions/level={} rate={:?} mix={:?} scale={} k={} target={}",
         cfg.levels,
         cfg.sessions_per_level,
+        cfg.rate,
         cfg.mix,
         cfg.scale,
         cfg.k,
-        cfg.addr.as_deref().unwrap_or("(self-booted server)"),
+        match &cfg.addr {
+            Some(a) => a.clone(),
+            None => format!("(self-booted {} server)", cfg.backend.as_str()),
+        },
     );
     let t0 = std::time::Instant::now();
     match run(&cfg) {

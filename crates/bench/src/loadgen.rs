@@ -1,34 +1,57 @@
 //! Load generator for the `atpm-serve` HTTP service.
 //!
-//! Drives full adaptive sessions (create → next/observe loop → ledger →
-//! delete) over loopback from `level` concurrent connections, with a
-//! configurable policy mix, and reports throughput plus p50/p95/p99
-//! per-request latency per concurrency level. Results extend the committed
-//! perf trajectory as `BENCH_serve.json` (same spirit as `BENCH_ris.json`
-//! for the in-process engine).
+//! Two modes, both extending the committed perf trajectory in
+//! `BENCH_serve.json` (same spirit as `BENCH_ris.json` for the in-process
+//! engine):
+//!
+//! * **Closed-loop** (default): `level` concurrent connections each drive
+//!   full adaptive sessions (create → next/observe loop → ledger → delete)
+//!   back to back; reports throughput plus p50/p95/p99 per-request latency
+//!   per level. Measures the service at its own pace.
+//! * **Open-loop** (`--rate R`): sessions *arrive* at a fixed R per
+//!   second whether or not the server keeps up, the textbook way to see
+//!   behavior under overload — per-session sojourn (scheduled arrival →
+//!   completion, queueing included) and goodput (completed sessions/s) are
+//!   reported alongside request latency.
 //!
 //! By default the generator boots its own server on an ephemeral loopback
 //! port (one process, zero setup — what the CI `serve-smoke` job runs);
-//! `--addr` points it at an externally started server instead.
+//! `--backend {epoll,pool}` picks the self-booted server's transport
+//! (epoll boots a fixed 4 workers however high the level — the whole point
+//! of the reactor; pool sizes its accept pool to the biggest level, since
+//! it physically cannot serve more connections than workers). `--addr`
+//! points at an externally started server instead.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use atpm_serve::client::{HttpClient, ProtocolClient};
 use atpm_serve::json::Json;
 use atpm_serve::protocol::{CreateSessionReq, PolicySpec, SnapshotReq, SnapshotSource};
-use atpm_serve::server::{AppState, ServeConfig, Server};
+use atpm_serve::server::{AppState, Backend, ServeConfig, Server};
 
 /// Loadgen knobs.
 #[derive(Debug, Clone)]
 pub struct LoadgenConfig {
     /// Address of a running server; `None` boots one in-process.
     pub addr: Option<String>,
+    /// Transport backend for the self-booted server.
+    pub backend: Backend,
+    /// Worker threads for the self-booted server; `None` = 4 for epoll,
+    /// `max(levels)+1` for pool (which needs a thread per connection).
+    pub boot_workers: Option<usize>,
     /// Concurrent-session levels to sweep (one measurement each).
     pub levels: Vec<usize>,
     /// Full sessions to run per level (split across the connections).
     pub sessions_per_level: usize,
+    /// Open-loop arrival rate, sessions/second (`None` = closed-loop only).
+    pub rate: Option<f64>,
+    /// Open-loop total arrivals.
+    pub open_sessions: usize,
+    /// Open-loop client threads (the service capacity being tested is the
+    /// server's; this just has to be enough to express the arrival rate).
+    pub open_workers: usize,
     /// Snapshot preset scale (NetHEPT stand-in).
     pub scale: f64,
     /// Snapshot target-set size.
@@ -48,8 +71,13 @@ impl Default for LoadgenConfig {
     fn default() -> Self {
         LoadgenConfig {
             addr: None,
+            backend: Backend::Epoll,
+            boot_workers: None,
             levels: vec![1, 2, 4],
             sessions_per_level: 16,
+            rate: None,
+            open_sessions: 48,
+            open_workers: 16,
             scale: 0.02,
             k: 6,
             rr_theta: 10_000,
@@ -90,11 +118,47 @@ impl LoadgenConfig {
             };
             match arg.as_str() {
                 "--quick" => {
-                    let keep = (cfg.json_path.clone(), cfg.addr.clone());
+                    let keep = (
+                        cfg.json_path.clone(),
+                        cfg.addr.clone(),
+                        cfg.backend,
+                        cfg.rate,
+                    );
                     cfg = LoadgenConfig::quick();
-                    (cfg.json_path, cfg.addr) = keep;
+                    (cfg.json_path, cfg.addr, cfg.backend, cfg.rate) = keep;
                 }
                 "--addr" => cfg.addr = Some(value_of("--addr")?),
+                "--backend" => {
+                    let v = value_of("--backend")?;
+                    cfg.backend = Backend::parse(&v)
+                        .ok_or_else(|| format!("bad --backend '{v}' (expected epoll | pool)"))?;
+                }
+                "--boot-workers" => {
+                    cfg.boot_workers = Some(
+                        value_of("--boot-workers")?
+                            .parse()
+                            .map_err(|e| format!("bad --boot-workers: {e}"))?,
+                    );
+                }
+                "--rate" => {
+                    let r: f64 = value_of("--rate")?
+                        .parse()
+                        .map_err(|e| format!("bad --rate: {e}"))?;
+                    if r <= 0.0 || !r.is_finite() {
+                        return Err("--rate must be positive".into());
+                    }
+                    cfg.rate = Some(r);
+                }
+                "--open-sessions" => {
+                    cfg.open_sessions = value_of("--open-sessions")?
+                        .parse()
+                        .map_err(|e| format!("bad --open-sessions: {e}"))?;
+                }
+                "--open-workers" => {
+                    cfg.open_workers = value_of("--open-workers")?
+                        .parse()
+                        .map_err(|e| format!("bad --open-workers: {e}"))?;
+                }
                 "--levels" => {
                     cfg.levels = value_of("--levels")?
                         .split(',')
@@ -150,6 +214,9 @@ impl LoadgenConfig {
         if cfg.sessions_per_level == 0 {
             return Err("need at least one session per level".into());
         }
+        if cfg.rate.is_some() && (cfg.open_sessions == 0 || cfg.open_workers == 0) {
+            return Err("open-loop mode needs nonzero --open-sessions and --open-workers".into());
+        }
         if cfg.mix.is_empty() || cfg.mix.iter().all(|(_, w)| *w == 0) {
             return Err("mix needs at least one positive weight".into());
         }
@@ -190,11 +257,17 @@ fn policy_spec(name: &str, session_seed: u64) -> Option<PolicySpec> {
     }
 }
 
-/// One level's measurement.
+/// One measurement: a closed-loop concurrency level or an open-loop rate
+/// run.
 #[derive(Debug, Clone)]
 pub struct LevelReport {
-    /// Concurrent connections, each driving sessions back-to-back.
+    /// `"closed"` or `"open"`.
+    pub mode: &'static str,
+    /// Closed: concurrent connections driving sessions back-to-back.
+    /// Open: client threads available to absorb arrivals.
     pub level: usize,
+    /// Open-loop target arrival rate, sessions/second (0 for closed).
+    pub rate: f64,
     /// Completed sessions.
     pub sessions: usize,
     /// Total HTTP requests issued.
@@ -205,27 +278,37 @@ pub struct LevelReport {
     pub wall_s: f64,
     /// Requests per second.
     pub rps: f64,
+    /// Completed sessions per second — under open-loop overload this is
+    /// the service's goodput, decoupled from the offered rate.
+    pub goodput_sps: f64,
     /// Latency percentiles over all requests, microseconds.
     pub p50_us: f64,
     /// 95th percentile, microseconds.
     pub p95_us: f64,
     /// 99th percentile, microseconds.
     pub p99_us: f64,
+    /// Open-loop: 95th-percentile session sojourn (scheduled arrival →
+    /// completion, queueing included), milliseconds. 0 for closed-loop.
+    pub sojourn_p95_ms: f64,
 }
 
 impl LevelReport {
     /// JSON form (one element of `BENCH_serve.json`).
     pub fn to_json(&self) -> Json {
         Json::obj([
+            ("mode", Json::Str(self.mode.to_string())),
             ("level", Json::Num(self.level as f64)),
+            ("rate", Json::Num(self.rate)),
             ("sessions", Json::Num(self.sessions as f64)),
             ("requests", Json::Num(self.requests as f64)),
             ("seeds", Json::Num(self.seeds as f64)),
             ("wall_s", Json::Num(self.wall_s)),
             ("rps", Json::Num(self.rps)),
+            ("goodput_sps", Json::Num(self.goodput_sps)),
             ("p50_us", Json::Num(self.p50_us)),
             ("p95_us", Json::Num(self.p95_us)),
             ("p99_us", Json::Num(self.p99_us)),
+            ("sojourn_p95_ms", Json::Num(self.sojourn_p95_ms)),
         ])
     }
 }
@@ -281,20 +364,38 @@ pub fn snapshot_req(cfg: &LoadgenConfig) -> SnapshotReq {
     }
 }
 
-/// Runs the sweep. Boots an in-process server unless `cfg.addr` is set.
-/// Returns one report per level; writes `cfg.json_path` if set.
+/// Worker count for a self-booted server: the epoll backend serves any
+/// number of connections from a small fixed pool (that's the point); the
+/// pool backend physically needs a thread per concurrent connection.
+fn boot_workers(cfg: &LoadgenConfig) -> usize {
+    if let Some(w) = cfg.boot_workers {
+        return w;
+    }
+    match cfg.backend {
+        Backend::Epoll => 4,
+        Backend::Pool => {
+            let top_level = cfg.levels.iter().copied().max().unwrap_or(1);
+            top_level.max(cfg.open_workers * usize::from(cfg.rate.is_some())) + 1
+        }
+    }
+}
+
+/// Runs the sweep (and the open-loop phase if `--rate` is set). Boots an
+/// in-process server unless `cfg.addr` is set. Returns one report per
+/// measurement; writes `cfg.json_path` if set.
 pub fn run(cfg: &LoadgenConfig) -> Result<Vec<LevelReport>, String> {
     // Boot or attach.
     let mut own_server: Option<Server> = None;
     let addr = match &cfg.addr {
         Some(a) => a.clone(),
         None => {
-            let workers = cfg.levels.iter().copied().max().unwrap_or(1) + 1;
             let server = Server::start(
                 AppState::new(),
                 &ServeConfig {
                     addr: "127.0.0.1:0".into(),
-                    workers,
+                    workers: boot_workers(cfg),
+                    backend: cfg.backend,
+                    ..ServeConfig::default()
                 },
             )
             .map_err(|e| format!("cannot start server: {e}"))?;
@@ -367,17 +468,26 @@ pub fn run(cfg: &LoadgenConfig) -> Result<Vec<LevelReport>, String> {
             .collect();
         latencies.sort_unstable();
         let requests = latencies.len();
+        let sessions: usize = stats.iter().map(|s| s.sessions).sum();
         reports.push(LevelReport {
+            mode: "closed",
             level,
-            sessions: stats.iter().map(|s| s.sessions).sum(),
+            rate: 0.0,
+            sessions,
             requests,
             seeds: stats.iter().map(|s| s.seeds).sum(),
             wall_s,
             rps: requests as f64 / wall_s.max(1e-9),
+            goodput_sps: sessions as f64 / wall_s.max(1e-9),
             p50_us: percentile(&latencies, 0.50),
             p95_us: percentile(&latencies, 0.95),
             p99_us: percentile(&latencies, 0.99),
+            sojourn_p95_ms: 0.0,
         });
+    }
+
+    if let Some(rate) = cfg.rate {
+        reports.push(run_open_loop(cfg, &addr, rate)?);
     }
 
     if let Some(server) = own_server.as_mut() {
@@ -391,20 +501,143 @@ pub fn run(cfg: &LoadgenConfig) -> Result<Vec<LevelReport>, String> {
     Ok(reports)
 }
 
+/// Open-loop phase: `cfg.open_sessions` arrivals scheduled at exactly
+/// `rate` per second from a common origin; `cfg.open_workers` client
+/// threads absorb them. When the server (or the worker pool) falls behind,
+/// arrivals queue and the sojourn percentiles show it — that is the
+/// measurement.
+fn run_open_loop(cfg: &LoadgenConfig, addr: &str, rate: f64) -> Result<LevelReport, String> {
+    struct OpenStats {
+        inner: ThreadStats,
+        sojourns_ns: Vec<u64>,
+    }
+
+    let schedule = cfg.mix_schedule();
+    let total = cfg.open_sessions;
+    let counter = Arc::new(AtomicUsize::new(0));
+    let t0 = Instant::now();
+    let stats: Vec<OpenStats> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.open_workers)
+            .map(|_| {
+                let counter = counter.clone();
+                let schedule = &schedule;
+                let seed = cfg.seed;
+                scope.spawn(move || -> Result<OpenStats, String> {
+                    let mut client = TimedClient {
+                        inner: HttpClient::connect(addr).map_err(|e| format!("connect: {e}"))?,
+                        latencies_ns: Vec::new(),
+                    };
+                    let mut stats = OpenStats {
+                        inner: ThreadStats::default(),
+                        sojourns_ns: Vec::new(),
+                    };
+                    loop {
+                        let i = counter.fetch_add(1, Ordering::Relaxed);
+                        if i >= total {
+                            break;
+                        }
+                        // Fixed-rate arrival process: session i is *due* at
+                        // t0 + i/rate, regardless of how the others fared.
+                        let due = t0 + Duration::from_secs_f64(i as f64 / rate);
+                        let now = Instant::now();
+                        if due > now {
+                            std::thread::sleep(due - now);
+                        }
+                        let name = &schedule[i % schedule.len()];
+                        let spec =
+                            policy_spec(name, seed ^ (i as u64) << 17).expect("mix validated");
+                        let ledger = client
+                            .run_session(&CreateSessionReq {
+                                snapshot: "bench".into(),
+                                policy: spec,
+                                world_seed: seed.wrapping_add(i as u64),
+                            })
+                            .map_err(|e| format!("open session {i} ({name}): {e}"))?;
+                        stats.inner.sessions += 1;
+                        stats.inner.seeds += ledger.selected.len();
+                        // Sojourn from the *scheduled* arrival: overload
+                        // shows up as queueing delay here.
+                        stats.sojourns_ns.push(due.elapsed().as_nanos() as u64);
+                    }
+                    stats.inner.latencies_ns = client.latencies_ns;
+                    Ok(stats)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("open-loop thread panicked"))
+            .collect::<Result<Vec<_>, String>>()
+    })?;
+    let wall_s = t0.elapsed().as_secs_f64();
+
+    let mut latencies: Vec<u64> = stats
+        .iter()
+        .flat_map(|s| s.inner.latencies_ns.iter().copied())
+        .collect();
+    latencies.sort_unstable();
+    let mut sojourns: Vec<u64> = stats
+        .iter()
+        .flat_map(|s| s.sojourns_ns.iter().copied())
+        .collect();
+    sojourns.sort_unstable();
+    let requests = latencies.len();
+    let sessions: usize = stats.iter().map(|s| s.inner.sessions).sum();
+    Ok(LevelReport {
+        mode: "open",
+        level: cfg.open_workers,
+        rate,
+        sessions,
+        requests,
+        seeds: stats.iter().map(|s| s.inner.seeds).sum(),
+        wall_s,
+        rps: requests as f64 / wall_s.max(1e-9),
+        goodput_sps: sessions as f64 / wall_s.max(1e-9),
+        p50_us: percentile(&latencies, 0.50),
+        p95_us: percentile(&latencies, 0.95),
+        p99_us: percentile(&latencies, 0.99),
+        sojourn_p95_ms: percentile(&sojourns, 0.95) / 1_000.0,
+    })
+}
+
 /// Renders the report table.
 pub fn render(reports: &[LevelReport]) -> String {
     use std::fmt::Write;
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:>6} {:>9} {:>9} {:>6} {:>8} {:>9} {:>9} {:>9} {:>9}",
-        "level", "sessions", "requests", "seeds", "wall_s", "rps", "p50_us", "p95_us", "p99_us"
+        "{:>6} {:>6} {:>6} {:>9} {:>9} {:>6} {:>8} {:>9} {:>8} {:>9} {:>9} {:>9} {:>11}",
+        "mode",
+        "level",
+        "rate",
+        "sessions",
+        "requests",
+        "seeds",
+        "wall_s",
+        "rps",
+        "good_sps",
+        "p50_us",
+        "p95_us",
+        "p99_us",
+        "soj_p95_ms"
     );
     for r in reports {
         let _ = writeln!(
             out,
-            "{:>6} {:>9} {:>9} {:>6} {:>8.2} {:>9.0} {:>9.0} {:>9.0} {:>9.0}",
-            r.level, r.sessions, r.requests, r.seeds, r.wall_s, r.rps, r.p50_us, r.p95_us, r.p99_us
+            "{:>6} {:>6} {:>6.1} {:>9} {:>9} {:>6} {:>8.2} {:>9.0} {:>8.1} {:>9.0} {:>9.0} {:>9.0} {:>11.1}",
+            r.mode,
+            r.level,
+            r.rate,
+            r.sessions,
+            r.requests,
+            r.seeds,
+            r.wall_s,
+            r.rps,
+            r.goodput_sps,
+            r.p50_us,
+            r.p95_us,
+            r.p99_us,
+            r.sojourn_p95_ms
         );
     }
     out
@@ -469,6 +702,50 @@ mod tests {
     }
 
     #[test]
+    fn parse_backend_rate_and_open_flags() {
+        let cfg = LoadgenConfig::parse(&s(&[
+            "--backend",
+            "pool",
+            "--rate",
+            "2.5",
+            "--open-sessions",
+            "9",
+            "--open-workers",
+            "3",
+            "--boot-workers",
+            "7",
+        ]))
+        .unwrap();
+        assert_eq!(cfg.backend, Backend::Pool);
+        assert_eq!(cfg.rate, Some(2.5));
+        assert_eq!(cfg.open_sessions, 9);
+        assert_eq!(cfg.open_workers, 3);
+        assert_eq!(cfg.boot_workers, Some(7));
+        assert!(LoadgenConfig::parse(&s(&["--backend", "nope"])).is_err());
+        assert!(LoadgenConfig::parse(&s(&["--rate", "0"])).is_err());
+        assert!(LoadgenConfig::parse(&s(&["--rate", "1", "--open-workers", "0"])).is_err());
+        // --quick keeps an explicitly chosen backend and rate.
+        let cfg =
+            LoadgenConfig::parse(&s(&["--backend", "pool", "--rate", "4", "--quick"])).unwrap();
+        assert_eq!(cfg.backend, Backend::Pool);
+        assert_eq!(cfg.rate, Some(4.0));
+    }
+
+    #[test]
+    fn boot_workers_decouple_from_levels_only_on_epoll() {
+        let mut cfg = LoadgenConfig {
+            levels: vec![1, 64],
+            ..Default::default()
+        };
+        cfg.backend = Backend::Epoll;
+        assert_eq!(boot_workers(&cfg), 4, "epoll: fixed small pool");
+        cfg.backend = Backend::Pool;
+        assert_eq!(boot_workers(&cfg), 65, "pool: a thread per connection");
+        cfg.boot_workers = Some(2);
+        assert_eq!(boot_workers(&cfg), 2, "explicit override wins");
+    }
+
+    #[test]
     fn smoke_run_measures_two_levels() {
         // A miniature end-to-end sweep: real server, real sockets, tiny
         // snapshot. Keeps CI honest about the whole loadgen path.
@@ -485,11 +762,62 @@ mod tests {
         let reports = run(&cfg).unwrap();
         assert_eq!(reports.len(), 2);
         for r in &reports {
+            assert_eq!(r.mode, "closed");
             assert_eq!(r.sessions, 2);
             assert!(r.requests > 0);
             assert!(r.rps > 0.0);
             assert!(r.p50_us <= r.p95_us && r.p95_us <= r.p99_us);
         }
         assert!(render(&reports).contains("rps"));
+    }
+
+    #[test]
+    fn smoke_open_loop_reports_goodput_and_sojourn() {
+        let cfg = LoadgenConfig {
+            levels: vec![1],
+            sessions_per_level: 1,
+            rate: Some(50.0),
+            open_sessions: 8,
+            open_workers: 4,
+            scale: 0.005,
+            k: 2,
+            rr_theta: 500,
+            mix: vec![("deploy_all".into(), 1)],
+            json_path: None,
+            ..Default::default()
+        };
+        let reports = run(&cfg).unwrap();
+        assert_eq!(reports.len(), 2, "closed level + open record");
+        let open = &reports[1];
+        assert_eq!(open.mode, "open");
+        assert_eq!(open.rate, 50.0);
+        assert_eq!(open.sessions, 8);
+        assert!(open.goodput_sps > 0.0);
+        assert!(open.sojourn_p95_ms > 0.0);
+        let json = open.to_json();
+        assert_eq!(
+            json.get("mode").and_then(Json::as_str),
+            Some("open"),
+            "wire schema carries the mode tag"
+        );
+    }
+
+    #[test]
+    fn smoke_run_against_pool_backend_oracle() {
+        // The pool backend stays runnable as a differential oracle: same
+        // driver, worker pool sized to the level.
+        let cfg = LoadgenConfig {
+            backend: Backend::Pool,
+            levels: vec![2],
+            sessions_per_level: 2,
+            scale: 0.005,
+            k: 2,
+            rr_theta: 500,
+            mix: vec![("deploy_all".into(), 1)],
+            json_path: None,
+            ..Default::default()
+        };
+        let reports = run(&cfg).unwrap();
+        assert_eq!(reports[0].sessions, 2);
     }
 }

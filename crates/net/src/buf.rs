@@ -1,0 +1,202 @@
+//! Connection buffers: a write buffer with partial-write resumption and a
+//! nonblocking read helper.
+//!
+//! These are the two halves of the per-connection state machine's IO edge:
+//! [`WriteBuf`] owns every byte queued for the peer and survives any number
+//! of short writes (the kernel send buffer filling up is normal under load,
+//! not an error), and [`read_nonblocking`] slurps whatever the kernel has
+//! buffered without ever parking the reactor thread.
+
+use std::io::{self, Read, Write};
+
+/// An output queue with a consumption cursor: pushed bytes stay put until
+/// the socket accepts them, however many `write` calls that takes.
+#[derive(Default)]
+pub struct WriteBuf {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl WriteBuf {
+    /// An empty buffer.
+    pub fn new() -> WriteBuf {
+        WriteBuf::default()
+    }
+
+    /// Queues bytes for the peer.
+    pub fn push(&mut self, bytes: &[u8]) {
+        if self.pos == self.data.len() {
+            // Fully drained: restart at the front instead of growing.
+            self.data.clear();
+            self.pos = 0;
+        }
+        self.data.extend_from_slice(bytes);
+    }
+
+    /// Bytes not yet accepted by the socket.
+    pub fn pending(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Whether everything pushed has been written out.
+    pub fn is_empty(&self) -> bool {
+        self.pending() == 0
+    }
+
+    /// Writes as much as the socket will take. Returns `Ok(true)` when the
+    /// buffer fully drained, `Ok(false)` on `WouldBlock` with bytes left
+    /// (re-arm `EPOLLOUT` and resume later). Short writes are resumed
+    /// in-place; a `WriteZero`-class failure is an error like any other.
+    pub fn flush_to(&mut self, w: &mut impl Write) -> io::Result<bool> {
+        while self.pos < self.data.len() {
+            match w.write(&self.data[self.pos..]) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "socket accepted zero bytes",
+                    ))
+                }
+                Ok(n) => self.pos += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    self.compact();
+                    return Ok(false);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        self.data.clear();
+        self.pos = 0;
+        Ok(true)
+    }
+
+    /// Drops consumed bytes once they dominate the buffer, so a long-lived
+    /// connection under backpressure doesn't accrete a graveyard prefix.
+    fn compact(&mut self) {
+        if self.pos >= 4096 && self.pos * 2 >= self.data.len() {
+            self.data.drain(..self.pos);
+            self.pos = 0;
+        }
+    }
+}
+
+/// What a nonblocking read pass observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadStatus {
+    /// Kernel buffer drained; more may arrive later.
+    WouldBlock,
+    /// Peer closed its write side (appended bytes, if any, are final).
+    Eof,
+    /// `limit` reached with the socket still readable — the caller stops
+    /// reading as backpressure and resumes after consuming.
+    LimitReached,
+}
+
+/// Reads everything currently available from `stream` into `buf`, up to
+/// `limit` total buffered bytes. The stream must be in nonblocking mode.
+pub fn read_nonblocking(
+    stream: &mut impl Read,
+    buf: &mut Vec<u8>,
+    limit: usize,
+) -> io::Result<ReadStatus> {
+    const CHUNK: usize = 16 * 1024;
+    loop {
+        if buf.len() >= limit {
+            return Ok(ReadStatus::LimitReached);
+        }
+        let old = buf.len();
+        let want = CHUNK.min(limit - old);
+        buf.resize(old + want, 0);
+        match stream.read(&mut buf[old..]) {
+            Ok(0) => {
+                buf.truncate(old);
+                return Ok(ReadStatus::Eof);
+            }
+            Ok(n) => buf.truncate(old + n),
+            Err(e) => {
+                buf.truncate(old);
+                return match e.kind() {
+                    io::ErrorKind::WouldBlock => Ok(ReadStatus::WouldBlock),
+                    io::ErrorKind::Interrupted => continue,
+                    _ => Err(e),
+                };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A writer that accepts at most `cap` bytes per call and signals
+    /// WouldBlock after `budget` total bytes — a kernel send buffer in
+    /// miniature.
+    struct Choppy {
+        out: Vec<u8>,
+        cap: usize,
+        budget: usize,
+    }
+
+    impl Write for Choppy {
+        fn write(&mut self, b: &[u8]) -> io::Result<usize> {
+            if self.budget == 0 {
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "full"));
+            }
+            let n = b.len().min(self.cap).min(self.budget);
+            self.out.extend_from_slice(&b[..n]);
+            self.budget -= n;
+            Ok(n)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn partial_writes_resume_without_loss_or_duplication() {
+        let mut wb = WriteBuf::new();
+        wb.push(b"hello ");
+        wb.push(b"world");
+        let mut sink = Choppy {
+            out: Vec::new(),
+            cap: 3,
+            budget: 4,
+        };
+        // First pass: 4 bytes, then WouldBlock.
+        assert!(!wb.flush_to(&mut sink).unwrap());
+        assert_eq!(wb.pending(), 7);
+        // Push more while blocked — ordering must hold.
+        wb.push(b"!");
+        sink.budget = usize::MAX;
+        assert!(wb.flush_to(&mut sink).unwrap());
+        assert_eq!(sink.out, b"hello world!");
+        assert!(wb.is_empty());
+        // Buffer reuse after drain.
+        wb.push(b"again");
+        assert!(wb.flush_to(&mut sink).unwrap());
+        assert_eq!(&sink.out[12..], b"again");
+    }
+
+    #[test]
+    fn read_nonblocking_observes_eof_and_limit() {
+        // A cursor reader: yields data then EOF.
+        let data = vec![7u8; 40_000];
+        let mut reader = io::Cursor::new(data.clone());
+        let mut buf = Vec::new();
+        // Generous limit: everything arrives, then EOF.
+        assert_eq!(
+            read_nonblocking(&mut reader, &mut buf, 1 << 20).unwrap(),
+            ReadStatus::Eof
+        );
+        assert_eq!(buf, data);
+        // Tight limit: stop early.
+        let mut reader = io::Cursor::new(data);
+        let mut buf = Vec::new();
+        assert_eq!(
+            read_nonblocking(&mut reader, &mut buf, 10_000).unwrap(),
+            ReadStatus::LimitReached
+        );
+        assert_eq!(buf.len(), 10_000);
+    }
+}

@@ -1,0 +1,260 @@
+//! [`Poller`]: a safe, level-triggered wrapper over one epoll instance.
+//!
+//! Level-triggered is a deliberate choice: the reactor's connection state
+//! machines re-derive their interest set after every step, so "tell me
+//! again until I consume it" semantics make lost-wakeup bugs structurally
+//! impossible, at the cost of one redundant `epoll_ctl` when interest
+//! changes. Each registration carries a `u64` token the caller uses to map
+//! events back to connections (slot + generation, so a recycled slot never
+//! aliases a stale event).
+
+use std::io;
+use std::os::fd::{AsFd, AsRawFd};
+use std::time::Duration;
+
+use crate::sys;
+
+/// What a registration wants to hear about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when readable (or peer-closed).
+    pub readable: bool,
+    /// Wake when writable.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Read-only interest.
+    pub const READ: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    /// Write-only interest.
+    pub const WRITE: Interest = Interest {
+        readable: false,
+        writable: true,
+    };
+    /// No IO interest (errors and hangups are still delivered).
+    pub const NONE: Interest = Interest {
+        readable: false,
+        writable: false,
+    };
+
+    fn bits(self) -> u32 {
+        let mut bits = 0;
+        if self.readable {
+            bits |= sys::EPOLLIN;
+        }
+        if self.writable {
+            bits |= sys::EPOLLOUT;
+        }
+        bits
+    }
+}
+
+/// One readiness event, decoded.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The token the fd was registered with.
+    pub token: u64,
+    /// Read won't block (data, EOF, or an error to collect).
+    pub readable: bool,
+    /// Write won't block.
+    pub writable: bool,
+    /// `EPOLLERR`/`EPOLLHUP` was set — the fd is in a terminal state; a
+    /// read/write will surface the actual error.
+    pub is_err: bool,
+}
+
+/// A level-triggered epoll instance plus its reusable raw event buffer.
+pub struct Poller {
+    ep: std::os::fd::OwnedFd,
+    raw: Vec<sys::EpollEvent>,
+}
+
+impl Poller {
+    /// A fresh epoll instance with room for `capacity` events per wait.
+    pub fn with_capacity(capacity: usize) -> io::Result<Poller> {
+        Ok(Poller {
+            ep: sys::epoll_create1()?,
+            raw: vec![sys::EpollEvent::default(); capacity.max(8)],
+        })
+    }
+
+    /// A fresh epoll instance (256-event batches).
+    pub fn new() -> io::Result<Poller> {
+        Self::with_capacity(256)
+    }
+
+    /// Registers `fd` under `token`. With `exclusive`, at most one of the
+    /// pollers sharing this fd wakes per event (for listeners registered in
+    /// several reactor shards); exclusive registrations must never be
+    /// [`modify`](Poller::modify)-ed.
+    pub fn add(
+        &self,
+        fd: impl AsFd,
+        token: u64,
+        interest: Interest,
+        exclusive: bool,
+    ) -> io::Result<()> {
+        let mut bits = interest.bits();
+        if exclusive {
+            bits |= sys::EPOLLEXCLUSIVE;
+        }
+        sys::epoll_ctl(
+            self.ep.as_fd(),
+            sys::EPOLL_CTL_ADD,
+            fd.as_fd().as_raw_fd(),
+            bits,
+            token,
+        )
+    }
+
+    /// Changes the interest set of a registered fd.
+    pub fn modify(&self, fd: impl AsFd, token: u64, interest: Interest) -> io::Result<()> {
+        sys::epoll_ctl(
+            self.ep.as_fd(),
+            sys::EPOLL_CTL_MOD,
+            fd.as_fd().as_raw_fd(),
+            interest.bits(),
+            token,
+        )
+    }
+
+    /// Removes a registration. (Closing the fd removes it implicitly; this
+    /// exists for fds that outlive their registration.)
+    pub fn remove(&self, fd: impl AsFd) -> io::Result<()> {
+        sys::epoll_ctl(
+            self.ep.as_fd(),
+            sys::EPOLL_CTL_DEL,
+            fd.as_fd().as_raw_fd(),
+            0,
+            0,
+        )
+    }
+
+    /// Waits for readiness, appending decoded events to `out` (cleared
+    /// first). `None` blocks indefinitely. A signal interruption is treated
+    /// as a timeout, not an error.
+    pub fn wait(&mut self, out: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+        out.clear();
+        let timeout_ms: i32 = match timeout {
+            None => -1,
+            Some(d) => d.as_millis().min(i32::MAX as u128) as i32,
+        };
+        let n = match sys::epoll_wait(self.ep.as_fd(), &mut self.raw, timeout_ms) {
+            Ok(n) => n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => 0,
+            Err(e) => return Err(e),
+        };
+        for raw in &self.raw[..n] {
+            // Copy out of the (possibly packed) kernel struct before use.
+            let (bits, token) = { (raw.events, raw.data) };
+            let is_err = bits & (sys::EPOLLERR | sys::EPOLLHUP) != 0;
+            out.push(Event {
+                token,
+                // An errored fd is "ready" for both directions: the state
+                // machine finds out by performing the IO.
+                readable: bits & sys::EPOLLIN != 0 || is_err,
+                writable: bits & sys::EPOLLOUT != 0 || is_err,
+                is_err,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let a = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (b, _) = listener.accept().unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn readability_tracks_data_and_interest_changes() {
+        let (mut a, b) = pair();
+        b.set_nonblocking(true).unwrap();
+        let mut poller = Poller::new().unwrap();
+        poller.add(&b, 7, Interest::READ, false).unwrap();
+        let mut events = Vec::new();
+
+        // Idle: timeout, no events.
+        poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.is_empty());
+
+        // Data arrives: readable with our token.
+        a.write_all(b"x").unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(2)))
+            .unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].token, 7);
+        assert!(events[0].readable);
+
+        // Level-triggered: unconsumed data keeps firing.
+        poller
+            .wait(&mut events, Some(Duration::from_secs(2)))
+            .unwrap();
+        assert_eq!(events.len(), 1);
+
+        // Interest off: silence even with data pending.
+        poller.modify(&b, 7, Interest::NONE).unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.is_empty());
+
+        // Interest back on, consume, silence again.
+        poller.modify(&b, 7, Interest::READ).unwrap();
+        let mut buf = [0u8; 8];
+        let mut b = b;
+        assert_eq!(b.read(&mut buf).unwrap(), 1);
+        poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn peer_close_is_readable_and_flagged() {
+        let (a, b) = pair();
+        b.set_nonblocking(true).unwrap();
+        let mut poller = Poller::new().unwrap();
+        poller.add(&b, 1, Interest::READ, false).unwrap();
+        drop(a);
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(2)))
+            .unwrap();
+        assert_eq!(events.len(), 1);
+        assert!(events[0].readable, "EOF must wake a reader");
+    }
+
+    #[test]
+    fn writability_fires_for_a_fresh_socket() {
+        let (a, _b) = pair();
+        a.set_nonblocking(true).unwrap();
+        let mut poller = Poller::new().unwrap();
+        poller.add(&a, 3, Interest::WRITE, false).unwrap();
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(2)))
+            .unwrap();
+        assert_eq!(events.len(), 1);
+        assert!(events[0].writable);
+        poller.remove(&a).unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.is_empty());
+    }
+}

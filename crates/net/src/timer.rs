@@ -1,0 +1,244 @@
+//! A hashed timer wheel: O(1) schedule/cancel, deadlines bucketed by tick.
+//!
+//! The wheel is pure arithmetic over `u64` millisecond timestamps — it
+//! never reads a clock. The reactor feeds it monotonic milliseconds; tests
+//! feed it whatever they like (the session-expiry suite drives it with a
+//! mock clock). Deadlines hash into `slots` buckets by tick index, so an
+//! entry several laps out sits in its bucket and is skipped (not fired)
+//! until its actual deadline's lap comes around — the classic hashed wheel,
+//! as opposed to a hierarchical one: cheap for the reactor's workload of
+//! many short, frequently-cancelled deadlines plus a few periodic ticks.
+
+use std::collections::HashSet;
+
+/// Handle for cancelling a scheduled timer. Single-use: cancelling a timer
+/// that already fired (or was already cancelled) is a no-op that may leave
+/// a tombstone until the wheel next sweeps past its bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimerId(u64);
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    deadline_ms: u64,
+    id: u64,
+    tag: u64,
+}
+
+/// The wheel. All times are absolute milliseconds on whatever clock the
+/// caller uses (the reactor anchors an `Instant` at startup).
+pub struct TimerWheel {
+    slots: Vec<Vec<Entry>>,
+    tick_ms: u64,
+    /// Next tick index to process; everything strictly before it has fired.
+    cursor: u64,
+    next_id: u64,
+    cancelled: HashSet<u64>,
+    /// Entries currently stored (including cancelled-but-unswept ones).
+    stored: usize,
+}
+
+impl TimerWheel {
+    /// A wheel with `slots` buckets (rounded up to a power of two) of
+    /// `tick_ms` granularity, starting at `now_ms`.
+    pub fn new(tick_ms: u64, slots: usize, now_ms: u64) -> TimerWheel {
+        let tick_ms = tick_ms.max(1);
+        TimerWheel {
+            slots: vec![Vec::new(); slots.next_power_of_two().max(2)],
+            tick_ms,
+            cursor: now_ms / tick_ms,
+            next_id: 0,
+            cancelled: HashSet::new(),
+            stored: 0,
+        }
+    }
+
+    /// Granularity: deadlines fire within one tick of their nominal time
+    /// (an entry due later in the tick `advance` reaches fires with that
+    /// tick — i.e. up to `tick_ms - 1` ms early, never a lap late).
+    pub fn tick_ms(&self) -> u64 {
+        self.tick_ms
+    }
+
+    /// Schedules `tag` to fire at `deadline_ms` (clamped to the present:
+    /// a deadline in the past fires on the next [`advance`](Self::advance)).
+    pub fn schedule(&mut self, deadline_ms: u64, tag: u64) -> TimerId {
+        let id = self.next_id;
+        self.next_id += 1;
+        let tick = (deadline_ms / self.tick_ms).max(self.cursor);
+        let slot = (tick % self.slots.len() as u64) as usize;
+        self.slots[slot].push(Entry {
+            deadline_ms,
+            id,
+            tag,
+        });
+        self.stored += 1;
+        TimerId(id)
+    }
+
+    /// Cancels a pending timer. Lazy: the entry is dropped when its bucket
+    /// is next swept.
+    pub fn cancel(&mut self, id: TimerId) {
+        self.cancelled.insert(id.0);
+    }
+
+    /// Timers that have neither fired nor been cancelled.
+    pub fn pending(&self) -> usize {
+        self.stored - self.cancelled.len().min(self.stored)
+    }
+
+    /// Earliest live deadline, if any — the reactor's poll timeout. O(live
+    /// entries); fine at reactor scale (hundreds of entries, one call per
+    /// loop iteration).
+    pub fn next_deadline(&self) -> Option<u64> {
+        self.slots
+            .iter()
+            .flatten()
+            .filter(|e| !self.cancelled.contains(&e.id))
+            .map(|e| e.deadline_ms)
+            .min()
+    }
+
+    /// Advances the wheel to `now_ms`, pushing the `tag` of every fired
+    /// timer into `fired` (deadline order within a bucket is not
+    /// guaranteed; callers needing order sort the output).
+    pub fn advance(&mut self, now_ms: u64, fired: &mut Vec<u64>) {
+        let target = now_ms / self.tick_ms;
+        let nslots = self.slots.len() as u64;
+        // If the wheel fell behind by more than a full lap, every bucket
+        // gets swept exactly once — no need to spin the cursor lap by lap.
+        let sweep_all = target.saturating_sub(self.cursor) >= nslots;
+        let last = if sweep_all {
+            self.cursor + nslots - 1
+        } else {
+            target
+        };
+        while self.cursor <= last {
+            let slot = (self.cursor % nslots) as usize;
+            let bucket = &mut self.slots[slot];
+            let mut i = 0;
+            while i < bucket.len() {
+                let e = bucket[i];
+                if self.cancelled.remove(&e.id) {
+                    bucket.swap_remove(i);
+                    self.stored -= 1;
+                    continue;
+                }
+                // Fire anything whose tick has been reached; entries in
+                // this bucket for a later lap stay put. The comparison is
+                // on ticks, not raw milliseconds: an entry due later in
+                // the *current* tick must fire now (up to one tick early,
+                // which is the wheel's stated granularity) — otherwise the
+                // cursor walks past its bucket and the timer silently
+                // waits a full wheel lap, while `next_deadline` keeps
+                // telling the reactor it is due, producing a zero-timeout
+                // poll spin.
+                if e.deadline_ms / self.tick_ms <= target {
+                    fired.push(e.tag);
+                    bucket.swap_remove(i);
+                    self.stored -= 1;
+                    continue;
+                }
+                i += 1;
+            }
+            self.cursor += 1;
+        }
+        self.cursor = target + 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn advance_sorted(wheel: &mut TimerWheel, now: u64) -> Vec<u64> {
+        let mut fired = Vec::new();
+        wheel.advance(now, &mut fired);
+        fired.sort_unstable();
+        fired
+    }
+
+    #[test]
+    fn fires_at_deadline_not_before() {
+        let mut wheel = TimerWheel::new(10, 8, 0);
+        wheel.schedule(35, 1);
+        assert_eq!(advance_sorted(&mut wheel, 20), Vec::<u64>::new());
+        assert_eq!(wheel.pending(), 1);
+        assert_eq!(advance_sorted(&mut wheel, 40), vec![1]);
+        assert_eq!(wheel.pending(), 0);
+        // Idempotent: no double fire.
+        assert_eq!(advance_sorted(&mut wheel, 100), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn entries_a_lap_out_wait_their_turn() {
+        // 8 slots x 10ms = one lap is 80ms. A deadline 3 laps out shares a
+        // bucket with near deadlines but must not fire early.
+        let mut wheel = TimerWheel::new(10, 8, 0);
+        wheel.schedule(20, 1);
+        wheel.schedule(20 + 240, 2); // same bucket, 3 laps later
+        assert_eq!(advance_sorted(&mut wheel, 25), vec![1]);
+        assert_eq!(advance_sorted(&mut wheel, 200), Vec::<u64>::new());
+        assert_eq!(advance_sorted(&mut wheel, 261), vec![2]);
+    }
+
+    #[test]
+    fn cancel_suppresses_and_next_deadline_skips_it() {
+        let mut wheel = TimerWheel::new(10, 8, 0);
+        let a = wheel.schedule(30, 1);
+        wheel.schedule(50, 2);
+        assert_eq!(wheel.next_deadline(), Some(30));
+        wheel.cancel(a);
+        assert_eq!(wheel.next_deadline(), Some(50));
+        assert_eq!(wheel.pending(), 1);
+        assert_eq!(advance_sorted(&mut wheel, 100), vec![2]);
+        assert_eq!(wheel.pending(), 0);
+    }
+
+    #[test]
+    fn mid_tick_deadline_fires_with_its_tick_not_a_lap_later() {
+        // Regression: advance() at now=1060 reaches tick 21; a deadline at
+        // 1073 lives in tick 21 too. It must fire now (13ms early, within
+        // the tick_ms=50 granularity) — the old ms-exact comparison left
+        // it stranded in an already-swept bucket for a whole wheel lap
+        // while next_deadline() kept reporting it due, spinning the
+        // reactor's poll loop at zero timeout.
+        let mut wheel = TimerWheel::new(50, 8, 1_000);
+        wheel.schedule(1_073, 7);
+        assert_eq!(advance_sorted(&mut wheel, 1_060), vec![7]);
+        assert_eq!(wheel.pending(), 0);
+        assert_eq!(wheel.next_deadline(), None);
+    }
+
+    #[test]
+    fn past_deadlines_fire_on_next_advance() {
+        let mut wheel = TimerWheel::new(10, 8, 1_000);
+        wheel.schedule(5, 9); // long past
+        assert_eq!(advance_sorted(&mut wheel, 1_001), vec![9]);
+    }
+
+    #[test]
+    fn far_jump_sweeps_every_bucket_once() {
+        let mut wheel = TimerWheel::new(10, 8, 0);
+        for i in 0..32 {
+            wheel.schedule(i * 7 + 1, i);
+        }
+        // Jump 100 laps at once: all 32 must fire, exactly once.
+        let fired = advance_sorted(&mut wheel, 80_000);
+        assert_eq!(fired, (0..32).collect::<Vec<u64>>());
+        assert_eq!(wheel.pending(), 0);
+    }
+
+    #[test]
+    fn interleaved_schedule_and_advance() {
+        let mut wheel = TimerWheel::new(5, 16, 0);
+        wheel.schedule(12, 1);
+        assert_eq!(advance_sorted(&mut wheel, 15), vec![1]);
+        // Re-arm from the new present, including a deadline in the current
+        // tick (fires next advance, never lost).
+        wheel.schedule(15, 2);
+        wheel.schedule(40, 3);
+        let fired = advance_sorted(&mut wheel, 20);
+        assert_eq!(fired, vec![2]);
+        assert_eq!(advance_sorted(&mut wheel, 40), vec![3]);
+    }
+}

@@ -139,6 +139,16 @@ impl RrCollection {
         self.members.len()
     }
 
+    /// Resident bytes of the set storage plus the inverted index (element
+    /// counts × element sizes; allocator slack not included). The serve
+    /// layer's snapshot-eviction budget charges each snapshot with this.
+    pub fn mem_bytes(&self) -> usize {
+        self.members.len() * std::mem::size_of::<Node>()
+            + self.offsets.len() * std::mem::size_of::<u64>()
+            + self.idx_sets.len() * std::mem::size_of::<u32>()
+            + self.idx_offsets.len() * std::mem::size_of::<u64>()
+    }
+
     /// An empty collection pre-sized for `sets` RR sets totalling `members`
     /// stored nodes (capacity hints only — exceeding them is fine).
     pub fn with_capacity(n: usize, n_alive: usize, sets: usize, members: usize) -> Self {

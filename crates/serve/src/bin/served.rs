@@ -3,19 +3,26 @@
 //! ```text
 //! cargo run -p atpm-serve --release --bin atpm-served -- [flags]
 //!
-//! flags: --addr HOST:PORT   bind address        (default 127.0.0.1:8080)
-//!        --workers N        worker threads      (default 4)
-//!        --preset NAME      preload a snapshot from a Table II preset
-//!        --graph PATH       ...or from an edge-list/ATPMGRF1 file
-//!        --name NAME        snapshot store key   (default "default")
-//!        --scale F --k N --rr-theta N --seed S   snapshot knobs
+//! flags: --addr HOST:PORT      bind address          (default 127.0.0.1:8080)
+//!        --backend epoll|pool  transport backend     (default epoll)
+//!        --workers N           request workers       (default 4)
+//!        --shards N            epoll reactor shards  (default 2)
+//!        --session-ttl SECS    evict sessions idle this long (default: never)
+//!        --snapshot-budget MB  snapshot-store LRU byte budget (default: unbounded)
+//!        --preset NAME         preload a snapshot from a Table II preset
+//!        --graph PATH          ...or from an edge-list/ATPMGRF1 file
+//!        --name NAME           snapshot store key    (default "default")
+//!        --scale F --k N --rr-theta N --seed S      snapshot knobs
 //! ```
 //!
 //! Without `--preset`/`--graph` the server starts with an empty store;
 //! load snapshots over the API (`POST /snapshots`). Runs until killed.
+//! Under the default epoll backend, `--workers` bounds CPU concurrency
+//! only — connection count is limited by fds, not threads; `--backend
+//! pool` restores the original one-connection-per-worker accept pool.
 
 use atpm_serve::protocol::{SnapshotReq, SnapshotSource};
-use atpm_serve::server::{AppState, ServeConfig, Server};
+use atpm_serve::server::{AppState, Backend, ServeConfig, Server};
 use atpm_serve::snapshot::Snapshot;
 
 struct Args {
@@ -26,7 +33,7 @@ struct Args {
 fn parse(args: &[String]) -> Result<Args, String> {
     let mut cfg = ServeConfig {
         addr: "127.0.0.1:8080".into(),
-        workers: 4,
+        ..ServeConfig::default()
     };
     let mut name = "default".to_string();
     let mut source: Option<SnapshotSource> = None;
@@ -44,6 +51,31 @@ fn parse(args: &[String]) -> Result<Args, String> {
                 cfg.workers = value_of("--workers")?
                     .parse()
                     .map_err(|e| format!("bad --workers: {e}"))?;
+            }
+            "--backend" => {
+                let v = value_of("--backend")?;
+                cfg.backend = Backend::parse(&v)
+                    .ok_or_else(|| format!("bad --backend '{v}' (expected epoll | pool)"))?;
+            }
+            "--shards" => {
+                cfg.shards = value_of("--shards")?
+                    .parse()
+                    .map_err(|e| format!("bad --shards: {e}"))?;
+                if cfg.shards == 0 {
+                    return Err("need at least one shard".into());
+                }
+            }
+            "--session-ttl" => {
+                let secs: u64 = value_of("--session-ttl")?
+                    .parse()
+                    .map_err(|e| format!("bad --session-ttl: {e}"))?;
+                cfg.session_ttl_ms = (secs > 0).then_some(secs * 1_000);
+            }
+            "--snapshot-budget" => {
+                let mb: usize = value_of("--snapshot-budget")?
+                    .parse()
+                    .map_err(|e| format!("bad --snapshot-budget: {e}"))?;
+                cfg.snapshot_budget_bytes = (mb > 0).then_some(mb * 1024 * 1024);
             }
             "--preset" => {
                 source = Some(SnapshotSource::Preset {
@@ -107,9 +139,10 @@ fn main() {
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: atpm-served [--addr HOST:PORT] [--workers N] \
-                 [--preset NAME | --graph PATH] [--name NAME] [--scale F] \
-                 [--k N] [--rr-theta N] [--seed S]"
+                "usage: atpm-served [--addr HOST:PORT] [--backend epoll|pool] \
+                 [--workers N] [--shards N] [--session-ttl SECS] \
+                 [--snapshot-budget MB] [--preset NAME | --graph PATH] \
+                 [--name NAME] [--scale F] [--k N] [--rr-theta N] [--seed S]"
             );
             std::process::exit(2);
         }
@@ -138,9 +171,14 @@ fn main() {
     match Server::start(state, &args.cfg) {
         Ok(server) => {
             eprintln!(
-                "# atpm-served listening on http://{} ({} workers); Ctrl-C to stop",
+                "# atpm-served listening on http://{} ({} backend, {} workers{}); Ctrl-C to stop",
                 server.addr(),
+                server.backend().as_str(),
                 args.cfg.workers,
+                match args.cfg.session_ttl_ms {
+                    Some(ttl) => format!(", session TTL {}s", ttl / 1_000),
+                    None => String::new(),
+                },
             );
             // Run until killed: the worker pool owns the process.
             loop {

@@ -1,0 +1,223 @@
+//! The epoll backend: reactor shards multiplexing thousands of keep-alive
+//! connections over a small request-executing worker pool.
+//!
+//! Topology: `shards` reactor threads each own an epoll instance and a
+//! clone of the shared listener (registered `EPOLLEXCLUSIVE`, so the
+//! kernel wakes one shard per connect). A reactor never executes a
+//! request — its [`HttpDriver`] frame-cuts the receive buffer with
+//! [`frame_request`](crate::http::frame_request) and posts the complete
+//! frame to the worker pool over an mpsc channel. Workers — the same
+//! one-[`CoverageScratch`]-per-thread discipline as the pool backend —
+//! parse, dispatch through [`route`](crate::server::route) via
+//! [`respond`](crate::server::respond), encode the response, and push it
+//! into the owning shard's [`ReplyQueue`]; the queue's eventfd waker pulls
+//! the reactor out of `epoll_wait` to write it, resuming across partial
+//! writes.
+//!
+//! The request pipeline is therefore identical to the pool backend's
+//! (`read → parse → respond → write`, one in-flight request per
+//! connection, pipelined requests served in order) — only the threading
+//! changed, which is why `tests/e2e_equivalence.rs` passes unmodified
+//! against either backend. Worker count bounds CPU concurrency; connection
+//! count is bounded only by fds.
+//!
+//! Shard 0's reactor tick doubles as the session-expiry sweeper when a TTL
+//! is configured.
+
+use std::io;
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+
+use atpm_net::{ConnId, Driver, Reactor, ReactorConfig, Reply, ReplyQueue, Sliced};
+use atpm_ris::CoverageScratch;
+
+use crate::http::{self, FrameStatus};
+use crate::json::Json;
+use crate::server::{respond, AppState, ServeConfig};
+
+/// A complete request frame on its way to a worker, with the return
+/// address (shard queue + connection) attached.
+struct Job {
+    conn: ConnId,
+    frame: Vec<u8>,
+    replies: Arc<ReplyQueue>,
+}
+
+/// JSON error body in wire form, matching the router's error shape.
+fn error_bytes(status: u16, message: &str) -> Vec<u8> {
+    let body = Json::obj([("error", Json::Str(message.to_string()))]).encode();
+    http::encode_response(status, body.as_bytes(), false)
+}
+
+/// The HTTP protocol plugged into a reactor shard.
+struct HttpDriver {
+    jobs: mpsc::Sender<Job>,
+    state: Arc<AppState>,
+    /// `Some((ttl_ms, period_ms))` on the shard that owns the expiry sweep.
+    sweep: Option<(u64, u64)>,
+}
+
+impl Driver for HttpDriver {
+    fn slice(&mut self, buf: &[u8]) -> Sliced {
+        match http::frame_request(buf) {
+            FrameStatus::Partial { head_complete } => Sliced::Partial { head_complete },
+            FrameStatus::Complete { len } => Sliced::Frame(len),
+            FrameStatus::Malformed { status, message } => {
+                Sliced::Fatal(error_bytes(status, &message))
+            }
+        }
+    }
+
+    fn dispatch(&mut self, conn: ConnId, frame: Vec<u8>, replies: &Arc<ReplyQueue>) {
+        // A send failure means the worker pool is gone (shutdown); the
+        // connection dies with the reactor moments later.
+        let _ = self.jobs.send(Job {
+            conn,
+            frame,
+            replies: replies.clone(),
+        });
+    }
+
+    fn eof_reply(&mut self, head_complete: bool) -> Option<Vec<u8>> {
+        // Mid-header EOF answers 400 like the blocking reader; mid-body EOF
+        // closes silently (the blocking path's read_exact fails the same
+        // way).
+        (!head_complete).then(|| error_bytes(400, "connection closed mid-header"))
+    }
+
+    fn tick_every_ms(&self) -> Option<u64> {
+        self.sweep.map(|(_, period)| period)
+    }
+
+    fn on_tick(&mut self, _now_ms: u64) {
+        if let Some((ttl, _)) = self.sweep {
+            self.state.manager.sweep_expired(ttl);
+        }
+    }
+}
+
+fn worker_loop(rx: &Mutex<mpsc::Receiver<Job>>, state: &AppState, stop: &AtomicBool) {
+    // One scratch per worker for its whole life — the same zero-allocation
+    // steady state the pool backend keeps.
+    let mut scratch = CoverageScratch::new();
+    loop {
+        // Holding the lock across `recv` is the standard shared-receiver
+        // idiom: idle workers queue on the mutex instead of the channel.
+        let job = match rx.lock().unwrap_or_else(|p| p.into_inner()).recv() {
+            Ok(job) => job,
+            Err(_) => return, // all senders (shard drivers) gone
+        };
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let reply = match http::parse_frame(&job.frame) {
+            Ok(req) => {
+                let (status, body) = respond(state, &req, &mut scratch);
+                let keep = !req.wants_close();
+                Reply {
+                    conn: job.conn,
+                    bytes: http::encode_response(status, body.encode().as_bytes(), keep),
+                    keep_alive: keep,
+                }
+            }
+            Err((status, message)) => Reply {
+                conn: job.conn,
+                bytes: error_bytes(status, &message),
+                keep_alive: false,
+            },
+        };
+        job.replies.push(reply);
+    }
+}
+
+/// A running epoll backend: shard reactors + worker pool.
+pub(crate) struct EpollBackend {
+    shards: Vec<JoinHandle<()>>,
+    queues: Vec<Arc<ReplyQueue>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl EpollBackend {
+    /// Spawns `cfg.shards` reactors over clones of `listener` and
+    /// `cfg.workers` request executors. Fails with `Unsupported` where the
+    /// epoll shims don't exist (the caller falls back to the pool backend).
+    pub(crate) fn start(
+        state: Arc<AppState>,
+        cfg: &ServeConfig,
+        listener: &TcpListener,
+        stop: Arc<AtomicBool>,
+    ) -> io::Result<EpollBackend> {
+        let (tx, rx) = mpsc::channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let sweep = cfg
+            .session_ttl_ms
+            .map(|ttl| (ttl, cfg.sweep_every_ms.max(1)));
+
+        // Reactors first: if epoll is unsupported, fail before spawning
+        // anything.
+        let mut reactors = Vec::new();
+        for _ in 0..cfg.shards.max(1) {
+            let reactor = Reactor::new(
+                listener.try_clone()?,
+                ReactorConfig {
+                    // A frame can never legitimately exceed head + body
+                    // caps; beyond that reads pause, not break.
+                    read_limit: http::MAX_HEAD + http::MAX_BODY + 1024,
+                    write_backpressure: 1 << 20,
+                    tick_ms: 50,
+                    idle_timeout_ms: None,
+                    max_conns: 65_536,
+                },
+            )?;
+            reactors.push(reactor);
+        }
+
+        let workers = (0..cfg.workers.max(1))
+            .map(|_| {
+                let rx = rx.clone();
+                let state = state.clone();
+                let stop = stop.clone();
+                std::thread::spawn(move || worker_loop(&rx, &state, &stop))
+            })
+            .collect();
+
+        let mut queues = Vec::new();
+        let mut shards = Vec::new();
+        for (i, reactor) in reactors.into_iter().enumerate() {
+            queues.push(reactor.replies());
+            let driver = HttpDriver {
+                jobs: tx.clone(),
+                state: state.clone(),
+                // Exactly one shard runs the expiry sweep.
+                sweep: if i == 0 { sweep } else { None },
+            };
+            let stop = stop.clone();
+            shards.push(std::thread::spawn(move || reactor.run(driver, &stop)));
+        }
+        drop(tx); // workers exit once every shard driver is gone
+
+        Ok(EpollBackend {
+            shards,
+            queues,
+            workers,
+        })
+    }
+
+    /// Interrupts the shards (the stop flag is already raised) and joins
+    /// everything.
+    pub(crate) fn shutdown(&mut self) {
+        for queue in &self.queues {
+            queue.waker().wake();
+        }
+        for shard in self.shards.drain(..) {
+            let _ = shard.join();
+        }
+        // All drivers (job senders) died with their reactors; workers see
+        // the channel close and exit.
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}

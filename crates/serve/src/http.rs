@@ -6,14 +6,28 @@
 //! cleanly): chunked transfer encoding, upgrades, multi-line headers.
 //! Header and body sizes are capped so a misbehaving client cannot balloon
 //! a worker's memory.
+//!
+//! Two entry points share one head parser, so the two server backends
+//! cannot diverge on protocol semantics:
+//!
+//! * [`read_request`] — the blocking path (pool backend, `HttpClient`
+//!   responses): pulls lines off a `BufRead` until the head completes,
+//!   then `read_exact`s the body.
+//! * [`frame_request`] + [`parse_frame`] — the incremental path (epoll
+//!   backend): [`frame_request`] scans a connection's receive buffer and
+//!   says whether a complete request is present (and how long it is)
+//!   without blocking; [`parse_frame`] then parses the complete frame on a
+//!   worker thread. Both funnel into the same [`parse_head`], so a given
+//!   byte stream yields the same request — or the same error status — on
+//!   either backend.
 
 use std::io::{self, BufRead, Write};
 
 /// Longest accepted request head (request line + headers), bytes.
-const MAX_HEAD: usize = 64 * 1024;
+pub const MAX_HEAD: usize = 64 * 1024;
 /// Largest accepted body, bytes (observation lists on million-node graphs
 /// fit comfortably; anything bigger is a client bug).
-const MAX_BODY: usize = 64 * 1024 * 1024;
+pub const MAX_BODY: usize = 64 * 1024 * 1024;
 
 /// A parsed request.
 #[derive(Debug)]
@@ -62,6 +76,59 @@ pub enum ReadOutcome {
     Malformed(u16, String),
 }
 
+/// Parses a completed head (request line + header lines, terminators
+/// stripped) into a body-less [`Request`] plus the declared
+/// `Content-Length`. This is the single source of truth for head
+/// semantics: both the blocking reader and the incremental framer call it,
+/// with identical error statuses.
+fn parse_head(lines: &[Vec<u8>]) -> Result<(Request, Option<usize>), (u16, String)> {
+    let request_line = String::from_utf8_lossy(&lines[0]).into_owned();
+    let mut parts = request_line.split_ascii_whitespace();
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err((400, "bad request line".into()));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err((505, "unsupported HTTP version".into()));
+    }
+
+    let mut headers = Vec::with_capacity(lines.len() - 1);
+    for line in &lines[1..] {
+        let text = String::from_utf8_lossy(line);
+        let Some((name, value)) = text.split_once(':') else {
+            return Err((400, "bad header line".into()));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let req = Request {
+        method: method.to_ascii_uppercase(),
+        path: target.split('?').next().unwrap_or(target).to_string(),
+        headers,
+        body: Vec::new(),
+    };
+
+    if req
+        .header("transfer-encoding")
+        .is_some_and(|v| !v.eq_ignore_ascii_case("identity"))
+    {
+        return Err((501, "chunked transfer encoding not supported".into()));
+    }
+    let content_length = match req.header("content-length") {
+        None => None,
+        Some(len) => {
+            let Ok(len) = len.parse::<usize>() else {
+                return Err((400, "bad content-length".into()));
+            };
+            if len > MAX_BODY {
+                return Err((413, "body too large".into()));
+            }
+            Some(len)
+        }
+    };
+    Ok((req, content_length))
+}
+
 /// Reads one HTTP/1.1 request from `stream`.
 pub fn read_request<R: BufRead>(stream: &mut R) -> io::Result<ReadOutcome> {
     // Request line + headers, byte-capped (including any single oversized
@@ -103,56 +170,179 @@ pub fn read_request<R: BufRead>(stream: &mut R) -> io::Result<ReadOutcome> {
         }
     }
 
-    let request_line = String::from_utf8_lossy(&head[0]).into_owned();
-    let mut parts = request_line.split_ascii_whitespace();
-    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
-    else {
-        return Ok(ReadOutcome::Malformed(400, "bad request line".into()));
+    let (mut req, content_length) = match parse_head(&head) {
+        Ok(parsed) => parsed,
+        Err((status, message)) => return Ok(ReadOutcome::Malformed(status, message)),
     };
-    if !version.starts_with("HTTP/1.") {
-        return Ok(ReadOutcome::Malformed(
-            505,
-            "unsupported HTTP version".into(),
-        ));
-    }
-
-    let mut headers = Vec::with_capacity(head.len() - 1);
-    for line in &head[1..] {
-        let text = String::from_utf8_lossy(line);
-        let Some((name, value)) = text.split_once(':') else {
-            return Ok(ReadOutcome::Malformed(400, "bad header line".into()));
-        };
-        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
-    }
-
-    let mut req = Request {
-        method: method.to_ascii_uppercase(),
-        path: target.split('?').next().unwrap_or(target).to_string(),
-        headers,
-        body: Vec::new(),
-    };
-
-    if req
-        .header("transfer-encoding")
-        .is_some_and(|v| !v.eq_ignore_ascii_case("identity"))
-    {
-        return Ok(ReadOutcome::Malformed(
-            501,
-            "chunked transfer encoding not supported".into(),
-        ));
-    }
-    if let Some(len) = req.header("content-length") {
-        let Ok(len) = len.parse::<usize>() else {
-            return Ok(ReadOutcome::Malformed(400, "bad content-length".into()));
-        };
-        if len > MAX_BODY {
-            return Ok(ReadOutcome::Malformed(413, "body too large".into()));
-        }
+    if let Some(len) = content_length {
         let mut body = vec![0u8; len];
         stream.read_exact(&mut body)?;
         req.body = body;
     }
     Ok(ReadOutcome::Ok(req))
+}
+
+/// Incremental framing verdict over a connection's receive buffer.
+#[derive(Debug)]
+pub enum FrameStatus {
+    /// Not enough bytes for a full request yet. `head_complete` reports
+    /// whether the header block has fully arrived (so an EOF here can be
+    /// classified: mid-header gets a 400, mid-body a silent close — the
+    /// same split the blocking reader produces).
+    Partial {
+        /// Headers done, body still streaming in.
+        head_complete: bool,
+    },
+    /// The first `len` bytes of the buffer are one complete request.
+    Complete {
+        /// Frame length in bytes (head + body).
+        len: usize,
+    },
+    /// The bytes can never become a valid request: answer with this status
+    /// and close.
+    Malformed {
+        /// HTTP status to answer with.
+        status: u16,
+        /// Human-readable cause.
+        message: String,
+    },
+}
+
+/// Scanned head lines: shared by [`frame_request`] and [`parse_frame`].
+enum HeadScan {
+    /// Head incomplete after `buf.len()` bytes.
+    Partial,
+    /// Head complete: `lines` hold the stripped head, `head_len` is its
+    /// wire length including the blank-line terminator.
+    Done {
+        lines: Vec<Vec<u8>>,
+        head_len: usize,
+    },
+    /// No complete head within [`MAX_HEAD`] bytes.
+    TooLarge,
+}
+
+/// Walks `buf` line by line (CRLF or bare LF, matching the blocking
+/// reader) until the blank line that ends the head. When `collect` is
+/// `Some`, stripped line contents are appended to it — the framer's hot
+/// path passes `None`, so the per-read-event scan over a still-incomplete
+/// head allocates nothing (this runs on the reactor thread for every
+/// readiness event of a dripping client).
+fn walk_head(buf: &[u8], mut collect: Option<&mut Vec<Vec<u8>>>) -> HeadScan {
+    let mut pos = 0usize;
+    let mut seen_line = false;
+    loop {
+        let Some(rel) = buf[pos..].iter().position(|&b| b == b'\n') else {
+            // No newline in the remainder: either still streaming or the
+            // line already blew the budget.
+            return if buf.len() >= MAX_HEAD {
+                HeadScan::TooLarge
+            } else {
+                HeadScan::Partial
+            };
+        };
+        let mut line = &buf[pos..pos + rel];
+        if line.last() == Some(&b'\r') {
+            line = &line[..line.len() - 1];
+        }
+        pos += rel + 1;
+        if line.is_empty() {
+            if !seen_line {
+                // Leading blank lines tolerated (RFC 9112 §2.2) — but they
+                // spend head budget, like the blocking reader.
+                if pos >= MAX_HEAD {
+                    return HeadScan::TooLarge;
+                }
+                continue;
+            }
+            return HeadScan::Done {
+                lines: Vec::new(),
+                head_len: pos,
+            };
+        }
+        seen_line = true;
+        if let Some(lines) = collect.as_deref_mut() {
+            lines.push(line.to_vec());
+        }
+        if pos >= MAX_HEAD {
+            return HeadScan::TooLarge;
+        }
+    }
+}
+
+/// [`walk_head`] with the lines materialized (for the parse step).
+fn scan_head(buf: &[u8]) -> HeadScan {
+    let mut lines: Vec<Vec<u8>> = Vec::new();
+    match walk_head(buf, Some(&mut lines)) {
+        HeadScan::Done { head_len, .. } => HeadScan::Done { lines, head_len },
+        other => other,
+    }
+}
+
+/// Decides, without blocking or consuming, whether `buf` starts with a
+/// complete HTTP/1.1 request. Used by the epoll backend's reactor to cut
+/// frames off a connection's receive buffer; the statuses match
+/// [`read_request`] byte by byte.
+///
+/// Cost discipline (this runs on the reactor thread, once per readiness
+/// event): while the head is incomplete the call is a single
+/// allocation-free scan of the buffered bytes; lines are materialized and
+/// parsed only once the head terminator has arrived.
+pub fn frame_request(buf: &[u8]) -> FrameStatus {
+    // Allocation-free pre-pass: find the head end (or bail Partial).
+    let head_len = match walk_head(buf, None) {
+        HeadScan::Partial => {
+            return FrameStatus::Partial {
+                head_complete: false,
+            }
+        }
+        HeadScan::TooLarge => {
+            return FrameStatus::Malformed {
+                status: 431,
+                message: "request head too large".into(),
+            }
+        }
+        HeadScan::Done { head_len, .. } => head_len,
+    };
+    let (lines, head_len) = match scan_head(&buf[..head_len]) {
+        HeadScan::Done { lines, head_len } => (lines, head_len),
+        // walk_head already proved the head complete and within budget.
+        _ => unreachable!("head completeness decided by the pre-pass"),
+    };
+    match parse_head(&lines) {
+        Err((status, message)) => FrameStatus::Malformed { status, message },
+        Ok((_, content_length)) => {
+            let body = content_length.unwrap_or(0);
+            if buf.len() >= head_len + body {
+                FrameStatus::Complete {
+                    len: head_len + body,
+                }
+            } else {
+                FrameStatus::Partial {
+                    head_complete: true,
+                }
+            }
+        }
+    }
+}
+
+/// Parses a complete frame (as delimited by [`frame_request`]) into a
+/// [`Request`]. Runs on a worker thread, off the reactor. Errors are
+/// `(status, message)` pairs for the error response — they can only occur
+/// if the caller hands over a frame `frame_request` didn't bless.
+pub fn parse_frame(frame: &[u8]) -> Result<Request, (u16, String)> {
+    let (lines, head_len) = match scan_head(frame) {
+        HeadScan::Done { lines, head_len } => (lines, head_len),
+        HeadScan::TooLarge => return Err((431, "request head too large".into())),
+        HeadScan::Partial => return Err((400, "incomplete request frame".into())),
+    };
+    let (mut req, content_length) = parse_head(&lines)?;
+    let body = content_length.unwrap_or(0);
+    if frame.len() < head_len + body {
+        return Err((400, "incomplete request body".into()));
+    }
+    req.body = frame[head_len..head_len + body].to_vec();
+    Ok(req)
 }
 
 /// Reads one CRLF- (or bare-LF-) terminated line into `out` (terminator
@@ -210,6 +400,14 @@ pub fn write_response<W: Write>(
     stream.flush()
 }
 
+/// [`write_response`] into a fresh byte vector — the form worker threads
+/// hand back to the reactor as a [`Reply`](atpm_net::Reply).
+pub fn encode_response(status: u16, body: &[u8], keep_alive: bool) -> Vec<u8> {
+    let mut out = Vec::with_capacity(body.len() + 96);
+    write_response(&mut out, status, body, keep_alive).expect("writing to a Vec cannot fail");
+    out
+}
+
 /// Minimal reason-phrase table for the statuses the API emits.
 pub fn reason(status: u16) -> &'static str {
     match status {
@@ -219,6 +417,7 @@ pub fn reason(status: u16) -> &'static str {
         404 => "Not Found",
         405 => "Method Not Allowed",
         409 => "Conflict",
+        410 => "Gone",
         413 => "Payload Too Large",
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
@@ -307,6 +506,116 @@ mod tests {
         assert!(text.contains("content-length: 2\r\n"));
         assert!(text.contains("connection: keep-alive\r\n"));
         assert!(text.ends_with("\r\n\r\n{}"));
+    }
+
+    #[test]
+    fn framer_matches_blocking_reader_on_every_prefix() {
+        // The equivalence property the two backends rest on: for any byte
+        // stream, the incremental framer must (a) stay Partial on every
+        // strict prefix of a request, (b) cut the same frame the blocking
+        // reader consumes, and (c) produce the same parse.
+        let cases: Vec<&str> = vec![
+            "GET /healthz HTTP/1.1\r\n\r\n",
+            "POST /sessions/s1/next?verbose=1 HTTP/1.1\r\nHost: x\r\nContent-Length: 7\r\n\r\n{\"a\":1}",
+            "\r\n\r\nGET /tolerated HTTP/1.1\r\n\r\n", // leading blank lines
+            "GET /bare-lf HTTP/1.1\nConnection: close\n\n",
+        ];
+        for raw in cases {
+            let bytes = raw.as_bytes();
+            for cut in 0..bytes.len() {
+                match frame_request(&bytes[..cut]) {
+                    FrameStatus::Partial { .. } => {}
+                    other => panic!("prefix {cut} of {raw:?} gave {other:?}"),
+                }
+            }
+            let FrameStatus::Complete { len } = frame_request(bytes) else {
+                panic!("{raw:?} should frame completely");
+            };
+            assert_eq!(len, bytes.len(), "{raw:?}");
+            let framed = parse_frame(bytes).unwrap();
+            let ReadOutcome::Ok(blocking) = parse(raw) else {
+                panic!("{raw:?} should parse");
+            };
+            assert_eq!(framed.method, blocking.method);
+            assert_eq!(framed.path, blocking.path);
+            assert_eq!(framed.headers, blocking.headers);
+            assert_eq!(framed.body, blocking.body);
+        }
+    }
+
+    #[test]
+    fn framer_matches_blocking_reader_on_malformed_input() {
+        let cases: Vec<(&str, u16)> = vec![
+            ("GARBAGE\r\n\r\n", 400),
+            ("GET /x SPDY/3\r\n\r\n", 505),
+            ("GET /x HTTP/1.1\r\nbadheader\r\n\r\n", 400),
+            ("POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n", 400),
+            (
+                "POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+                501,
+            ),
+            (
+                "POST /x HTTP/1.1\r\nContent-Length: 999999999999\r\n\r\n",
+                413,
+            ),
+        ];
+        for (raw, want) in cases {
+            let FrameStatus::Malformed { status, .. } = frame_request(raw.as_bytes()) else {
+                panic!("{raw:?} should be malformed");
+            };
+            assert_eq!(status, want, "framer on {raw:?}");
+            match parse(raw) {
+                ReadOutcome::Malformed(status, _) => assert_eq!(status, want, "reader on {raw:?}"),
+                _ => panic!("{raw:?} should be malformed for the blocking reader too"),
+            }
+        }
+    }
+
+    #[test]
+    fn framer_handles_pipelining_and_oversized_heads() {
+        // Two requests in one buffer: the frame is exactly the first one.
+        let raw = b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n";
+        let FrameStatus::Complete { len } = frame_request(raw) else {
+            panic!("first request should frame");
+        };
+        assert_eq!(len, 19);
+        let req = parse_frame(&raw[..len]).unwrap();
+        assert_eq!(req.path, "/a");
+        // An unterminated header flood trips the cap without a newline.
+        let flood = vec![b'a'; MAX_HEAD + 1];
+        assert!(matches!(
+            frame_request(&flood),
+            FrameStatus::Malformed { status: 431, .. }
+        ));
+        // A terminated but oversized head trips it too.
+        let mut big = b"GET /x HTTP/1.1\r\n".to_vec();
+        while big.len() <= MAX_HEAD {
+            big.extend_from_slice(b"x-pad: aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa\r\n");
+        }
+        big.extend_from_slice(b"\r\n");
+        assert!(matches!(
+            frame_request(&big),
+            FrameStatus::Malformed { status: 431, .. }
+        ));
+        // Body split across arrivals: head-complete partial until the last
+        // byte lands.
+        let post = b"POST /x HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello";
+        match frame_request(&post[..post.len() - 1]) {
+            FrameStatus::Partial { head_complete } => assert!(head_complete),
+            other => panic!("expected head-complete partial, got {other:?}"),
+        }
+        assert!(matches!(
+            frame_request(post),
+            FrameStatus::Complete { len } if len == post.len()
+        ));
+    }
+
+    #[test]
+    fn encode_response_matches_write_response() {
+        let mut via_writer = Vec::new();
+        write_response(&mut via_writer, 410, b"{}", false).unwrap();
+        assert_eq!(encode_response(410, b"{}", false), via_writer);
+        assert!(String::from_utf8(via_writer).unwrap().contains("410 Gone"));
     }
 
     #[test]

@@ -19,9 +19,14 @@
 //!   [`atpm_core::PolicyStepper`] + suspended [`atpm_core::SessionState`]
 //!   over a shared snapshot. The stepped drive is byte-identical to the
 //!   in-process run (pinned end-to-end by `tests/e2e_equivalence.rs`);
-//! * [`server`] — a fixed worker pool over `std::net::TcpListener` with a
-//!   per-worker reusable [`atpm_ris::CoverageScratch`], plus the [`http`]
-//!   parser and [`json`] codec underneath.
+//! * [`server`] — two transport backends behind one [`server::Server`]:
+//!   the default **epoll** backend (reactor shards from `atpm-net`
+//!   multiplexing any number of keep-alive connections over a small worker
+//!   pool) and the original fixed accept **pool** (one blocking worker per
+//!   connection, kept as the differential oracle). Both share the same
+//!   router, the same per-worker reusable [`atpm_ris::CoverageScratch`],
+//!   and the same [`http`] parser and [`json`] codec underneath, so their
+//!   wire behavior is identical.
 //!
 //! [`client`] provides the in-process [`client::LocalClient`] (no sockets)
 //! and the socket [`client::HttpClient`] behind one [`client::ProtocolClient`]
@@ -57,6 +62,7 @@
 //! ```
 
 pub mod client;
+mod epoll;
 pub mod http;
 pub mod json;
 pub mod manager;
@@ -68,5 +74,5 @@ pub use client::{HttpClient, LocalClient, ProtocolClient};
 pub use json::Json;
 pub use manager::SessionManager;
 pub use protocol::{ApiError, CreateSessionReq, Ledger, ObserveReq, PolicySpec, SnapshotReq};
-pub use server::{AppState, ServeConfig, Server};
+pub use server::{AppState, Backend, ServeConfig, Server};
 pub use snapshot::{Snapshot, SnapshotStore};

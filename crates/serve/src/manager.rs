@@ -20,16 +20,53 @@
 //! `observe` with nothing pending or the wrong seed) are rejected with 409
 //! rather than corrupting the run — the serve protocol stays byte-identical
 //! to the in-process [`run_stepper`](atpm_core::run_stepper) drive.
+//!
+//! Expiry: every session records a last-touched timestamp from the
+//! manager's clock (monotonic by default, injectable for tests), and
+//! [`sweep_expired`](SessionManager::sweep_expired) evicts sessions idle
+//! past a TTL — abandoned runs would otherwise pin their suspended
+//! residual graph forever. Evicted tokens leave a bounded tombstone so
+//! later requests get an honest `410 Gone` instead of a confusable 404.
+//! The sweep is driven by the epoll backend's reactor tick (or a helper
+//! thread under the pool backend); the manager itself never spawns.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use atpm_core::{AdaptiveSession, PolicyStepper, SessionState};
 use atpm_graph::Node;
 
 use crate::protocol::{ApiError, CreateSessionReq, Ledger, ObserveReq};
 use crate::snapshot::{Snapshot, SnapshotStore};
+
+/// Millisecond clock the manager stamps sessions with. Injectable so the
+/// expiry tests can advance time by fiat instead of sleeping.
+pub type ClockMs = Arc<dyn Fn() -> u64 + Send + Sync>;
+
+/// Tombstones of evicted sessions, capped FIFO so an eviction storm cannot
+/// grow the table it was meant to shrink.
+#[derive(Default)]
+struct Tombstones {
+    set: std::collections::HashSet<String>,
+    order: VecDeque<String>,
+}
+
+const MAX_TOMBSTONES: usize = 65_536;
+
+impl Tombstones {
+    fn insert(&mut self, token: String) {
+        if self.set.insert(token.clone()) {
+            self.order.push_back(token);
+            while self.order.len() > MAX_TOMBSTONES {
+                if let Some(old) = self.order.pop_front() {
+                    self.set.remove(&old);
+                }
+            }
+        }
+    }
+}
 
 /// One hosted session.
 struct SessionEntry {
@@ -42,6 +79,9 @@ struct SessionEntry {
     pending: Option<Node>,
     /// Policy exhausted (stepper returned `None`).
     done: bool,
+    /// Manager-clock milliseconds of the last request that touched this
+    /// session (any verb counts as a sign of life).
+    last_touched_ms: u64,
 }
 
 /// The error a session answers with after a handler panic tore its state:
@@ -111,16 +151,32 @@ pub struct SessionManager {
     store: Arc<SnapshotStore>,
     sessions: Mutex<HashMap<String, Arc<Mutex<SessionEntry>>>>,
     next_id: AtomicU64,
+    clock: ClockMs,
+    expired: Mutex<Tombstones>,
 }
 
 impl SessionManager {
-    /// A manager over `store`.
+    /// A manager over `store`, stamping sessions with a monotonic clock
+    /// anchored at construction.
     pub fn new(store: Arc<SnapshotStore>) -> Self {
+        let t0 = Instant::now();
+        Self::with_clock(store, Arc::new(move || t0.elapsed().as_millis() as u64))
+    }
+
+    /// A manager with an injected clock (expiry tests drive time by hand).
+    pub fn with_clock(store: Arc<SnapshotStore>, clock: ClockMs) -> Self {
         SessionManager {
             store,
             sessions: Mutex::new(HashMap::new()),
             next_id: AtomicU64::new(1),
+            clock,
+            expired: Mutex::new(Tombstones::default()),
         }
+    }
+
+    /// The manager's current clock reading, milliseconds.
+    pub fn now_ms(&self) -> u64 {
+        (self.clock)()
     }
 
     /// The snapshot store sessions draw from.
@@ -161,6 +217,7 @@ impl SessionManager {
             state: Some(state),
             pending: None,
             done: false,
+            last_touched_ms: self.now_ms(),
         };
         self.sessions
             .lock()
@@ -170,18 +227,70 @@ impl SessionManager {
     }
 
     fn entry(&self, token: &str) -> Result<Arc<Mutex<SessionEntry>>, ApiError> {
-        self.sessions
+        if let Some(entry) = self
+            .sessions
             .lock()
             .expect("session table poisoned")
             .get(token)
             .cloned()
-            .ok_or_else(|| ApiError::not_found("session", token))
+        {
+            return Ok(entry);
+        }
+        if self.was_expired(token) {
+            return Err(ApiError::new(
+                410,
+                format!("session '{token}' expired and was evicted; open a new one"),
+            ));
+        }
+        Err(ApiError::not_found("session", token))
+    }
+
+    /// Whether `token` was evicted by an expiry sweep (and not since
+    /// superseded). Requests for such sessions answer `410 Gone`.
+    pub fn was_expired(&self, token: &str) -> bool {
+        self.expired
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .set
+            .contains(token)
+    }
+
+    /// Evicts every session idle for at least `ttl_ms` manager-clock
+    /// milliseconds. Sessions mid-request (their per-session lock held) are
+    /// skipped — by definition they are being touched right now. Returns
+    /// how many sessions were evicted.
+    pub fn sweep_expired(&self, ttl_ms: u64) -> usize {
+        let now = self.now_ms();
+        let mut table = self.sessions.lock().expect("session table poisoned");
+        let stale: Vec<String> = table
+            .iter()
+            .filter_map(|(token, entry)| {
+                // A poisoned entry (earlier handler panic) is quarantined,
+                // not in use — it must stay sweepable or it leaks forever.
+                let guard = match entry.try_lock() {
+                    Ok(guard) => guard,
+                    Err(std::sync::TryLockError::Poisoned(poison)) => poison.into_inner(),
+                    Err(std::sync::TryLockError::WouldBlock) => return None,
+                };
+                (now.saturating_sub(guard.last_touched_ms) >= ttl_ms).then(|| token.clone())
+            })
+            .collect();
+        if stale.is_empty() {
+            return 0;
+        }
+        let mut tombstones = self.expired.lock().unwrap_or_else(|p| p.into_inner());
+        for token in &stale {
+            table.remove(token);
+            tombstones.insert(token.clone());
+        }
+        stale.len()
     }
 
     /// Advances the policy to its next committed seed.
     pub fn next(&self, token: &str) -> Result<NextBatch, ApiError> {
         let entry = self.entry(token)?;
         let mut entry = lock_entry(&entry);
+        entry.last_touched_ms = self.now_ms();
         if let Some(u) = entry.pending {
             return Err(ApiError::new(
                 409,
@@ -216,7 +325,8 @@ impl SessionManager {
     /// Applies an observation for the pending seed.
     pub fn observe(&self, token: &str, req: &ObserveReq) -> Result<Observed, ApiError> {
         let entry = self.entry(token)?;
-        let mut entry = entry.lock().expect("session poisoned");
+        let mut entry = lock_entry(&entry);
+        entry.last_touched_ms = self.now_ms();
         let pending = entry
             .pending
             .ok_or_else(|| ApiError::new(409, "no seed awaiting observation; POST next first"))?;
@@ -270,7 +380,8 @@ impl SessionManager {
     /// The session's current profit ledger.
     pub fn ledger(&self, token: &str) -> Result<Ledger, ApiError> {
         let entry = self.entry(token)?;
-        let entry = lock_entry(&entry);
+        let mut entry = lock_entry(&entry);
+        entry.last_touched_ms = self.now_ms();
         entry.ledger()
     }
 
@@ -450,6 +561,94 @@ mod tests {
         assert_eq!(m.next(&b).unwrap_err().status, 409);
         m.observe(&b, &ObserveReq::Simulate { seed: sb }).unwrap();
         assert!(m.next(&b).is_ok());
+    }
+
+    fn manager_with_mock_clock() -> (SessionManager, Arc<std::sync::atomic::AtomicU64>) {
+        let store = Arc::new(SnapshotStore::new());
+        store.insert(
+            Snapshot::build(&SnapshotReq {
+                name: "g".into(),
+                source: SnapshotSource::Preset {
+                    dataset: "nethept".into(),
+                    scale: 0.02,
+                },
+                k: 5,
+                rr_theta: 5_000,
+                seed: 1,
+                threads: 1,
+            })
+            .unwrap(),
+        );
+        let clock = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let handle = clock.clone();
+        let m = SessionManager::with_clock(
+            store,
+            Arc::new(move || handle.load(std::sync::atomic::Ordering::SeqCst)),
+        );
+        (m, clock)
+    }
+
+    #[test]
+    fn sweep_evicts_idle_sessions_and_answers_410() {
+        use std::sync::atomic::Ordering;
+        let (m, clock) = manager_with_mock_clock();
+        let idle = create(&m, PolicySpec::DeployAll, 1);
+        let active = create(&m, PolicySpec::DeployAll, 2);
+
+        clock.store(50_000, Ordering::SeqCst);
+        m.ledger(&active).unwrap(); // a sign of life refreshes the stamp
+        clock.store(70_000, Ordering::SeqCst);
+        // idle untouched for 70s, active for 20s: TTL 60s evicts only idle.
+        assert_eq!(m.sweep_expired(60_000), 1);
+        assert_eq!(m.len(), 1);
+
+        let err = m.next(&idle).unwrap_err();
+        assert_eq!(err.status, 410, "evicted session answers Gone");
+        assert!(err.message.contains("expired"));
+        assert_eq!(m.ledger(&idle).unwrap_err().status, 410);
+        assert!(m.was_expired(&idle));
+        // The surviving session still works, and unknown tokens stay 404.
+        assert!(m.next(&active).is_ok());
+        assert_eq!(m.next("nope").unwrap_err().status, 404);
+        // Re-sweeping is idempotent.
+        assert_eq!(m.sweep_expired(60_000), 0);
+    }
+
+    #[test]
+    fn sweep_counts_any_touch_as_life_and_spares_pending_work() {
+        use std::sync::atomic::Ordering;
+        let (m, clock) = manager_with_mock_clock();
+        let token = create(&m, PolicySpec::DeployAll, 3);
+        // A pending (unobserved) seed does not shield an abandoned session.
+        m.next(&token).unwrap();
+        clock.store(120_000, Ordering::SeqCst);
+        assert_eq!(m.sweep_expired(60_000), 1);
+        assert_eq!(
+            m.observe(&token, &ObserveReq::Simulate { seed: 0 })
+                .unwrap_err()
+                .status,
+            410
+        );
+
+        // But regular observes keep a slow-but-alive session going.
+        let token = create(&m, PolicySpec::DeployAll, 4);
+        for step in 1..=5u64 {
+            clock.store(120_000 + step * 50_000, Ordering::SeqCst);
+            assert_eq!(m.sweep_expired(60_000), 0, "step {step}");
+            match m.next(&token) {
+                Ok(batch) if !batch.done => {
+                    m.observe(
+                        &token,
+                        &ObserveReq::Simulate {
+                            seed: batch.seeds[0],
+                        },
+                    )
+                    .unwrap();
+                }
+                _ => break,
+            }
+        }
+        assert!(m.ledger(&token).is_ok());
     }
 
     #[test]

@@ -1,14 +1,24 @@
-//! The TCP front end: a fixed worker pool over `std::net::TcpListener`, a
-//! path router, and the shared application state.
+//! The TCP front end: the path router, the shared application state, and
+//! two interchangeable transport backends behind one [`Server`] type.
 //!
-//! Each worker owns a [`CoverageScratch`] for the lifetime of the process:
-//! estimate queries against a snapshot's pre-frozen RR index reuse it across
-//! requests, so the steady-state read path performs zero heap allocation in
-//! the coverage oracle (the same discipline the RIS engine enforces
-//! in-process). Workers `accept` concurrently on the shared listener — the
-//! kernel load-balances — and hold a connection through its keep-alive
-//! lifetime; concurrency across *sessions* comes from the per-session locks
-//! in [`SessionManager`], not from the pool size.
+//! * [`Backend::Epoll`] (default) — reactor shards from `atpm-net`
+//!   multiplex any number of keep-alive connections over a small worker
+//!   pool (see [`crate::epoll`]). Connection count and worker count are
+//!   decoupled: thousands of mostly-idle campaign clients cost fds, not
+//!   threads.
+//! * [`Backend::Pool`] — the original fixed accept pool: each worker
+//!   `accept`s on the shared listener and owns one connection for its
+//!   keep-alive lifetime. One idle client pins one worker, so it scales to
+//!   `workers` concurrent connections and no further — kept as the simple,
+//!   obviously-correct differential oracle for the reactor
+//!   (`tests/http_edge_cases.rs` scripts both and compares bytes).
+//!
+//! Either way each executing thread owns a [`CoverageScratch`] for the
+//! lifetime of the process: estimate queries against a snapshot's
+//! pre-frozen RR index reuse it across requests, so the steady-state read
+//! path performs zero heap allocation in the coverage oracle (the same
+//! discipline the RIS engine enforces in-process). Concurrency across
+//! *sessions* comes from the per-session locks in [`SessionManager`].
 
 use std::collections::HashMap;
 use std::io::{self, BufReader};
@@ -134,6 +144,11 @@ pub fn route(
         ("DELETE", ["sessions", token]) => {
             if state.manager.delete(token) {
                 Ok((200, Json::obj([])))
+            } else if state.manager.was_expired(token) {
+                Err(ApiError::new(
+                    410,
+                    format!("session '{token}' expired and was evicted"),
+                ))
             } else {
                 Err(ApiError::not_found("session", token))
             }
@@ -144,8 +159,13 @@ pub fn route(
 }
 
 /// Runs `route` on a raw request, folding parse failures and `ApiError`s
-/// into JSON error responses.
-fn respond(state: &AppState, req: &Request, scratch: &mut CoverageScratch) -> (u16, Json) {
+/// into JSON error responses. Shared by both backends — the pool workers
+/// call it inline, the epoll workers via [`crate::epoll`].
+pub(crate) fn respond(
+    state: &AppState,
+    req: &Request,
+    scratch: &mut CoverageScratch,
+) -> (u16, Json) {
     let body = if req.body.is_empty() {
         Ok(Json::obj([]))
     } else {
@@ -173,13 +193,56 @@ fn respond(state: &AppState, req: &Request, scratch: &mut CoverageScratch) -> (u
     }
 }
 
+/// Transport backend selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Fixed accept pool: one blocking worker per live connection.
+    Pool,
+    /// Readiness reactor shards over `atpm-net`: connections multiplexed,
+    /// workers execute requests.
+    Epoll,
+}
+
+impl Backend {
+    /// Parses a `--backend` flag value.
+    pub fn parse(s: &str) -> Option<Backend> {
+        match s {
+            "pool" => Some(Backend::Pool),
+            "epoll" => Some(Backend::Epoll),
+            _ => None,
+        }
+    }
+
+    /// The flag spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Backend::Pool => "pool",
+            Backend::Epoll => "epoll",
+        }
+    }
+}
+
 /// Server configuration.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Bind address; port 0 picks an ephemeral port.
     pub addr: String,
-    /// Worker threads (= concurrently served connections).
+    /// Request-executing threads. Under [`Backend::Pool`] this is also the
+    /// cap on concurrently served connections; under [`Backend::Epoll`]
+    /// connection count is independent of it.
     pub workers: usize,
+    /// Transport backend.
+    pub backend: Backend,
+    /// Reactor shards (epoll backend only): event-loop threads sharing the
+    /// listener via `EPOLLEXCLUSIVE`.
+    pub shards: usize,
+    /// Evict sessions idle this long, answering later requests with
+    /// `410 Gone`. `None` keeps sessions forever.
+    pub session_ttl_ms: Option<u64>,
+    /// Expiry sweep period (only meaningful with a TTL set).
+    pub sweep_every_ms: u64,
+    /// Snapshot-store LRU budget in bytes; `None` is unbounded.
+    pub snapshot_budget_bytes: Option<usize>,
 }
 
 impl Default for ServeConfig {
@@ -187,6 +250,11 @@ impl Default for ServeConfig {
         ServeConfig {
             addr: "127.0.0.1:0".to_string(),
             workers: 4,
+            backend: Backend::Epoll,
+            shards: 2,
+            session_ttl_ms: None,
+            sweep_every_ms: 1_000,
+            snapshot_budget_bytes: None,
         }
     }
 }
@@ -223,21 +291,69 @@ impl ConnRegistry {
     }
 }
 
+/// The running transport behind a [`Server`].
+enum ServerBackend {
+    Pool {
+        conns: Arc<ConnRegistry>,
+        workers: Vec<JoinHandle<()>>,
+        /// Session-expiry sweeper (the epoll backend sweeps from its
+        /// reactor tick instead).
+        sweeper: Option<JoinHandle<()>>,
+    },
+    Epoll(crate::epoll::EpollBackend),
+}
+
 /// A running server; dropping it (or calling [`shutdown`](Server::shutdown))
 /// stops the workers.
 pub struct Server {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    conns: Arc<ConnRegistry>,
-    workers: Vec<JoinHandle<()>>,
+    backend: ServerBackend,
+    /// Which backend actually started (epoll falls back to pool on
+    /// platforms without the syscall shims).
+    effective: Backend,
 }
 
 impl Server {
-    /// Binds and starts the worker pool.
+    /// Binds and starts the configured backend. On platforms without epoll
+    /// support, [`Backend::Epoll`] transparently falls back to the pool.
     pub fn start(state: Arc<AppState>, cfg: &ServeConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
+        if let Some(budget) = cfg.snapshot_budget_bytes {
+            state.store.set_budget(budget);
+        }
+        if cfg.backend == Backend::Epoll {
+            match crate::epoll::EpollBackend::start(state.clone(), cfg, &listener, stop.clone()) {
+                Ok(backend) => {
+                    return Ok(Server {
+                        addr,
+                        stop,
+                        backend: ServerBackend::Epoll(backend),
+                        effective: Backend::Epoll,
+                    })
+                }
+                Err(e) if e.kind() == io::ErrorKind::Unsupported => {
+                    eprintln!("# epoll backend unsupported on this platform; using pool");
+                    // The listener was switched nonblocking by the failed
+                    // reactor attempt only if construction got that far;
+                    // restore blocking mode for the pool workers.
+                    listener.set_nonblocking(false)?;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(Self::start_pool(state, cfg, listener, addr, stop))
+    }
+
+    fn start_pool(
+        state: Arc<AppState>,
+        cfg: &ServeConfig,
+        listener: TcpListener,
+        addr: SocketAddr,
+        stop: Arc<AtomicBool>,
+    ) -> Server {
         let conns = Arc::new(ConnRegistry::default());
         let workers = (0..cfg.workers.max(1))
             .map(|_| {
@@ -248,12 +364,37 @@ impl Server {
                 std::thread::spawn(move || worker_loop(&listener, &state, &stop, &conns))
             })
             .collect();
-        Ok(Server {
+        let sweeper = cfg.session_ttl_ms.map(|ttl| {
+            let state = state.clone();
+            let stop = stop.clone();
+            let period = std::time::Duration::from_millis(cfg.sweep_every_ms.max(1));
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::SeqCst) {
+                    // Sleep in short slices so shutdown isn't gated on the
+                    // sweep period.
+                    let mut slept = std::time::Duration::ZERO;
+                    while slept < period && !stop.load(Ordering::SeqCst) {
+                        let slice = std::time::Duration::from_millis(50).min(period - slept);
+                        std::thread::sleep(slice);
+                        slept += slice;
+                    }
+                    if stop.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    state.manager.sweep_expired(ttl);
+                }
+            })
+        });
+        Server {
             addr,
             stop,
-            conns,
-            workers,
-        })
+            backend: ServerBackend::Pool {
+                conns,
+                workers,
+                sweeper,
+            },
+            effective: Backend::Pool,
+        }
     }
 
     /// The bound address (with the resolved ephemeral port).
@@ -261,20 +402,37 @@ impl Server {
         self.addr
     }
 
-    /// Stops accepting, interrupts live connections, and joins the workers.
-    /// Idempotent.
+    /// The backend actually serving (after any platform fallback).
+    pub fn backend(&self) -> Backend {
+        self.effective
+    }
+
+    /// Stops accepting, interrupts live connections, and joins every
+    /// thread. Idempotent.
     pub fn shutdown(&mut self) {
         if self.stop.swap(true, Ordering::SeqCst) {
             return;
         }
-        // Workers mid-connection: yank the socket out from under the read.
-        self.conns.close_all();
-        // Workers parked in accept(): poke them awake.
-        for _ in 0..self.workers.len() {
-            let _ = TcpStream::connect(self.addr);
-        }
-        for handle in self.workers.drain(..) {
-            let _ = handle.join();
+        match &mut self.backend {
+            ServerBackend::Pool {
+                conns,
+                workers,
+                sweeper,
+            } => {
+                // Workers mid-connection: yank the socket from under the read.
+                conns.close_all();
+                // Workers parked in accept(): poke them awake.
+                for _ in 0..workers.len() {
+                    let _ = TcpStream::connect(self.addr);
+                }
+                for handle in workers.drain(..) {
+                    let _ = handle.join();
+                }
+                if let Some(handle) = sweeper.take() {
+                    let _ = handle.join();
+                }
+            }
+            ServerBackend::Epoll(backend) => backend.shutdown(),
         }
     }
 }
@@ -466,12 +624,48 @@ mod tests {
     }
 
     #[test]
-    fn server_boots_and_shuts_down() {
+    fn server_boots_and_shuts_down_on_both_backends() {
+        for backend in [Backend::Epoll, Backend::Pool] {
+            let state = state_with_snapshot();
+            let cfg = ServeConfig {
+                backend,
+                ..ServeConfig::default()
+            };
+            let mut server = Server::start(state, &cfg).unwrap();
+            let addr = server.addr();
+            assert_ne!(addr.port(), 0);
+            if backend == Backend::Pool {
+                assert_eq!(server.backend(), Backend::Pool);
+            }
+            server.shutdown();
+            server.shutdown(); // idempotent
+        }
+    }
+
+    #[test]
+    fn epoll_backend_multiplexes_more_connections_than_workers() {
+        use crate::client::{HttpClient, ProtocolClient};
+        // One worker, one shard — and 16 concurrently open keep-alive
+        // clients must all be served. Structurally impossible on the pool
+        // backend, where connection 2 would wait for connection 1 to close.
         let state = state_with_snapshot();
-        let mut server = Server::start(state, &ServeConfig::default()).unwrap();
-        let addr = server.addr();
-        assert_ne!(addr.port(), 0);
+        let cfg = ServeConfig {
+            workers: 1,
+            shards: 1,
+            ..ServeConfig::default()
+        };
+        let mut server = Server::start(state, &cfg).unwrap();
+        assert_eq!(server.backend(), Backend::Epoll);
+        let mut clients: Vec<HttpClient> = (0..16)
+            .map(|_| HttpClient::connect(server.addr()).unwrap())
+            .collect();
+        // Interleave requests across all open connections, twice over.
+        for _round in 0..2 {
+            for client in clients.iter_mut() {
+                let resp = client.call("GET", "/healthz", &Json::obj([])).unwrap();
+                assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true));
+            }
+        }
         server.shutdown();
-        server.shutdown(); // idempotent
     }
 }

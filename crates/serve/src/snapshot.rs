@@ -12,6 +12,7 @@
 //! `Arc`, never while a query runs.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, RwLock};
 
 use atpm_core::setup::{calibrated_instance, CalibrationConfig};
@@ -86,6 +87,15 @@ impl Snapshot {
         })
     }
 
+    /// Approximate resident bytes this snapshot pins: the CSR graph at
+    /// ~12 bytes/edge (u32 head + f32 probability + amortized offsets)
+    /// plus per-node offset arrays, plus the frozen RR index. This is what
+    /// the store's LRU budget charges.
+    pub fn mem_bytes(&self) -> usize {
+        let graph = self.instance.graph();
+        12 * graph.num_edges() + 8 * (graph.num_nodes() + 1) + self.rr.mem_bytes()
+    }
+
     /// Store/info wire form.
     pub fn info_json(&self) -> Json {
         Json::obj([
@@ -95,6 +105,7 @@ impl Snapshot {
             ("targets", Json::Num(self.instance.k() as f64)),
             ("total_cost", Json::Num(self.instance.total_cost())),
             ("rr_sets", Json::Num(self.rr.len() as f64)),
+            ("mem_bytes", Json::Num(self.mem_bytes() as f64)),
         ])
     }
 
@@ -117,37 +128,95 @@ impl Snapshot {
     }
 }
 
+/// A stored snapshot plus its LRU stamp. The stamp is an atomic so `get`
+/// (read lock only) can refresh recency without write contention.
+struct StoreEntry {
+    snap: Arc<Snapshot>,
+    last_used: AtomicU64,
+}
+
 /// Named snapshots behind a `RwLock`: cheap concurrent lookup, exclusive
-/// only for insert/remove.
+/// only for insert/remove — now with an optional LRU size budget.
+///
+/// Eviction policy: after each insert, while the summed
+/// [`Snapshot::mem_bytes`] exceeds the budget, the least-recently-used
+/// snapshot is dropped — except snapshots that are *pinned* (their `Arc`
+/// is held outside the store: live sessions, in-flight estimates) and the
+/// most recently used one, which is always kept so the working snapshot
+/// cannot evict itself. The budget is therefore a soft cap: pinned + newest
+/// stay resident regardless.
 #[derive(Default)]
 pub struct SnapshotStore {
-    map: RwLock<HashMap<String, Arc<Snapshot>>>,
+    map: RwLock<HashMap<String, StoreEntry>>,
+    /// LRU clock: bumped on every touch.
+    use_counter: AtomicU64,
+    /// Byte budget; 0 = unbounded.
+    budget: AtomicUsize,
+    /// Lifetime evictions (observability).
+    evictions: AtomicU64,
 }
 
 impl SnapshotStore {
-    /// An empty store.
+    /// An empty, unbounded store.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Inserts (or replaces) a snapshot under its name. Sessions opened on a
-    /// replaced snapshot keep their `Arc` and finish against the old data.
-    pub fn insert(&self, snapshot: Snapshot) -> Arc<Snapshot> {
-        let arc = Arc::new(snapshot);
-        self.map
-            .write()
-            .expect("snapshot store poisoned")
-            .insert(arc.name.clone(), arc.clone());
-        arc
+    /// Sets the LRU byte budget (0 = unbounded) and enforces it
+    /// immediately.
+    pub fn set_budget(&self, bytes: usize) {
+        self.budget.store(bytes, Ordering::SeqCst);
+        let mut map = self.map.write().expect("snapshot store poisoned");
+        self.enforce_budget(&mut map);
     }
 
-    /// Looks up a snapshot by name.
-    pub fn get(&self, name: &str) -> Option<Arc<Snapshot>> {
+    /// The current LRU byte budget (0 = unbounded).
+    pub fn budget(&self) -> usize {
+        self.budget.load(Ordering::SeqCst)
+    }
+
+    /// Snapshots evicted by the budget over the store's lifetime.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::SeqCst)
+    }
+
+    /// Summed [`Snapshot::mem_bytes`] over the stored snapshots.
+    pub fn total_mem_bytes(&self) -> usize {
         self.map
             .read()
             .expect("snapshot store poisoned")
-            .get(name)
-            .cloned()
+            .values()
+            .map(|e| e.snap.mem_bytes())
+            .sum()
+    }
+
+    fn stamp(&self) -> u64 {
+        self.use_counter.fetch_add(1, Ordering::SeqCst) + 1
+    }
+
+    /// Inserts (or replaces) a snapshot under its name, then enforces the
+    /// budget. Sessions opened on a replaced snapshot keep their `Arc` and
+    /// finish against the old data.
+    pub fn insert(&self, snapshot: Snapshot) -> Arc<Snapshot> {
+        let arc = Arc::new(snapshot);
+        let mut map = self.map.write().expect("snapshot store poisoned");
+        map.insert(
+            arc.name.clone(),
+            StoreEntry {
+                snap: arc.clone(),
+                last_used: AtomicU64::new(self.stamp()),
+            },
+        );
+        self.enforce_budget(&mut map);
+        arc
+    }
+
+    /// Looks up a snapshot by name, refreshing its LRU stamp.
+    pub fn get(&self, name: &str) -> Option<Arc<Snapshot>> {
+        let map = self.map.read().expect("snapshot store poisoned");
+        let entry = map.get(name)?;
+        entry.last_used.store(self.stamp(), Ordering::SeqCst);
+        Some(entry.snap.clone())
     }
 
     /// Removes a snapshot; returns whether it existed. Live sessions keep
@@ -160,12 +229,49 @@ impl SnapshotStore {
             .is_some()
     }
 
-    /// Info for every stored snapshot, name-sorted.
+    /// Info for every stored snapshot, name-sorted, each including its
+    /// `mem_bytes` — `GET /snapshots` is the memory dashboard.
     pub fn list_json(&self) -> Json {
         let map = self.map.read().expect("snapshot store poisoned");
         let mut names: Vec<&String> = map.keys().collect();
         names.sort();
-        Json::Arr(names.iter().map(|n| map[*n].info_json()).collect())
+        Json::Arr(names.iter().map(|n| map[*n].snap.info_json()).collect())
+    }
+
+    /// Evicts LRU-first until within budget. Skips pinned snapshots
+    /// (`Arc` held outside the store — live sessions never lose their
+    /// graph) and the single most-recently-used entry.
+    fn enforce_budget(&self, map: &mut HashMap<String, StoreEntry>) {
+        let budget = self.budget.load(Ordering::SeqCst);
+        if budget == 0 {
+            return;
+        }
+        loop {
+            let total: usize = map.values().map(|e| e.snap.mem_bytes()).sum();
+            if total <= budget {
+                return;
+            }
+            let newest = map
+                .values()
+                .map(|e| e.last_used.load(Ordering::SeqCst))
+                .max()
+                .unwrap_or(0);
+            let victim = map
+                .iter()
+                .filter(|(_, e)| {
+                    // Unpinned: the store's Arc is the only one.
+                    Arc::strong_count(&e.snap) == 1 && e.last_used.load(Ordering::SeqCst) != newest
+                })
+                .min_by_key(|(_, e)| e.last_used.load(Ordering::SeqCst))
+                .map(|(name, _)| name.clone());
+            match victim {
+                Some(name) => {
+                    map.remove(&name);
+                    self.evictions.fetch_add(1, Ordering::SeqCst);
+                }
+                None => return, // everything left is pinned or newest
+            }
+        }
     }
 }
 
@@ -242,6 +348,65 @@ mod tests {
         assert!(store.remove("g"));
         assert!(!store.remove("g"));
         assert_eq!(store.list_json(), Json::Arr(vec![]));
+    }
+
+    #[test]
+    fn mem_bytes_scales_with_edges_and_rr_index() {
+        let snap = Snapshot::build(&tiny_req("g")).unwrap();
+        let mem = snap.mem_bytes();
+        assert!(
+            mem >= 12 * snap.instance.graph().num_edges() + snap.rr.mem_bytes(),
+            "accounting must cover graph + index: {mem}"
+        );
+        assert_eq!(
+            snap.info_json().get("mem_bytes").unwrap().as_u64(),
+            Some(mem as u64)
+        );
+    }
+
+    #[test]
+    fn lru_budget_evicts_coldest_unpinned_snapshot() {
+        let store = SnapshotStore::new();
+        let a = store.insert(Snapshot::build(&tiny_req("a")).unwrap());
+        let one = a.mem_bytes();
+        drop(a); // unpin
+        store.insert(Snapshot::build(&tiny_req("b")).unwrap());
+        store.insert(Snapshot::build(&tiny_req("c")).unwrap());
+        assert_eq!(store.total_mem_bytes(), 3 * one);
+
+        // Touch "a" so "b" becomes the coldest, then squeeze to two.
+        store.get("a").unwrap();
+        store.set_budget(2 * one);
+        assert!(store.get("b").is_none(), "LRU victim must be b");
+        assert!(store.get("a").is_some() && store.get("c").is_some());
+        assert_eq!(store.evictions(), 1);
+
+        // Inserting over budget evicts again — now "a" or "c", whichever
+        // is colder (c was touched last above).
+        store.insert(Snapshot::build(&tiny_req("d")).unwrap());
+        assert_eq!(store.total_mem_bytes(), 2 * one);
+        assert!(store.get("a").is_none(), "a was coldest at insert time");
+        assert_eq!(store.evictions(), 2);
+    }
+
+    #[test]
+    fn pinned_snapshots_survive_any_budget() {
+        let store = SnapshotStore::new();
+        let pinned = store.insert(Snapshot::build(&tiny_req("pinned")).unwrap());
+        store.insert(Snapshot::build(&tiny_req("loose")).unwrap());
+        // Budget of one byte: everything evictable must go, but the pinned
+        // Arc (a live session, in spirit) and the newest entry survive.
+        store.set_budget(1);
+        assert!(
+            store.get("pinned").is_some(),
+            "a session's snapshot must never be evicted from under it"
+        );
+        assert!(store.get("loose").is_some(), "newest entry is protected");
+        // Unpinning and touching something else lets the budget reclaim it.
+        drop(pinned);
+        store.insert(Snapshot::build(&tiny_req("newest")).unwrap());
+        assert!(store.get("pinned").is_none());
+        assert_eq!(store.list_json().as_arr().unwrap().len(), 1);
     }
 
     #[test]

@@ -1,0 +1,250 @@
+//! Differential HTTP edge-case suite: hostile and awkward byte streams
+//! must elicit **identical** wire behavior from the pool backend (blocking
+//! reader, the original and obviously-sequential implementation) and the
+//! epoll backend (incremental framer + reactor). The pool backend is the
+//! oracle; any divergence is a reactor bug.
+//!
+//! Covered: requests dripped one byte at a time (partial reads), two
+//! requests in one TCP segment (pipelining), a stalled header
+//! (slowloris-style — the server must neither answer early nor hang up),
+//! bodies split across writes, garbage, oversized heads, and mid-header
+//! EOF.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use atpm_serve::server::{AppState, Backend, ServeConfig, Server};
+
+fn boot(backend: Backend) -> (Server, Arc<AppState>) {
+    let state = AppState::new();
+    let cfg = ServeConfig {
+        workers: 2,
+        shards: 1,
+        backend,
+        ..ServeConfig::default()
+    };
+    let server = Server::start(state.clone(), &cfg).unwrap();
+    assert_eq!(
+        server.backend(),
+        backend,
+        "platform must actually support the requested backend"
+    );
+    (server, state)
+}
+
+fn connect(server: &Server) -> TcpStream {
+    let s = TcpStream::connect(server.addr()).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    s.set_nodelay(true).unwrap();
+    s
+}
+
+/// Reads until EOF (server closed) or the deadline, returning everything.
+fn read_to_close(stream: &mut TcpStream) -> Vec<u8> {
+    let mut out = Vec::new();
+    let _ = stream.read_to_end(&mut out);
+    out
+}
+
+/// Reads exactly one HTTP response (status line + headers +
+/// content-length body) off the stream.
+fn read_one_response(stream: &mut TcpStream) -> (u16, Vec<u8>) {
+    let mut head = Vec::new();
+    let mut byte = [0u8; 1];
+    while !head.ends_with(b"\r\n\r\n") {
+        stream.read_exact(&mut byte).expect("response head");
+        head.push(byte[0]);
+    }
+    let text = String::from_utf8_lossy(&head);
+    let status: u16 = text
+        .split_ascii_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status code");
+    let content_length: usize = text
+        .lines()
+        .find_map(|l| l.strip_prefix("content-length: "))
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(0);
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body).expect("response body");
+    (status, body)
+}
+
+/// Runs `script` against a fresh connection on each backend and returns
+/// the two full wire outputs (bytes until close) for comparison.
+fn differential(script: impl Fn(&mut TcpStream)) -> (Vec<u8>, Vec<u8>) {
+    let mut outputs = Vec::new();
+    for backend in [Backend::Pool, Backend::Epoll] {
+        let (mut server, _state) = boot(backend);
+        let mut stream = connect(&server);
+        script(&mut stream);
+        let _ = stream.shutdown(Shutdown::Write);
+        outputs.push(read_to_close(&mut stream));
+        server.shutdown();
+    }
+    let epoll = outputs.pop().unwrap();
+    let pool = outputs.pop().unwrap();
+    (pool, epoll)
+}
+
+#[test]
+fn dripped_request_one_byte_at_a_time() {
+    let (pool, epoll) = differential(|stream| {
+        for b in b"GET /healthz HTTP/1.1\r\n\r\n" {
+            stream.write_all(&[*b]).unwrap();
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    });
+    assert_eq!(pool, epoll);
+    let text = String::from_utf8_lossy(&pool);
+    assert!(text.starts_with("HTTP/1.1 200 OK"), "{text}");
+    assert!(text.ends_with("{\"ok\":true}"), "{text}");
+}
+
+#[test]
+fn two_requests_in_one_segment_are_pipelined_in_order() {
+    let (pool, epoll) = differential(|stream| {
+        stream
+            .write_all(
+                b"GET /healthz HTTP/1.1\r\n\r\nGET /nope HTTP/1.1\r\nConnection: close\r\n\r\n",
+            )
+            .unwrap();
+    });
+    assert_eq!(pool, epoll);
+    let text = String::from_utf8_lossy(&pool);
+    let first = text.find("HTTP/1.1 200 OK").expect("first response");
+    let second = text
+        .find("HTTP/1.1 404 Not Found")
+        .expect("second response");
+    assert!(first < second, "responses must preserve request order");
+}
+
+#[test]
+fn slowloris_stalled_header_neither_answers_nor_hangs_up() {
+    for backend in [Backend::Pool, Backend::Epoll] {
+        let (mut server, _state) = boot(backend);
+        let mut stream = connect(&server);
+        stream
+            .write_all(b"GET /healthz HTTP/1.1\r\nx-slow: lor")
+            .unwrap();
+        // Stall mid-header. The server must sit tight: no response bytes,
+        // no close.
+        stream
+            .set_read_timeout(Some(Duration::from_millis(300)))
+            .unwrap();
+        let mut probe = [0u8; 1];
+        match stream.read(&mut probe) {
+            Err(e) => assert!(
+                matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ),
+                "{backend:?}: unexpected error {e}"
+            ),
+            Ok(0) => panic!("{backend:?}: server hung up on a slow client"),
+            Ok(_) => panic!("{backend:?}: server answered an incomplete request"),
+        }
+        // Completing the header gets the answer after all.
+        stream.write_all(b"is\r\n\r\n").unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let (status, body) = read_one_response(&mut stream);
+        assert_eq!((status, body.as_slice()), (200, &b"{\"ok\":true}"[..]));
+        server.shutdown();
+    }
+}
+
+#[test]
+fn body_split_across_many_writes() {
+    let body = b"{\"snapshot\":\"missing\",\"policy\":{\"name\":\"deploy_all\"},\"world_seed\":1}";
+    let (pool, epoll) = differential(|stream| {
+        stream
+            .write_all(
+                format!(
+                    "POST /sessions HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+                    body.len()
+                )
+                .as_bytes(),
+            )
+            .unwrap();
+        for chunk in body.chunks(7) {
+            stream.write_all(chunk).unwrap();
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    });
+    assert_eq!(pool, epoll);
+    let text = String::from_utf8_lossy(&pool);
+    assert!(
+        text.starts_with("HTTP/1.1 404 Not Found"),
+        "complete body must reach the router: {text}"
+    );
+}
+
+#[test]
+fn garbage_and_oversized_heads_get_matching_errors() {
+    // Garbage request line → 400, close.
+    let (pool, epoll) = differential(|stream| {
+        stream.write_all(b"GARBAGE\r\n\r\n").unwrap();
+    });
+    assert_eq!(pool, epoll);
+    assert!(String::from_utf8_lossy(&pool).starts_with("HTTP/1.1 400 "));
+
+    // Unsupported version → 505.
+    let (pool, epoll) = differential(|stream| {
+        stream.write_all(b"GET /x SPDY/3\r\n\r\n").unwrap();
+    });
+    assert_eq!(pool, epoll);
+    assert!(String::from_utf8_lossy(&pool).starts_with("HTTP/1.1 505 "));
+
+    // A never-ending header line → 431, close (the slowloris that never
+    // stops talking, as opposed to the one that stops mid-word).
+    let (pool, epoll) = differential(|stream| {
+        let padding = vec![b'a'; 70 * 1024];
+        stream.write_all(b"GET /x HTTP/1.1\r\nx-flood: ").unwrap();
+        let _ = stream.write_all(&padding);
+    });
+    assert_eq!(pool, epoll);
+    assert!(String::from_utf8_lossy(&pool).starts_with("HTTP/1.1 431 "));
+
+    // Chunked transfer encoding → 501.
+    let (pool, epoll) = differential(|stream| {
+        stream
+            .write_all(b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n")
+            .unwrap();
+    });
+    assert_eq!(pool, epoll);
+    assert!(String::from_utf8_lossy(&pool).starts_with("HTTP/1.1 501 "));
+}
+
+#[test]
+fn eof_mid_header_answers_400_and_closes() {
+    let (pool, epoll) = differential(|stream| {
+        stream.write_all(b"GET /healthz HTT").unwrap();
+        // The differential driver shuts down the write side after the
+        // script, producing the mid-header EOF.
+    });
+    assert_eq!(pool, epoll);
+    let text = String::from_utf8_lossy(&pool);
+    assert!(text.starts_with("HTTP/1.1 400 "), "{text}");
+    assert!(text.contains("mid-header"), "{text}");
+}
+
+#[test]
+fn clean_eof_on_idle_keepalive_closes_silently() {
+    let (pool, epoll) = differential(|stream| {
+        stream.write_all(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+        // Read our response, then just go away (shutdown in the driver).
+        let (status, _) = read_one_response(stream);
+        assert_eq!(status, 200);
+    });
+    // Both backends: nothing after the first response.
+    assert_eq!(pool, epoll);
+    assert!(
+        pool.is_empty(),
+        "no bytes owed after a clean keep-alive EOF"
+    );
+}
