@@ -30,12 +30,13 @@ use atpm_im::greedy::max_coverage_greedy_rescan;
 use atpm_im::{max_coverage_greedy_with, GreedyResult, GreedyScratch};
 use atpm_ris::sampler::generate_batch;
 use atpm_ris::workspace::run_sharded;
-use atpm_ris::{CoverageScratch, NodeSet, RrCollection, RrSampler, RrShard};
+use atpm_ris::{CounterRng, CoverageScratch, NodeSet, RrCollection, RrSampler, RrShard};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{RngCore, SeedableRng};
 
-/// The pre-refactor `generate_batch`: worker parts stored as collections,
-/// merged by re-pushing every set through the un-frozen API. Baseline leg of
+/// The pre-refactor `generate_batch`: per-coin `f32` sampling from a serial
+/// `StdRng`, worker parts stored as collections, merged by re-pushing every
+/// set through the un-frozen API. Baseline leg of
 /// `ris_engine/generate_batch`.
 fn generate_batch_repush<V: GraphView + Sync>(
     view: &V,
@@ -49,7 +50,7 @@ fn generate_batch_repush<V: GraphView + Sync>(
         let mut rng = StdRng::seed_from_u64(wseed);
         let mut buf = Vec::new();
         for _ in 0..quota {
-            if !sampler.sample_into(view, &mut rng, &mut buf) {
+            if !sampler.sample_into_percoin(view, &mut rng, &mut buf) {
                 break;
             }
             local.push(&buf);
@@ -102,6 +103,81 @@ fn bench_ris_engine(c: &mut Criterion) {
     group.bench_function("generate_batch/repush_4t", |b| {
         b.iter(|| generate_batch_repush(&&g, count, 7, 4));
     });
+
+    // ---- stage 1a: the reverse-BFS inner loop in isolation ------------------
+    // Single-threaded sampling of `sample_count` sets, one leg per coin
+    // mechanism: the retained per-coin f32 oracle, the integer-threshold
+    // compare (skip disabled), and the full geometric-skip fast path. The
+    // preset is pure weighted cascade, so every eligible in-neighborhood
+    // skips in the third leg.
+    let sample_count = 5_000usize;
+    group.throughput(Throughput::Elements(sample_count as u64));
+    group.bench_function("sample/percoin", |b| {
+        let mut sampler = RrSampler::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut buf = Vec::new();
+        b.iter(|| {
+            let mut total = 0usize;
+            for _ in 0..sample_count {
+                sampler.sample_into_percoin(&&g, &mut rng, &mut buf);
+                total += buf.len();
+            }
+            total
+        });
+    });
+    group.bench_function("sample/threshold", |b| {
+        let mut sampler = RrSampler::new();
+        let mut rng = CounterRng::new(3);
+        let mut buf = Vec::new();
+        b.iter(|| {
+            let mut total = 0usize;
+            for _ in 0..sample_count {
+                sampler.sample_into_threshold(&&g, &mut rng, &mut buf);
+                total += buf.len();
+            }
+            total
+        });
+    });
+    group.bench_function("sample/skip", |b| {
+        let mut sampler = RrSampler::new();
+        let mut rng = CounterRng::new(3);
+        let mut buf = Vec::new();
+        b.iter(|| {
+            let mut total = 0usize;
+            for _ in 0..sample_count {
+                sampler.sample_into(&&g, &mut rng, &mut buf);
+                total += buf.len();
+            }
+            total
+        });
+    });
+
+    // ---- stage 1a': raw RNG refill throughput -------------------------------
+    // 64k u32 coins per iteration: the batched counter refill against the
+    // serial xoshiro stream it replaced.
+    let draws = 65_536usize;
+    group.throughput(Throughput::Elements(draws as u64));
+    group.bench_function("sample_rng/counter_refill", |b| {
+        let mut rng = CounterRng::new(7);
+        b.iter(|| {
+            let mut acc = 0u32;
+            for _ in 0..draws {
+                acc = acc.wrapping_add(rng.next_u32());
+            }
+            acc
+        });
+    });
+    group.bench_function("sample_rng/stdrng", |b| {
+        let mut rng = StdRng::seed_from_u64(7);
+        b.iter(|| {
+            let mut acc = 0u32;
+            for _ in 0..draws {
+                acc = acc.wrapping_add(rng.next_u32());
+            }
+            acc
+        });
+    });
+    group.throughput(Throughput::Elements(count as u64));
 
     // ---- stage 1b: the merge in isolation (same pre-sampled sets) ----------
     let shards: Vec<RrShard> = run_sharded(count, 4, 7, |_tid, quota, wseed| {

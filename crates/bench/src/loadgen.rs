@@ -26,10 +26,14 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use atpm_core::AdaptiveSession;
 use atpm_serve::client::{HttpClient, ProtocolClient};
 use atpm_serve::json::Json;
-use atpm_serve::protocol::{CreateSessionReq, PolicySpec, SnapshotReq, SnapshotSource};
+use atpm_serve::protocol::{
+    ApiError, CreateSessionReq, Ledger, ObserveReq, PolicySpec, SnapshotReq, SnapshotSource,
+};
 use atpm_serve::server::{AppState, Backend, ServeConfig, Server};
+use atpm_serve::snapshot::Snapshot;
 
 /// Loadgen knobs.
 #[derive(Debug, Clone)]
@@ -63,6 +67,13 @@ pub struct LoadgenConfig {
     /// Session mix as `(policy, weight)`; sessions cycle through the
     /// weighted expansion deterministically.
     pub mix: Vec<(String, usize)>,
+    /// Fraction of sessions driven in *report mode*: the client owns the
+    /// possible world (a local `AdaptiveSession` twin over the same
+    /// snapshot) and posts `observe {activated: [...]}` instead of asking
+    /// the server to simulate — the protocol shape of a real deployment
+    /// feeding field observations back. 0.0 (default) keeps every session
+    /// on the server-simulated path.
+    pub report_frac: f64,
     /// Where to write the JSON report (`None` = don't write).
     pub json_path: Option<String>,
 }
@@ -87,6 +98,7 @@ impl Default for LoadgenConfig {
                 ("ars".into(), 2),
                 ("deploy_all".into(), 3),
             ],
+            report_frac: 0.0,
             json_path: Some("BENCH_serve.json".into()),
         }
     }
@@ -203,6 +215,15 @@ impl LoadgenConfig {
                         })
                         .collect::<Result<_, String>>()?;
                 }
+                "--report-frac" => {
+                    let f: f64 = value_of("--report-frac")?
+                        .parse()
+                        .map_err(|e| format!("bad --report-frac: {e}"))?;
+                    if !(0.0..=1.0).contains(&f) {
+                        return Err("--report-frac must be in [0, 1]".into());
+                    }
+                    cfg.report_frac = f;
+                }
                 "--json" => cfg.json_path = Some(value_of("--json")?),
                 "--no-json" => cfg.json_path = None,
                 other => return Err(format!("unknown flag: {other}")),
@@ -236,6 +257,35 @@ impl LoadgenConfig {
             .flat_map(|(name, w)| std::iter::repeat_n(name.clone(), *w))
             .collect()
     }
+
+    /// Whether session `i` runs in report mode — the floor-increment
+    /// assignment realizes exactly `report_frac` of any prefix (±1) and is
+    /// deterministic, so runs are reproducible.
+    pub fn is_report_session(&self, i: usize) -> bool {
+        ((i as f64 + 1.0) * self.report_frac) as u64 > (i as f64 * self.report_frac) as u64
+    }
+}
+
+/// Drives one session with a *client-owned* world: a local
+/// [`AdaptiveSession`] twin over the same snapshot simulates each cascade
+/// and reports the activations, exactly the inverted protocol a live
+/// deployment uses (`tests/e2e_equivalence.rs` pins its byte-identity).
+fn run_report_session<C: ProtocolClient>(
+    client: &mut C,
+    req: &CreateSessionReq,
+    snapshot: &Snapshot,
+) -> Result<Ledger, ApiError> {
+    let token = client.create_session(req)?;
+    let mut world = AdaptiveSession::new(&snapshot.instance, req.world_seed);
+    while let Some(seeds) = client.next(&token)? {
+        for seed in seeds {
+            let activated = world.select(seed);
+            client.observe(&token, &ObserveReq::Report { seed, activated })?;
+        }
+    }
+    let ledger = client.ledger(&token)?;
+    client.delete_session(&token)?;
+    Ok(ledger)
 }
 
 /// Builds the policy spec a mix entry names. Sampling knobs are deliberately
@@ -274,6 +324,9 @@ pub struct LevelReport {
     pub requests: usize,
     /// Total seeds committed across sessions.
     pub seeds: usize,
+    /// Sessions driven through the report (client-reported observation)
+    /// path, per `--report-frac`.
+    pub report_sessions: usize,
     /// Wall-clock for the whole level, seconds.
     pub wall_s: f64,
     /// Requests per second.
@@ -302,6 +355,7 @@ impl LevelReport {
             ("sessions", Json::Num(self.sessions as f64)),
             ("requests", Json::Num(self.requests as f64)),
             ("seeds", Json::Num(self.seeds as f64)),
+            ("report_sessions", Json::Num(self.report_sessions as f64)),
             ("wall_s", Json::Num(self.wall_s)),
             ("rps", Json::Num(self.rps)),
             ("goodput_sps", Json::Num(self.goodput_sps)),
@@ -319,6 +373,8 @@ struct ThreadStats {
     latencies_ns: Vec<u64>,
     sessions: usize,
     seeds: usize,
+    /// Of which: sessions driven through the report (client-world) path.
+    report_sessions: usize,
 }
 
 /// An `HttpClient` wrapper that records per-request latency.
@@ -412,6 +468,17 @@ pub fn run(cfg: &LoadgenConfig) -> Result<Vec<LevelReport>, String> {
         .map_err(|e| format!("snapshot build failed: {e}"))?;
     drop(setup);
 
+    // Report-mode sessions need a client-side twin of the snapshot (same
+    // deterministic build the server performed); built once, shared by all
+    // client threads, and not part of any measurement.
+    let report_snapshot: Option<Arc<Snapshot>> = if cfg.report_frac > 0.0 {
+        Some(Arc::new(
+            Snapshot::build(&snapshot_req(cfg)).map_err(|e| format!("local snapshot: {e}"))?,
+        ))
+    } else {
+        None
+    };
+
     let schedule = cfg.mix_schedule();
     let mut reports = Vec::new();
     for &level in &cfg.levels {
@@ -425,6 +492,7 @@ pub fn run(cfg: &LoadgenConfig) -> Result<Vec<LevelReport>, String> {
                     let schedule = &schedule;
                     let total = cfg.sessions_per_level;
                     let seed = cfg.seed;
+                    let report_snapshot = report_snapshot.clone();
                     scope.spawn(move || -> Result<ThreadStats, String> {
                         let mut client = TimedClient {
                             inner: HttpClient::connect(&addr)
@@ -440,13 +508,22 @@ pub fn run(cfg: &LoadgenConfig) -> Result<Vec<LevelReport>, String> {
                             let name = &schedule[i % schedule.len()];
                             let spec =
                                 policy_spec(name, seed ^ (i as u64) << 17).expect("mix validated");
-                            let ledger = client
-                                .run_session(&CreateSessionReq {
-                                    snapshot: "bench".into(),
-                                    policy: spec,
-                                    world_seed: seed.wrapping_add(i as u64),
-                                })
-                                .map_err(|e| format!("session {i} ({name}): {e}"))?;
+                            let req = CreateSessionReq {
+                                snapshot: "bench".into(),
+                                policy: spec,
+                                world_seed: seed.wrapping_add(i as u64),
+                            };
+                            let ledger = match report_snapshot
+                                .as_deref()
+                                .filter(|_| cfg.is_report_session(i))
+                            {
+                                Some(snap) => {
+                                    stats.report_sessions += 1;
+                                    run_report_session(&mut client, &req, snap)
+                                }
+                                None => client.run_session(&req),
+                            }
+                            .map_err(|e| format!("session {i} ({name}): {e}"))?;
                             stats.sessions += 1;
                             stats.seeds += ledger.selected.len();
                         }
@@ -476,6 +553,7 @@ pub fn run(cfg: &LoadgenConfig) -> Result<Vec<LevelReport>, String> {
             sessions,
             requests,
             seeds: stats.iter().map(|s| s.seeds).sum(),
+            report_sessions: stats.iter().map(|s| s.report_sessions).sum(),
             wall_s,
             rps: requests as f64 / wall_s.max(1e-9),
             goodput_sps: sessions as f64 / wall_s.max(1e-9),
@@ -487,7 +565,7 @@ pub fn run(cfg: &LoadgenConfig) -> Result<Vec<LevelReport>, String> {
     }
 
     if let Some(rate) = cfg.rate {
-        reports.push(run_open_loop(cfg, &addr, rate)?);
+        reports.push(run_open_loop(cfg, &addr, rate, report_snapshot.as_deref())?);
     }
 
     if let Some(server) = own_server.as_mut() {
@@ -506,7 +584,12 @@ pub fn run(cfg: &LoadgenConfig) -> Result<Vec<LevelReport>, String> {
 /// threads absorb them. When the server (or the worker pool) falls behind,
 /// arrivals queue and the sojourn percentiles show it — that is the
 /// measurement.
-fn run_open_loop(cfg: &LoadgenConfig, addr: &str, rate: f64) -> Result<LevelReport, String> {
+fn run_open_loop(
+    cfg: &LoadgenConfig,
+    addr: &str,
+    rate: f64,
+    report_snapshot: Option<&Snapshot>,
+) -> Result<LevelReport, String> {
     struct OpenStats {
         inner: ThreadStats,
         sojourns_ns: Vec<u64>,
@@ -546,13 +629,19 @@ fn run_open_loop(cfg: &LoadgenConfig, addr: &str, rate: f64) -> Result<LevelRepo
                         let name = &schedule[i % schedule.len()];
                         let spec =
                             policy_spec(name, seed ^ (i as u64) << 17).expect("mix validated");
-                        let ledger = client
-                            .run_session(&CreateSessionReq {
-                                snapshot: "bench".into(),
-                                policy: spec,
-                                world_seed: seed.wrapping_add(i as u64),
-                            })
-                            .map_err(|e| format!("open session {i} ({name}): {e}"))?;
+                        let req = CreateSessionReq {
+                            snapshot: "bench".into(),
+                            policy: spec,
+                            world_seed: seed.wrapping_add(i as u64),
+                        };
+                        let ledger = match report_snapshot.filter(|_| cfg.is_report_session(i)) {
+                            Some(snap) => {
+                                stats.inner.report_sessions += 1;
+                                run_report_session(&mut client, &req, snap)
+                            }
+                            None => client.run_session(&req),
+                        }
+                        .map_err(|e| format!("open session {i} ({name}): {e}"))?;
                         stats.inner.sessions += 1;
                         stats.inner.seeds += ledger.selected.len();
                         // Sojourn from the *scheduled* arrival: overload
@@ -590,6 +679,7 @@ fn run_open_loop(cfg: &LoadgenConfig, addr: &str, rate: f64) -> Result<LevelRepo
         sessions,
         requests,
         seeds: stats.iter().map(|s| s.inner.seeds).sum(),
+        report_sessions: stats.iter().map(|s| s.inner.report_sessions).sum(),
         wall_s,
         rps: requests as f64 / wall_s.max(1e-9),
         goodput_sps: sessions as f64 / wall_s.max(1e-9),
@@ -799,6 +889,55 @@ mod tests {
             json.get("mode").and_then(Json::as_str),
             Some("open"),
             "wire schema carries the mode tag"
+        );
+    }
+
+    #[test]
+    fn report_frac_parses_and_schedules_deterministically() {
+        let cfg = LoadgenConfig::parse(&s(&["--report-frac", "0.5"])).unwrap();
+        assert_eq!(cfg.report_frac, 0.5);
+        let picked: Vec<bool> = (0..8).map(|i| cfg.is_report_session(i)).collect();
+        assert_eq!(picked.iter().filter(|&&b| b).count(), 4, "{picked:?}");
+        // Deterministic: same config, same assignment.
+        assert_eq!(
+            picked,
+            (0..8).map(|i| cfg.is_report_session(i)).collect::<Vec<_>>()
+        );
+        // Endpoints.
+        let none = LoadgenConfig::parse(&[]).unwrap();
+        assert!((0..16).all(|i| !none.is_report_session(i)));
+        let all = LoadgenConfig::parse(&s(&["--report-frac", "1"])).unwrap();
+        assert!((0..16).all(|i| all.is_report_session(i)));
+        // Out of range rejected.
+        assert!(LoadgenConfig::parse(&s(&["--report-frac", "1.5"])).is_err());
+        assert!(LoadgenConfig::parse(&s(&["--report-frac", "-0.1"])).is_err());
+    }
+
+    #[test]
+    fn smoke_run_with_report_mix_exercises_the_report_path() {
+        // Half the sessions drive the client-world report protocol; the
+        // ledger totals must come back exactly like simulate-mode (the e2e
+        // suite pins the byte-identity; here we pin the loadgen plumbing).
+        let cfg = LoadgenConfig {
+            levels: vec![2],
+            sessions_per_level: 4,
+            scale: 0.005,
+            k: 2,
+            rr_theta: 500,
+            mix: vec![("deploy_all".into(), 1)],
+            report_frac: 0.5,
+            json_path: None,
+            ..Default::default()
+        };
+        let reports = run(&cfg).unwrap();
+        assert_eq!(reports[0].sessions, 4);
+        assert_eq!(reports[0].report_sessions, 2, "half the mix reports");
+        assert!(reports[0].seeds > 0);
+        let json = reports[0].to_json();
+        assert_eq!(
+            json.get("report_sessions").and_then(Json::as_u64),
+            Some(2),
+            "schema carries the report count"
         );
     }
 

@@ -83,6 +83,13 @@ impl SpreadOracle for McOracle {
 }
 
 /// RIS oracle: one RR batch of `theta` sets per query.
+///
+/// Batches come from the coin-free `SampleView` pipeline
+/// (`atpm_ris::generate_batch`): integer-threshold coins, geometric skip
+/// on uniform in-neighborhoods, buffered counter RNG. The thresholds
+/// quantize probabilities to the `2^-32` lattice (exact at 0 and 1), so a
+/// query's estimate carries at most `2^-32` bias per traversed edge on top
+/// of the `O(1/√θ)` sampling noise — unobservable at any practical `theta`.
 pub struct RisOracle {
     theta: usize,
     seed: u64,

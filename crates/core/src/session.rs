@@ -49,6 +49,17 @@ impl Realization for SessionWorld {
             SessionWorld::Materialized(r) => r.is_live(e, prob),
         }
     }
+
+    // Forwarded explicitly so a wrapped world realizes the same quantized
+    // coins as the bare realization (the trait default would detour through
+    // the float rule).
+    #[inline]
+    fn is_live_q(&self, e: Edge, threshold: u32) -> bool {
+        match self {
+            SessionWorld::Hashed(r) => r.is_live_q(e, threshold),
+            SessionWorld::Materialized(r) => r.is_live_q(e, threshold),
+        }
+    }
 }
 
 /// One adaptive run: realization + residual state + profit ledger.

@@ -1,7 +1,12 @@
 //! Forward IC cascades: observation of `A(u)` against a realization and
 //! randomized cascades for Monte-Carlo estimation.
+//!
+//! Both paths draw edge coins against the graph's baked `u32` thresholds
+//! (`atpm_graph::quantize_prob`) — the same integer lattice the reverse-BFS
+//! samplers use — so a world realized forward is the world the RR-set
+//! estimator reasons about, down to the last quantization bit.
 
-use atpm_graph::{GraphView, Node};
+use atpm_graph::{threshold_accept, GraphView, Node};
 use rand::Rng;
 
 use crate::realization::Realization;
@@ -86,10 +91,13 @@ impl CascadeEngine {
         while head < self.queue.len() {
             let u = self.queue[head];
             head += 1;
-            let (targets, probs, ids) = view.out_slice(u);
+            let (targets, _, ids) = view.out_slice(u);
+            let thresholds = view.base().out_thresholds(u);
             for i in 0..targets.len() {
                 let v = targets[i];
-                if view.is_alive(v) && real.is_live(ids.start + i as u32, probs[i]) && self.visit(v)
+                if view.is_alive(v)
+                    && real.is_live_q(ids.start + i as u32, thresholds[i])
+                    && self.visit(v)
                 {
                     self.queue.push(v);
                     out.push(v);
@@ -120,10 +128,14 @@ impl CascadeEngine {
         while head < self.queue.len() {
             let u = self.queue[head];
             head += 1;
-            let (targets, probs, _) = view.out_slice(u);
+            let (targets, _, _) = view.out_slice(u);
+            let thresholds = view.base().out_thresholds(u);
             for i in 0..targets.len() {
                 let v = targets[i];
-                if view.is_alive(v) && rng.gen::<f32>() < probs[i] && self.visit(v) {
+                if view.is_alive(v)
+                    && threshold_accept(rng.next_u32(), thresholds[i])
+                    && self.visit(v)
+                {
                     self.queue.push(v);
                     activated += 1;
                 }

@@ -5,7 +5,7 @@
 //! questions is how both the adaptive feedback loop and the evaluation
 //! protocol work.
 
-use atpm_graph::{Edge, Graph};
+use atpm_graph::{threshold_accept, threshold_prob, Edge, Graph};
 
 /// A fixed assignment of live/blocked to every edge.
 ///
@@ -16,12 +16,26 @@ pub trait Realization {
     /// Whether edge `e` (with activation probability `prob`) is live in this
     /// possible world. Must be deterministic: repeated queries agree.
     fn is_live(&self, e: Edge, prob: f32) -> bool;
+
+    /// Like [`is_live`](Self::is_live) but against the edge's baked `u32`
+    /// threshold (`atpm_graph::quantize_prob`) — the *same* integer coin the
+    /// reverse-BFS samplers compare, so forward observations and RR-set
+    /// estimates realize one consistent quantized world. Forward cascades
+    /// call this; the default converts the threshold back to its exact
+    /// probability for implementations that only know the float rule.
+    fn is_live_q(&self, e: Edge, threshold: u32) -> bool {
+        self.is_live(e, threshold_prob(threshold) as f32)
+    }
 }
 
 impl<T: Realization + ?Sized> Realization for &T {
     #[inline]
     fn is_live(&self, e: Edge, prob: f32) -> bool {
         (**self).is_live(e, prob)
+    }
+    #[inline]
+    fn is_live_q(&self, e: Edge, threshold: u32) -> bool {
+        (**self).is_live_q(e, threshold)
     }
 }
 
@@ -57,17 +71,29 @@ impl HashedRealization {
         z ^ (z >> 31)
     }
 
-    /// The uniform draw assigned to edge `e` in `[0, 1)`.
     #[inline]
-    pub fn unit(&self, e: Edge) -> f64 {
-        let h = Self::mix(
+    fn hash(&self, e: Edge) -> u64 {
+        Self::mix(
             self.seed
                 .wrapping_mul(0x9E3779B97F4A7C15)
                 .wrapping_add(0x632BE59BD9B4E019)
                 ^ (e as u64).wrapping_mul(0xD6E8FEB86659FD93),
-        );
+        )
+    }
+
+    /// The uniform draw assigned to edge `e` in `[0, 1)`.
+    #[inline]
+    pub fn unit(&self, e: Edge) -> f64 {
         // Take the top 53 bits for an exactly representable uniform in [0,1).
-        (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        (self.hash(e) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// The raw 32-bit coin of edge `e` — the top bits of the same hash
+    /// [`unit`](Self::unit) exposes, compared against baked thresholds by
+    /// [`Realization::is_live_q`].
+    #[inline]
+    pub fn draw32(&self, e: Edge) -> u32 {
+        (self.hash(e) >> 32) as u32
     }
 }
 
@@ -75,6 +101,11 @@ impl Realization for HashedRealization {
     #[inline]
     fn is_live(&self, e: Edge, prob: f32) -> bool {
         self.unit(e) < prob as f64
+    }
+
+    #[inline]
+    fn is_live_q(&self, e: Edge, threshold: u32) -> bool {
+        threshold_accept(self.draw32(e), threshold)
     }
 }
 
@@ -109,12 +140,14 @@ impl MaterializedRealization {
     }
 
     /// Materializes a [`HashedRealization`] against a concrete graph: useful
-    /// when a world will be queried many times per edge.
+    /// when a world will be queried many times per edge. Evaluates the
+    /// *quantized* coin (`is_live_q`), so the bits agree with what forward
+    /// cascades and RR sampling would observe of the same world.
     pub fn materialize(g: &Graph, hashed: &HashedRealization) -> Self {
         let m = g.num_edges();
         let mut live = vec![0u64; m.div_ceil(64)];
         for e in 0..m as Edge {
-            if hashed.is_live(e, g.edge_prob(e)) {
+            if hashed.is_live_q(e, g.edge_threshold(e)) {
                 live[e as usize / 64] |= 1 << (e as usize % 64);
             }
         }
@@ -130,6 +163,11 @@ impl MaterializedRealization {
 impl Realization for MaterializedRealization {
     #[inline]
     fn is_live(&self, e: Edge, _prob: f32) -> bool {
+        self.live[e as usize / 64] & (1 << (e as usize % 64)) != 0
+    }
+
+    #[inline]
+    fn is_live_q(&self, e: Edge, _threshold: u32) -> bool {
         self.live[e as usize / 64] & (1 << (e as usize % 64)) != 0
     }
 }
@@ -203,7 +241,31 @@ mod tests {
         let h = HashedRealization::new(5);
         let m = MaterializedRealization::materialize(&g, &h);
         for e in 0..g.num_edges() as u32 {
-            assert_eq!(m.is_live(e, 0.0), h.is_live(e, g.edge_prob(e)));
+            assert_eq!(m.is_live(e, 0.0), h.is_live_q(e, g.edge_threshold(e)));
+            assert_eq!(m.is_live_q(e, 0), h.is_live_q(e, g.edge_threshold(e)));
+        }
+    }
+
+    #[test]
+    fn quantized_coin_is_exact_at_the_endpoints() {
+        use atpm_graph::quantize_prob;
+        for seed in 0..20u64 {
+            let r = HashedRealization::new(seed);
+            for e in 0..2_000u32 {
+                assert!(r.is_live_q(e, quantize_prob(1.0)), "certain edge blocked");
+                assert!(!r.is_live_q(e, quantize_prob(0.0)), "impossible edge fired");
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_coin_tracks_probability() {
+        let r = HashedRealization::new(99);
+        for &p in &[0.1f32, 0.5, 0.9] {
+            let t = atpm_graph::quantize_prob(p);
+            let live = (0..50_000u32).filter(|&e| r.is_live_q(e, t)).count();
+            let rate = live as f64 / 50_000.0;
+            assert!((rate - p as f64).abs() < 0.01, "p = {p}: live rate {rate}");
         }
     }
 

@@ -2,6 +2,128 @@
 
 use crate::{Edge, Node};
 
+/// Fixed-point scale of the integer coin: a `u32` draw is compared against a
+/// threshold on the `[0, 2^32)` lattice.
+const PROB_SCALE: f64 = 4_294_967_296.0; // 2^32
+
+/// Quantizes an activation probability to the `u32` threshold the samplers
+/// compare raw 32-bit draws against (accept iff [`threshold_accept`]).
+///
+/// The encoding reserves `u32::MAX` for "certain": `p = 1.0` edges must fire
+/// on *every* draw, and no pure `r < t` compare over `u32` can express that
+/// (the all-ones threshold would still lose to `r = u32::MAX` once every
+/// 2^32 draws). Probabilities within `2^-32` of 1 saturate to the same
+/// encoding. `p = 0.0` maps to threshold 0, which never accepts. Everything
+/// else rounds to the nearest lattice point, so the acceptance probability
+/// [`threshold_prob`] differs from `p` by at most `2^-33` per edge — over a
+/// reverse-BFS that touches `E` edges the total estimator bias is bounded by
+/// `2^-32·|E|`, far below the sampling noise of any realistic `θ`.
+#[inline]
+pub fn quantize_prob(p: f32) -> u32 {
+    quantize_prob_f64(p as f64)
+}
+
+/// [`quantize_prob`] over a full-precision probability — used for derived
+/// quantities like the whole-span rejection probability `(1-q)^indeg`,
+/// where a round-trip through `f32` would cost ~2^-25 of precision (and
+/// could saturate a near-1 value to the reserved "certain" encoding).
+#[inline]
+pub fn quantize_prob_f64(p: f64) -> u32 {
+    if p >= 1.0 {
+        return u32::MAX;
+    }
+    if p <= 0.0 {
+        return 0;
+    }
+    let t = (p * PROB_SCALE).round();
+    if t >= u32::MAX as f64 {
+        u32::MAX
+    } else {
+        t as u32
+    }
+}
+
+/// The exact acceptance probability a baked threshold encodes.
+#[inline]
+pub fn threshold_prob(t: u32) -> f64 {
+    if t == u32::MAX {
+        1.0
+    } else {
+        t as f64 / PROB_SCALE
+    }
+}
+
+/// The integer coin flip: whether a raw 32-bit draw accepts an edge with
+/// baked threshold `t`. One unsigned compare (plus the certain-edge test
+/// the optimizer folds into it) — no int→float conversion in the hot loop.
+#[inline]
+pub fn threshold_accept(draw: u32, t: u32) -> bool {
+    draw < t || t == u32::MAX
+}
+
+/// Geometric-skip eligibility: a node's in-neighborhood earns the skip fast
+/// path when every in-edge shares one threshold (the weighted-cascade
+/// `1/indeg` case), acceptance is rare enough that skipping beats flipping
+/// (`q ≤ 1/4`), and the neighborhood is long enough to amortize the `ln`
+/// per accepted edge (`indeg ≥ 8`).
+const SKIP_MIN_DEGREE: usize = 8;
+const SKIP_MAX_PROB: f64 = 0.25;
+
+/// One record of the packed per-node sampling metadata array: everything
+/// the reverse-BFS inner loop needs about a node's in-neighborhood in a
+/// single 16-byte read (the span start, the shared threshold of a uniform
+/// neighborhood, and the geometric-skip constant). The span *end* is the
+/// next record's `lo` — the array holds `n + 1` records with a sentinel at
+/// the end — so adjacent records land on the same or neighboring cache
+/// line and one prefetch covers both.
+#[derive(Clone, Copy, Debug)]
+#[repr(C)]
+pub struct SampleMeta {
+    /// Start of the node's in-edge span (edge slots fit `u32`: the builder
+    /// rejects graphs beyond `u32::MAX` edges).
+    pub lo: u32,
+    /// Dual-purpose integer field, disambiguated by `inv`:
+    ///
+    /// * skip-eligible (`inv` finite): the quantized probability
+    ///   `(1 − q)^indeg` that the *whole span rejects* — one integer
+    ///   compare retires the common no-accept case without touching `ln`;
+    /// * otherwise: the shared threshold when every in-edge carries the
+    ///   same one, else 0. (A uniform all-zero neighborhood also reads 0
+    ///   and correctly never accepts through the per-edge path.)
+    pub thr: u32,
+    /// `1 / ln(1 - q)` — finite and strictly negative — when the
+    /// neighborhood qualifies for the geometric skip, NaN otherwise.
+    /// Stored in full `f64` so the skip distribution inherits only the
+    /// `ln` rounding error (≈1 ulp), keeping the documented `2^-32` bias
+    /// bound intact.
+    pub inv: f64,
+}
+
+/// Per-node skip constant: `1 / ln(1 - q)` (finite and negative) for
+/// skip-eligible uniform in-neighborhoods, NaN otherwise.
+fn skip_inv(thresholds: &[u32]) -> f64 {
+    if thresholds.len() < SKIP_MIN_DEGREE {
+        return f64::NAN;
+    }
+    let t = thresholds[0];
+    if t == 0 || thresholds.iter().any(|&x| x != t) {
+        return f64::NAN;
+    }
+    let q = threshold_prob(t);
+    if q > SKIP_MAX_PROB {
+        return f64::NAN;
+    }
+    1.0 / (1.0 - q).ln()
+}
+
+/// The shared threshold of a uniform neighborhood, or 0 for mixed ones.
+fn uniform_thr(thresholds: &[u32]) -> u32 {
+    match thresholds.first() {
+        Some(&t) if thresholds.iter().all(|&x| x == t) => t,
+        _ => 0,
+    }
+}
+
 /// An immutable probabilistic directed graph in compressed-sparse-row form.
 ///
 /// Both the forward (out-edge) and reverse (in-edge) adjacency are stored so
@@ -24,6 +146,14 @@ pub struct Graph {
     in_sources: Box<[Node]>,
     in_probs: Box<[f32]>,
     in_edge_ids: Box<[Edge]>,
+    // Baked sampling view: integer coin thresholds parallel to each CSR
+    // direction, plus the packed per-node metadata record (span start,
+    // uniform threshold, geometric-skip constant; `n + 1` entries, see
+    // [`SampleMeta`]). Derived from the probabilities at build time,
+    // rebuilt by `map_probs`.
+    out_thresholds: Box<[u32]>,
+    in_thresholds: Box<[u32]>,
+    in_meta: Box<[SampleMeta]>,
 }
 
 impl Graph {
@@ -46,6 +176,34 @@ impl Graph {
         debug_assert_eq!(in_sources.len(), in_probs.len());
         debug_assert_eq!(in_sources.len(), in_edge_ids.len());
         debug_assert_eq!(out_targets.len(), in_sources.len());
+        let out_thresholds: Box<[u32]> = out_probs.iter().map(|&p| quantize_prob(p)).collect();
+        let in_thresholds: Box<[u32]> = in_probs.iter().map(|&p| quantize_prob(p)).collect();
+        let in_meta: Box<[SampleMeta]> = (0..=n)
+            .map(|v| {
+                if v == n {
+                    // Sentinel: its `lo` closes node n-1's span.
+                    return SampleMeta {
+                        lo: in_offsets[n] as u32,
+                        thr: 0,
+                        inv: f64::NAN,
+                    };
+                }
+                let (lo, hi) = (in_offsets[v] as usize, in_offsets[v + 1] as usize);
+                let span = &in_thresholds[lo..hi];
+                let inv = skip_inv(span);
+                let thr = if inv < 0.0 {
+                    let q = threshold_prob(span[0]);
+                    quantize_prob_f64((1.0 - q).powi(span.len() as i32))
+                } else {
+                    uniform_thr(span)
+                };
+                SampleMeta {
+                    lo: lo as u32,
+                    thr,
+                    inv,
+                }
+            })
+            .collect();
         Graph {
             n,
             out_offsets,
@@ -55,6 +213,9 @@ impl Graph {
             in_sources,
             in_probs,
             in_edge_ids,
+            out_thresholds,
+            in_thresholds,
+            in_meta,
         }
     }
 
@@ -112,10 +273,55 @@ impl Graph {
         )
     }
 
+    /// Baked integer thresholds of `v`'s in-edges, parallel to the sources
+    /// slice of [`in_slice`](Self::in_slice).
+    #[inline]
+    pub fn in_thresholds(&self, v: Node) -> &[u32] {
+        let v = v as usize;
+        &self.in_thresholds[self.in_offsets[v] as usize..self.in_offsets[v + 1] as usize]
+    }
+
+    /// Baked integer thresholds of `u`'s out-edges, parallel to the targets
+    /// slice of [`out_slice`](Self::out_slice).
+    #[inline]
+    pub fn out_thresholds(&self, u: Node) -> &[u32] {
+        let u = u as usize;
+        &self.out_thresholds[self.out_offsets[u] as usize..self.out_offsets[u + 1] as usize]
+    }
+
+    /// Geometric-skip constant of `v`'s in-neighborhood: `1 / ln(1 − q)`
+    /// (finite, strictly negative) when the neighborhood is uniform and
+    /// skip-eligible, NaN otherwise. See [`quantize_prob`] for the lattice.
+    #[inline]
+    pub fn in_skip_inv(&self, v: Node) -> f64 {
+        self.in_meta[v as usize].inv
+    }
+
+    /// The packed sampling record of `v` (see [`SampleMeta`]); index `n` is
+    /// the sentinel closing the last span.
+    #[inline]
+    pub fn in_meta(&self, v: Node) -> &SampleMeta {
+        &self.in_meta[v as usize]
+    }
+
+    /// Raw slices backing the sampling hot loop: `(meta, sources,
+    /// thresholds)`. The meta array has `n + 1` records.
+    #[inline]
+    pub(crate) fn sampling_arrays(&self) -> (&[SampleMeta], &[Node], &[u32]) {
+        (&self.in_meta, &self.in_sources, &self.in_thresholds)
+    }
+
     /// Probability of edge `e` (by forward edge id).
     #[inline]
     pub fn edge_prob(&self, e: Edge) -> f32 {
         self.out_probs[e as usize]
+    }
+
+    /// Baked integer threshold of edge `e` (by forward edge id) — the exact
+    /// coin forward cascades and reverse sampling share.
+    #[inline]
+    pub fn edge_threshold(&self, e: Edge) -> u32 {
+        self.out_thresholds[e as usize]
     }
 
     /// Target node of edge `e` (by forward edge id).
@@ -159,9 +365,8 @@ impl Graph {
     /// the output of `f(src, dst, old_prob)`. Both CSR directions are kept
     /// consistent. Used by the weighting schemes and by LT normalization.
     pub fn map_probs(&self, mut f: impl FnMut(Node, Node, f32) -> f32) -> Graph {
-        let mut g = self.clone();
         // Rebuild forward probs in edge-id order.
-        let mut out_probs = g.out_probs.to_vec();
+        let mut out_probs = self.out_probs.to_vec();
         for u in 0..self.n as Node {
             let (targets, _, range) = self.out_slice(u);
             for (i, &v) in targets.iter().enumerate() {
@@ -170,21 +375,33 @@ impl Graph {
             }
         }
         // Mirror into the reverse CSR via edge ids.
-        let mut in_probs = g.in_probs.to_vec();
+        let mut in_probs = vec![0f32; self.in_probs.len()];
         for (slot, &e) in self.in_edge_ids.iter().enumerate() {
             in_probs[slot] = out_probs[e as usize];
         }
-        g.out_probs = out_probs.into_boxed_slice();
-        g.in_probs = in_probs.into_boxed_slice();
-        g
+        // Reassemble through `from_parts` so the baked thresholds and skip
+        // constants are rebuilt for the new probabilities; only the
+        // structural arrays it consumes are cloned (the derived threshold
+        // and metadata arrays would be recomputed and thrown away).
+        Graph::from_parts(
+            self.n,
+            self.out_offsets.clone(),
+            self.out_targets.clone(),
+            out_probs.into_boxed_slice(),
+            self.in_offsets.clone(),
+            self.in_sources.clone(),
+            in_probs.into_boxed_slice(),
+            self.in_edge_ids.clone(),
+        )
     }
 
     /// Approximate heap footprint in bytes (diagnostics only).
     pub fn heap_bytes(&self) -> usize {
         let m = self.num_edges();
         (self.n + 1) * 8 * 2 // two offset arrays
-            + m * (4 + 4)    // out targets + probs
-            + m * (4 + 4 + 4) // in sources + probs + edge ids
+            + m * (4 + 4 + 4) // out targets + probs + thresholds
+            + m * (4 + 4 + 4 + 4) // in sources + probs + edge ids + thresholds
+            + (self.n + 1) * std::mem::size_of::<SampleMeta>() // packed sampling records
     }
 }
 
@@ -268,5 +485,99 @@ mod tests {
         assert_eq!(g.num_nodes(), 0);
         assert_eq!(g.num_edges(), 0);
         assert_eq!(g.avg_out_degree(), 0.0);
+    }
+
+    #[test]
+    fn quantization_is_exact_at_the_endpoints() {
+        use super::{quantize_prob, threshold_accept, threshold_prob};
+        // p = 1.0 accepts every possible draw, including the all-ones one.
+        let certain = quantize_prob(1.0);
+        assert!(threshold_accept(0, certain));
+        assert!(threshold_accept(u32::MAX, certain));
+        assert_eq!(threshold_prob(certain), 1.0);
+        // p = 0.0 accepts nothing, including the all-zeros draw.
+        let never = quantize_prob(0.0);
+        assert!(!threshold_accept(0, never));
+        assert!(!threshold_accept(u32::MAX, never));
+        assert_eq!(threshold_prob(never), 0.0);
+    }
+
+    #[test]
+    fn quantization_error_is_below_two_to_minus_32() {
+        use super::{quantize_prob, threshold_prob};
+        for i in 1..1000u32 {
+            let p = i as f32 / 1000.0;
+            let q = threshold_prob(quantize_prob(p));
+            assert!(
+                (q - p as f64).abs() <= 1.0 / 4_294_967_296.0,
+                "p {p}: quantized to {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn thresholds_mirror_probs_in_both_directions() {
+        let g = diamond();
+        for v in 0..4u32 {
+            let (_, probs, ids) = g.in_slice(v);
+            let thr = g.in_thresholds(v);
+            assert_eq!(thr.len(), probs.len());
+            for i in 0..probs.len() {
+                assert_eq!(thr[i], super::quantize_prob(probs[i]));
+                assert_eq!(thr[i], g.edge_threshold(ids[i]), "forward CSR agrees");
+            }
+        }
+    }
+
+    #[test]
+    fn map_probs_rebakes_thresholds() {
+        let g = diamond().map_probs(|_, _, p| p / 2.0);
+        for v in 0..4u32 {
+            let (_, probs, _) = g.in_slice(v);
+            let thr = g.in_thresholds(v);
+            for i in 0..probs.len() {
+                assert_eq!(thr[i], super::quantize_prob(probs[i]));
+            }
+        }
+    }
+
+    #[test]
+    fn skip_constant_only_for_uniform_low_prob_neighborhoods() {
+        // 10 spokes into a hub at p = 0.1 each: uniform, eligible.
+        let mut b = GraphBuilder::new(11);
+        for u in 1..11 {
+            b.add_edge(u, 0, 0.1).unwrap();
+        }
+        let g = b.build();
+        let inv = g.in_skip_inv(0);
+        assert!(
+            inv < 0.0 && inv.is_finite(),
+            "uniform indeg-10 hub must be skip-eligible, got {inv}"
+        );
+        let q = super::threshold_prob(super::quantize_prob(0.1));
+        assert!((inv - 1.0 / (1.0 - q).ln()).abs() < 1e-12);
+        // Spokes have empty in-neighborhoods: ineligible.
+        assert!(g.in_skip_inv(1).is_nan());
+
+        // Same shape at p = 0.9: too likely to be worth skipping.
+        let mut b = GraphBuilder::new(11);
+        for u in 1..11 {
+            b.add_edge(u, 0, 0.9).unwrap();
+        }
+        assert!(b.build().in_skip_inv(0).is_nan());
+
+        // Non-uniform neighborhood: ineligible.
+        let mut b = GraphBuilder::new(11);
+        for u in 1..11 {
+            b.add_edge(u, 0, if u == 5 { 0.2 } else { 0.1 }).unwrap();
+        }
+        assert!(b.build().in_skip_inv(0).is_nan());
+
+        // Too short, even if uniform.
+        let mut b = GraphBuilder::new(5);
+        for u in 1..5 {
+            b.add_edge(u, 0, 0.1).unwrap();
+        }
+        assert!(b.build().in_skip_inv(0).is_nan());
     }
 }

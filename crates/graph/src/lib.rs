@@ -9,7 +9,10 @@
 //!
 //! * [`Graph`] — an immutable compressed-sparse-row (CSR) representation with
 //!   both forward (out-edge) and reverse (in-edge) adjacency, built once via
-//!   [`GraphBuilder`];
+//!   [`GraphBuilder`]. Every build also bakes the *integer sampling view*:
+//!   per-edge `u32` coin thresholds ([`quantize_prob`]) in both CSR
+//!   directions and per-node geometric-skip constants for uniform
+//!   in-neighborhoods, consumed by the RIS samplers through [`SampleView`];
 //! * [`ResidualGraph`] — a cheap *view* over a base graph with an alive-node
 //!   bitmask, used by the adaptive algorithms to remove activated nodes after
 //!   each observation without copying the graph;
@@ -50,10 +53,12 @@ pub mod view;
 pub mod weights;
 
 pub use builder::GraphBuilder;
-pub use csr::Graph;
+pub use csr::{
+    quantize_prob, quantize_prob_f64, threshold_accept, threshold_prob, Graph, SampleMeta,
+};
 pub use error::GraphError;
 pub use stats::GraphStats;
-pub use view::{GraphView, ResidualGraph};
+pub use view::{GraphView, ResidualGraph, SampleView};
 pub use weights::WeightingScheme;
 
 /// Node identifier. Nodes are dense indices `0..n`.

@@ -50,6 +50,121 @@ pub trait GraphView {
 
     /// Samples a node uniformly from the alive set, or `None` if empty.
     fn sample_alive<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<Node>;
+
+    /// The raw alive-bitmask words backing [`is_alive`](Self::is_alive), or
+    /// `None` when every node is alive. Lets [`SampleView`] test liveness
+    /// with one shift-and-mask instead of a per-edge virtual call.
+    fn alive_words(&self) -> Option<&[u64]> {
+        None
+    }
+
+    /// Freezes this view into the flat [`SampleView`] the RIS hot loops run
+    /// on: base-graph CSR slices, baked thresholds, and the alive bitmask,
+    /// with no generics left between the sampler and the arrays. O(1).
+    fn sample_view(&self) -> SampleView<'_> {
+        SampleView {
+            base: self.base(),
+            alive: self.alive_words(),
+        }
+    }
+}
+
+/// A frozen, `Copy` sampling view over a [`GraphView`]: the base graph's
+/// CSR arrays (probabilities pre-baked to `u32` thresholds at graph build
+/// time) plus the optional alive bitmask of a residual view.
+///
+/// This is what the reverse-BFS inner loop actually traverses — building it
+/// per sample is free (two pointers), and it keeps the hot loop monomorphic
+/// over a single concrete type whatever view the caller holds.
+#[derive(Clone, Copy)]
+pub struct SampleView<'g> {
+    base: &'g Graph,
+    alive: Option<&'g [u64]>,
+}
+
+/// Hints the CPU to pull the cache line of `p` toward L1. Free on
+/// architectures without a stable hint. Safe: a prefetch has no
+/// architectural effect, any address is permitted.
+#[inline(always)]
+pub fn prefetch_read<T>(p: *const T) {
+    #[cfg(target_arch = "x86_64")]
+    unsafe {
+        core::arch::x86_64::_mm_prefetch::<{ core::arch::x86_64::_MM_HINT_T0 }>(p as *const i8)
+    }
+    #[cfg(target_arch = "aarch64")]
+    unsafe {
+        core::arch::asm!("prfm pldl1keep, [{0}]", in(reg) p, options(nostack, preserves_flags))
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    let _ = p;
+}
+
+impl<'g> SampleView<'g> {
+    /// The base graph whose CSR arrays (and baked thresholds) back this view.
+    #[inline]
+    pub fn base(&self) -> &'g Graph {
+        self.base
+    }
+
+    /// Whether `u` survives the alive mask (always true for a full view).
+    #[inline]
+    pub fn is_alive(&self, u: Node) -> bool {
+        match self.alive {
+            None => true,
+            Some(words) => words[u as usize / WORD_BITS] >> (u as usize % WORD_BITS) & 1 != 0,
+        }
+    }
+
+    /// The packed sampling record of `v` unpacked as `(lo, hi, thr, inv)` —
+    /// one 16-byte read (plus the adjacent sentinel/neighbor record for the
+    /// span end).
+    #[inline]
+    pub fn in_meta(&self, v: Node) -> (usize, usize, u32, f64) {
+        let (meta, _, _) = self.base.sampling_arrays();
+        let m = &meta[v as usize];
+        (
+            m.lo as usize,
+            meta[v as usize + 1].lo as usize,
+            m.thr,
+            m.inv,
+        )
+    }
+
+    /// In-edge sources of the span `lo..hi` (from [`in_meta`](Self::in_meta)).
+    #[inline]
+    pub fn sources(&self, lo: usize, hi: usize) -> &'g [Node] {
+        let (_, sources, _) = self.base.sampling_arrays();
+        &sources[lo..hi]
+    }
+
+    /// Per-edge thresholds of the span `lo..hi` (mixed neighborhoods only).
+    #[inline]
+    pub fn thresholds(&self, lo: usize, hi: usize) -> &'g [u32] {
+        let (_, _, thresholds) = self.base.sampling_arrays();
+        &thresholds[lo..hi]
+    }
+
+    /// Prefetches `v`'s sampling record — call when `v` joins the BFS
+    /// frontier so the record is resident by the time `v` is dequeued.
+    #[inline]
+    pub fn prefetch_meta(&self, v: Node) {
+        let (meta, _, _) = self.base.sampling_arrays();
+        prefetch_read(&meta[v as usize]);
+    }
+
+    /// Prefetches the head of a node's in-edge span (the hardware streamer
+    /// follows for long neighborhoods). Call one frontier member ahead.
+    #[inline]
+    pub fn prefetch_span(&self, lo: usize, hi: usize) {
+        let (_, sources, _) = self.base.sampling_arrays();
+        // First two lines (32 sources) cover the common short neighborhood.
+        if lo < hi {
+            prefetch_read(&sources[lo]);
+            if hi - lo > 16 {
+                prefetch_read(&sources[lo + 16]);
+            }
+        }
+    }
 }
 
 impl GraphView for Graph {
@@ -73,7 +188,7 @@ impl GraphView for Graph {
         if n == 0 {
             None
         } else {
-            Some(rng.gen_range(0..n as Node))
+            Some(uniform_index(rng, n))
         }
     }
 }
@@ -95,10 +210,24 @@ impl<T: GraphView> GraphView for &T {
     fn sample_alive<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<Node> {
         (**self).sample_alive(rng)
     }
+    #[inline]
+    fn alive_words(&self) -> Option<&[u64]> {
+        (**self).alive_words()
+    }
 }
 
 /// Word size of the alive bitmask.
 const WORD_BITS: usize = 64;
+
+/// Near-uniform index draw by multiply-shift: maps one 64-bit draw onto
+/// `0..n` without the per-call modulo of exact rejection sampling. The bias
+/// is at most `n / 2^64` per index (< 2^-40 for any graph this crate can
+/// hold) — orders of magnitude below the `2^-32` coin-quantization floor
+/// the samplers already document.
+#[inline]
+fn uniform_index<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Node {
+    (((rng.gen::<u64>() as u128) * (n as u128)) >> 64) as Node
+}
 
 /// When fewer than this fraction of nodes remain alive, uniform sampling
 /// switches from rejection to an explicit alive list (rebuilt lazily).
@@ -237,6 +366,11 @@ impl GraphView for ResidualGraph<'_> {
         self.alive[w] & (1u64 << b) != 0
     }
 
+    #[inline]
+    fn alive_words(&self) -> Option<&[u64]> {
+        Some(&self.alive)
+    }
+
     fn sample_alive<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<Node> {
         let n = self.base.num_nodes();
         if self.n_alive == 0 {
@@ -244,10 +378,11 @@ impl GraphView for ResidualGraph<'_> {
         }
         let frac = self.n_alive as f64 / n as f64;
         if frac >= REJECTION_MIN_FRACTION {
-            // Rejection sampling: exactly uniform over alive nodes, expected
+            // Rejection sampling: uniform over alive nodes (up to the
+            // multiply-shift base draw's < 2^-40 bias), expected
             // 1/frac < 64 draws.
             loop {
-                let u = rng.gen_range(0..n as Node);
+                let u = uniform_index(rng, n);
                 if self.is_alive(u) {
                     return Some(u);
                 }
@@ -259,7 +394,8 @@ impl GraphView for ResidualGraph<'_> {
             list.extend(self.alive_nodes());
         }
         debug_assert_eq!(list.len(), self.n_alive);
-        Some(list[rng.gen_range(0..list.len())])
+        let i = uniform_index(rng, list.len()) as usize;
+        Some(list[i])
     }
 }
 
@@ -370,6 +506,21 @@ mod tests {
         r.remove_all(0..4);
         let mut rng = StdRng::seed_from_u64(3);
         assert!(r.sample_alive(&mut rng).is_none());
+    }
+
+    #[test]
+    fn sample_view_mirrors_the_alive_mask() {
+        let g = line_graph(130);
+        let full = g.sample_view();
+        assert!((0..130).all(|u| full.is_alive(u)));
+        assert!(std::ptr::eq(full.base(), &g));
+
+        let mut r = ResidualGraph::new(&g);
+        r.remove_all([0, 64, 129]);
+        let sv = r.sample_view();
+        for u in 0..130u32 {
+            assert_eq!(sv.is_alive(u), r.is_alive(u), "node {u}");
+        }
     }
 
     #[test]

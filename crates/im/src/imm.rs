@@ -11,6 +11,13 @@
 //!    `x_i = n / 2^i`, draw `θ_i` RR sets; if the greedy cover certifies
 //!    spread `≥ (1 + ε′)·x_i` the loop stops with a lower bound on `OPT`.
 //! 2. **Node selection** — draw `θ = λ* / LB` RR sets and run lazy greedy.
+//!
+//! Both phases sample through `generate_batch`, i.e. the coin-free
+//! `SampleView` pipeline (integer thresholds + geometric skip + counter
+//! RNG). The thresholds quantize each edge probability to the `2^-32`
+//! lattice — exact at `p ∈ {0, 1}` — so every spread estimate below
+//! carries at most `2^-32·|edges-traversed|` additional bias, vanishing
+//! next to the `ε` the θ-formulas already budget for sampling error.
 
 use atpm_graph::{GraphView, Node};
 use atpm_ris::sampler::generate_batch;

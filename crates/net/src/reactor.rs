@@ -43,8 +43,6 @@ const TOKEN_WAKER: u64 = 1;
 const TOKEN_BASE: u64 = 2;
 /// Timer tag reserved for the driver's periodic tick.
 const TAG_TICK: u64 = u64::MAX;
-/// Longest the reactor parks without rechecking its stop flag.
-const MAX_PARK: Duration = Duration::from_millis(200);
 
 fn conn_token(slot: u32, gen: u32) -> u64 {
     TOKEN_BASE + slot as u64 + ((gen as u64) << 32)
@@ -244,6 +242,13 @@ impl Reactor {
 
     /// Runs the event loop until `stop` is raised. Consumes the reactor;
     /// every owned connection closes on exit.
+    ///
+    /// With no pending timer the reactor parks *indefinitely* — there is no
+    /// polling heartbeat. Shutdown is therefore a two-step contract: raise
+    /// `stop`, then fire the shard's waker
+    /// ([`ReplyQueue::waker`](ReplyQueue::waker)) to pull the loop out of
+    /// `epoll_wait`. [`ReplyQueue::push`] wakes as a side effect, so reply
+    /// traffic can never stall the loop either.
     pub fn run(mut self, mut driver: impl Driver, stop: &AtomicBool) {
         let mut events: Vec<Event> = Vec::new();
         let mut finished: Vec<Reply> = Vec::new();
@@ -253,11 +258,11 @@ impl Reactor {
         }
         while !stop.load(Ordering::SeqCst) {
             let now = self.now_ms();
-            let timeout = match self.wheel.next_deadline() {
-                Some(d) => Duration::from_millis(d.saturating_sub(now)).min(MAX_PARK),
-                None => MAX_PARK,
-            };
-            if self.poller.wait(&mut events, Some(timeout)).is_err() {
+            let timeout = self
+                .wheel
+                .next_deadline()
+                .map(|d| Duration::from_millis(d.saturating_sub(now)));
+            if self.poller.wait(&mut events, timeout).is_err() {
                 // A failing epoll instance is unrecoverable for this shard;
                 // bail rather than spin.
                 return;

@@ -271,6 +271,24 @@ fn driver_tick_fires_periodically() {
 }
 
 #[test]
+fn waker_shutdown_interrupts_an_indefinite_park() {
+    // With no timers and no ticks the reactor parks in epoll_wait with no
+    // timeout at all; the stop flag alone can never be observed. The
+    // shutdown contract — raise stop, then wake — must tear it down
+    // promptly anyway.
+    let h = Harness::start(ReactorConfig::default(), false, None);
+    // Give the loop time to reach its indefinite park.
+    std::thread::sleep(Duration::from_millis(50));
+    let t0 = std::time::Instant::now();
+    drop(h); // Harness::drop raises stop, wakes, joins
+    assert!(
+        t0.elapsed() < Duration::from_secs(2),
+        "shutdown took {:?} — the waker did not interrupt the park",
+        t0.elapsed()
+    );
+}
+
+#[test]
 fn idle_timeout_reaps_quiet_connections_but_not_active_ones() {
     let cfg = ReactorConfig {
         idle_timeout_ms: Some(100),

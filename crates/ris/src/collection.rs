@@ -60,6 +60,16 @@ impl RrShard {
         self.offsets.push(self.members.len() as u64);
     }
 
+    /// Appends one RR set written *in place*: `fill` appends the members
+    /// directly onto the shard's flat storage (e.g.
+    /// [`RrSampler::sample_append`](crate::RrSampler::sample_append)), and
+    /// the boundary is recorded afterwards — no intermediate buffer, no
+    /// copy.
+    pub fn push_with(&mut self, fill: impl FnOnce(&mut Vec<Node>)) {
+        fill(&mut self.members);
+        self.offsets.push(self.members.len() as u64);
+    }
+
     /// Number of stored sets.
     pub fn len(&self) -> usize {
         self.offsets.len() - 1
@@ -197,8 +207,23 @@ impl RrCollection {
         if self.frozen {
             return;
         }
-        let mut counts = vec![0u64; self.n + 1];
-        for &u in &self.members {
+        // Cursors are u32, halving the zero-fill and keeping the scatter's
+        // working set dense; the stored u64 offsets are widened in one
+        // cheap pass. (The parallel build below already indexes postings
+        // with u32.)
+        assert!(
+            self.members.len() <= u32::MAX as usize,
+            "posting count exceeds the u32 index space"
+        );
+        // Both passes stream the member array sequentially but scatter into
+        // the counts array at random; prefetching the cursor a few members
+        // ahead hides most of that latency.
+        const LOOKAHEAD: usize = 16;
+        let mut counts = vec![0u32; self.n + 1];
+        for (i, &u) in self.members.iter().enumerate() {
+            if let Some(&next) = self.members.get(i + LOOKAHEAD) {
+                atpm_graph::view::prefetch_read(&counts[next as usize]);
+            }
             counts[u as usize + 1] += 1;
         }
         for i in 0..self.n {
@@ -208,16 +233,24 @@ impl RrCollection {
         // to the end (= start of u+1), so shifting right by one afterwards
         // rebuilds the offsets without a cursor clone.
         let mut idx_sets = vec![0u32; self.members.len()];
-        for i in 0..self.len() {
-            for &u in self.set(i) {
-                let slot = counts[u as usize] as usize;
-                counts[u as usize] += 1;
-                idx_sets[slot] = i as u32;
+        let mut set = 0usize;
+        let mut set_end = self.offsets.get(1).copied().unwrap_or(0);
+        for (i, &u) in self.members.iter().enumerate() {
+            if let Some(&next) = self.members.get(i + LOOKAHEAD) {
+                atpm_graph::view::prefetch_read(&counts[next as usize]);
             }
+            while i as u64 == set_end {
+                set += 1;
+                set_end = self.offsets[set + 1];
+            }
+            let slot = counts[u as usize] as usize;
+            counts[u as usize] += 1;
+            idx_sets[slot] = set as u32;
         }
-        counts.copy_within(0..self.n, 1);
-        counts[0] = 0;
-        self.idx_offsets = counts;
+        let mut idx_offsets = Vec::with_capacity(self.n + 1);
+        idx_offsets.push(0u64);
+        idx_offsets.extend(counts[..self.n].iter().map(|&c| c as u64));
+        self.idx_offsets = idx_offsets;
         self.idx_sets = idx_sets;
         self.frozen = true;
     }

@@ -19,18 +19,32 @@
 //!
 //! The sampling → coverage → greedy pipeline is the hot path of every policy
 //! (ADDATP/HATP regenerate their batches every round), so the engine is built
-//! around two rules:
+//! around three rules:
 //!
-//! 1. **Zero per-query heap allocation.** All transient state lives in
+//! 1. **Coin-free sampling on the baked `SampleView`.** Reverse BFS never
+//!    touches an `f32`: each in-edge's probability is quantized to a `u32`
+//!    threshold at graph *build* time (`atpm_graph::quantize_prob` — exact
+//!    at `p ∈ {0, 1}`, within `2^-32` elsewhere, so a batch that traverses
+//!    `E` edges carries at most `2^-32·|E|` estimator bias, far below
+//!    sampling noise), and a coin is one unsigned compare against a raw
+//!    32-bit draw. Uniform in-neighborhoods — the weighted cascade's
+//!    `1/indeg` case, i.e. *every* node of the paper's preset graphs — take
+//!    a geometric-skip fast path that jumps straight to the next accepted
+//!    in-edge instead of flipping per edge. Draws come from the buffered
+//!    counter RNG ([`rng::CounterRng`]): 64-word lane refills with no
+//!    serial dependency, half a lane per coin. The pre-refactor per-coin
+//!    loop survives as [`RrSampler::sample_into_percoin`], the distribution
+//!    oracle of `tests/sampling_equivalence.rs`.
+//! 2. **Zero per-query heap allocation.** All transient state lives in
 //!    reusable, epoch-stamped buffers ([`workspace::EpochMarks`]): clearing
 //!    is an O(1) epoch bump, the backing arrays are allocated once per size
 //!    and reused forever. [`RrSampler`] uses them for visit marks,
 //!    [`collection::CoverageScratch`] for coverage queries
 //!    ([`RrCollection::cov_set_with`], [`RrCollection::cov_nodes_into`]), and
 //!    the decremental lazy greedy in `atpm-im` for its gain cache. The
-//!    discipline is enforced by a counting-allocator test
-//!    (`tests/alloc_discipline.rs`).
-//! 2. **Merge parallel work by bulk copy.** [`sampler::generate_batch`]
+//!    discipline — including the RNG lane buffer and the skip path — is
+//!    enforced by a counting-allocator test (`tests/alloc_discipline.rs`).
+//! 3. **Merge parallel work by bulk copy.** [`sampler::generate_batch`]
 //!    workers fill [`collection::RrShard`]s in the collection's own flat
 //!    layout; fan-in is two `extend_from_slice`-style copies per shard with
 //!    offset rebasing ([`RrCollection::absorb_shard`]), and the inverted
@@ -43,13 +57,17 @@
 //!
 //! Perf baselines for every stage live in `crates/bench/benches/micro.rs`
 //! (group `ris_engine`), which emits the committed `BENCH_ris.json`
-//! trajectory — run it before and after touching any of these paths.
+//! trajectory — run it before and after touching any of these paths. The
+//! `ris_engine/sample_*` stages price the threshold compare, the geometric
+//! skip, and the RNG refill in isolation.
 //!
 //! Modules:
 //!
 //! * [`rr`] — single RR-set generation on any [`GraphView`](atpm_graph::GraphView)
-//!   (reverse BFS with fresh coins, dead nodes skipped, O(1) last-sample
+//!   (coin-free reverse BFS over the baked thresholds, geometric skip on
+//!   uniform in-neighborhoods, dead nodes skipped, O(1) last-sample
 //!   membership probes);
+//! * [`rng`] — the buffered counter RNG feeding the samplers;
 //! * [`collection`] — stored batches with an inverted node→set index, shard
 //!   absorption, and the scratch-buffer coverage oracle used by the greedy
 //!   algorithms;
@@ -68,6 +86,7 @@ pub mod bounds;
 pub mod collection;
 pub mod coverage;
 pub mod nodeset;
+pub mod rng;
 pub mod rr;
 pub mod sampler;
 pub mod stream;
@@ -76,5 +95,6 @@ pub mod workspace;
 pub use collection::{CoverageScratch, RrCollection, RrShard};
 pub use coverage::DoubleGreedyCoverage;
 pub use nodeset::NodeSet;
+pub use rng::CounterRng;
 pub use rr::RrSampler;
 pub use sampler::generate_batch;

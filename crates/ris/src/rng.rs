@@ -1,0 +1,170 @@
+//! Batched counter-based RNG for the sampling hot loop.
+//!
+//! The per-coin sampler called `rng.gen::<f32>()` once per in-edge — one
+//! serially-dependent xoshiro step plus an int→float conversion per coin.
+//! [`CounterRng`] replaces that with a splitmix64-style *counter* stream:
+//! lane `i` is a pure finalizer hash of `(key, counter + i)`, so a refill
+//! fills a 64-word buffer with no loop-carried dependency (the finalizers
+//! pipeline across lanes) and the per-draw cost collapses to a buffered
+//! read. 32-bit coin draws consume half a lane each, so one refill funds
+//! 128 edge coins.
+//!
+//! The construction is the same counter→finalizer scheme the possible-world
+//! machinery already trusts (`HashedRealization` in `atpm-diffusion`):
+//! splitmix64 with the worker key as stream offset, which passes BigCrush.
+//! Streams are deterministic per key — `generate_batch` remains a pure
+//! function of `(view, count, seed, threads)` — but they are *different*
+//! streams than the shim `StdRng` draws, so swapping the sampler's RNG
+//! redraws every sampled world (deliberate; the statistical-equivalence
+//! suite pins the distributions instead of the streams).
+//!
+//! Everything lives in fixed-size arrays: creating or refilling a
+//! [`CounterRng`] never heap-allocates, which the `alloc_discipline` test
+//! asserts through the sampling paths.
+
+use rand::{RngCore, SeedableRng};
+
+/// Lane-buffer length, in 64-bit words.
+const LANES: usize = 64;
+
+/// A buffered counter RNG: 64-word refills, splitmix64 lanes.
+pub struct CounterRng {
+    /// Stream identity (derived from the worker seed).
+    key: u64,
+    /// Next counter value to bake into a lane.
+    counter: u64,
+    /// Refilled lane buffer; `pos` words consumed so far.
+    buf: [u64; LANES],
+    pos: usize,
+    /// Unconsumed upper half of the last 32-bit draw's lane.
+    spare: u32,
+    has_spare: bool,
+}
+
+/// The splitmix64 finalizer over the keyed counter: lane `c` of stream
+/// `key` is `fin(key + c·golden)`.
+#[inline]
+fn lane(key: u64, c: u64) -> u64 {
+    let mut z = key.wrapping_add(c.wrapping_mul(0x9E3779B97F4A7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+impl CounterRng {
+    /// A fresh stream for `seed` (typically a `workspace::worker_seed`).
+    pub fn new(seed: u64) -> Self {
+        CounterRng {
+            // One finalizer round decorrelates adjacent worker seeds before
+            // they become stream offsets.
+            key: lane(0xD6E8FEB86659FD93, seed),
+            counter: 0,
+            buf: [0; LANES],
+            pos: LANES,
+            spare: 0,
+            has_spare: false,
+        }
+    }
+
+    #[cold]
+    fn refill(&mut self) {
+        let base = self.counter;
+        for (i, slot) in self.buf.iter_mut().enumerate() {
+            *slot = lane(self.key, base.wrapping_add(i as u64));
+        }
+        self.counter = base.wrapping_add(LANES as u64);
+        self.pos = 0;
+    }
+}
+
+impl RngCore for CounterRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        if self.pos == LANES {
+            self.refill();
+        }
+        let x = self.buf[self.pos];
+        self.pos += 1;
+        x
+    }
+
+    /// Coin draws split lanes in half instead of discarding 32 bits per
+    /// coin — the edge-coin path is the whole reason this type exists.
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        if self.has_spare {
+            self.has_spare = false;
+            return self.spare;
+        }
+        let x = self.next_u64();
+        self.spare = (x >> 32) as u32;
+        self.has_spare = true;
+        x as u32
+    }
+}
+
+impl SeedableRng for CounterRng {
+    fn seed_from_u64(state: u64) -> Self {
+        CounterRng::new(state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed_and_distinct_across_seeds() {
+        let mut a = CounterRng::new(7);
+        let mut b = CounterRng::new(7);
+        for _ in 0..300 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = CounterRng::new(8);
+        let agree = (0..64).filter(|_| a.next_u64() == c.next_u64()).count();
+        assert_eq!(agree, 0, "adjacent seeds must not share a stream");
+    }
+
+    #[test]
+    fn u32_draws_consume_both_lane_halves() {
+        let mut whole = CounterRng::new(3);
+        let mut halves = CounterRng::new(3);
+        for _ in 0..200 {
+            let x = whole.next_u64();
+            assert_eq!(halves.next_u32(), x as u32);
+            assert_eq!(halves.next_u32(), (x >> 32) as u32);
+        }
+    }
+
+    #[test]
+    fn draws_are_uniformish() {
+        let mut rng = CounterRng::new(11);
+        let n = 100_000u64;
+        let mut ones = 0u64;
+        let mut sum = 0.0f64;
+        for _ in 0..n {
+            ones += rng.next_u64().count_ones() as u64;
+            sum += rng.gen::<f64>();
+        }
+        let bit_rate = ones as f64 / (n as f64 * 64.0);
+        assert!((bit_rate - 0.5).abs() < 0.005, "bit rate {bit_rate}");
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.005, "unit mean {mean}");
+    }
+
+    #[test]
+    fn gen_range_works_through_the_shim_trait() {
+        let mut rng = CounterRng::new(5);
+        let mut counts = [0usize; 10];
+        for _ in 0..50_000 {
+            counts[rng.gen_range(0..10usize)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 - 5_000.0).abs() < 500.0,
+                "bucket {i}: {c} draws far from uniform"
+            );
+        }
+    }
+}

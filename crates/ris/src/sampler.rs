@@ -4,13 +4,14 @@
 //! the merge is two bulk copies per shard (`extend_from_slice` + offset
 //! rebasing) and the inverted index is built exactly once over the merged
 //! arrays. Worker seeding and fan-out/fan-in go through
-//! [`crate::workspace`], shared with the streaming counters.
+//! [`crate::workspace`], shared with the streaming counters. Each worker
+//! samples through the coin-free `SampleView` path of [`RrSampler`], fed by
+//! its own buffered [`CounterRng`] stream.
 
 use atpm_graph::GraphView;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 use crate::collection::{RrCollection, RrShard};
+use crate::rng::CounterRng;
 use crate::rr::RrSampler;
 use crate::workspace::{available_threads, run_sharded};
 
@@ -42,13 +43,31 @@ pub fn generate_batch<V: GraphView + Sync>(
     let shards: Vec<RrShard> = run_sharded(count, threads, seed, |_tid, quota, wseed| {
         let mut shard = RrShard::with_capacity(quota, AVG_SET_SIZE_HINT);
         let mut sampler = RrSampler::new();
-        let mut rng = StdRng::seed_from_u64(wseed);
-        let mut buf = Vec::new();
+        let mut rng = CounterRng::new(wseed);
+        let sv = view.sample_view();
+        // Root lookahead: the next set's root is drawn one set early; its
+        // sampling record, in-edge span, and visit-mark slot are all
+        // prefetched while the *current* set samples, so the three random
+        // accesses that open every set are already resolving.
+        let mut next_root = view.sample_alive(&mut rng);
+        if let Some(r) = next_root {
+            sv.prefetch_meta(r);
+        }
         for _ in 0..quota {
-            if !sampler.sample_into(view, &mut rng, &mut buf) {
-                break;
+            let Some(root) = next_root else { break };
+            next_root = view.sample_alive(&mut rng);
+            if let Some(r) = next_root {
+                sv.prefetch_meta(r);
+                sampler.prefetch_visit(r);
             }
-            shard.push(&buf);
+            // The set is sampled straight into the shard's flat storage.
+            shard.push_with(|members| sampler.sample_append(view, root, &mut rng, members));
+            if let Some(r) = next_root {
+                // Its meta record arrived during the sample; chase it to
+                // the span now.
+                let (lo, hi, _, _) = sv.in_meta(r);
+                sv.prefetch_span(lo, hi);
+            }
         }
         shard
     });
@@ -120,14 +139,18 @@ mod tests {
             // merged set by set.
             let mut slow = RrCollection::new(3, 3);
             let parts = crate::workspace::run_sharded(999, threads, 13, |_tid, quota, wseed| {
+                // Mirrors the production worker exactly, including the
+                // root-lookahead draw order — the merge legs must consume
+                // identical streams to be byte-comparable.
                 let mut local: Vec<Vec<u32>> = Vec::new();
                 let mut sampler = RrSampler::new();
-                let mut rng = StdRng::seed_from_u64(wseed);
+                let mut rng = CounterRng::new(wseed);
                 let mut buf = Vec::new();
+                let mut next_root = (&&g).sample_alive(&mut rng);
                 for _ in 0..quota {
-                    if !sampler.sample_into(&&g, &mut rng, &mut buf) {
-                        break;
-                    }
+                    let Some(root) = next_root else { break };
+                    next_root = (&&g).sample_alive(&mut rng);
+                    sampler.sample_into_rooted(&&g, root, &mut rng, &mut buf);
                     local.push(buf.clone());
                 }
                 local

@@ -18,10 +18,9 @@
 //! [`crate::workspace`] (the two used to carry diverged private copies).
 
 use atpm_graph::{GraphView, Node};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 use crate::nodeset::NodeSet;
+use crate::rng::CounterRng;
 use crate::rr::RrSampler;
 use crate::workspace::run_sharded;
 
@@ -50,7 +49,7 @@ fn shared_worker<V: GraphView>(
     seed: u64,
 ) -> FrontRearCounts {
     let mut sampler = RrSampler::new();
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = CounterRng::new(seed);
     let mut buf = Vec::new();
     let mut counts = FrontRearCounts {
         cov_front: 0,
@@ -134,7 +133,7 @@ fn stream_worker<V: GraphView>(
     seed: u64,
 ) -> FrontRearCounts {
     let mut sampler = RrSampler::new();
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = CounterRng::new(seed);
     let mut buf = Vec::new();
     let mut cov_front = 0u64;
     let mut cov_rear = 0u64;
@@ -264,10 +263,12 @@ mod tests {
     }
 
     /// Golden values: the streamed counters draw their worlds through the
-    /// shared `workspace::worker_seed` + shim `StdRng`; these exact counts
-    /// pin that stream so a silent reseeding (like the pre-dedup drift
-    /// between sampler.rs and stream.rs) fails loudly instead of quietly
-    /// redrawing every stored experiment trajectory.
+    /// shared `workspace::worker_seed` + the engine's `CounterRng`; these
+    /// exact counts pin that stream so a silent reseeding (like the
+    /// pre-dedup drift between sampler.rs and stream.rs) fails loudly
+    /// instead of quietly redrawing every stored experiment trajectory.
+    /// (Re-pinned when the coin-free `SampleView` sampler replaced the
+    /// per-coin `StdRng` loop — a deliberate world redraw.)
     #[test]
     fn stream_values_are_pinned() {
         let g = chain();
@@ -277,40 +278,40 @@ mod tests {
         assert_eq!(
             indep1,
             FrontRearCounts {
-                cov_front: 590,
-                cov_rear: 493,
+                cov_front: 614,
+                cov_rear: 515,
                 theta: 1000,
-                work: 2892
+                work: 2866
             }
         );
         let shared1 = front_rear_counts_shared(&&g, 0, &empty, &rear, 1000, 42, 1);
         assert_eq!(
             shared1,
             FrontRearCounts {
-                cov_front: 612,
-                cov_rear: 505,
+                cov_front: 590,
+                cov_rear: 501,
                 theta: 1000,
-                work: 1451
+                work: 1420
             }
         );
         let indep2 = front_rear_counts(&&g, 0, &empty, &rear, 1000, 42, 2);
         assert_eq!(
             indep2,
             FrontRearCounts {
-                cov_front: 582,
-                cov_rear: 512,
+                cov_front: 577,
+                cov_rear: 462,
                 theta: 1000,
-                work: 2853
+                work: 2843
             }
         );
         let shared2 = front_rear_counts_shared(&&g, 0, &empty, &rear, 1000, 42, 2);
         assert_eq!(
             shared2,
             FrontRearCounts {
-                cov_front: 583,
-                cov_rear: 506,
+                cov_front: 571,
+                cov_rear: 480,
                 theta: 1000,
-                work: 1402
+                work: 1418
             }
         );
     }

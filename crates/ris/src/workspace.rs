@@ -22,38 +22,65 @@ pub fn worker_seed(seed: u64, tid: u64) -> u64 {
         .wrapping_add(0xE7037ED1A0B428DB)
 }
 
-/// Splits `total` work items across `threads` workers and merges the
-/// per-worker outputs in worker order.
+/// Splits `total` work items across `threads` *workers* (deterministic
+/// stream shards) and merges the per-worker outputs in worker order.
 ///
-/// `worker(tid, quota, seed)` runs on its own scoped thread (or inline when
-/// one worker suffices) with `quota` items and the stream seed
+/// `worker(tid, quota, seed)` runs with `quota` items and the stream seed
 /// `worker_seed(seed, tid)`. Quotas differ by at most one and sum to
 /// `total`; the returned vector is indexed by `tid`, so the merge order —
 /// and therefore the final result — is independent of thread scheduling.
+///
+/// The worker count fixes the *streams* (and hence the sampled worlds);
+/// the OS threads that execute them are capped separately at
+/// `available_parallelism()`. Oversubscribing a small machine — the
+/// 1-vCPU build container running a `threads = 4` benchmark — used to pay
+/// spawn and context-switch overhead for nothing; now the four shards run
+/// on however many cores exist, producing bit-identical output either way
+/// (shard `tid`'s content depends only on its seed and quota).
 pub fn run_sharded<T, W>(total: usize, threads: usize, seed: u64, worker: W) -> Vec<T>
 where
     T: Send,
     W: Fn(usize, usize, u64) -> T + Sync,
 {
     let threads = threads.max(1).min(total.max(1));
-    if threads == 1 {
-        return vec![worker(0, total, worker_seed(seed, 0))];
-    }
     let per = total / threads;
     let extra = total % threads;
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|tid| {
-                let quota = per + usize::from(tid < extra);
-                let worker = &worker;
-                scope.spawn(move || worker(tid, quota, worker_seed(seed, tid as u64)))
-            })
+    let quota_of = |tid: usize| per + usize::from(tid < extra);
+    let os_threads = threads.min(available_threads(None));
+    if os_threads == 1 {
+        return (0..threads)
+            .map(|tid| worker(tid, quota_of(tid), worker_seed(seed, tid as u64)))
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("RIS worker panicked"))
-            .collect()
-    })
+    }
+    // Work-steal shard indices; slots keep the output in worker order.
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slots: Vec<std::sync::Mutex<Option<T>>> =
+        (0..threads).map(|_| std::sync::Mutex::new(None)).collect();
+    let run = |slots: &[std::sync::Mutex<Option<T>>]| loop {
+        let tid = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        if tid >= threads {
+            return;
+        }
+        let out = worker(tid, quota_of(tid), worker_seed(seed, tid as u64));
+        *slots[tid].lock().expect("RIS worker panicked") = Some(out);
+    };
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (1..os_threads)
+            .map(|_| scope.spawn(|| run(&slots)))
+            .collect();
+        run(&slots);
+        for h in handles {
+            h.join().expect("RIS worker panicked");
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("RIS worker panicked")
+                .expect("every shard filled")
+        })
+        .collect()
 }
 
 /// Epoch-stamped marks over a dense id universe: O(1) set/test, O(1)
@@ -62,13 +89,15 @@ where
 ///
 /// This is the allocation discipline the whole engine runs on: instead of
 /// `vec![false; n]` per query, every reusable visit/coverage buffer keeps a
-/// `u32` stamp per id and compares it against the current epoch. The epoch
-/// wraps after `u32::MAX` generations, at which point the stamps are zeroed
-/// once — amortized free.
+/// `u16` stamp per id and compares it against the current epoch. The epoch
+/// wraps after `u16::MAX` generations, at which point the stamps are zeroed
+/// once — a 2-byte-per-id memset every 65k generations, amortized free,
+/// and the narrow stamp halves the random-access working set of the
+/// sampling and coverage hot loops.
 #[derive(Debug, Default)]
 pub struct EpochMarks {
-    stamp: Vec<u32>,
-    epoch: u32,
+    stamp: Vec<u16>,
+    epoch: u16,
 }
 
 impl EpochMarks {
@@ -116,6 +145,16 @@ impl EpochMarks {
     /// Universe size the marks currently cover.
     pub fn capacity(&self) -> usize {
         self.stamp.len()
+    }
+
+    /// Prefetches the stamp slot of `i` (no-op if the marks have not grown
+    /// that far yet). The samplers use this to overlap the next root's
+    /// first stamp write with the current sample.
+    #[inline]
+    pub fn prefetch(&self, i: usize) {
+        if let Some(slot) = self.stamp.get(i) {
+            atpm_graph::view::prefetch_read(slot);
+        }
     }
 }
 
@@ -210,8 +249,8 @@ mod tests {
     #[test]
     fn epoch_marks_survive_wraparound() {
         let mut m = EpochMarks {
-            stamp: vec![u32::MAX - 1; 4],
-            epoch: u32::MAX - 1,
+            stamp: vec![u16::MAX - 1; 4],
+            epoch: u16::MAX - 1,
         };
         assert!(m.is_marked(0));
         m.begin(4); // epoch -> MAX

@@ -117,5 +117,38 @@ fn hot_query_paths_do_not_allocate_after_warmup() {
     });
     assert_eq!(allocs, 0, "sample_into allocated after warm-up");
 
+    // ---- the per-coin oracle shares the discipline -------------------------
+    let allocs = allocations_during(|| {
+        for _ in 0..500 {
+            sampler.sample_into_percoin(&&g, &mut rng, &mut buf);
+            blackhole += usize::from(sampler.contains_last(0));
+        }
+    });
+    assert_eq!(allocs, 0, "sample_into_percoin allocated after warm-up");
+
+    // ---- counter-RNG refills + geometric skip path -------------------------
+    // A hub with 32 uniform p = 0.1 in-edges forces the skip fast path;
+    // CounterRng's 64-word lane buffer refills many times in 2000 samples.
+    // Neither may touch the heap once buffers are warm.
+    use atpm_ris::CounterRng;
+    let mut hb = GraphBuilder::new(33);
+    for u in 1..33u32 {
+        hb.add_edge(u, 0, 0.1).unwrap();
+    }
+    let hub = hb.build();
+    assert!(hub.in_skip_inv(0) < 0.0, "hub must take the skip path");
+    let mut crng = CounterRng::new(9);
+    let mut hsampler = RrSampler::new();
+    for _ in 0..500 {
+        hsampler.sample_into(&hub, &mut crng, &mut buf); // warm-up
+    }
+    let allocs = allocations_during(|| {
+        for _ in 0..2_000 {
+            hsampler.sample_into(&hub, &mut crng, &mut buf);
+            blackhole += buf.len();
+        }
+    });
+    assert_eq!(allocs, 0, "skip path / CounterRng allocated after warm-up");
+
     assert!(blackhole > 0, "keep the optimizer honest");
 }

@@ -1,0 +1,175 @@
+//! Statistical-equivalence suite: the coin-free `SampleView` sampler
+//! (integer thresholds + geometric skip + `CounterRng`) must draw RR sets
+//! from the *same distribution* as the retained per-coin oracle
+//! (`RrSampler::sample_into_percoin`), even though the streams differ.
+//!
+//! Singleton-spread estimates are the sufficient statistic here: by the RIS
+//! identity `E[I({u})] = n·Pr[u ∈ RR]`, agreement of every singleton
+//! coverage rate pins the per-edge acceptance probabilities the sampler
+//! realizes. The suite checks chain graphs with known closed forms, a
+//! weighted-cascade preset (whose uniform in-neighborhoods exercise the
+//! skip path), and thread counts {1, 2, 4}; proptests pin the quantization
+//! endpoints exactly.
+
+use atpm_graph::gen::Dataset;
+use atpm_graph::{quantize_prob, threshold_accept, threshold_prob, GraphBuilder, GraphView};
+use atpm_ris::{generate_batch, CounterRng, RrSampler};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Singleton-spread estimate from `theta` per-coin oracle samples.
+fn percoin_spread<V: GraphView>(view: &V, u: u32, theta: usize, seed: u64) -> f64 {
+    let mut sampler = RrSampler::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut buf = Vec::new();
+    let mut cov = 0usize;
+    for _ in 0..theta {
+        assert!(sampler.sample_into_percoin(view, &mut rng, &mut buf));
+        if sampler.contains_last(u) {
+            cov += 1;
+        }
+    }
+    view.num_alive() as f64 * cov as f64 / theta as f64
+}
+
+#[test]
+fn chain_spread_matches_oracle_and_closed_form() {
+    // 0 -> 1 -> 2 at p = 0.5: E[I({0})] = 1.75 exactly.
+    let mut b = GraphBuilder::new(3);
+    b.add_edge(0, 1, 0.5).unwrap();
+    b.add_edge(1, 2, 0.5).unwrap();
+    let g = b.build();
+    let theta = 150_000;
+    for threads in [1usize, 2, 4] {
+        let c = generate_batch(&&g, theta, 11, threads);
+        let fast = c.spread_node(0);
+        assert!(
+            (fast - 1.75).abs() < 0.03,
+            "threads {threads}: SampleView estimate {fast} vs exact 1.75"
+        );
+    }
+    let oracle = percoin_spread(&&g, 0, theta, 3);
+    assert!((oracle - 1.75).abs() < 0.03, "oracle drifted: {oracle}");
+}
+
+#[test]
+fn certain_chain_is_deterministic_under_quantization() {
+    // All-p=1.0 chain: every RR set from root r is exactly {0..=r}; a
+    // single quantization flip anywhere would shrink a set.
+    let mut b = GraphBuilder::new(5);
+    for i in 0..4u32 {
+        b.add_edge(i, i + 1, 1.0).unwrap();
+    }
+    let g = b.build();
+    let c = generate_batch(&&g, 20_000, 5, 2);
+    for i in 0..c.len() {
+        let set = c.set(i);
+        assert_eq!(set.len(), set[0] as usize + 1, "truncated certain RR set");
+    }
+}
+
+#[test]
+fn preset_skip_path_matches_percoin_oracle() {
+    // Weighted-cascade preset: every in-neighborhood is uniform, so high-
+    // degree nodes run the geometric skip. Compare singleton spreads of the
+    // highest in-degree nodes (where the skip path does all the work)
+    // against the per-coin oracle across thread counts.
+    let g = Dataset::NetHept.generate(0.05, 3);
+    let n = g.num_nodes();
+    let mut nodes: Vec<u32> = (0..n as u32).collect();
+    nodes.sort_unstable_by_key(|&v| std::cmp::Reverse(g.in_degree(v)));
+    let hubs: Vec<u32> = nodes.into_iter().take(3).collect();
+    assert!(
+        hubs.iter().any(|&v| g.in_skip_inv(v) < 0.0),
+        "top in-degree hubs of a WC preset must be skip-eligible"
+    );
+
+    let theta = 120_000;
+    for &hub in &hubs {
+        let oracle = percoin_spread(&&g, hub, theta, 17);
+        for threads in [1usize, 2, 4] {
+            let c = generate_batch(&&g, theta, 23 + threads as u64, threads);
+            let fast = c.spread_node(hub);
+            // Spreads here are O(1)..O(10); 5% relative + small absolute slack
+            // covers two independent Monte-Carlo estimates at θ = 120k.
+            let tol = 0.05 * oracle.max(1.0) + 0.05;
+            assert!(
+                (fast - oracle).abs() < tol,
+                "hub {hub}, threads {threads}: SampleView {fast} vs oracle {oracle}"
+            );
+        }
+    }
+}
+
+#[test]
+fn threshold_only_path_matches_skip_path() {
+    // The two fast paths must agree with each other, not just with the
+    // float oracle: same hub, skip on vs off.
+    let g = Dataset::NetHept.generate(0.05, 4);
+    let hub = (0..g.num_nodes() as u32)
+        .max_by_key(|&v| g.in_degree(v))
+        .unwrap();
+    let theta = 120_000;
+    let spread = |skip: bool, seed: u64| {
+        let mut sampler = RrSampler::new();
+        let mut rng = CounterRng::new(seed);
+        let mut buf = Vec::new();
+        let mut cov = 0usize;
+        for _ in 0..theta {
+            let ok = if skip {
+                sampler.sample_into(&&g, &mut rng, &mut buf)
+            } else {
+                sampler.sample_into_threshold(&&g, &mut rng, &mut buf)
+            };
+            assert!(ok);
+            if sampler.contains_last(hub) {
+                cov += 1;
+            }
+        }
+        g.num_nodes() as f64 * cov as f64 / theta as f64
+    };
+    let with_skip = spread(true, 7);
+    let without = spread(false, 8);
+    let tol = 0.05 * with_skip.max(1.0) + 0.05;
+    assert!(
+        (with_skip - without).abs() < tol,
+        "skip {with_skip} vs threshold-only {without}"
+    );
+}
+
+proptest! {
+    /// Quantization never flips an endpoint edge: p = 1.0 accepts every
+    /// draw, p = 0.0 accepts none — for *any* 32-bit draw value.
+    #[test]
+    fn endpoint_probabilities_never_flip(draw in 0u32..=u32::MAX) {
+        prop_assert!(threshold_accept(draw, quantize_prob(1.0)));
+        prop_assert!(!threshold_accept(draw, quantize_prob(0.0)));
+    }
+
+    /// Quantized acceptance probability stays within one lattice step of
+    /// the requested probability, and the endpoints round-trip exactly.
+    #[test]
+    fn quantization_error_is_bounded(p in 0.0f32..=1.0f32) {
+        let q = threshold_prob(quantize_prob(p));
+        prop_assert!((q - p as f64).abs() <= 1.0 / 4_294_967_296.0,
+            "p {} quantized to {}", p, q);
+    }
+
+    /// Edges at the endpoints survive a full build (builder + CSR bake):
+    /// a p = 1.0 edge in a built graph always fires under every world.
+    #[test]
+    fn built_certain_edges_always_fire(seed in 0u64..1_000) {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1, 1.0).unwrap();
+        let g = b.build();
+        prop_assert_eq!(g.edge_threshold(0), quantize_prob(1.0));
+        let mut sampler = RrSampler::new();
+        let mut rng = CounterRng::new(seed);
+        let mut buf = Vec::new();
+        prop_assert!(sampler.sample_into(&&g, &mut rng, &mut buf));
+        if buf[0] == 1 {
+            prop_assert!(buf.contains(&0), "certain edge failed to fire");
+        }
+    }
+}

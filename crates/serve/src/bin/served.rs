@@ -8,6 +8,7 @@
 //!        --workers N           request workers       (default 4)
 //!        --shards N            epoll reactor shards  (default 2)
 //!        --session-ttl SECS    evict sessions idle this long (default: never)
+//!        --idle-timeout SECS   close idle connections (epoll; default: never)
 //!        --snapshot-budget MB  snapshot-store LRU byte budget (default: unbounded)
 //!        --preset NAME         preload a snapshot from a Table II preset
 //!        --graph PATH          ...or from an edge-list/ATPMGRF1 file
@@ -70,6 +71,12 @@ fn parse(args: &[String]) -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("bad --session-ttl: {e}"))?;
                 cfg.session_ttl_ms = (secs > 0).then_some(secs * 1_000);
+            }
+            "--idle-timeout" => {
+                let secs: u64 = value_of("--idle-timeout")?
+                    .parse()
+                    .map_err(|e| format!("bad --idle-timeout: {e}"))?;
+                cfg.idle_timeout_ms = (secs > 0).then_some(secs * 1_000);
             }
             "--snapshot-budget" => {
                 let mb: usize = value_of("--snapshot-budget")?
@@ -141,7 +148,8 @@ fn main() {
             eprintln!(
                 "usage: atpm-served [--addr HOST:PORT] [--backend epoll|pool] \
                  [--workers N] [--shards N] [--session-ttl SECS] \
-                 [--snapshot-budget MB] [--preset NAME | --graph PATH] \
+                 [--idle-timeout SECS] [--snapshot-budget MB] \
+                 [--preset NAME | --graph PATH] \
                  [--name NAME] [--scale F] [--k N] [--rr-theta N] [--seed S]"
             );
             std::process::exit(2);

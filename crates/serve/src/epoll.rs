@@ -167,7 +167,7 @@ impl EpollBackend {
                     read_limit: http::MAX_HEAD + http::MAX_BODY + 1024,
                     write_backpressure: 1 << 20,
                     tick_ms: 50,
-                    idle_timeout_ms: None,
+                    idle_timeout_ms: cfg.idle_timeout_ms,
                     max_conns: 65_536,
                 },
             )?;

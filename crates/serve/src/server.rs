@@ -243,6 +243,11 @@ pub struct ServeConfig {
     pub sweep_every_ms: u64,
     /// Snapshot-store LRU budget in bytes; `None` is unbounded.
     pub snapshot_budget_bytes: Option<usize>,
+    /// Close *connections* (not sessions) idle this long — slowloris
+    /// hygiene, epoll backend only. `None` (the default) keeps connections
+    /// forever, which is also what the pool backend does: leaving this off
+    /// preserves byte-identical behavior with the pool oracle.
+    pub idle_timeout_ms: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -255,6 +260,7 @@ impl Default for ServeConfig {
             session_ttl_ms: None,
             sweep_every_ms: 1_000,
             snapshot_budget_bytes: None,
+            idle_timeout_ms: None,
         }
     }
 }

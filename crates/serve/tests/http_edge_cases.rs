@@ -159,6 +159,54 @@ fn slowloris_stalled_header_neither_answers_nor_hangs_up() {
 }
 
 #[test]
+fn slowloris_with_idle_timeout_gets_reaped() {
+    // The timeout variant: with `idle_timeout_ms` set (epoll backend only
+    // — the pool oracle has no such knob), a stalled header no longer
+    // pins the connection forever. The server must close it without
+    // sending a byte, and a live connection must survive its own deadline
+    // as long as it keeps talking.
+    let state = AppState::new();
+    let cfg = ServeConfig {
+        workers: 2,
+        shards: 1,
+        backend: Backend::Epoll,
+        idle_timeout_ms: Some(1_000),
+        ..ServeConfig::default()
+    };
+    let mut server = Server::start(state, &cfg).unwrap();
+    assert_eq!(server.backend(), Backend::Epoll);
+
+    let mut stalled = connect(&server);
+    stalled
+        .write_all(b"GET /healthz HTTP/1.1\r\nx-slow: lor")
+        .unwrap();
+    let mut chatty = connect(&server);
+
+    // Keep the chatty connection active past several deadlines, with a
+    // cadence (200ms vs a 1s timeout) wide enough that CI scheduler
+    // stalls cannot spuriously reap it.
+    for _ in 0..8 {
+        std::thread::sleep(Duration::from_millis(200));
+        chatty
+            .write_all(b"GET /healthz HTTP/1.1\r\ncontent-length: 0\r\n\r\n")
+            .unwrap();
+        let (status, _) = read_one_response(&mut chatty);
+        assert_eq!(status, 200, "active connection must survive the timeout");
+    }
+
+    // The stalled one must have been reaped: EOF, no response bytes.
+    stalled
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let leftovers = read_to_close(&mut stalled);
+    assert!(
+        leftovers.is_empty(),
+        "reaped connection must close silently, got {leftovers:?}"
+    );
+    server.shutdown();
+}
+
+#[test]
 fn body_split_across_many_writes() {
     let body = b"{\"snapshot\":\"missing\",\"policy\":{\"name\":\"deploy_all\"},\"world_seed\":1}";
     let (pool, epoll) = differential(|stream| {

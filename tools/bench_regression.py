@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Gate on RIS-engine benchmark regressions.
+
+Usage: bench_regression.py BASELINE.json CURRENT.json [--tolerance 0.10]
+
+Compares the median of every `ris_engine/generate_batch/*` stage (the
+sampling-bound end-to-end contract) in CURRENT against BASELINE and fails
+if any regresses by more than the tolerance. Other stages are reported but
+advisory: CI runners are noisy, and the committed trajectory is measured on
+the 1-vCPU build container, so only the headline stage gates.
+"""
+
+import json
+import sys
+
+GATED_PREFIX = "ris_engine/generate_batch/"
+
+
+def medians(path):
+    with open(path) as f:
+        return {r["id"]: float(r["median_ns"]) for r in json.load(f)}
+
+
+def main(argv):
+    if len(argv) < 3:
+        print(__doc__)
+        return 2
+    tolerance = 0.10
+    if "--tolerance" in argv:
+        tolerance = float(argv[argv.index("--tolerance") + 1])
+    base = medians(argv[1])
+    cur = medians(argv[2])
+    failed = False
+    for bench_id in sorted(set(base) & set(cur)):
+        ratio = cur[bench_id] / base[bench_id]
+        gated = bench_id.startswith(GATED_PREFIX)
+        verdict = ""
+        if ratio > 1.0 + tolerance:
+            if gated:
+                verdict = "  REGRESSION (gated)"
+                failed = True
+            else:
+                verdict = "  slower (advisory)"
+        print(
+            f"{bench_id:50s} {base[bench_id]/1e6:9.3f}ms -> "
+            f"{cur[bench_id]/1e6:9.3f}ms  x{ratio:.2f}{verdict}"
+        )
+    new_ids = set(cur) - set(base)
+    for bench_id in sorted(new_ids):
+        print(f"{bench_id:50s}        new -> {cur[bench_id]/1e6:9.3f}ms")
+    if failed:
+        print(f"FAIL: a gated stage regressed more than {tolerance:.0%}")
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
