@@ -23,7 +23,9 @@ use atpm_core::policies::{Adg, Hatp, Ndg, Nsg};
 use atpm_core::runner::{evaluate_adaptive, evaluate_nonadaptive};
 use atpm_core::setup::{calibrated_instance, CalibrationConfig};
 use atpm_core::CostSplit;
-use atpm_diffusion::{CascadeEngine, HashedRealization, MaterializedRealization, Realization};
+use atpm_diffusion::{
+    mc_spread_batched, CascadeEngine, HashedRealization, MaterializedRealization, Realization,
+};
 use atpm_graph::gen::Dataset;
 use atpm_graph::GraphView;
 use atpm_im::greedy::max_coverage_greedy_rescan;
@@ -176,6 +178,63 @@ fn bench_ris_engine(c: &mut Criterion) {
             }
             acc
         });
+    });
+
+    // ---- stage 1c: forward cascades (the MC spread oracle's inner loop) ----
+    // Constant-weight rebake of the same 100k-node preset: every
+    // out-neighborhood is uniform, so hubs run the forward geometric skip
+    // the way WC in-neighborhoods run the reverse one. Seeds are the top
+    // out-degree hubs — the IM-shaped seed sets forward simulation scores
+    // in practice. One leg per coin mechanism, mirroring the sample/*
+    // stages: the retained per-coin walk (fresh draw per out-edge, StdRng),
+    // the integer-threshold compare (skip disabled), and the full
+    // geometric-skip fast path (both on the buffered counter RNG).
+    let gc = g.map_probs(|_, _, _| 0.05);
+    let mut hubs: Vec<u32> = (0..gc.num_nodes() as u32).collect();
+    hubs.sort_unstable_by_key(|&v| std::cmp::Reverse(gc.out_degree(v)));
+    hubs.truncate(50);
+    // Sized so one batch lands well under the group's measurement budget
+    // (hub-seeded cascades on the 100k preset run ~150µs each).
+    let cascades = 250usize;
+    group.throughput(Throughput::Elements(cascades as u64));
+    group.bench_function("cascade_percoin", |b| {
+        let mut engine = CascadeEngine::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| {
+            let mut total = 0usize;
+            for _ in 0..cascades {
+                total += engine.random_cascade_percoin(&&gc, &hubs, &mut rng);
+            }
+            total
+        });
+    });
+    group.bench_function("cascade_threshold", |b| {
+        let mut engine = CascadeEngine::new();
+        let mut rng = CounterRng::new(3);
+        b.iter(|| {
+            let mut total = 0usize;
+            for _ in 0..cascades {
+                total += engine.random_cascade_threshold(&&gc, &hubs, &mut rng);
+            }
+            total
+        });
+    });
+    group.bench_function("cascade_skip", |b| {
+        let mut engine = CascadeEngine::new();
+        let mut rng = CounterRng::new(3);
+        b.iter(|| {
+            let mut total = 0usize;
+            for _ in 0..cascades {
+                total += engine.random_cascade(&&gc, &hubs, &mut rng);
+            }
+            total
+        });
+    });
+    // The end-to-end batched driver (4 deterministic counter streams, same
+    // fan-out as generate_batch/sharded_4t); gated by
+    // tools/bench_regression.py alongside generate_batch.
+    group.bench_function("cascade_mc_spread", |b| {
+        b.iter(|| mc_spread_batched(&&gc, &hubs, cascades, 7, 4));
     });
     group.throughput(Throughput::Elements(count as u64));
 

@@ -9,12 +9,10 @@
 //!   converges to the exact oracle, usable at moderate scale;
 //! * [`RisOracle`] — RR-set sampling with a fixed batch size.
 
-use atpm_diffusion::{exact_spread, CascadeEngine};
+use atpm_diffusion::{exact_spread, mc_spread_batched_with_engine, CascadeEngine};
 use atpm_graph::{Node, ResidualGraph};
 use atpm_ris::sampler::generate_batch;
 use atpm_ris::CoverageScratch;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Answers expected-spread queries on residual graphs.
 pub trait SpreadOracle {
@@ -44,11 +42,15 @@ impl SpreadOracle for ExactOracle {
     }
 }
 
-/// Monte-Carlo oracle: `samples` fresh cascades per query.
+/// Monte-Carlo oracle: `samples` fresh cascades per query, drawn through
+/// the batched coin-free driver (`atpm_diffusion::mc_spread_batched`):
+/// integer-threshold coins on the forward `SampleView`, geometric skip on
+/// uniform out-neighborhoods, buffered counter RNG — no per-query RNG
+/// heap allocation, the cascade engine's warm buffers reused throughout.
 ///
-/// Queries are deterministic: the RNG is re-seeded per call from the query
-/// seed counter, so repeated evaluation of the same session replays
-/// identically.
+/// Queries are deterministic: the counter stream is re-keyed per call from
+/// the query seed counter, so repeated evaluation of the same session
+/// replays identically.
 pub struct McOracle {
     samples: usize,
     seed: u64,
@@ -72,13 +74,8 @@ impl McOracle {
 impl SpreadOracle for McOracle {
     fn spread(&mut self, view: &ResidualGraph<'_>, set: &[Node]) -> f64 {
         self.calls += 1;
-        let mut rng =
-            StdRng::seed_from_u64(self.seed ^ self.calls.wrapping_mul(0x9E3779B97F4A7C15));
-        let mut total = 0usize;
-        for _ in 0..self.samples {
-            total += self.engine.random_cascade(view, set, &mut rng);
-        }
-        total as f64 / self.samples as f64
+        let query_seed = self.seed ^ self.calls.wrapping_mul(0x9E3779B97F4A7C15);
+        mc_spread_batched_with_engine(view, set, self.samples, query_seed, &mut self.engine)
     }
 }
 

@@ -1,24 +1,50 @@
 //! Forward IC cascades: observation of `A(u)` against a realization and
 //! randomized cascades for Monte-Carlo estimation.
 //!
-//! Both paths draw edge coins against the graph's baked `u32` thresholds
-//! (`atpm_graph::quantize_prob`) — the same integer lattice the reverse-BFS
-//! samplers use — so a world realized forward is the world the RR-set
+//! Both paths run on the forward face of the baked
+//! [`SampleView`](atpm_graph::SampleView) — the same machinery the
+//! reverse-BFS samplers in `atpm-ris` use, mirrored to the out CSR:
+//!
+//! * edge coins are raw 32-bit draws compared against `u32` thresholds
+//!   baked at graph build time (`atpm_graph::quantize_prob`), one unsigned
+//!   compare per coin, never an `f32` in the hot loop;
+//! * uniform out-neighborhoods (every node under a constant-weight model)
+//!   take a geometric-skip fast path that jumps straight to the next
+//!   accepted out-edge, with the first draw doubling as a one-compare
+//!   whole-span reject;
+//! * per-node metadata and the out-edge span of the next frontier member
+//!   are software-prefetched one member ahead;
+//! * visit marks are the shared epoch-stamped
+//!   [`EpochMarks`](atpm_ris::workspace::EpochMarks), so a cascade costs
+//!   zero heap allocation after warm-up (enforced by
+//!   `tests/alloc_discipline.rs`).
+//!
+//! Because realizations and RR-set sampling draw against the same
+//! quantized thresholds, a world realized forward is the world the RR-set
 //! estimator reasons about, down to the last quantization bit.
+//!
+//! The pre-refactor per-coin walk survives as
+//! [`random_cascade_percoin`](CascadeEngine::random_cascade_percoin): one
+//! RNG draw per out-edge against the bare threshold slice, no skip, no
+//! prefetch. It is pinned as the statistical oracle by
+//! `tests/cascade_equivalence.rs`, exactly like
+//! `RrSampler::sample_into_percoin` is for the reverse direction.
 
-use atpm_graph::{threshold_accept, GraphView, Node};
+use atpm_graph::{threshold_accept, GraphView, Node, SampleView};
+use atpm_ris::rng::unit_open;
+use atpm_ris::workspace::EpochMarks;
 use rand::Rng;
 
 use crate::realization::Realization;
 
 /// Reusable cascade workspace.
 ///
-/// Visited marks are epoch-stamped (`mark[u] == epoch` means "visited in the
-/// current cascade"), so starting a new cascade is O(1) instead of O(n).
-/// One engine per thread; it grows to the largest graph it has seen.
+/// Visited marks are epoch-stamped (an O(1) bump starts a new cascade
+/// instead of an O(n) clear) and the frontier queue is retained across
+/// cascades, so a warm engine never touches the heap. One engine per
+/// thread; it grows to the largest graph it has seen.
 pub struct CascadeEngine {
-    mark: Vec<u32>,
-    epoch: u32,
+    marks: EpochMarks,
     queue: Vec<Node>,
 }
 
@@ -32,37 +58,8 @@ impl CascadeEngine {
     /// Creates an empty engine; buffers grow on first use.
     pub fn new() -> Self {
         CascadeEngine {
-            mark: Vec::new(),
-            epoch: 0,
+            marks: EpochMarks::new(),
             queue: Vec::new(),
-        }
-    }
-
-    /// Prepares the visited buffer for a graph of `n` nodes and opens a new
-    /// epoch.
-    fn begin(&mut self, n: usize) {
-        if self.mark.len() < n {
-            self.mark.resize(n, 0);
-        }
-        // On wrap-around, clear the whole buffer once; epochs restart at 1.
-        self.epoch = match self.epoch.checked_add(1) {
-            Some(e) => e,
-            None => {
-                self.mark.iter_mut().for_each(|m| *m = 0);
-                1
-            }
-        };
-        self.queue.clear();
-    }
-
-    #[inline]
-    fn visit(&mut self, u: Node) -> bool {
-        let slot = &mut self.mark[u as usize];
-        if *slot == self.epoch {
-            false
-        } else {
-            *slot = self.epoch;
-            true
         }
     }
 
@@ -79,49 +76,229 @@ impl CascadeEngine {
         real: &R,
         seeds: &[Node],
     ) -> Vec<Node> {
-        self.begin(view.num_nodes());
         let mut out = Vec::new();
+        self.observe_into(view, real, seeds, &mut out);
+        out
+    }
+
+    /// [`observe`](Self::observe) into a caller-owned buffer (cleared
+    /// first) — the no-allocation form for callers that score many worlds
+    /// in a loop, like the evaluation harness.
+    ///
+    /// The realization's coin for slot `i` of a node's out-span `lo..hi`
+    /// is queried by forward edge id `lo + i` (out-edge ids are CSR
+    /// positions), so observations stay consistent with reverse-side
+    /// traversals of the same world.
+    pub fn observe_into<V: GraphView, R: Realization>(
+        &mut self,
+        view: &V,
+        real: &R,
+        seeds: &[Node],
+        out: &mut Vec<Node>,
+    ) {
+        out.clear();
+        self.marks.begin(view.num_nodes());
+        let sv: SampleView<'_> = view.sample_view();
         for &s in seeds {
-            if view.is_alive(s) && self.visit(s) {
-                self.queue.push(s);
+            if view.is_alive(s) && self.marks.mark(s as usize) {
+                sv.prefetch_out_meta(s);
                 out.push(s);
             }
         }
+        // `out` doubles as the BFS frontier (the activation set *is* the
+        // visit order), with the next member's out-span prefetched while
+        // the current one is scanned.
+        if let Some(&r) = out.first() {
+            let (lo, hi, _, _) = sv.out_meta(r);
+            sv.prefetch_out_span(lo, hi);
+        }
         let mut head = 0;
-        while head < self.queue.len() {
-            let u = self.queue[head];
+        while head < out.len() {
+            let u = out[head];
             head += 1;
-            let (targets, _, ids) = view.out_slice(u);
-            let thresholds = view.base().out_thresholds(u);
+            let (lo, hi, _, _) = sv.out_meta(u);
+            if let Some(&nu) = out.get(head) {
+                let (nlo, nhi, _, _) = sv.out_meta(nu);
+                sv.prefetch_out_span(nlo, nhi);
+            }
+            let targets = sv.targets(lo, hi);
+            let thresholds = sv.out_thresholds(lo, hi);
             for i in 0..targets.len() {
                 let v = targets[i];
-                if view.is_alive(v)
-                    && real.is_live_q(ids.start + i as u32, thresholds[i])
-                    && self.visit(v)
+                if sv.is_alive(v)
+                    && real.is_live_q(lo as u32 + i as u32, thresholds[i])
+                    && self.marks.mark(v as usize)
                 {
-                    self.queue.push(v);
+                    sv.prefetch_out_meta(v);
                     out.push(v);
                 }
             }
         }
-        out
     }
 
     /// Runs one cascade with *fresh* coins from `rng` and returns the number
     /// of activated nodes. Used by Monte-Carlo spread estimation, where each
     /// sample is an independent possible world.
+    ///
+    /// This is the coin-free fast path: integer-threshold coins, geometric
+    /// skip over uniform out-neighborhoods, branchless staged accepts for
+    /// short uniform spans, meta/span prefetch one frontier member ahead.
+    /// Feed it a buffered counter RNG (`atpm_ris::CounterRng`) — that is
+    /// what the batched drivers do — and a coin is a buffered 32-bit read.
     pub fn random_cascade<V: GraphView, G: Rng + ?Sized>(
         &mut self,
         view: &V,
         seeds: &[Node],
         rng: &mut G,
     ) -> usize {
-        self.begin(view.num_nodes());
-        let mut activated = 0usize;
+        self.cascade_core::<V, G, true>(view, seeds, rng)
+    }
+
+    /// [`random_cascade`](Self::random_cascade) with the geometric-skip
+    /// fast path disabled: every out-edge pays one threshold compare. Same
+    /// distribution; exists so the benchmarks can price the two fast paths
+    /// separately (`ris_engine/cascade_*`).
+    pub fn random_cascade_threshold<V: GraphView, G: Rng + ?Sized>(
+        &mut self,
+        view: &V,
+        seeds: &[Node],
+        rng: &mut G,
+    ) -> usize {
+        self.cascade_core::<V, G, false>(view, seeds, rng)
+    }
+
+    /// The forward-BFS kernel behind the randomized cascades. Mirrors the
+    /// reverse sampler's `rooted_core` structure edge for edge, over the
+    /// out CSR.
+    fn cascade_core<V: GraphView, G: Rng + ?Sized, const SKIP: bool>(
+        &mut self,
+        view: &V,
+        seeds: &[Node],
+        rng: &mut G,
+    ) -> usize {
+        self.marks.begin(view.num_nodes());
+        self.queue.clear();
+        let sv: SampleView<'_> = view.sample_view();
         for &s in seeds {
-            if view.is_alive(s) && self.visit(s) {
+            if view.is_alive(s) && self.marks.mark(s as usize) {
+                sv.prefetch_out_meta(s);
                 self.queue.push(s);
-                activated += 1;
+            }
+        }
+        if let Some(&r) = self.queue.first() {
+            let (lo, hi, _, _) = sv.out_meta(r);
+            sv.prefetch_out_span(lo, hi);
+        }
+        let mut head = 0;
+        while head < self.queue.len() {
+            let u = self.queue[head];
+            head += 1;
+            let (lo, hi, thr, inv) = sv.out_meta(u);
+            // One-member span lookahead: while `u` is processed, the next
+            // frontier member's out-edge span is pulled in (its meta record
+            // was prefetched when it was pushed).
+            if let Some(&nu) = self.queue.get(head) {
+                let (nlo, nhi, _, _) = sv.out_meta(nu);
+                sv.prefetch_out_span(nlo, nhi);
+            }
+            let targets = sv.targets(lo, hi);
+            if SKIP && inv < 0.0 {
+                // Uniform out-neighborhood: geometric skip to the next
+                // accepted out-edge. The first draw is special — `thr`
+                // holds the quantized probability that the whole span
+                // rejects, so the common no-accept case retires on one
+                // integer compare; when an accept exists, the *same* draw
+                // continues through the inverse transform. `inv = 1/ln(1-q)`
+                // is finite negative, `ln(u)` is finite negative, so
+                // `s >= 0` and `i` stays in bounds.
+                let len = targets.len();
+                let r0 = rng.next_u32();
+                if r0 >= thr {
+                    let mut s = ((r0 as f64 + 0.5) * (1.0 / 4_294_967_296.0)).ln() * inv;
+                    let mut i = 0usize;
+                    loop {
+                        if s >= (len - i) as f64 {
+                            break;
+                        }
+                        i += s as usize;
+                        let w = targets[i];
+                        if sv.is_alive(w) && self.marks.mark(w as usize) {
+                            sv.prefetch_out_meta(w);
+                            self.queue.push(w);
+                        }
+                        i += 1;
+                        if i == len {
+                            break;
+                        }
+                        s = unit_open(rng.next_u64()).ln() * inv;
+                    }
+                }
+            } else if inv.is_nan() && thr != 0 {
+                // Uniform out-neighborhood below the skip cutoff: the
+                // shared threshold rides in a register, the per-edge array
+                // is never touched. Short neighborhoods stage accepts
+                // branchlessly — the accept decision is data-dependent
+                // noise the predictor can't learn. (The staged form draws
+                // a coin even for dead targets, where the long-form loop
+                // short-circuits — same acceptance law, the coins are
+                // independent either way.)
+                const STAGE: usize = 16;
+                if targets.len() <= STAGE {
+                    let mut cand = [0 as Node; STAGE];
+                    let mut k = 0usize;
+                    for &w in targets {
+                        cand[k] = w;
+                        k += usize::from(threshold_accept(rng.next_u32(), thr) && sv.is_alive(w));
+                    }
+                    for &w in &cand[..k] {
+                        if self.marks.mark(w as usize) {
+                            sv.prefetch_out_meta(w);
+                            self.queue.push(w);
+                        }
+                    }
+                } else {
+                    for &w in targets {
+                        if sv.is_alive(w)
+                            && threshold_accept(rng.next_u32(), thr)
+                            && self.marks.mark(w as usize)
+                        {
+                            sv.prefetch_out_meta(w);
+                            self.queue.push(w);
+                        }
+                    }
+                }
+            } else {
+                let thresholds = sv.out_thresholds(lo, hi);
+                for (&w, &t) in targets.iter().zip(thresholds) {
+                    if sv.is_alive(w)
+                        && threshold_accept(rng.next_u32(), t)
+                        && self.marks.mark(w as usize)
+                    {
+                        sv.prefetch_out_meta(w);
+                        self.queue.push(w);
+                    }
+                }
+            }
+        }
+        self.queue.len()
+    }
+
+    /// The pre-refactor randomized cascade: one fresh 32-bit draw per
+    /// out-edge against the bare per-edge threshold slice, no skip path,
+    /// no prefetch. Kept as the statistical oracle the forward
+    /// equivalence suite pins [`random_cascade`](Self::random_cascade)
+    /// against; not a hot path.
+    pub fn random_cascade_percoin<V: GraphView, G: Rng + ?Sized>(
+        &mut self,
+        view: &V,
+        seeds: &[Node],
+        rng: &mut G,
+    ) -> usize {
+        self.marks.begin(view.num_nodes());
+        self.queue.clear();
+        for &s in seeds {
+            if view.is_alive(s) && self.marks.mark(s as usize) {
+                self.queue.push(s);
             }
         }
         let mut head = 0;
@@ -134,14 +311,13 @@ impl CascadeEngine {
                 let v = targets[i];
                 if view.is_alive(v)
                     && threshold_accept(rng.next_u32(), thresholds[i])
-                    && self.visit(v)
+                    && self.marks.mark(v as usize)
                 {
                     self.queue.push(v);
-                    activated += 1;
                 }
             }
         }
-        activated
+        self.queue.len()
     }
 }
 
@@ -150,6 +326,7 @@ mod tests {
     use super::*;
     use crate::realization::{HashedRealization, MaterializedRealization};
     use atpm_graph::{GraphBuilder, ResidualGraph};
+    use atpm_ris::CounterRng;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -210,6 +387,19 @@ mod tests {
     }
 
     #[test]
+    fn observe_into_reuses_the_buffer() {
+        let g = chain();
+        let real = HashedRealization::new(7);
+        let mut eng = CascadeEngine::new();
+        let mut buf = vec![99, 99, 99];
+        eng.observe_into(&&g, &real, &[0], &mut buf);
+        assert_eq!(buf, eng.observe(&&g, &real, &[0]));
+        // Cleared between calls, not appended.
+        eng.observe_into(&&g, &real, &[3], &mut buf);
+        assert_eq!(buf, vec![3]);
+    }
+
+    #[test]
     fn observation_is_consistent_with_incremental_removal() {
         // Observing {u, v} at once must equal observing u, removing A(u),
         // then observing v — the core soundness property of the adaptive loop.
@@ -233,10 +423,60 @@ mod tests {
     fn random_cascade_bounds() {
         let g = chain();
         let mut eng = CascadeEngine::new();
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = CounterRng::new(1);
         for _ in 0..100 {
             let k = eng.random_cascade(&&g, &[0], &mut rng);
             assert!((1..=4).contains(&k));
+            let k = eng.random_cascade_threshold(&&g, &[0], &mut rng);
+            assert!((1..=4).contains(&k));
+        }
+        let mut std_rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let k = eng.random_cascade_percoin(&&g, &[0], &mut std_rng);
+            assert!((1..=4).contains(&k));
+        }
+    }
+
+    #[test]
+    fn skip_path_respects_dead_nodes_and_marks() {
+        // A broadcaster with 16 uniform out-edges at p = 0.2 takes the
+        // skip path; kill half the sinks and check the cascade never
+        // counts them.
+        let mut b = GraphBuilder::new(17);
+        for v in 1..17u32 {
+            b.add_edge(0, v, 0.2).unwrap();
+        }
+        let g = b.build();
+        assert!(g.out_skip_inv(0) < 0.0, "broadcaster must be skip-eligible");
+        let mut r = ResidualGraph::new(&g);
+        r.remove_all((1..17).filter(|v| v % 2 == 0));
+        let mut eng = CascadeEngine::new();
+        let mut rng = CounterRng::new(21);
+        let mut total = 0usize;
+        for _ in 0..20_000 {
+            total += eng.random_cascade(&r, &[0], &mut rng);
+        }
+        // 8 alive sinks at p = 0.2 each: E[size] = 1 + 8·0.2 = 2.6.
+        let mean = total as f64 / 20_000.0;
+        assert!(
+            (mean - 2.6).abs() < 0.05,
+            "skip path over dead sinks drifted: {mean}"
+        );
+    }
+
+    #[test]
+    fn certain_edges_always_fire_forward() {
+        // p = 1.0 out-edges must fire on every draw through every path.
+        let mut b = GraphBuilder::new(5);
+        for v in 1..5u32 {
+            b.add_edge(0, v, 1.0).unwrap();
+        }
+        let g = b.build();
+        let mut eng = CascadeEngine::new();
+        let mut rng = CounterRng::new(3);
+        for _ in 0..2_000 {
+            assert_eq!(eng.random_cascade(&&g, &[0], &mut rng), 5);
+            assert_eq!(eng.random_cascade_threshold(&&g, &[0], &mut rng), 5);
         }
     }
 

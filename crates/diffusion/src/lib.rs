@@ -13,9 +13,16 @@
 //! * **Cascades** ([`cascade`]) — forward BFS over live edges, both against a
 //!   fixed realization (for observations `A(u)`) and with fresh coins (for
 //!   Monte-Carlo spread estimation). A reusable [`CascadeEngine`] keeps
-//!   epoch-marked visit buffers so repeated cascades never reallocate.
-//! * **Spread** ([`spread`]) — `E[I(S)]` estimators: Monte-Carlo and, for
-//!   tiny graphs, exact enumeration over all `2^m` realizations (the paper's
+//!   epoch-marked visit buffers so repeated cascades never reallocate, and
+//!   the randomized path runs coin-free on the forward face of the baked
+//!   `SampleView` (integer thresholds, geometric skip over uniform
+//!   out-neighborhoods, buffered counter RNG) — the out-side mirror of the
+//!   reverse-BFS machinery in `atpm-ris`. The pre-refactor per-coin walk is
+//!   retained as `CascadeEngine::random_cascade_percoin`, the statistical
+//!   oracle of `tests/cascade_equivalence.rs`.
+//! * **Spread** ([`spread`]) — `E[I(S)]` estimators: Monte-Carlo (including
+//!   the batched, sharded [`mc_spread_batched`] driver) and, for tiny
+//!   graphs, exact enumeration over all `2^m` realizations (the paper's
 //!   oracle model made concrete; spread is #P-hard in general \[9\]).
 
 pub mod cascade;
@@ -26,4 +33,4 @@ pub mod spread;
 pub use cascade::CascadeEngine;
 pub use lt::{lt_mc_spread, lt_observe, LtRealization};
 pub use realization::{HashedRealization, MaterializedRealization, Realization};
-pub use spread::{exact_spread, mc_spread};
+pub use spread::{exact_spread, mc_spread, mc_spread_batched, mc_spread_batched_with_engine};

@@ -8,6 +8,8 @@
 //! "oracle model" is realized for the theory tests.
 
 use atpm_graph::{GraphView, Node};
+use atpm_ris::workspace::run_sharded;
+use atpm_ris::CounterRng;
 use rand::Rng;
 
 use crate::cascade::CascadeEngine;
@@ -43,6 +45,52 @@ pub fn mc_spread_with_engine<V: GraphView, R: Rng + ?Sized>(
     let mut total = 0usize;
     for _ in 0..samples {
         total += engine.random_cascade(view, seeds, rng);
+    }
+    total as f64 / samples as f64
+}
+
+/// The batched Monte-Carlo driver: `samples` coin-free cascades split
+/// across `threads` deterministic [`CounterRng`] streams (the same
+/// `worker_seed`/`run_sharded` fan-out the RR-set samplers use), merged in
+/// worker order. The result is a pure function of
+/// `(view, seeds, samples, seed, threads)`, so bandit-style workloads that
+/// hammer forward simulation replay exactly under parallelism.
+pub fn mc_spread_batched<V: GraphView + Sync>(
+    view: &V,
+    seeds: &[Node],
+    samples: usize,
+    seed: u64,
+    threads: usize,
+) -> f64 {
+    assert!(samples > 0, "need at least one sample");
+    let totals: Vec<u64> = run_sharded(samples, threads, seed, |_tid, quota, wseed| {
+        let mut engine = CascadeEngine::new();
+        let mut rng = CounterRng::new(wseed);
+        let mut total = 0u64;
+        for _ in 0..quota {
+            total += engine.random_cascade(view, seeds, &mut rng) as u64;
+        }
+        total
+    });
+    totals.iter().sum::<u64>() as f64 / samples as f64
+}
+
+/// Single-stream [`mc_spread_batched`] over a caller-provided engine: the
+/// per-query form (no allocation beyond the engine's warm buffers) the MC
+/// spread oracle runs on. Equals `mc_spread_batched(.., threads = 1)` for
+/// the same seed, minus the engine construction.
+pub fn mc_spread_batched_with_engine<V: GraphView>(
+    view: &V,
+    seeds: &[Node],
+    samples: usize,
+    seed: u64,
+    engine: &mut CascadeEngine,
+) -> f64 {
+    assert!(samples > 0, "need at least one sample");
+    let mut rng = CounterRng::new(atpm_ris::workspace::worker_seed(seed, 0));
+    let mut total = 0u64;
+    for _ in 0..samples {
+        total += engine.random_cascade(view, seeds, &mut rng) as u64;
     }
     total as f64 / samples as f64
 }
@@ -152,6 +200,27 @@ mod tests {
         assert!(
             (mc - exact).abs() < 0.02,
             "MC {mc} should approximate exact {exact}"
+        );
+    }
+
+    #[test]
+    fn mc_spread_batched_converges_and_replays() {
+        let g = chain(0.5);
+        let exact = exact_spread(&&g, &[0]);
+        for threads in [1usize, 2, 4] {
+            let est = mc_spread_batched(&&g, &[0], 60_000, 9, threads);
+            assert!(
+                (est - exact).abs() < 0.02,
+                "threads {threads}: batched MC {est} vs exact {exact}"
+            );
+            // Pure function of (view, seeds, samples, seed, threads).
+            assert_eq!(est, mc_spread_batched(&&g, &[0], 60_000, 9, threads));
+        }
+        // The engine-reusing form is the threads = 1 stream exactly.
+        let mut engine = CascadeEngine::new();
+        assert_eq!(
+            mc_spread_batched_with_engine(&&g, &[0], 60_000, 9, &mut engine),
+            mc_spread_batched(&&g, &[0], 60_000, 9, 1)
         );
     }
 

@@ -1,0 +1,124 @@
+//! Enforces the cascade engine's allocation discipline: after warm-up,
+//! repeated forward cascades — `observe_into` against a fixed world and
+//! `random_cascade` with fresh coins, including the `CounterRng` lane
+//! buffer behind them and the geometric-skip path — perform **zero heap
+//! allocation per cascade**. The forward mirror of
+//! `crates/ris/tests/alloc_discipline.rs`.
+//!
+//! A counting global allocator wraps `System`; everything runs inside one
+//! `#[test]` so no concurrent test pollutes the counters.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+/// Allocation count attributable to `f`.
+fn allocations_during<F: FnOnce()>(f: F) -> u64 {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    f();
+    ALLOCATIONS.load(Ordering::Relaxed) - before
+}
+
+#[test]
+fn warm_cascades_do_not_allocate() {
+    use atpm_diffusion::{CascadeEngine, HashedRealization};
+    use atpm_graph::GraphBuilder;
+    use atpm_ris::CounterRng;
+
+    // The counting allocator is process-wide, and libtest's main thread
+    // allocates while formatting the test-start event *concurrently* with
+    // the first few milliseconds of the test body. The cascade warm-up
+    // below is much cheaper than the RIS suite's (which hides behind a
+    // 20k-set batch build), so give the harness a moment to go quiet
+    // before any counting window opens.
+    std::thread::sleep(std::time::Duration::from_millis(100));
+
+    // A graph with both shapes the engine specializes on: a long chain of
+    // short mixed neighborhoods (per-edge threshold path) feeding a
+    // 32-out-edge uniform broadcaster (geometric-skip path).
+    let mut b = GraphBuilder::new(233);
+    for i in 0..199u32 {
+        b.add_edge(i, i + 1, 0.6).unwrap();
+        b.add_edge(i + 1, i, 0.3).unwrap();
+    }
+    b.add_edge(199, 200, 0.9).unwrap();
+    for v in 201..233u32 {
+        b.add_edge(200, v, 0.1).unwrap();
+    }
+    let g = b.build();
+    assert!(
+        g.out_skip_inv(200) < 0.0,
+        "broadcaster must take the skip path"
+    );
+
+    let mut engine = CascadeEngine::new();
+    let mut rng = CounterRng::new(9);
+    let seeds = [0u32, 200];
+    let mut blackhole = 0usize;
+
+    // ---- random_cascade: coins, lane refills, skip path ---------------------
+    // Warm-up: seeding every node once activates the whole graph, so the
+    // frontier queue reaches its maximum possible size immediately —
+    // random cascades afterwards can never set a new record and grow it.
+    let everyone: Vec<u32> = (0..233).collect();
+    blackhole += engine.random_cascade(&&g, &everyone, &mut rng);
+    for _ in 0..500 {
+        blackhole += engine.random_cascade(&&g, &seeds, &mut rng); // warm-up
+    }
+    let allocs = allocations_during(|| {
+        for _ in 0..2_000 {
+            blackhole += engine.random_cascade(&&g, &seeds, &mut rng);
+            blackhole += engine.random_cascade_threshold(&&g, &seeds, &mut rng);
+        }
+    });
+    assert_eq!(allocs, 0, "random_cascade allocated after warm-up");
+
+    // ---- observe_into against a fixed world --------------------------------
+    let world = HashedRealization::new(42);
+    let mut out = Vec::new();
+    engine.observe_into(&&g, &world, &everyone, &mut out); // warm-up sizes `out` maximally
+    let allocs = allocations_during(|| {
+        for _ in 0..2_000 {
+            engine.observe_into(&&g, &world, &seeds, &mut out);
+            blackhole += out.len();
+        }
+    });
+    assert_eq!(allocs, 0, "observe_into allocated after warm-up");
+
+    // ---- the per-coin oracle shares the discipline -------------------------
+    let allocs = allocations_during(|| {
+        for _ in 0..500 {
+            blackhole += engine.random_cascade_percoin(&&g, &seeds, &mut rng);
+        }
+    });
+    assert_eq!(allocs, 0, "random_cascade_percoin allocated after warm-up");
+
+    assert!(blackhole > 0, "keep the optimizer honest");
+}

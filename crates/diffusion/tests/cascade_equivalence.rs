@@ -1,0 +1,166 @@
+//! Forward statistical-equivalence suite: the coin-free cascade engine
+//! (integer thresholds on the out-side `SampleView`, geometric skip over
+//! uniform out-neighborhoods, `CounterRng` lanes) must draw cascades from
+//! the *same distribution* as the retained per-coin oracle
+//! (`CascadeEngine::random_cascade_percoin`), even though the streams
+//! differ — the forward mirror of `crates/ris/tests/sampling_equivalence.rs`.
+//!
+//! Mean cascade size is the sufficient statistic: `E[|A(S)|] = E[I(S)]`,
+//! so agreement of Monte-Carlo spread estimates (against chain closed
+//! forms, the per-coin oracle, and skip-on/off against each other) pins
+//! the per-edge acceptance probabilities the engine realizes. The batched
+//! driver is additionally checked across stream counts {1, 2, 4}.
+
+use atpm_diffusion::{mc_spread_batched, CascadeEngine};
+use atpm_graph::gen::Dataset;
+use atpm_graph::{GraphBuilder, GraphView};
+use atpm_ris::CounterRng;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Mean cascade size from `samples` per-coin oracle cascades.
+fn percoin_spread<V: GraphView>(view: &V, seeds: &[u32], samples: usize, seed: u64) -> f64 {
+    let mut engine = CascadeEngine::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut total = 0usize;
+    for _ in 0..samples {
+        total += engine.random_cascade_percoin(view, seeds, &mut rng);
+    }
+    total as f64 / samples as f64
+}
+
+#[test]
+fn chain_spread_matches_oracle_and_closed_form() {
+    // 0 -> 1 -> 2 at p = 0.5: E[I({0})] = 1 + p + p² = 1.75 exactly.
+    let mut b = GraphBuilder::new(3);
+    b.add_edge(0, 1, 0.5).unwrap();
+    b.add_edge(1, 2, 0.5).unwrap();
+    let g = b.build();
+    let samples = 150_000;
+    for threads in [1usize, 2, 4] {
+        let fast = mc_spread_batched(&&g, &[0], samples, 11, threads);
+        assert!(
+            (fast - 1.75).abs() < 0.03,
+            "threads {threads}: batched MC estimate {fast} vs exact 1.75"
+        );
+    }
+    let oracle = percoin_spread(&&g, &[0], samples, 3);
+    assert!((oracle - 1.75).abs() < 0.03, "oracle drifted: {oracle}");
+}
+
+#[test]
+fn certain_chain_is_deterministic_under_quantization() {
+    // All-p=1.0 chain: a cascade from 0 activates everything; a single
+    // quantization flip anywhere would shrink it.
+    let mut b = GraphBuilder::new(5);
+    for i in 0..4u32 {
+        b.add_edge(i, i + 1, 1.0).unwrap();
+    }
+    let g = b.build();
+    let mut engine = CascadeEngine::new();
+    let mut rng = CounterRng::new(5);
+    for _ in 0..20_000 {
+        assert_eq!(
+            engine.random_cascade(&&g, &[0], &mut rng),
+            5,
+            "truncated certain cascade"
+        );
+    }
+}
+
+#[test]
+fn constant_weight_hub_matches_percoin_oracle() {
+    // A constant-weight rebake of a preset makes every out-neighborhood
+    // uniform, so every node with out-degree ≥ 8 runs the geometric skip —
+    // the workload the forward fast path exists for. Seed from the top
+    // out-degree hubs (where the skip does all the work) and compare
+    // against the per-coin oracle across stream counts.
+    let g = Dataset::NetHept.generate(0.05, 3).map_probs(|_, _, _| 0.08);
+    let n = g.num_nodes();
+    let mut nodes: Vec<u32> = (0..n as u32).collect();
+    nodes.sort_unstable_by_key(|&v| std::cmp::Reverse(g.out_degree(v)));
+    let hubs: Vec<u32> = nodes.into_iter().take(3).collect();
+    assert!(
+        hubs.iter().all(|&v| g.out_skip_inv(v) < 0.0),
+        "top out-degree hubs of a constant-weight graph must be skip-eligible"
+    );
+
+    let samples = 120_000;
+    let oracle = percoin_spread(&&g, &hubs, samples, 17);
+    for threads in [1usize, 2, 4] {
+        let fast = mc_spread_batched(&&g, &hubs, samples, 23 + threads as u64, threads);
+        // Spreads here are O(1)..O(10); 5% relative + small absolute slack
+        // covers two independent Monte-Carlo estimates at 120k samples.
+        let tol = 0.05 * oracle.max(1.0) + 0.05;
+        assert!(
+            (fast - oracle).abs() < tol,
+            "threads {threads}: coin-free {fast} vs per-coin oracle {oracle}"
+        );
+    }
+}
+
+#[test]
+fn threshold_only_path_matches_skip_path() {
+    // The two fast paths must agree with each other, not just with the
+    // float-era oracle: same seeds, skip on vs off.
+    let g = Dataset::NetHept.generate(0.05, 4).map_probs(|_, _, _| 0.08);
+    let hub = (0..g.num_nodes() as u32)
+        .max_by_key(|&v| g.out_degree(v))
+        .unwrap();
+    assert!(g.out_skip_inv(hub) < 0.0, "hub must be skip-eligible");
+    let samples = 120_000;
+    let spread = |skip: bool, seed: u64| {
+        let mut engine = CascadeEngine::new();
+        let mut rng = CounterRng::new(seed);
+        let mut total = 0usize;
+        for _ in 0..samples {
+            total += if skip {
+                engine.random_cascade(&&g, &[hub], &mut rng)
+            } else {
+                engine.random_cascade_threshold(&&g, &[hub], &mut rng)
+            };
+        }
+        total as f64 / samples as f64
+    };
+    let with_skip = spread(true, 7);
+    let without = spread(false, 8);
+    let tol = 0.05 * with_skip.max(1.0) + 0.05;
+    assert!(
+        (with_skip - without).abs() < tol,
+        "skip {with_skip} vs threshold-only {without}"
+    );
+}
+
+#[test]
+fn residual_views_block_dead_nodes_on_every_path() {
+    // Kill half the sinks of a skip-eligible broadcaster: no path may
+    // count a dead node, and all three agree on the surviving mean.
+    use atpm_graph::ResidualGraph;
+    let mut b = GraphBuilder::new(33);
+    for v in 1..33u32 {
+        b.add_edge(0, v, 0.1).unwrap();
+    }
+    let g = b.build();
+    assert!(g.out_skip_inv(0) < 0.0);
+    let mut r = ResidualGraph::new(&g);
+    r.remove_all((1..33).filter(|v| v % 2 == 0));
+    // 16 alive sinks at p = 0.1: E[size] = 1 + 1.6 = 2.6.
+    let samples = 100_000;
+    let mut engine = CascadeEngine::new();
+    let mut rng = CounterRng::new(31);
+    let mut skip_total = 0usize;
+    let mut thr_total = 0usize;
+    for _ in 0..samples {
+        skip_total += engine.random_cascade(&r, &[0], &mut rng);
+        thr_total += engine.random_cascade_threshold(&r, &[0], &mut rng);
+    }
+    let oracle = percoin_spread(&r, &[0], samples, 37);
+    for (name, total) in [("skip", skip_total), ("threshold", thr_total)] {
+        let mean = total as f64 / samples as f64;
+        assert!((mean - 2.6).abs() < 0.03, "{name} path drifted: {mean}");
+        assert!(
+            (mean - oracle).abs() < 0.05,
+            "{name} {mean} vs oracle {oracle}"
+        );
+    }
+}

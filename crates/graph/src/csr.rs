@@ -61,35 +61,38 @@ pub fn threshold_accept(draw: u32, t: u32) -> bool {
     draw < t || t == u32::MAX
 }
 
-/// Geometric-skip eligibility: a node's in-neighborhood earns the skip fast
-/// path when every in-edge shares one threshold (the weighted-cascade
-/// `1/indeg` case), acceptance is rare enough that skipping beats flipping
+/// Geometric-skip eligibility: a neighborhood (in- or out-) earns the skip
+/// fast path when every edge shares one threshold (the weighted-cascade
+/// `1/indeg` case on the in-side, any constant-weight model on the
+/// out-side), acceptance is rare enough that skipping beats flipping
 /// (`q ≤ 1/4`), and the neighborhood is long enough to amortize the `ln`
-/// per accepted edge (`indeg ≥ 8`).
+/// per accepted edge (`degree ≥ 8`).
 const SKIP_MIN_DEGREE: usize = 8;
 const SKIP_MAX_PROB: f64 = 0.25;
 
 /// One record of the packed per-node sampling metadata array: everything
-/// the reverse-BFS inner loop needs about a node's in-neighborhood in a
-/// single 16-byte read (the span start, the shared threshold of a uniform
-/// neighborhood, and the geometric-skip constant). The span *end* is the
-/// next record's `lo` — the array holds `n + 1` records with a sentinel at
-/// the end — so adjacent records land on the same or neighboring cache
-/// line and one prefetch covers both.
+/// a BFS inner loop needs about a node's neighborhood (in-edges for the
+/// reverse samplers, out-edges for forward cascades) in a single 16-byte
+/// read (the span start, the shared threshold of a uniform neighborhood,
+/// and the geometric-skip constant). The span *end* is the next record's
+/// `lo` — the array holds `n + 1` records with a sentinel at the end — so
+/// adjacent records land on the same or neighboring cache line and one
+/// prefetch covers both.
 #[derive(Clone, Copy, Debug)]
 #[repr(C)]
 pub struct SampleMeta {
-    /// Start of the node's in-edge span (edge slots fit `u32`: the builder
+    /// Start of the node's edge span (edge slots fit `u32`: the builder
     /// rejects graphs beyond `u32::MAX` edges).
     pub lo: u32,
     /// Dual-purpose integer field, disambiguated by `inv`:
     ///
     /// * skip-eligible (`inv` finite): the quantized probability
-    ///   `(1 − q)^indeg` that the *whole span rejects* — one integer
+    ///   `(1 − q)^degree` that the *whole span rejects* — one integer
     ///   compare retires the common no-accept case without touching `ln`;
-    /// * otherwise: the shared threshold when every in-edge carries the
-    ///   same one, else 0. (A uniform all-zero neighborhood also reads 0
-    ///   and correctly never accepts through the per-edge path.)
+    /// * otherwise: the shared threshold when every edge of the span
+    ///   carries the same one, else 0. (A uniform all-zero neighborhood
+    ///   also reads 0 and correctly never accepts through the per-edge
+    ///   path.)
     pub thr: u32,
     /// `1 / ln(1 - q)` — finite and strictly negative — when the
     /// neighborhood qualifies for the geometric skip, NaN otherwise.
@@ -124,6 +127,42 @@ fn uniform_thr(thresholds: &[u32]) -> u32 {
     }
 }
 
+/// Bakes the packed per-node [`SampleMeta`] array for one CSR direction
+/// (`n + 1` records, sentinel last). `offsets` is the direction's offset
+/// array, `thresholds` its per-edge quantized coins — the in-side feeds
+/// the reverse samplers, the out-side forward cascades; the two share
+/// every constant and derived quantity (`skip_inv`, `uniform_thr`, the
+/// whole-span rejection probability) by construction.
+fn bake_meta(offsets: &[u64], thresholds: &[u32]) -> Box<[SampleMeta]> {
+    let n = offsets.len() - 1;
+    (0..=n)
+        .map(|v| {
+            if v == n {
+                // Sentinel: its `lo` closes node n-1's span.
+                return SampleMeta {
+                    lo: offsets[n] as u32,
+                    thr: 0,
+                    inv: f64::NAN,
+                };
+            }
+            let (lo, hi) = (offsets[v] as usize, offsets[v + 1] as usize);
+            let span = &thresholds[lo..hi];
+            let inv = skip_inv(span);
+            let thr = if inv < 0.0 {
+                let q = threshold_prob(span[0]);
+                quantize_prob_f64((1.0 - q).powi(span.len() as i32))
+            } else {
+                uniform_thr(span)
+            };
+            SampleMeta {
+                lo: lo as u32,
+                thr,
+                inv,
+            }
+        })
+        .collect()
+}
+
 /// An immutable probabilistic directed graph in compressed-sparse-row form.
 ///
 /// Both the forward (out-edge) and reverse (in-edge) adjacency are stored so
@@ -147,13 +186,15 @@ pub struct Graph {
     in_probs: Box<[f32]>,
     in_edge_ids: Box<[Edge]>,
     // Baked sampling view: integer coin thresholds parallel to each CSR
-    // direction, plus the packed per-node metadata record (span start,
-    // uniform threshold, geometric-skip constant; `n + 1` entries, see
-    // [`SampleMeta`]). Derived from the probabilities at build time,
-    // rebuilt by `map_probs`.
+    // direction, plus the packed per-node metadata records (span start,
+    // uniform threshold, geometric-skip constant; `n + 1` entries each,
+    // see [`SampleMeta`]) — the in-side for reverse-reachability sampling,
+    // the out-side for forward cascades. Derived from the probabilities at
+    // build time, rebuilt by `map_probs`.
     out_thresholds: Box<[u32]>,
     in_thresholds: Box<[u32]>,
     in_meta: Box<[SampleMeta]>,
+    out_meta: Box<[SampleMeta]>,
 }
 
 impl Graph {
@@ -178,32 +219,8 @@ impl Graph {
         debug_assert_eq!(out_targets.len(), in_sources.len());
         let out_thresholds: Box<[u32]> = out_probs.iter().map(|&p| quantize_prob(p)).collect();
         let in_thresholds: Box<[u32]> = in_probs.iter().map(|&p| quantize_prob(p)).collect();
-        let in_meta: Box<[SampleMeta]> = (0..=n)
-            .map(|v| {
-                if v == n {
-                    // Sentinel: its `lo` closes node n-1's span.
-                    return SampleMeta {
-                        lo: in_offsets[n] as u32,
-                        thr: 0,
-                        inv: f64::NAN,
-                    };
-                }
-                let (lo, hi) = (in_offsets[v] as usize, in_offsets[v + 1] as usize);
-                let span = &in_thresholds[lo..hi];
-                let inv = skip_inv(span);
-                let thr = if inv < 0.0 {
-                    let q = threshold_prob(span[0]);
-                    quantize_prob_f64((1.0 - q).powi(span.len() as i32))
-                } else {
-                    uniform_thr(span)
-                };
-                SampleMeta {
-                    lo: lo as u32,
-                    thr,
-                    inv,
-                }
-            })
-            .collect();
+        let in_meta = bake_meta(&in_offsets, &in_thresholds);
+        let out_meta = bake_meta(&out_offsets, &out_thresholds);
         Graph {
             n,
             out_offsets,
@@ -216,6 +233,7 @@ impl Graph {
             out_thresholds,
             in_thresholds,
             in_meta,
+            out_meta,
         }
     }
 
@@ -304,11 +322,38 @@ impl Graph {
         &self.in_meta[v as usize]
     }
 
-    /// Raw slices backing the sampling hot loop: `(meta, sources,
+    /// Geometric-skip constant of `u`'s *out*-neighborhood — the forward
+    /// mirror of [`in_skip_inv`](Self::in_skip_inv): finite and strictly
+    /// negative when every out-edge of `u` shares one sub-`1/4` threshold
+    /// over at least 8 edges (every node under a constant-weight model),
+    /// NaN otherwise.
+    #[inline]
+    pub fn out_skip_inv(&self, u: Node) -> f64 {
+        self.out_meta[u as usize].inv
+    }
+
+    /// The packed *out*-side sampling record of `u` (see [`SampleMeta`]);
+    /// index `n` is the sentinel closing the last span. Forward cascades
+    /// run on these the way reverse sampling runs on
+    /// [`in_meta`](Self::in_meta).
+    #[inline]
+    pub fn out_meta(&self, u: Node) -> &SampleMeta {
+        &self.out_meta[u as usize]
+    }
+
+    /// Raw slices backing the reverse-sampling hot loop: `(meta, sources,
     /// thresholds)`. The meta array has `n + 1` records.
     #[inline]
     pub(crate) fn sampling_arrays(&self) -> (&[SampleMeta], &[Node], &[u32]) {
         (&self.in_meta, &self.in_sources, &self.in_thresholds)
+    }
+
+    /// Raw slices backing the forward-cascade hot loop: `(meta, targets,
+    /// thresholds)`. The meta array has `n + 1` records; the edge id of
+    /// slot `i` is `i` itself (forward edge ids are CSR positions).
+    #[inline]
+    pub(crate) fn sampling_arrays_out(&self) -> (&[SampleMeta], &[Node], &[u32]) {
+        (&self.out_meta, &self.out_targets, &self.out_thresholds)
     }
 
     /// Probability of edge `e` (by forward edge id).
@@ -401,7 +446,7 @@ impl Graph {
         (self.n + 1) * 8 * 2 // two offset arrays
             + m * (4 + 4 + 4) // out targets + probs + thresholds
             + m * (4 + 4 + 4 + 4) // in sources + probs + edge ids + thresholds
-            + (self.n + 1) * std::mem::size_of::<SampleMeta>() // packed sampling records
+            + (self.n + 1) * 2 * std::mem::size_of::<SampleMeta>() // packed sampling records, both directions
     }
 }
 
@@ -579,5 +624,54 @@ mod tests {
             b.add_edge(u, 0, 0.1).unwrap();
         }
         assert!(b.build().in_skip_inv(0).is_nan());
+    }
+
+    #[test]
+    fn out_meta_mirrors_the_forward_direction() {
+        // A broadcaster with 10 uniform out-edges at p = 0.1: the *out*
+        // side is skip-eligible, the in side of every sink is a single
+        // edge (register-threshold path).
+        let mut b = GraphBuilder::new(11);
+        for v in 1..11 {
+            b.add_edge(0, v, 0.1).unwrap();
+        }
+        let g = b.build();
+        let inv = g.out_skip_inv(0);
+        assert!(
+            inv < 0.0 && inv.is_finite(),
+            "uniform outdeg-10 broadcaster must be skip-eligible, got {inv}"
+        );
+        let q = super::threshold_prob(super::quantize_prob(0.1));
+        assert!((inv - 1.0 / (1.0 - q).ln()).abs() < 1e-12);
+        // The whole-span rejection probability rides in `thr`.
+        let m = g.out_meta(0);
+        assert_eq!(m.lo, 0);
+        assert_eq!(m.thr, super::quantize_prob_f64((1.0 - q).powi(10)));
+        // Sinks have no out-edges: ineligible, and the sentinel closes the
+        // last span at m = |E|.
+        assert!(g.out_skip_inv(5).is_nan());
+        assert_eq!(g.out_meta(10).lo as usize, g.out_meta(0).lo as usize + 10);
+        // In- and out-side records of the same graph are baked by the same
+        // rule: a mirrored-edge graph agrees exactly.
+        let mut b = GraphBuilder::new(11);
+        for v in 1..11 {
+            b.add_edge(v, 0, 0.1).unwrap();
+        }
+        let mirrored = b.build();
+        assert_eq!(mirrored.in_meta(0).thr, g.out_meta(0).thr);
+        assert_eq!(mirrored.in_skip_inv(0), g.out_skip_inv(0));
+    }
+
+    #[test]
+    fn map_probs_rebakes_out_meta() {
+        let mut b = GraphBuilder::new(11);
+        for v in 1..11 {
+            b.add_edge(0, v, 0.1).unwrap();
+        }
+        let g = b.build().map_probs(|_, _, _| 0.5);
+        // p = 0.5 > 1/4: no longer skip-eligible, uniform threshold
+        // instead.
+        assert!(g.out_skip_inv(0).is_nan());
+        assert_eq!(g.out_meta(0).thr, super::quantize_prob(0.5));
     }
 }

@@ -11,8 +11,10 @@
 //!   both forward (out-edge) and reverse (in-edge) adjacency, built once via
 //!   [`GraphBuilder`]. Every build also bakes the *integer sampling view*:
 //!   per-edge `u32` coin thresholds ([`quantize_prob`]) in both CSR
-//!   directions and per-node geometric-skip constants for uniform
-//!   in-neighborhoods, consumed by the RIS samplers through [`SampleView`];
+//!   directions and packed per-node [`SampleMeta`] records (span start,
+//!   uniform threshold, geometric-skip constant) on both sides — the
+//!   in-side drives the RIS samplers, the out-side forward cascades, all
+//!   through [`SampleView`];
 //! * [`ResidualGraph`] — a cheap *view* over a base graph with an alive-node
 //!   bitmask, used by the adaptive algorithms to remove activated nodes after
 //!   each observation without copying the graph;

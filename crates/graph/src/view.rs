@@ -165,6 +165,64 @@ impl<'g> SampleView<'g> {
             }
         }
     }
+
+    // ---- forward face -----------------------------------------------------
+    // The out-side mirror of the accessors above: forward cascades (the MC
+    // spread oracle, world scoring, server-simulated observations) run on
+    // the same packed-record machinery the reverse samplers do, just over
+    // the out CSR. Slot `i` of the out arrays is forward edge id `i`, so a
+    // span `lo..hi` also hands the caller its edge ids for free.
+
+    /// The packed *out*-side sampling record of `u` unpacked as
+    /// `(lo, hi, thr, inv)` — one 16-byte read plus the adjacent record
+    /// for the span end.
+    #[inline]
+    pub fn out_meta(&self, u: Node) -> (usize, usize, u32, f64) {
+        let (meta, _, _) = self.base.sampling_arrays_out();
+        let m = &meta[u as usize];
+        (
+            m.lo as usize,
+            meta[u as usize + 1].lo as usize,
+            m.thr,
+            m.inv,
+        )
+    }
+
+    /// Out-edge targets of the span `lo..hi` (from [`out_meta`](Self::out_meta)).
+    #[inline]
+    pub fn targets(&self, lo: usize, hi: usize) -> &'g [Node] {
+        let (_, targets, _) = self.base.sampling_arrays_out();
+        &targets[lo..hi]
+    }
+
+    /// Per-edge out thresholds of the span `lo..hi`; slot `i` is the coin
+    /// of forward edge id `lo + i`.
+    #[inline]
+    pub fn out_thresholds(&self, lo: usize, hi: usize) -> &'g [u32] {
+        let (_, _, thresholds) = self.base.sampling_arrays_out();
+        &thresholds[lo..hi]
+    }
+
+    /// Prefetches `u`'s out-side sampling record — call when `u` joins the
+    /// cascade frontier so the record is resident by dequeue time.
+    #[inline]
+    pub fn prefetch_out_meta(&self, u: Node) {
+        let (meta, _, _) = self.base.sampling_arrays_out();
+        prefetch_read(&meta[u as usize]);
+    }
+
+    /// Prefetches the head of a node's out-edge span. Call one frontier
+    /// member ahead.
+    #[inline]
+    pub fn prefetch_out_span(&self, lo: usize, hi: usize) {
+        let (_, targets, _) = self.base.sampling_arrays_out();
+        if lo < hi {
+            prefetch_read(&targets[lo]);
+            if hi - lo > 16 {
+                prefetch_read(&targets[lo + 16]);
+            }
+        }
+    }
 }
 
 impl GraphView for Graph {
@@ -506,6 +564,29 @@ mod tests {
         r.remove_all(0..4);
         let mut rng = StdRng::seed_from_u64(3);
         assert!(r.sample_alive(&mut rng).is_none());
+    }
+
+    #[test]
+    fn sample_view_forward_face_mirrors_out_slices() {
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(0, 1, 0.5).unwrap();
+        b.add_edge(0, 2, 0.25).unwrap();
+        b.add_edge(1, 3, 1.0).unwrap();
+        b.add_edge(3, 4, 0.75).unwrap();
+        let g = b.build();
+        let sv = g.sample_view();
+        for u in 0..5u32 {
+            let (targets, _, range) = g.out_slice(u);
+            let (lo, hi, _, _) = sv.out_meta(u);
+            assert_eq!(lo, range.start as usize, "node {u}");
+            assert_eq!(hi, range.end as usize, "node {u}");
+            assert_eq!(sv.targets(lo, hi), targets, "node {u}");
+            assert_eq!(sv.out_thresholds(lo, hi), g.out_thresholds(u));
+            // Slot i of the span is forward edge id lo + i.
+            for (i, &t) in sv.out_thresholds(lo, hi).iter().enumerate() {
+                assert_eq!(t, g.edge_threshold((lo + i) as u32));
+            }
+        }
     }
 
     #[test]

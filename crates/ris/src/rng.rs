@@ -1,4 +1,7 @@
-//! Batched counter-based RNG for the sampling hot loop.
+//! Batched counter-based RNG for the sampling hot loops — reverse BFS in
+//! this crate, and (via the `atpm-diffusion` dependency on it) the
+//! forward-cascade engine's randomized walks, which draw from the same
+//! lanes so the two directions share one stream discipline.
 //!
 //! The per-coin sampler called `rng.gen::<f32>()` once per in-edge — one
 //! serially-dependent xoshiro step plus an int→float conversion per coin.
@@ -23,6 +26,18 @@
 //! asserts through the sampling paths.
 
 use rand::{RngCore, SeedableRng};
+
+/// Maps a raw 64-bit draw to a uniform in the *open* interval `(0, 1)` —
+/// the geometric-skip paths (reverse BFS in this crate, forward cascades
+/// in `atpm-diffusion`) take `ln(u)`, which must never see 0.
+///
+/// 52 bits, offset by half a lattice step: the extremes map to `2^-53` and
+/// `1 − 2^-53`, both exactly representable (53 bits would round the top
+/// value to 1.0 and `ln` would return an exact 0).
+#[inline]
+pub fn unit_open(x: u64) -> f64 {
+    ((x >> 12) as f64 + 0.5) * (1.0 / (1u64 << 52) as f64)
+}
 
 /// Lane-buffer length, in 64-bit words.
 const LANES: usize = 64;

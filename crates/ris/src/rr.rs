@@ -19,17 +19,8 @@
 use atpm_graph::{threshold_accept, GraphView, Node, SampleView};
 use rand::Rng;
 
+use crate::rng::unit_open;
 use crate::workspace::EpochMarks;
-
-/// Maps a raw 64-bit draw to a uniform in the *open* interval `(0, 1)` —
-/// the geometric skip takes `ln(u)`, which must never see 0.
-#[inline]
-fn unit_open(x: u64) -> f64 {
-    // 52 bits, offset by half a lattice step: the extremes map to
-    // 2^-53 and 1 − 2^-53, both exactly representable (53 bits would
-    // round the top value to 1.0 and ln would return an exact 0).
-    ((x >> 12) as f64 + 0.5) * (1.0 / (1u64 << 52) as f64)
-}
 
 /// Reusable RR-set sampler with epoch-marked visit buffers (no per-sample
 /// allocation or clearing). One sampler per thread.

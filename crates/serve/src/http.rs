@@ -88,7 +88,11 @@ fn parse_head(lines: &[Vec<u8>]) -> Result<(Request, Option<usize>), (u16, Strin
     else {
         return Err((400, "bad request line".into()));
     };
-    if !version.starts_with("HTTP/1.") {
+    // Exact-match the two versions this server speaks. A prefix test
+    // (`starts_with("HTTP/1.")`) would wave through inventions like
+    // `HTTP/1.9999`, which RFC 9112 §2.3 does not define and which
+    // intermediaries may interpret differently than we do.
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
         return Err((505, "unsupported HTTP version".into()));
     }
 
@@ -108,25 +112,72 @@ fn parse_head(lines: &[Vec<u8>]) -> Result<(Request, Option<usize>), (u16, Strin
         body: Vec::new(),
     };
 
-    if req
-        .header("transfer-encoding")
-        .is_some_and(|v| !v.eq_ignore_ascii_case("identity"))
-    {
-        return Err((501, "chunked transfer encoding not supported".into()));
+    // Like Content-Length below, Transfer-Encoding must be checked across
+    // *every* repeat of the header (and every comma-separated element):
+    // first-match resolution would let `Transfer-Encoding: identity`
+    // followed by `Transfer-Encoding: chunked` slip past this guard while
+    // a fronting proxy honors the chunked coding — the same smuggling
+    // class as mismatched duplicate lengths.
+    for (name, value) in &req.headers {
+        if name == "transfer-encoding"
+            && value
+                .split(',')
+                .any(|coding| !coding.trim().eq_ignore_ascii_case("identity"))
+        {
+            return Err((501, "chunked transfer encoding not supported".into()));
+        }
     }
-    let content_length = match req.header("content-length") {
-        None => None,
-        Some(len) => {
-            let Ok(len) = len.parse::<usize>() else {
+    let content_length = parse_content_length(&req)?;
+    Ok((req, content_length))
+}
+
+/// Resolves the request's framing length from its `Content-Length`
+/// header(s), defending the two classic smuggling vectors (RFC 7230
+/// §3.3.2 / RFC 9112 §6.3):
+///
+/// * **Duplicate or list-valued lengths.** `Content-Length: 7` followed by
+///   `Content-Length: 999` (or `Content-Length: 7, 999`) must not be
+///   resolved first-match-wins — a proxy that picks the *other* value
+///   would hand the tail of the body to the next request in the
+///   connection. Repeats are tolerated only when every value is
+///   byte-identical after trimming; any mismatch is a 400.
+/// * **Lenient integer syntax.** The grammar is `1*DIGIT`; Rust's
+///   `parse::<usize>` also accepts a leading `+`, which an intermediary
+///   parsing strictly would frame differently (`+7` → error vs 7). Only
+///   ASCII digits are accepted here.
+///
+/// Both server backends funnel through this one function, so the rejects
+/// are byte-identical on the wire.
+fn parse_content_length(req: &Request) -> Result<Option<usize>, (u16, String)> {
+    let mut resolved: Option<(&str, usize)> = None;
+    for (name, value) in &req.headers {
+        if name != "content-length" {
+            continue;
+        }
+        // A list-valued header (`7, 7`) is equivalent to repeating the
+        // header line, so both forms share the per-value loop.
+        for raw in value.split(',') {
+            let text = raw.trim();
+            if text.is_empty() || !text.bytes().all(|b| b.is_ascii_digit()) {
+                return Err((400, "bad content-length".into()));
+            }
+            let Ok(len) = text.parse::<usize>() else {
                 return Err((400, "bad content-length".into()));
             };
-            if len > MAX_BODY {
-                return Err((413, "body too large".into()));
+            match resolved {
+                None => resolved = Some((text, len)),
+                Some((first, _)) if first == text => {}
+                Some(_) => {
+                    return Err((400, "conflicting content-length values".into()));
+                }
             }
-            Some(len)
         }
-    };
-    Ok((req, content_length))
+    }
+    match resolved {
+        Some((_, len)) if len > MAX_BODY => Err((413, "body too large".into())),
+        Some((_, len)) => Ok(Some(len)),
+        None => Ok(None),
+    }
 }
 
 /// Reads one HTTP/1.1 request from `stream`.
@@ -486,6 +537,126 @@ mod tests {
                 _ => panic!("{raw:?} should be malformed"),
             }
         }
+    }
+
+    #[test]
+    fn version_check_is_exact_not_prefix() {
+        // Only the two versions the server actually speaks pass.
+        for ok in ["HTTP/1.1", "HTTP/1.0"] {
+            assert!(
+                matches!(parse(&format!("GET /x {ok}\r\n\r\n")), ReadOutcome::Ok(_)),
+                "{ok} must be accepted"
+            );
+        }
+        // Prefix-matching lookalikes (RFC 9112 defines no HTTP/1.2+) and
+        // other majors are 505, on both entry points.
+        for bad in ["HTTP/1.9999", "HTTP/1.2", "HTTP/1.", "HTTP/2.0", "HTTP/11"] {
+            let raw = format!("GET /x {bad}\r\n\r\n");
+            match parse(&raw) {
+                ReadOutcome::Malformed(status, _) => assert_eq!(status, 505, "{bad}"),
+                _ => panic!("{bad} should be rejected"),
+            }
+            assert!(
+                matches!(
+                    frame_request(raw.as_bytes()),
+                    FrameStatus::Malformed { status: 505, .. }
+                ),
+                "framer must agree on {bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn content_length_must_be_digits_only() {
+        // Rust's usize parser takes a leading '+'; RFC 7230 1*DIGIT does
+        // not, and a strict intermediary would frame `+7` differently.
+        for bad in ["+7", "-7", " 7 8", "7a", "0x7", ""] {
+            let raw = format!("POST /x HTTP/1.1\r\nContent-Length: {bad}\r\n\r\nbodybytes");
+            match parse(&raw) {
+                ReadOutcome::Malformed(status, _) => assert_eq!(status, 400, "{bad:?}"),
+                _ => panic!("{bad:?} should be malformed"),
+            }
+            assert!(
+                matches!(
+                    frame_request(raw.as_bytes()),
+                    FrameStatus::Malformed { status: 400, .. }
+                ),
+                "framer must agree on {bad:?}"
+            );
+        }
+        // Leading zeros are ugly but grammatical.
+        let ReadOutcome::Ok(req) =
+            parse("POST /x HTTP/1.1\r\nContent-Length: 007\r\n\r\n{\"a\":1}")
+        else {
+            panic!("leading zeros are valid 1*DIGIT");
+        };
+        assert_eq!(req.body, b"{\"a\":1}");
+    }
+
+    #[test]
+    fn transfer_encoding_is_checked_across_all_repeats() {
+        // First-match resolution would see only `identity` and wave the
+        // chunked coding through — the TE flavor of the duplicate-header
+        // smuggle.
+        let cases = [
+            "POST /x HTTP/1.1\r\nTransfer-Encoding: identity\r\nTransfer-Encoding: chunked\r\n\r\n",
+            "POST /x HTTP/1.1\r\nTransfer-Encoding: identity, chunked\r\n\r\n",
+            "POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\nTransfer-Encoding: identity\r\n\r\n",
+        ];
+        for raw in cases {
+            match parse(raw) {
+                ReadOutcome::Malformed(status, _) => assert_eq!(status, 501, "{raw:?}"),
+                _ => panic!("{raw:?} must be rejected"),
+            }
+            assert!(
+                matches!(
+                    frame_request(raw.as_bytes()),
+                    FrameStatus::Malformed { status: 501, .. }
+                ),
+                "framer must agree on {raw:?}"
+            );
+        }
+        // Pure identity (repeated or listed) is still a no-op encoding.
+        assert!(matches!(
+            parse("GET /x HTTP/1.1\r\nTransfer-Encoding: identity\r\nTransfer-Encoding: identity\r\n\r\n"),
+            ReadOutcome::Ok(_)
+        ));
+    }
+
+    #[test]
+    fn duplicate_content_lengths_must_agree() {
+        // The smuggling shape: first-match resolution would frame the body
+        // at 7 and leave the tail to be parsed as a fresh request.
+        let smuggle = "POST /x HTTP/1.1\r\nContent-Length: 7\r\nContent-Length: 999\r\n\r\n0123456";
+        match parse(smuggle) {
+            ReadOutcome::Malformed(status, msg) => {
+                assert_eq!(status, 400);
+                assert!(msg.contains("conflicting"), "{msg}");
+            }
+            _ => panic!("mismatched duplicate content-length must be rejected"),
+        }
+        assert!(matches!(
+            frame_request(smuggle.as_bytes()),
+            FrameStatus::Malformed { status: 400, .. }
+        ));
+        // List form is the same attack in one line.
+        let listed = "POST /x HTTP/1.1\r\nContent-Length: 7, 999\r\n\r\n0123456";
+        assert!(matches!(parse(listed), ReadOutcome::Malformed(400, _)));
+        // Identical repeats are tolerated (RFC 7230 §3.3.2 allows it) and
+        // frame exactly once.
+        let dup_ok = "POST /x HTTP/1.1\r\nContent-Length: 7\r\nContent-Length: 7\r\n\r\n0123456";
+        let ReadOutcome::Ok(req) = parse(dup_ok) else {
+            panic!("identical duplicates are acceptable");
+        };
+        assert_eq!(req.body, b"0123456");
+        let FrameStatus::Complete { len } = frame_request(dup_ok.as_bytes()) else {
+            panic!("identical duplicates must frame");
+        };
+        assert_eq!(len, dup_ok.len());
+        // "07" vs "7" agree numerically but not byte-wise: still rejected,
+        // the conservative reading of "identical field values".
+        let sneaky = "POST /x HTTP/1.1\r\nContent-Length: 7\r\nContent-Length: 07\r\n\r\n0123456";
+        assert!(matches!(parse(sneaky), ReadOutcome::Malformed(400, _)));
     }
 
     #[test]

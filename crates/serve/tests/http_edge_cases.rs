@@ -269,6 +269,87 @@ fn garbage_and_oversized_heads_get_matching_errors() {
 }
 
 #[test]
+fn framer_hardening_rejects_are_byte_identical() {
+    // The three PR-5 framer fixes, each asserted byte-identical across
+    // backends: mismatched duplicate Content-Length (request smuggling),
+    // sign-prefixed Content-Length (lenient integer parse), and
+    // prefix-matched HTTP versions.
+
+    // Duplicate Content-Length with mismatched values → 400, close. A
+    // first-match parser would frame the body at 7 and treat the rest of
+    // the bytes — here a second, attacker-shaped request — as pipelined.
+    let smuggle: &[u8] = b"POST /sessions HTTP/1.1\r\nContent-Length: 7\r\nContent-Length: 999\r\n\r\n0123456GET /snapshots HTTP/1.1\r\n\r\n";
+    let (pool, epoll) = differential(|stream| {
+        stream.write_all(smuggle).unwrap();
+    });
+    assert_eq!(pool, epoll);
+    let text = String::from_utf8_lossy(&pool);
+    assert!(text.starts_with("HTTP/1.1 400 "), "{text}");
+    assert_eq!(
+        text.matches("HTTP/1.1").count(),
+        1,
+        "the smuggled tail must never be answered as a second request: {text}"
+    );
+
+    // Sign-prefixed length (RFC 7230 forbids anything but 1*DIGIT) → 400.
+    let (pool, epoll) = differential(|stream| {
+        stream
+            .write_all(b"POST /x HTTP/1.1\r\nContent-Length: +7\r\n\r\n0123456")
+            .unwrap();
+    });
+    assert_eq!(pool, epoll);
+    assert!(String::from_utf8_lossy(&pool).starts_with("HTTP/1.1 400 "));
+
+    // Invented minor versions → 505 (only HTTP/1.0 and HTTP/1.1 pass).
+    let (pool, epoll) = differential(|stream| {
+        stream
+            .write_all(b"GET /healthz HTTP/1.9999\r\n\r\n")
+            .unwrap();
+    });
+    assert_eq!(pool, epoll);
+    assert!(String::from_utf8_lossy(&pool).starts_with("HTTP/1.1 505 "));
+}
+
+#[test]
+fn dripped_smuggling_attempt_gets_the_same_400() {
+    // The incremental framer sees the conflicting lengths arrive one byte
+    // at a time; it must neither answer early nor resolve first-match
+    // once the head completes.
+    let raw: &[u8] = b"POST /x HTTP/1.1\r\nContent-Length: 7\r\nContent-Length: 999\r\n\r\n0123456";
+    let (pool, epoll) = differential(|stream| {
+        for b in raw {
+            // The server answers 400 and closes the moment the head
+            // completes; dripping the (now unwanted) body tail may hit a
+            // broken pipe, which is part of the expected shape.
+            if stream.write_all(&[*b]).is_err() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    });
+    assert_eq!(pool, epoll);
+    assert!(String::from_utf8_lossy(&pool).starts_with("HTTP/1.1 400 "));
+}
+
+#[test]
+fn pipelined_request_after_agreeing_duplicates_still_answers() {
+    // Byte-identical duplicate lengths are legal: the body frames once at
+    // 7, and the genuinely pipelined second request is answered in order.
+    let (pool, epoll) = differential(|stream| {
+        stream
+            .write_all(
+                b"POST /nope HTTP/1.1\r\nContent-Length: 7\r\nContent-Length: 7\r\n\r\n0123456GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n",
+            )
+            .unwrap();
+    });
+    assert_eq!(pool, epoll);
+    let text = String::from_utf8_lossy(&pool);
+    let first = text.find("HTTP/1.1 404 Not Found").expect("first response");
+    let second = text.find("HTTP/1.1 200 OK").expect("second response");
+    assert!(first < second, "responses must preserve request order");
+}
+
+#[test]
 fn eof_mid_header_answers_400_and_closes() {
     let (pool, epoll) = differential(|stream| {
         stream.write_all(b"GET /healthz HTT").unwrap();

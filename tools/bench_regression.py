@@ -3,17 +3,23 @@
 
 Usage: bench_regression.py BASELINE.json CURRENT.json [--tolerance 0.10]
 
-Compares the median of every `ris_engine/generate_batch/*` stage (the
-sampling-bound end-to-end contract) in CURRENT against BASELINE and fails
-if any regresses by more than the tolerance. Other stages are reported but
-advisory: CI runners are noisy, and the committed trajectory is measured on
-the 1-vCPU build container, so only the headline stage gates.
+Compares the median of every gated stage in CURRENT against BASELINE and
+fails if any regresses by more than the tolerance. Gated stages are the
+two end-to-end contracts: `ris_engine/generate_batch/*` (reverse sampling,
+the bound of every RIS policy) and `ris_engine/cascade_mc_spread` (the
+batched forward MC driver, the bound of the spread oracle and world
+scoring). Other stages are reported but advisory: CI runners are noisy,
+and the committed trajectory is measured on the 1-vCPU build container,
+so only the headline stages gate.
 """
 
 import json
 import sys
 
-GATED_PREFIX = "ris_engine/generate_batch/"
+GATED_PREFIXES = (
+    "ris_engine/generate_batch/",
+    "ris_engine/cascade_mc_spread",
+)
 
 
 def medians(path):
@@ -33,7 +39,7 @@ def main(argv):
     failed = False
     for bench_id in sorted(set(base) & set(cur)):
         ratio = cur[bench_id] / base[bench_id]
-        gated = bench_id.startswith(GATED_PREFIX)
+        gated = bench_id.startswith(GATED_PREFIXES)
         verdict = ""
         if ratio > 1.0 + tolerance:
             if gated:
