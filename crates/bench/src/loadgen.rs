@@ -21,6 +21,14 @@
 //! of the reactor; pool sizes its accept pool to the biggest level, since
 //! it physically cannot serve more connections than workers). `--addr`
 //! points at an externally started server instead.
+//!
+//! The client half of the overload/durability contract lives here too:
+//! every request runs through [`RetryClient`], which backs off and retries
+//! on `503 Service Unavailable` (the server shedding load) and on
+//! transport failures (a server restart mid-session). Retries and sheds
+//! are counted per level, and the server's `recovered_sessions` healthz
+//! counter is sampled after each level, so `BENCH_serve.json` records how
+//! rough the run was, not just how fast.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -343,6 +351,13 @@ pub struct LevelReport {
     /// Open-loop: 95th-percentile session sojourn (scheduled arrival →
     /// completion, queueing included), milliseconds. 0 for closed-loop.
     pub sojourn_p95_ms: f64,
+    /// Requests re-issued after a 503 or a transport failure.
+    pub retries: usize,
+    /// `503 Service Unavailable` responses absorbed (server shedding).
+    pub shed_503: usize,
+    /// Server-reported `recovered_sessions` (journal replays) at the end
+    /// of the level — nonzero means the server restarted mid-run.
+    pub recovered_sessions: u64,
 }
 
 impl LevelReport {
@@ -363,6 +378,12 @@ impl LevelReport {
             ("p95_us", Json::Num(self.p95_us)),
             ("p99_us", Json::Num(self.p99_us)),
             ("sojourn_p95_ms", Json::Num(self.sojourn_p95_ms)),
+            ("retries", Json::Num(self.retries as f64)),
+            ("shed_503", Json::Num(self.shed_503 as f64)),
+            (
+                "recovered_sessions",
+                Json::Num(self.recovered_sessions as f64),
+            ),
         ])
     }
 }
@@ -375,25 +396,121 @@ struct ThreadStats {
     seeds: usize,
     /// Of which: sessions driven through the report (client-world) path.
     report_sessions: usize,
+    /// Requests re-issued after a 503 or transport failure.
+    retries: usize,
+    /// 503 responses absorbed.
+    shed_503: usize,
 }
 
-/// An `HttpClient` wrapper that records per-request latency.
-struct TimedClient {
-    inner: HttpClient,
+/// Attempts per request before the error is surfaced: five backoffs of
+/// `5ms << attempt` (plus jitter) span roughly 300 ms — enough to ride out
+/// a shedding burst or a server restart without stalling a dead run.
+const MAX_ATTEMPTS: u32 = 6;
+
+/// An `HttpClient` wrapper that records per-request latency and implements
+/// the client half of the overload/durability contract:
+///
+/// * `503 Service Unavailable` — the server shed the request before any
+///   work happened; safe to retry unconditionally. Shed replies close the
+///   connection, so the client reconnects.
+/// * transport failures (connect refused, reset, short read) — the server
+///   restarted or the connection died. `create` and `next` are idempotent
+///   server-side (a replayed `next` re-serves the pending seed), so they
+///   retry on a fresh connection. A replayed `observe` that answers 409
+///   means the original *was* applied before the reply was lost; after at
+///   least one retry that counts as success.
+///
+/// Backoff is exponential with deterministic jitter (xorshift64*, seeded
+/// per thread) so concurrent clients don't re-dogpile in lockstep.
+struct RetryClient {
+    addr: String,
+    inner: Option<HttpClient>,
     latencies_ns: Vec<u64>,
+    retries: usize,
+    shed_503: usize,
+    rng: u64,
 }
 
-impl ProtocolClient for TimedClient {
+impl RetryClient {
+    fn connect(addr: &str, jitter_seed: u64) -> Self {
+        RetryClient {
+            addr: addr.to_string(),
+            inner: None,
+            latencies_ns: Vec::new(),
+            retries: 0,
+            shed_503: 0,
+            rng: jitter_seed | 1,
+        }
+    }
+
+    /// xorshift64* in [0, 1): cheap, deterministic, per-thread.
+    fn jitter(&mut self) -> f64 {
+        self.rng ^= self.rng << 13;
+        self.rng ^= self.rng >> 7;
+        self.rng ^= self.rng << 17;
+        (self.rng.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn backoff(&mut self, attempt: u32) {
+        let base_ms = 5u64 << attempt.min(6);
+        let jittered = base_ms as f64 * (0.5 + self.jitter());
+        std::thread::sleep(Duration::from_micros((jittered * 1_000.0) as u64));
+    }
+}
+
+impl ProtocolClient for RetryClient {
     fn call(
         &mut self,
         method: &str,
         path: &str,
         body: &Json,
     ) -> Result<Json, atpm_serve::protocol::ApiError> {
-        let t0 = Instant::now();
-        let out = self.inner.call(method, path, body);
-        self.latencies_ns.push(t0.elapsed().as_nanos() as u64);
-        out
+        let mut attempt = 0u32;
+        loop {
+            let result = match &mut self.inner {
+                Some(client) => {
+                    let t0 = Instant::now();
+                    let out = client.call(method, path, body);
+                    self.latencies_ns.push(t0.elapsed().as_nanos() as u64);
+                    out
+                }
+                None => match HttpClient::connect(&self.addr) {
+                    Ok(client) => {
+                        self.inner = Some(client);
+                        continue; // no request issued yet — not a retry
+                    }
+                    Err(e) => Err(atpm_serve::protocol::ApiError::new(
+                        500,
+                        format!("transport: connect: {e}"),
+                    )),
+                },
+            };
+            let err = match result {
+                Ok(v) => return Ok(v),
+                Err(e) => e,
+            };
+            let shed = err.status == 503;
+            let transport = err.status == 500 && err.message.starts_with("transport:");
+            if shed {
+                self.shed_503 += 1;
+            }
+            if shed || transport {
+                // Shed replies carry `Connection: close`; after a transport
+                // error the stream state is unknowable. Reconnect either way.
+                self.inner = None;
+            }
+            // A replayed observe answering "nothing pending" means the lost
+            // original landed: the observation is durably applied.
+            if err.status == 409 && attempt > 0 && method == "POST" && path.ends_with("/observe") {
+                return Ok(Json::obj([]));
+            }
+            if !(shed || transport) || attempt + 1 >= MAX_ATTEMPTS {
+                return Err(err);
+            }
+            self.retries += 1;
+            self.backoff(attempt);
+            attempt += 1;
+        }
     }
 }
 
@@ -486,7 +603,7 @@ pub fn run(cfg: &LoadgenConfig) -> Result<Vec<LevelReport>, String> {
         let t0 = Instant::now();
         let stats: Vec<ThreadStats> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..level)
-                .map(|_| {
+                .map(|t| {
                     let addr = addr.clone();
                     let counter = counter.clone();
                     let schedule = &schedule;
@@ -494,11 +611,10 @@ pub fn run(cfg: &LoadgenConfig) -> Result<Vec<LevelReport>, String> {
                     let seed = cfg.seed;
                     let report_snapshot = report_snapshot.clone();
                     scope.spawn(move || -> Result<ThreadStats, String> {
-                        let mut client = TimedClient {
-                            inner: HttpClient::connect(&addr)
-                                .map_err(|e| format!("connect: {e}"))?,
-                            latencies_ns: Vec::new(),
-                        };
+                        let mut client = RetryClient::connect(
+                            &addr,
+                            seed ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                        );
                         let mut stats = ThreadStats::default();
                         loop {
                             let i = counter.fetch_add(1, Ordering::Relaxed);
@@ -528,6 +644,8 @@ pub fn run(cfg: &LoadgenConfig) -> Result<Vec<LevelReport>, String> {
                             stats.seeds += ledger.selected.len();
                         }
                         stats.latencies_ns = client.latencies_ns;
+                        stats.retries = client.retries;
+                        stats.shed_503 = client.shed_503;
                         Ok(stats)
                     })
                 })
@@ -561,6 +679,9 @@ pub fn run(cfg: &LoadgenConfig) -> Result<Vec<LevelReport>, String> {
             p95_us: percentile(&latencies, 0.95),
             p99_us: percentile(&latencies, 0.99),
             sojourn_p95_ms: 0.0,
+            retries: stats.iter().map(|s| s.retries).sum(),
+            shed_503: stats.iter().map(|s| s.shed_503).sum(),
+            recovered_sessions: fetch_recovered(&addr),
         });
     }
 
@@ -601,15 +722,15 @@ fn run_open_loop(
     let t0 = Instant::now();
     let stats: Vec<OpenStats> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..cfg.open_workers)
-            .map(|_| {
+            .map(|t| {
                 let counter = counter.clone();
                 let schedule = &schedule;
                 let seed = cfg.seed;
                 scope.spawn(move || -> Result<OpenStats, String> {
-                    let mut client = TimedClient {
-                        inner: HttpClient::connect(addr).map_err(|e| format!("connect: {e}"))?,
-                        latencies_ns: Vec::new(),
-                    };
+                    let mut client = RetryClient::connect(
+                        addr,
+                        seed ^ 0xA5A5 ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    );
                     let mut stats = OpenStats {
                         inner: ThreadStats::default(),
                         sojourns_ns: Vec::new(),
@@ -649,6 +770,8 @@ fn run_open_loop(
                         stats.sojourns_ns.push(due.elapsed().as_nanos() as u64);
                     }
                     stats.inner.latencies_ns = client.latencies_ns;
+                    stats.inner.retries = client.retries;
+                    stats.inner.shed_503 = client.shed_503;
                     Ok(stats)
                 })
             })
@@ -687,7 +810,20 @@ fn run_open_loop(
         p95_us: percentile(&latencies, 0.95),
         p99_us: percentile(&latencies, 0.99),
         sojourn_p95_ms: percentile(&sojourns, 0.95) / 1_000.0,
+        retries: stats.iter().map(|s| s.inner.retries).sum(),
+        shed_503: stats.iter().map(|s| s.inner.shed_503).sum(),
+        recovered_sessions: fetch_recovered(addr),
     })
+}
+
+/// Samples the server's `recovered_sessions` healthz counter; 0 if the
+/// endpoint is unreachable or predates the field.
+fn fetch_recovered(addr: &str) -> u64 {
+    HttpClient::connect(addr)
+        .ok()
+        .and_then(|mut c| c.call("GET", "/healthz", &Json::obj([])).ok())
+        .and_then(|h| h.get("recovered_sessions").and_then(Json::as_u64))
+        .unwrap_or(0)
 }
 
 /// Renders the report table.
@@ -696,7 +832,7 @@ pub fn render(reports: &[LevelReport]) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:>6} {:>6} {:>6} {:>9} {:>9} {:>6} {:>8} {:>9} {:>8} {:>9} {:>9} {:>9} {:>11}",
+        "{:>6} {:>6} {:>6} {:>9} {:>9} {:>6} {:>8} {:>9} {:>8} {:>9} {:>9} {:>9} {:>11} {:>7} {:>6} {:>5}",
         "mode",
         "level",
         "rate",
@@ -709,12 +845,15 @@ pub fn render(reports: &[LevelReport]) -> String {
         "p50_us",
         "p95_us",
         "p99_us",
-        "soj_p95_ms"
+        "soj_p95_ms",
+        "retries",
+        "shed",
+        "recov"
     );
     for r in reports {
         let _ = writeln!(
             out,
-            "{:>6} {:>6} {:>6.1} {:>9} {:>9} {:>6} {:>8.2} {:>9.0} {:>8.1} {:>9.0} {:>9.0} {:>9.0} {:>11.1}",
+            "{:>6} {:>6} {:>6.1} {:>9} {:>9} {:>6} {:>8.2} {:>9.0} {:>8.1} {:>9.0} {:>9.0} {:>9.0} {:>11.1} {:>7} {:>6} {:>5}",
             r.mode,
             r.level,
             r.rate,
@@ -727,7 +866,10 @@ pub fn render(reports: &[LevelReport]) -> String {
             r.p50_us,
             r.p95_us,
             r.p99_us,
-            r.sojourn_p95_ms
+            r.sojourn_p95_ms,
+            r.retries,
+            r.shed_503,
+            r.recovered_sessions
         );
     }
     out
@@ -857,8 +999,15 @@ mod tests {
             assert!(r.requests > 0);
             assert!(r.rps > 0.0);
             assert!(r.p50_us <= r.p95_us && r.p95_us <= r.p99_us);
+            // An unloaded smoke run never sheds, retries, or recovers —
+            // and the schema still carries the counters.
+            assert_eq!((r.retries, r.shed_503, r.recovered_sessions), (0, 0, 0));
+            let json = r.to_json();
+            assert_eq!(json.get("shed_503").and_then(Json::as_u64), Some(0));
+            assert_eq!(json.get("retries").and_then(Json::as_u64), Some(0));
         }
         assert!(render(&reports).contains("rps"));
+        assert!(render(&reports).contains("shed"));
     }
 
     #[test]
@@ -939,6 +1088,24 @@ mod tests {
             Some(2),
             "schema carries the report count"
         );
+    }
+
+    #[test]
+    fn retry_client_surfaces_transport_errors_after_bounded_attempts() {
+        // A port with nothing listening: every attempt is refused, so the
+        // client must back off MAX_ATTEMPTS times and then report the
+        // transport error instead of spinning forever.
+        let addr = {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.local_addr().unwrap().to_string()
+        };
+        let mut client = RetryClient::connect(&addr, 42);
+        let err = client
+            .call("POST", "/sessions", &Json::obj([]))
+            .unwrap_err();
+        assert_eq!(err.status, 500);
+        assert!(err.message.starts_with("transport:"), "{}", err.message);
+        assert_eq!(client.retries as u32, MAX_ATTEMPTS - 1);
     }
 
     #[test]

@@ -9,6 +9,8 @@
 
 use std::io::{self, Read, Write};
 
+use crate::fault::{gate, Site};
+
 /// An output queue with a consumption cursor: pushed bytes stay put until
 /// the socket accepts them, however many `write` calls that takes.
 #[derive(Default)]
@@ -49,7 +51,17 @@ impl WriteBuf {
     /// in-place; a `WriteZero`-class failure is an error like any other.
     pub fn flush_to(&mut self, w: &mut impl Write) -> io::Result<bool> {
         while self.pos < self.data.len() {
-            match w.write(&self.data[self.pos..]) {
+            // Fault gate: an injected error takes the same arms a real one
+            // would; a short-write cap just trims this pass's slice (≥1
+            // byte, so `Ok(0)` still only ever means the real socket died).
+            let attempt = match gate(Site::StreamWrite) {
+                Ok(cap) => {
+                    let end = cap.map_or(self.data.len(), |c| (self.pos + c).min(self.data.len()));
+                    w.write(&self.data[self.pos..end])
+                }
+                Err(e) => Err(e),
+            };
+            match attempt {
                 Ok(0) => {
                     return Err(io::Error::new(
                         io::ErrorKind::WriteZero,
@@ -105,9 +117,20 @@ pub fn read_nonblocking(
             return Ok(ReadStatus::LimitReached);
         }
         let old = buf.len();
-        let want = CHUNK.min(limit - old);
-        buf.resize(old + want, 0);
-        match stream.read(&mut buf[old..]) {
+        let mut want = CHUNK.min(limit - old);
+        // Fault gate: injected errors flow through the arms below exactly
+        // like kernel ones; a short-read cap shrinks this pass's chunk.
+        let attempt = match gate(Site::StreamRead) {
+            Ok(cap) => {
+                if let Some(c) = cap {
+                    want = want.min(c);
+                }
+                buf.resize(old + want, 0);
+                stream.read(&mut buf[old..])
+            }
+            Err(e) => Err(e),
+        };
+        match attempt {
             Ok(0) => {
                 buf.truncate(old);
                 return Ok(ReadStatus::Eof);

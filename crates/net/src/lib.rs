@@ -22,11 +22,15 @@
 //!   parked reactor out of `epoll_wait`;
 //! * [`buf`] — [`buf::WriteBuf`] with partial-write resumption, plus the
 //!   nonblocking read helper;
+//! * [`fault`] — deterministic syscall fault injection: a per-thread
+//!   [`fault::SysPolicy`] gate on every IO edge (passthrough by default,
+//!   a seeded [`fault::FaultPlan`] under test);
 //! * [`reactor`] — [`reactor::Reactor`]: accept loop, per-connection state
 //!   machines (read → slice → dispatch → write, with backpressure), reply
 //!   completion, timers. Protocols plug in via [`reactor::Driver`].
 
 pub mod buf;
+pub mod fault;
 pub mod poll;
 pub mod reactor;
 pub mod sys;
@@ -34,8 +38,11 @@ pub mod timer;
 pub mod wake;
 
 pub use buf::{read_nonblocking, ReadStatus, WriteBuf};
+pub use fault::{FaultPlan, SysPolicy};
 pub use poll::{Event, Interest, Poller};
-pub use reactor::{ConnId, Driver, Reactor, ReactorConfig, Reply, ReplyQueue, Sliced};
+pub use reactor::{
+    ConnId, Driver, Reactor, ReactorConfig, ReactorStats, Reply, ReplyQueue, Sliced,
+};
 pub use timer::{TimerId, TimerWheel};
 pub use wake::Waker;
 

@@ -29,6 +29,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::buf::{read_nonblocking, ReadStatus, WriteBuf};
+use crate::fault::{gate, Site};
 use crate::poll::{Event, Interest, Poller};
 use crate::timer::{TimerId, TimerWheel};
 use crate::wake::Waker;
@@ -156,6 +157,11 @@ pub struct ReactorConfig {
     /// Accept cap: connections beyond this are accepted and immediately
     /// dropped, shedding load instead of ballooning.
     pub max_conns: usize,
+    /// Graceful-drain budget on stop: keep the loop alive (listener
+    /// deregistered, no new accepts) up to this long while in-flight
+    /// frames finish and queued reply bytes flush. `0` preserves the old
+    /// semantics — exit immediately, dropping unflushed responses.
+    pub drain_ms: u64,
 }
 
 impl Default for ReactorConfig {
@@ -166,8 +172,27 @@ impl Default for ReactorConfig {
             tick_ms: 50,
             idle_timeout_ms: None,
             max_conns: 65_536,
+            drain_ms: 0,
         }
     }
+}
+
+/// End-of-run accounting, returned by [`Reactor::run`]. In a leak-free
+/// shutdown every slot that ever existed is back on the free list and the
+/// timer wheel holds nothing — the chaos suite asserts exactly that after
+/// every fault schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReactorStats {
+    /// Connections still open when the loop exited (their streams close
+    /// with the reactor; nonzero is normal when clients are still
+    /// connected at stop, but must be zero once all peers have hung up).
+    pub live_conns: usize,
+    /// Total connection slots ever allocated.
+    pub slots: usize,
+    /// Slots on the free list at exit.
+    pub free_slots: usize,
+    /// Timers still scheduled (and not cancelled) at exit.
+    pub pending_timers: usize,
 }
 
 struct Conn {
@@ -241,7 +266,8 @@ impl Reactor {
     }
 
     /// Runs the event loop until `stop` is raised. Consumes the reactor;
-    /// every owned connection closes on exit.
+    /// every owned connection closes on exit. Returns slot/timer
+    /// accounting so harnesses can assert the shard leaked nothing.
     ///
     /// With no pending timer the reactor parks *indefinitely* — there is no
     /// polling heartbeat. Shutdown is therefore a two-step contract: raise
@@ -249,31 +275,63 @@ impl Reactor {
     /// ([`ReplyQueue::waker`](ReplyQueue::waker)) to pull the loop out of
     /// `epoll_wait`. [`ReplyQueue::push`] wakes as a side effect, so reply
     /// traffic can never stall the loop either.
-    pub fn run(mut self, mut driver: impl Driver, stop: &AtomicBool) {
+    ///
+    /// With a nonzero [`ReactorConfig::drain_ms`], a raised stop flag first
+    /// deregisters the listener and keeps the loop running — up to the
+    /// budget — until no connection has a dispatched frame awaiting its
+    /// reply or unflushed response bytes, so accepted work is answered
+    /// instead of dropped on the floor.
+    pub fn run(mut self, mut driver: impl Driver, stop: &AtomicBool) -> ReactorStats {
         let mut events: Vec<Event> = Vec::new();
         let mut finished: Vec<Reply> = Vec::new();
         let mut fired: Vec<u64> = Vec::new();
+        // Drain deadline (reactor-clock ms), set when stop is first seen.
+        let mut drain_until: Option<u64> = None;
         if let Some(period) = driver.tick_every_ms() {
             self.wheel.schedule(self.now_ms() + period, TAG_TICK);
         }
-        while !stop.load(Ordering::SeqCst) {
+        loop {
+            if stop.load(Ordering::SeqCst) {
+                if self.cfg.drain_ms == 0 {
+                    break;
+                }
+                let deadline = *drain_until.get_or_insert_with(|| {
+                    // Entering drain: no new connections, finish the rest.
+                    let _ = self.poller.remove(&self.listener);
+                    self.now_ms() + self.cfg.drain_ms
+                });
+                let in_flight = self
+                    .conns
+                    .iter()
+                    .flatten()
+                    .any(|c| c.busy || !c.write.is_empty());
+                if !in_flight || self.now_ms() >= deadline {
+                    break;
+                }
+            }
             let now = self.now_ms();
-            let timeout = self
+            let mut timeout = self
                 .wheel
                 .next_deadline()
                 .map(|d| Duration::from_millis(d.saturating_sub(now)));
+            if drain_until.is_some() {
+                // Bounded naps while draining, so the deadline is honored
+                // even if no event ever arrives.
+                let cap = Duration::from_millis(25);
+                timeout = Some(timeout.map_or(cap, |t| t.min(cap)));
+            }
             if self.poller.wait(&mut events, timeout).is_err() {
                 // A failing epoll instance is unrecoverable for this shard;
                 // bail rather than spin.
-                return;
-            }
-            if stop.load(Ordering::SeqCst) {
-                return;
+                break;
             }
             let batch = std::mem::take(&mut events);
             for ev in &batch {
                 match ev.token {
-                    TOKEN_LISTENER => self.accept_ready(),
+                    // A listener event already in flight when drain began
+                    // must not admit new work.
+                    TOKEN_LISTENER if drain_until.is_none() => self.accept_ready(),
+                    TOKEN_LISTENER => {}
                     TOKEN_WAKER => self.replies.waker().drain(),
                     token => self.conn_ready(token, ev, &mut driver),
                 }
@@ -301,12 +359,24 @@ impl Reactor {
                 }
             }
         }
+        ReactorStats {
+            live_conns: self.live,
+            slots: self.conns.len(),
+            free_slots: self.free.len(),
+            pending_timers: self.wheel.pending(),
+        }
     }
 
     fn accept_ready(&mut self) {
         loop {
-            match self.listener.accept() {
-                Ok((stream, _)) => {
+            // Fault gate first: an injected EMFILE/EINTR exercises the same
+            // arms a real kernel error would.
+            let accepted = match gate(Site::Accept) {
+                Ok(_) => self.listener.accept().map(|(stream, _)| stream),
+                Err(e) => Err(e),
+            };
+            match accepted {
+                Ok(stream) => {
                     if self.live >= self.cfg.max_conns {
                         drop(stream); // shed
                         continue;
@@ -345,7 +415,12 @@ impl Reactor {
         };
         let gen = self.gens[slot as usize];
         let token = conn_token(slot, gen);
-        self.poller.add(&stream, token, Interest::READ, false)?;
+        if let Err(e) = self.poller.add(&stream, token, Interest::READ, false) {
+            // The slot was claimed above but no Conn was installed; without
+            // this push it would leak from both lists forever.
+            self.free.push(slot);
+            return Err(e);
+        }
         let now = self.now_ms();
         let idle_timer = self
             .cfg

@@ -147,6 +147,7 @@ pub const fn supported() -> bool {
 mod imp {
     use super::arch::*;
     use super::*;
+    use crate::fault::{gate, Site};
     use std::os::fd::{FromRawFd, OwnedFd};
 
     /// Folds the raw `-errno` return convention into `io::Result`.
@@ -160,6 +161,7 @@ mod imp {
 
     /// A fresh epoll instance (`EPOLL_CLOEXEC`).
     pub fn epoll_create1() -> io::Result<OwnedFd> {
+        gate(Site::EpollCreate)?;
         let fd = check(unsafe { syscall6(SYS_EPOLL_CREATE1, EPOLL_CLOEXEC, 0, 0, 0, 0, 0) })?;
         // SAFETY: the kernel just handed us ownership of this fd.
         Ok(unsafe { OwnedFd::from_raw_fd(fd as RawFd) })
@@ -173,6 +175,7 @@ mod imp {
         events: u32,
         data: u64,
     ) -> io::Result<()> {
+        gate(Site::EpollCtl)?;
         let mut ev = EpollEvent { events, data };
         check(unsafe {
             syscall6(
@@ -196,6 +199,7 @@ mod imp {
         events: &mut [EpollEvent],
         timeout_ms: i32,
     ) -> io::Result<usize> {
+        gate(Site::EpollWait)?;
         check(unsafe {
             syscall6(
                 SYS_EPOLL_PWAIT,
@@ -212,6 +216,7 @@ mod imp {
     /// A nonblocking close-on-exec eventfd with counter 0 — the reactor's
     /// cross-thread wakeup primitive.
     pub fn eventfd() -> io::Result<OwnedFd> {
+        gate(Site::EventfdCreate)?;
         let fd =
             check(unsafe { syscall6(SYS_EVENTFD2, 0, EFD_CLOEXEC | EFD_NONBLOCK, 0, 0, 0, 0) })?;
         // SAFETY: fresh fd owned by us.
@@ -220,6 +225,7 @@ mod imp {
 
     /// `write(2)` on a raw fd (used to post to an eventfd).
     pub fn write(fd: BorrowedFd<'_>, buf: &[u8]) -> io::Result<usize> {
+        gate(Site::EventfdWrite)?;
         check(unsafe {
             syscall6(
                 SYS_WRITE,
@@ -235,6 +241,7 @@ mod imp {
 
     /// `read(2)` on a raw fd (used to drain an eventfd).
     pub fn read(fd: BorrowedFd<'_>, buf: &mut [u8]) -> io::Result<usize> {
+        gate(Site::EventfdRead)?;
         check(unsafe {
             syscall6(
                 SYS_READ,

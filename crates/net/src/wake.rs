@@ -29,9 +29,16 @@ impl Waker {
     }
 
     /// Wakes the reactor. Never blocks; a full counter (already signalled
-    /// ~2^64 times) is already awake, so the error is ignored.
+    /// ~2^64 times) is already awake, so that error is ignored — but an
+    /// `EINTR` before the counter add would silently lose the wakeup, so
+    /// interrupted writes retry.
     pub fn wake(&self) {
-        let _ = sys::write(self.fd.as_fd(), &1u64.to_ne_bytes());
+        loop {
+            match sys::write(self.fd.as_fd(), &1u64.to_ne_bytes()) {
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                _ => return,
+            }
+        }
     }
 
     /// Consumes all pending wakeups (called by the reactor when the waker's
@@ -40,8 +47,15 @@ impl Waker {
         let mut buf = [0u8; 8];
         // One read zeroes an eventfd counter; loop anyway in case of a
         // racing wake between read and return — the extra read just hits
-        // WouldBlock.
-        while sys::read(self.fd.as_fd(), &mut buf).is_ok() {}
+        // WouldBlock. An interrupted read has NOT drained, so it retries
+        // rather than ending the loop with the counter still set.
+        loop {
+            match sys::read(self.fd.as_fd(), &mut buf) {
+                Ok(_) => {}
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return,
+            }
+        }
     }
 }
 

@@ -115,7 +115,9 @@ impl Harness {
             tick_period,
         };
         let stop2 = stop.clone();
-        let reactor_thread = Some(std::thread::spawn(move || reactor.run(driver, &stop2)));
+        let reactor_thread = Some(std::thread::spawn(move || {
+            reactor.run(driver, &stop2);
+        }));
         Harness {
             addr,
             stop,

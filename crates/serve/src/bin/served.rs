@@ -8,7 +8,15 @@
 //!        --workers N           request workers       (default 4)
 //!        --shards N            epoll reactor shards  (default 2)
 //!        --session-ttl SECS    evict sessions idle this long (default: never)
-//!        --idle-timeout SECS   close idle connections (epoll; default: never)
+//!        --idle-timeout SECS   close idle connections (epoll; default 60,
+//!                              0 = never — note: reaping idle connections
+//!                              departs from the pool oracle's byte-identical
+//!                              behavior, which never reaps)
+//!        --max-queue N         shed 503 past N queued jobs (epoll; default
+//!                              1024, 0 = never shed)
+//!        --journal PATH        append-only ATPMJNL1 session journal,
+//!                              replayed on restart (default: none)
+//!        --drain-ms MS         graceful-shutdown drain window (default 500)
 //!        --snapshot-budget MB  snapshot-store LRU byte budget (default: unbounded)
 //!        --preset NAME         preload a snapshot from a Table II preset
 //!        --graph PATH          ...or from an edge-list/ATPMGRF1 file
@@ -77,6 +85,17 @@ fn parse(args: &[String]) -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("bad --idle-timeout: {e}"))?;
                 cfg.idle_timeout_ms = (secs > 0).then_some(secs * 1_000);
+            }
+            "--max-queue" => {
+                cfg.max_queue = value_of("--max-queue")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-queue: {e}"))?;
+            }
+            "--journal" => cfg.journal_path = Some(value_of("--journal")?),
+            "--drain-ms" => {
+                cfg.drain_ms = value_of("--drain-ms")?
+                    .parse()
+                    .map_err(|e| format!("bad --drain-ms: {e}"))?;
             }
             "--snapshot-budget" => {
                 let mb: usize = value_of("--snapshot-budget")?
@@ -148,7 +167,8 @@ fn main() {
             eprintln!(
                 "usage: atpm-served [--addr HOST:PORT] [--backend epoll|pool] \
                  [--workers N] [--shards N] [--session-ttl SECS] \
-                 [--idle-timeout SECS] [--snapshot-budget MB] \
+                 [--idle-timeout SECS] [--max-queue N] [--journal PATH] \
+                 [--drain-ms MS] [--snapshot-budget MB] \
                  [--preset NAME | --graph PATH] \
                  [--name NAME] [--scale F] [--k N] [--rr-theta N] [--seed S]"
             );
@@ -185,6 +205,9 @@ fn main() {
                 args.cfg.workers,
                 match args.cfg.session_ttl_ms {
                     Some(ttl) => format!(", session TTL {}s", ttl / 1_000),
+                    None => String::new(),
+                } + &match &args.cfg.journal_path {
+                    Some(path) => format!(", journal {path}"),
                     None => String::new(),
                 },
             );

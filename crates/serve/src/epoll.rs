@@ -19,7 +19,10 @@
 //! connection, pipelined requests served in order) — only the threading
 //! changed, which is why `tests/e2e_equivalence.rs` passes unmodified
 //! against either backend. Worker count bounds CPU concurrency; connection
-//! count is bounded only by fds.
+//! count is bounded only by fds; the reactor→worker queue is bounded by
+//! overload shedding (dispatches past `max_queue` waiting jobs answer
+//! `503 Retry-After` straight from the reactor thread, counted in
+//! `/healthz`).
 //!
 //! Shard 0's reactor tick doubles as the session-expiry sweeper when a TTL
 //! is configured.
@@ -71,13 +74,42 @@ impl Driver for HttpDriver {
     }
 
     fn dispatch(&mut self, conn: ConnId, frame: Vec<u8>, replies: &Arc<ReplyQueue>) {
+        // Overload control: the queue between the reactors and the workers
+        // is the only unbounded buffer in the pipeline. Past `max_queue`
+        // waiting jobs, shed the request right here — a cheap 503 with
+        // Retry-After now beats an indefinitely queued answer later.
+        let stats = &self.state.stats;
+        let max = stats.max_queue.load(Ordering::Relaxed);
+        if max > 0 && stats.queue_depth.load(Ordering::Relaxed) >= max {
+            stats.shed_503.fetch_add(1, Ordering::Relaxed);
+            let body =
+                Json::obj([("error", Json::Str("server overloaded; retry later".into()))]).encode();
+            replies.push(Reply {
+                conn,
+                bytes: http::encode_response_with(
+                    503,
+                    body.as_bytes(),
+                    false,
+                    &[("retry-after", "1")],
+                ),
+                keep_alive: false,
+            });
+            return;
+        }
+        stats.queue_depth.fetch_add(1, Ordering::Relaxed);
         // A send failure means the worker pool is gone (shutdown); the
         // connection dies with the reactor moments later.
-        let _ = self.jobs.send(Job {
-            conn,
-            frame,
-            replies: replies.clone(),
-        });
+        if self
+            .jobs
+            .send(Job {
+                conn,
+                frame,
+                replies: replies.clone(),
+            })
+            .is_err()
+        {
+            stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        }
     }
 
     fn eof_reply(&mut self, head_complete: bool) -> Option<Vec<u8>> {
@@ -98,20 +130,21 @@ impl Driver for HttpDriver {
     }
 }
 
-fn worker_loop(rx: &Mutex<mpsc::Receiver<Job>>, state: &AppState, stop: &AtomicBool) {
+fn worker_loop(rx: &Mutex<mpsc::Receiver<Job>>, state: &AppState) {
     // One scratch per worker for its whole life — the same zero-allocation
     // steady state the pool backend keeps.
     let mut scratch = CoverageScratch::new();
     loop {
         // Holding the lock across `recv` is the standard shared-receiver
         // idiom: idle workers queue on the mutex instead of the channel.
+        // No stop check here: on shutdown the queue must *drain* (every
+        // accepted job gets its reply flushed by the draining reactor);
+        // workers exit when the last shard driver drops the sender.
         let job = match rx.lock().unwrap_or_else(|p| p.into_inner()).recv() {
             Ok(job) => job,
             Err(_) => return, // all senders (shard drivers) gone
         };
-        if stop.load(Ordering::SeqCst) {
-            return;
-        }
+        state.stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
         let reply = match http::parse_frame(&job.frame) {
             Ok(req) => {
                 let (status, body) = respond(state, &req, &mut scratch);
@@ -169,6 +202,7 @@ impl EpollBackend {
                     tick_ms: 50,
                     idle_timeout_ms: cfg.idle_timeout_ms,
                     max_conns: 65_536,
+                    drain_ms: cfg.drain_ms,
                 },
             )?;
             reactors.push(reactor);
@@ -178,8 +212,7 @@ impl EpollBackend {
             .map(|_| {
                 let rx = rx.clone();
                 let state = state.clone();
-                let stop = stop.clone();
-                std::thread::spawn(move || worker_loop(&rx, &state, &stop))
+                std::thread::spawn(move || worker_loop(&rx, &state))
             })
             .collect();
 
@@ -194,7 +227,9 @@ impl EpollBackend {
                 sweep: if i == 0 { sweep } else { None },
             };
             let stop = stop.clone();
-            shards.push(std::thread::spawn(move || reactor.run(driver, &stop)));
+            shards.push(std::thread::spawn(move || {
+                reactor.run(driver, &stop);
+            }));
         }
         drop(tx); // workers exit once every shard driver is gone
 

@@ -440,13 +440,30 @@ pub fn write_response<W: Write>(
     body: &[u8],
     keep_alive: bool,
 ) -> io::Result<()> {
+    write_response_with(stream, status, body, keep_alive, &[])
+}
+
+/// [`write_response`] plus caller-supplied extra headers (name must be
+/// lowercase; emitted between the fixed headers and the blank line). Used
+/// for `Retry-After` on overload sheds.
+pub fn write_response_with<W: Write>(
+    stream: &mut W,
+    status: u16,
+    body: &[u8],
+    keep_alive: bool,
+    extra: &[(&str, &str)],
+) -> io::Result<()> {
     write!(
         stream,
-        "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+        "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n",
         reason(status),
         body.len(),
         if keep_alive { "keep-alive" } else { "close" },
     )?;
+    for (name, value) in extra {
+        write!(stream, "{name}: {value}\r\n")?;
+    }
+    stream.write_all(b"\r\n")?;
     stream.write_all(body)?;
     stream.flush()
 }
@@ -454,8 +471,19 @@ pub fn write_response<W: Write>(
 /// [`write_response`] into a fresh byte vector — the form worker threads
 /// hand back to the reactor as a [`Reply`](atpm_net::Reply).
 pub fn encode_response(status: u16, body: &[u8], keep_alive: bool) -> Vec<u8> {
+    encode_response_with(status, body, keep_alive, &[])
+}
+
+/// [`encode_response`] with extra headers (see [`write_response_with`]).
+pub fn encode_response_with(
+    status: u16,
+    body: &[u8],
+    keep_alive: bool,
+    extra: &[(&str, &str)],
+) -> Vec<u8> {
     let mut out = Vec::with_capacity(body.len() + 96);
-    write_response(&mut out, status, body, keep_alive).expect("writing to a Vec cannot fail");
+    write_response_with(&mut out, status, body, keep_alive, extra)
+        .expect("writing to a Vec cannot fail");
     out
 }
 
@@ -472,6 +500,7 @@ pub fn reason(status: u16) -> &'static str {
         413 => "Payload Too Large",
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
+        503 => "Service Unavailable",
         501 => "Not Implemented",
         505 => "HTTP Version Not Supported",
         _ => "Status",
@@ -787,6 +816,21 @@ mod tests {
         write_response(&mut via_writer, 410, b"{}", false).unwrap();
         assert_eq!(encode_response(410, b"{}", false), via_writer);
         assert!(String::from_utf8(via_writer).unwrap().contains("410 Gone"));
+    }
+
+    #[test]
+    fn extra_headers_land_before_the_blank_line() {
+        let bytes = encode_response_with(503, b"{}", false, &[("retry-after", "1")]);
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        let head_end = text.find("\r\n\r\n").unwrap();
+        assert!(text[..head_end].contains("retry-after: 1"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+        // No extras → byte-identical to the plain encoder.
+        assert_eq!(
+            encode_response_with(200, b"{}", true, &[]),
+            encode_response(200, b"{}", true)
+        );
     }
 
     #[test]

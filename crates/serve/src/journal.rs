@@ -1,0 +1,402 @@
+//! Crash-safe session journal (`ATPMJNL1`): an append-only, checksummed
+//! log of committed protocol transitions.
+//!
+//! Sessions are deterministic functions of `(snapshot, policy spec,
+//! world_seed, ordered observations)` — the entire adaptive run can be
+//! reconstructed by replaying the protocol calls that produced it. So the
+//! journal does not serialize `SessionState` (megabytes of residual graph
+//! per record); it logs the *transitions* the manager committed, and
+//! recovery re-drives them through the same [`SessionManager`] code paths
+//! that served them live. A recovered session is therefore bit-equal to
+//! the lost one: same token, same seed sequence, same profit ledger.
+//!
+//! ## Wire format
+//!
+//! ```text
+//! "ATPMJNL1"                                  8-byte magic
+//! repeat:
+//!   len: u32 LE                               payload byte length
+//!   crc: u32 LE                               CRC-32 (IEEE) of payload
+//!   payload: len bytes                        one JSON record, {"op": ...}
+//! ```
+//!
+//! Appends are `write_all` + `flush` per record, so a crash can only tear
+//! the *final* record. [`Journal::open`] validates each record's length
+//! and checksum and truncates the file at the first torn or corrupt
+//! offset — everything before the checksum boundary replays, everything
+//! after never happened (the client's retry layer re-drives the lost
+//! tail).
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+use crate::json::Json;
+use crate::protocol::{nodes_field, ApiError, CreateSessionReq, ObserveReq};
+use atpm_graph::Node;
+
+const MAGIC: &[u8; 8] = b"ATPMJNL1";
+/// Upper bound on a single record's payload; a declared length beyond this
+/// is treated as tail corruption, not an allocation request.
+const MAX_RECORD: usize = 16 * 1024 * 1024;
+
+/// One committed protocol transition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Record {
+    /// `POST /sessions` succeeded: session `token` (minted from counter
+    /// value `id`) exists with this request.
+    Create {
+        /// Raw counter value the token was minted from (recovery must
+        /// advance the counter past it so new tokens cannot collide).
+        id: u64,
+        /// The minted token.
+        token: String,
+        /// The creating request (snapshot, policy, world seed).
+        req: CreateSessionReq,
+    },
+    /// `POST next` committed a new seed batch (idempotent replays of an
+    /// already-pending seed are not journaled — they change nothing).
+    Next {
+        /// Session token.
+        token: String,
+        /// The committed batch.
+        seeds: Vec<Node>,
+        /// Whether the policy finished.
+        done: bool,
+    },
+    /// `POST observe` applied an observation.
+    Observe {
+        /// Session token.
+        token: String,
+        /// The observation applied.
+        req: ObserveReq,
+    },
+    /// The session ended (`DELETE`, or an expiry sweep evicted it).
+    Delete {
+        /// Session token.
+        token: String,
+    },
+}
+
+impl Record {
+    /// JSON payload form.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Record::Create { id, token, req } => Json::obj([
+                ("op", Json::Str("create".into())),
+                ("id", Json::UInt(*id)),
+                ("token", Json::Str(token.clone())),
+                ("req", req.to_json()),
+            ]),
+            Record::Next { token, seeds, done } => Json::obj([
+                ("op", Json::Str("next".into())),
+                ("token", Json::Str(token.clone())),
+                ("seeds", Json::nums(seeds.iter().copied())),
+                ("done", Json::Bool(*done)),
+            ]),
+            Record::Observe { token, req } => Json::obj([
+                ("op", Json::Str("observe".into())),
+                ("token", Json::Str(token.clone())),
+                ("req", req.to_json()),
+            ]),
+            Record::Delete { token } => Json::obj([
+                ("op", Json::Str("delete".into())),
+                ("token", Json::Str(token.clone())),
+            ]),
+        }
+    }
+
+    /// Parses a payload.
+    pub fn from_json(v: &Json) -> Result<Record, ApiError> {
+        let op = v
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ApiError::bad_request("record missing 'op'"))?;
+        let token = |v: &Json| -> Result<String, ApiError> {
+            v.get("token")
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| ApiError::bad_request("record missing 'token'"))
+        };
+        match op {
+            "create" => Ok(Record::Create {
+                id: v
+                    .get("id")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| ApiError::bad_request("create record missing 'id'"))?,
+                token: token(v)?,
+                req: CreateSessionReq::from_json(
+                    v.get("req")
+                        .ok_or_else(|| ApiError::bad_request("create record missing 'req'"))?,
+                )?,
+            }),
+            "next" => Ok(Record::Next {
+                token: token(v)?,
+                seeds: nodes_field(v, "seeds")?,
+                done: v
+                    .get("done")
+                    .and_then(Json::as_bool)
+                    .ok_or_else(|| ApiError::bad_request("next record missing 'done'"))?,
+            }),
+            "observe" => Ok(Record::Observe {
+                token: token(v)?,
+                req: ObserveReq::from_json(
+                    v.get("req")
+                        .ok_or_else(|| ApiError::bad_request("observe record missing 'req'"))?,
+                )?,
+            }),
+            "delete" => Ok(Record::Delete { token: token(v)? }),
+            other => Err(ApiError::bad_request(format!(
+                "unknown journal op '{other}'"
+            ))),
+        }
+    }
+}
+
+/// CRC-32 (IEEE 802.3, reflected, poly `0xEDB88320`) — bitwise, no table;
+/// journal records are small and appended off the hot request path.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// An open journal file, positioned for appends.
+#[derive(Debug)]
+pub struct Journal {
+    file: Mutex<File>,
+}
+
+impl Journal {
+    /// Opens (creating if absent) the journal at `path`, validates the
+    /// magic, parses every intact record, and truncates the file at the
+    /// first torn or corrupt offset. Returns the journal (positioned at
+    /// the new end) plus the surviving records in append order.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<(Journal, Vec<Record>)> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        if bytes.is_empty() {
+            file.write_all(MAGIC)?;
+            file.flush()?;
+            return Ok((
+                Journal {
+                    file: Mutex::new(file),
+                },
+                Vec::new(),
+            ));
+        }
+        if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not an ATPMJNL1 journal (bad magic)",
+            ));
+        }
+        let mut records = Vec::new();
+        let mut offset = MAGIC.len();
+        // Walk record by record; the first frame that fails any check marks
+        // the torn tail — nothing past a bad checksum is trustworthy.
+        while let Some(header) = bytes.get(offset..offset + 8) {
+            let len = u32::from_le_bytes(header[0..4].try_into().unwrap()) as usize;
+            let crc = u32::from_le_bytes(header[4..8].try_into().unwrap());
+            if len > MAX_RECORD {
+                break;
+            }
+            let Some(payload) = bytes.get(offset + 8..offset + 8 + len) else {
+                break;
+            };
+            if crc32(payload) != crc {
+                break;
+            }
+            let parsed = std::str::from_utf8(payload)
+                .ok()
+                .and_then(|text| Json::parse(text).ok())
+                .and_then(|json| Record::from_json(&json).ok());
+            let Some(record) = parsed else {
+                // A record that checksums but doesn't parse is corruption
+                // (or a future format); treat it as the tail boundary.
+                break;
+            };
+            records.push(record);
+            offset += 8 + len;
+        }
+        if offset < bytes.len() {
+            file.set_len(offset as u64)?;
+        }
+        file.seek(SeekFrom::Start(offset as u64))?;
+        Ok((
+            Journal {
+                file: Mutex::new(file),
+            },
+            records,
+        ))
+    }
+
+    /// Appends one record (length + checksum + payload), flushed to the OS
+    /// before returning so a process crash cannot lose it.
+    pub fn append(&self, record: &Record) -> io::Result<()> {
+        let payload = record.to_json().encode();
+        let payload = payload.as_bytes();
+        let mut frame = Vec::with_capacity(8 + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(payload).to_le_bytes());
+        frame.extend_from_slice(payload);
+        let mut file = self.file.lock().unwrap_or_else(|p| p.into_inner());
+        file.write_all(&frame)?;
+        file.flush()
+    }
+
+    /// Durability barrier: `fsync` the journal (used at graceful shutdown;
+    /// per-append fsync would serialize every request on the disk).
+    pub fn sync(&self) -> io::Result<()> {
+        self.file
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .sync_all()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::PolicySpec;
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("atpm-journal-{tag}-{}", std::process::id()));
+        p
+    }
+
+    fn sample_records() -> Vec<Record> {
+        vec![
+            Record::Create {
+                id: 1,
+                token: "s00000001".into(),
+                req: CreateSessionReq {
+                    snapshot: "g".into(),
+                    policy: PolicySpec::Ars { prob: 0.5, seed: 9 },
+                    world_seed: 42,
+                },
+            },
+            Record::Next {
+                token: "s00000001".into(),
+                seeds: vec![17],
+                done: false,
+            },
+            Record::Observe {
+                token: "s00000001".into(),
+                req: ObserveReq::Report {
+                    seed: 17,
+                    activated: vec![17, 4],
+                },
+            },
+            Record::Next {
+                token: "s00000001".into(),
+                seeds: vec![],
+                done: true,
+            },
+            Record::Delete {
+                token: "s00000001".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn records_round_trip_through_json() {
+        for record in sample_records() {
+            let encoded = record.to_json().encode();
+            let parsed = Record::from_json(&Json::parse(&encoded).unwrap()).unwrap();
+            assert_eq!(parsed, record);
+        }
+    }
+
+    #[test]
+    fn append_then_reopen_replays_everything() {
+        let path = temp_path("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        let (journal, existing) = Journal::open(&path).unwrap();
+        assert!(existing.is_empty());
+        for record in sample_records() {
+            journal.append(&record).unwrap();
+        }
+        drop(journal);
+        let (_journal, replayed) = Journal::open(&path).unwrap();
+        assert_eq!(replayed, sample_records());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_at_the_checksum_boundary() {
+        let path = temp_path("torn");
+        let _ = std::fs::remove_file(&path);
+        let (journal, _) = Journal::open(&path).unwrap();
+        for record in sample_records() {
+            journal.append(&record).unwrap();
+        }
+        drop(journal);
+        // Tear the final record mid-payload, as a crash mid-write would.
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 3]).unwrap();
+        let (journal, replayed) = Journal::open(&path).unwrap();
+        let all = sample_records();
+        assert_eq!(replayed, all[..all.len() - 1]);
+        // The torn bytes are gone: appending resumes from the boundary.
+        journal.append(all.last().unwrap()).unwrap();
+        drop(journal);
+        let (_journal, healed) = Journal::open(&path).unwrap();
+        assert_eq!(healed, all);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_checksum_marks_the_tail() {
+        let path = temp_path("crc");
+        let _ = std::fs::remove_file(&path);
+        let (journal, _) = Journal::open(&path).unwrap();
+        for record in sample_records() {
+            journal.append(&record).unwrap();
+        }
+        drop(journal);
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip one payload byte of the second record: it and everything
+        // after it must be discarded (a bad middle means an untrustworthy
+        // tail), while the first record survives.
+        let first_len = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
+        let second_payload_start = 8 + 8 + first_len + 8;
+        bytes[second_payload_start + 2] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let (_journal, replayed) = Journal::open(&path).unwrap();
+        assert_eq!(replayed, sample_records()[..1]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn bad_magic_is_refused_not_clobbered() {
+        let path = temp_path("magic");
+        std::fs::write(&path, b"definitely not a journal").unwrap();
+        let err = Journal::open(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        // The file was left alone.
+        assert_eq!(std::fs::read(&path).unwrap(), b"definitely not a journal");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE CRC-32 check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+}

@@ -18,7 +18,10 @@
 //! * [`manager`] — concurrent adaptive sessions keyed by token, each a
 //!   [`atpm_core::PolicyStepper`] + suspended [`atpm_core::SessionState`]
 //!   over a shared snapshot. The stepped drive is byte-identical to the
-//!   in-process run (pinned end-to-end by `tests/e2e_equivalence.rs`);
+//!   in-process run (pinned end-to-end by `tests/e2e_equivalence.rs`).
+//!   With a [`journal`] attached, every committed transition is appended
+//!   to an `ATPMJNL1` checksummed log and replayed on restart, so a crash
+//!   loses at most the record being written;
 //! * [`server`] — two transport backends behind one [`server::Server`]:
 //!   the default **epoll** backend (reactor shards from `atpm-net`
 //!   multiplexing any number of keep-alive connections over a small worker
@@ -64,6 +67,7 @@
 pub mod client;
 mod epoll;
 pub mod http;
+pub mod journal;
 pub mod json;
 pub mod manager;
 pub mod protocol;

@@ -16,10 +16,20 @@
 //! lookup/insert; each session sits behind its own `Arc<Mutex<_>>`, so
 //! requests for different sessions proceed in parallel and requests for the
 //! same session serialize (the protocol is inherently sequential per
-//! session). Out-of-order calls (`next` with an observation outstanding,
-//! `observe` with nothing pending or the wrong seed) are rejected with 409
-//! rather than corrupting the run — the serve protocol stays byte-identical
-//! to the in-process [`run_stepper`](atpm_core::run_stepper) drive.
+//! session). `next` is **idempotent**: while a seed is pending, retrying
+//! `next` returns that same seed again (a client that lost the response can
+//! safely re-ask), and the residual graph is untouched until `observe`.
+//! Genuinely conflicting calls (`observe` with nothing pending or for the
+//! wrong seed) are rejected with 409 rather than corrupting the run — the
+//! serve protocol stays byte-identical to the in-process
+//! [`run_stepper`](atpm_core::run_stepper) drive.
+//!
+//! Durability: with [`attach_journal`](SessionManager::attach_journal), every
+//! committed transition (create / new seed / observation / delete) is
+//! appended to an [`ATPMJNL1` journal](crate::journal) — idempotent retries
+//! are not re-journaled. [`recover`](SessionManager::recover) replays a
+//! journal through these same handlers, rebuilding each session bit-for-bit
+//! (same token, same seed sequence, same ledger).
 //!
 //! Expiry: every session records a last-touched timestamp from the
 //! manager's clock (monotonic by default, injectable for tests), and
@@ -31,13 +41,14 @@
 //! thread under the pool backend); the manager itself never spawns.
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use atpm_core::{AdaptiveSession, PolicyStepper, SessionState};
 use atpm_graph::Node;
 
+use crate::journal::{Journal, Record};
 use crate::protocol::{ApiError, CreateSessionReq, Ledger, ObserveReq};
 use crate::snapshot::{Snapshot, SnapshotStore};
 
@@ -153,6 +164,11 @@ pub struct SessionManager {
     next_id: AtomicU64,
     clock: ClockMs,
     expired: Mutex<Tombstones>,
+    /// Committed-transition journal, when durability is configured.
+    journal: Mutex<Option<Arc<Journal>>>,
+    /// Raised during [`recover`](Self::recover) so replayed transitions are
+    /// not appended back to the journal they came from.
+    replaying: AtomicBool,
 }
 
 impl SessionManager {
@@ -171,7 +187,89 @@ impl SessionManager {
             next_id: AtomicU64::new(1),
             clock,
             expired: Mutex::new(Tombstones::default()),
+            journal: Mutex::new(None),
+            replaying: AtomicBool::new(false),
         }
+    }
+
+    /// Attaches a journal: every committed transition from here on is
+    /// appended to it. Call before serving traffic (typically right after
+    /// [`recover`](Self::recover)ing the same journal's records).
+    pub fn attach_journal(&self, journal: Arc<Journal>) {
+        *self.journal.lock().unwrap_or_else(|p| p.into_inner()) = Some(journal);
+    }
+
+    /// Fsyncs the attached journal, if any — the graceful-shutdown
+    /// durability barrier.
+    pub fn sync_journal(&self) {
+        let journal = self
+            .journal
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone();
+        if let Some(journal) = journal {
+            let _ = journal.sync();
+        }
+    }
+
+    /// Appends a record to the attached journal. Availability over
+    /// durability: an append failure (disk full, journal on a dead volume)
+    /// must not fail the client's request — the session keeps serving,
+    /// undurably. `make` runs only when a journal is attached and not
+    /// replaying, so the hot path never clones request payloads.
+    fn log(&self, make: impl FnOnce() -> Record) {
+        if self.replaying.load(Ordering::SeqCst) {
+            return;
+        }
+        let journal = self
+            .journal
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone();
+        if let Some(journal) = journal {
+            let _ = journal.append(&make());
+        }
+    }
+
+    /// Replays journal records through the live handlers, rebuilding every
+    /// session that was open at the crash. Returns the number of sessions
+    /// live afterwards.
+    ///
+    /// Sessions are deterministic given `(snapshot, policy, world seed,
+    /// observations)`, so re-driving `next`/`observe` reproduces each
+    /// session bit-for-bit; every replayed `next` is checked against the
+    /// journaled batch, and a divergence (the named snapshot was rebuilt
+    /// differently than the one the journal ran against) discards that
+    /// session rather than resurrecting a corrupt run. Tombstones are not
+    /// persisted: a session evicted before the crash answers 404 after
+    /// recovery, not 410.
+    pub fn recover(&self, records: &[Record]) -> usize {
+        self.replaying.store(true, Ordering::SeqCst);
+        for record in records {
+            match record {
+                Record::Create { id, token, req } => {
+                    // New tokens must never collide with recovered ones.
+                    self.next_id.fetch_max(id + 1, Ordering::Relaxed);
+                    let _ = self.create_with_token(req, token);
+                }
+                Record::Next { token, seeds, done } => match self.next(token) {
+                    Ok(batch) if batch.seeds == *seeds && batch.done == *done => {}
+                    _ => {
+                        self.delete(token);
+                    }
+                },
+                Record::Observe { token, req } => {
+                    if self.observe(token, req).is_err() {
+                        self.delete(token);
+                    }
+                }
+                Record::Delete { token } => {
+                    self.delete(token);
+                }
+            }
+        }
+        self.replaying.store(false, Ordering::SeqCst);
+        self.len()
     }
 
     /// The manager's current clock reading, milliseconds.
@@ -199,6 +297,25 @@ impl SessionManager {
 
     /// Opens a session; returns `(token, algorithm name, k)`.
     pub fn create(&self, req: &CreateSessionReq) -> Result<(String, String, usize), ApiError> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let token = format!("s{:08x}", splitmix64(id));
+        let out = self.create_with_token(req, &token)?;
+        self.log(|| Record::Create {
+            id,
+            token,
+            req: req.clone(),
+        });
+        Ok(out)
+    }
+
+    /// [`create`](Self::create) under a caller-chosen token — the shared
+    /// body of live creates (which mint the token) and journal recovery
+    /// (which must reuse the journaled one).
+    fn create_with_token(
+        &self,
+        req: &CreateSessionReq,
+        token: &str,
+    ) -> Result<(String, String, usize), ApiError> {
         let snapshot = self
             .store
             .get(&req.snapshot)
@@ -207,10 +324,6 @@ impl SessionManager {
         let algorithm = stepper.name().into_owned();
         let k = snapshot.instance.k();
         let state = AdaptiveSession::new(&snapshot.instance, req.world_seed).suspend();
-        let token = format!(
-            "s{:08x}",
-            splitmix64(self.next_id.fetch_add(1, Ordering::Relaxed))
-        );
         let entry = SessionEntry {
             snapshot,
             stepper,
@@ -222,8 +335,8 @@ impl SessionManager {
         self.sessions
             .lock()
             .expect("session table poisoned")
-            .insert(token.clone(), Arc::new(Mutex::new(entry)));
-        Ok((token, algorithm, k))
+            .insert(token.to_string(), Arc::new(Mutex::new(entry)));
+        Ok((token.to_string(), algorithm, k))
     }
 
     fn entry(&self, token: &str) -> Result<Arc<Mutex<SessionEntry>>, ApiError> {
@@ -283,6 +396,13 @@ impl SessionManager {
             table.remove(token);
             tombstones.insert(token.clone());
         }
+        drop(tombstones);
+        drop(table);
+        for token in &stale {
+            self.log(|| Record::Delete {
+                token: token.clone(),
+            });
+        }
         stale.len()
     }
 
@@ -292,10 +412,13 @@ impl SessionManager {
         let mut entry = lock_entry(&entry);
         entry.last_touched_ms = self.now_ms();
         if let Some(u) = entry.pending {
-            return Err(ApiError::new(
-                409,
-                format!("seed {u} awaits observation; POST observe first"),
-            ));
+            // Idempotent retry: a client whose response got lost (crash,
+            // shed, dropped connection) re-asks and receives the same
+            // committed seed — nothing advances, nothing re-journals.
+            return Ok(NextBatch {
+                seeds: vec![u],
+                done: false,
+            });
         }
         if entry.done {
             return Ok(NextBatch {
@@ -307,6 +430,11 @@ impl SessionManager {
         match decided {
             Some(u) => {
                 entry.pending = Some(u);
+                self.log(|| Record::Next {
+                    token: token.to_string(),
+                    seeds: vec![u],
+                    done: false,
+                });
                 Ok(NextBatch {
                     seeds: vec![u],
                     done: false,
@@ -314,6 +442,11 @@ impl SessionManager {
             }
             None => {
                 entry.done = true;
+                self.log(|| Record::Next {
+                    token: token.to_string(),
+                    seeds: Vec::new(),
+                    done: true,
+                });
                 Ok(NextBatch {
                     seeds: Vec::new(),
                     done: true,
@@ -369,6 +502,10 @@ impl SessionManager {
             }
         };
         entry.pending = None;
+        self.log(|| Record::Observe {
+            token: token.to_string(),
+            req: req.clone(),
+        });
         let ledger = entry.ledger()?;
         Ok(Observed {
             newly_activated,
@@ -387,11 +524,18 @@ impl SessionManager {
 
     /// Closes a session; returns whether it existed.
     pub fn delete(&self, token: &str) -> bool {
-        self.sessions
+        let removed = self
+            .sessions
             .lock()
             .expect("session table poisoned")
             .remove(token)
-            .is_some()
+            .is_some();
+        if removed {
+            self.log(|| Record::Delete {
+                token: token.to_string(),
+            });
+        }
+        removed
     }
 }
 
@@ -480,8 +624,10 @@ mod tests {
         assert_eq!(err.status, 409);
         let batch = m.next(&token).unwrap();
         let seed = batch.seeds[0];
-        // next again without observing: 409.
-        assert_eq!(m.next(&token).unwrap_err().status, 409);
+        // next again without observing: idempotent — same pending seed back.
+        let retry = m.next(&token).unwrap();
+        assert_eq!(retry.seeds, vec![seed]);
+        assert!(!retry.done);
         // observing the wrong seed: 409.
         let err = m
             .observe(&token, &ObserveReq::Simulate { seed: seed + 1 })
@@ -556,9 +702,9 @@ mod tests {
         // Same snapshot, same world, both policies take the first target.
         assert_eq!(sa, sb);
         m.observe(&a, &ObserveReq::Simulate { seed: sa }).unwrap();
-        // b still pending; a can continue.
+        // b still pending; a can continue, and b's retry re-serves its seed.
         assert!(m.next(&a).is_ok());
-        assert_eq!(m.next(&b).unwrap_err().status, 409);
+        assert_eq!(m.next(&b).unwrap().seeds, vec![sb]);
         m.observe(&b, &ObserveReq::Simulate { seed: sb }).unwrap();
         assert!(m.next(&b).is_ok());
     }
@@ -658,5 +804,95 @@ mod tests {
         for _ in 0..50 {
             assert!(seen.insert(create(&m, PolicySpec::DeployAll, 0)));
         }
+    }
+
+    fn temp_journal(tag: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("atpm-mgr-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    /// Drives `token` on `m` until done, observing by simulation; returns
+    /// the final ledger.
+    fn drive_to_completion(m: &SessionManager, token: &str) -> Ledger {
+        loop {
+            let batch = m.next(token).unwrap();
+            if batch.done {
+                return m.ledger(token).unwrap();
+            }
+            m.observe(
+                token,
+                &ObserveReq::Simulate {
+                    seed: batch.seeds[0],
+                },
+            )
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn journal_recovery_rebuilds_an_interrupted_session_bit_for_bit() {
+        let path = temp_journal("recover");
+        // Reference: the same session driven uninterrupted, no journal.
+        let reference = {
+            let m = manager();
+            let token = create(&m, PolicySpec::DeployAll, 11);
+            drive_to_completion(&m, &token)
+        };
+
+        // "Crash" mid-session: two observed rounds plus a pending seed,
+        // then the manager is simply dropped (no shutdown, no sync).
+        let (token, pending) = {
+            let m = manager();
+            let (journal, records) = Journal::open(&path).unwrap();
+            assert!(records.is_empty());
+            m.attach_journal(Arc::new(journal));
+            let token = create(&m, PolicySpec::DeployAll, 11);
+            for _ in 0..2 {
+                let seed = m.next(&token).unwrap().seeds[0];
+                m.observe(&token, &ObserveReq::Simulate { seed }).unwrap();
+            }
+            let pending = m.next(&token).unwrap().seeds[0];
+            (token, pending)
+        };
+
+        // Restart: fresh manager over an equivalent store, same journal.
+        let m = manager();
+        let (journal, records) = Journal::open(&path).unwrap();
+        assert_eq!(m.recover(&records), 1, "one live session to recover");
+        m.attach_journal(Arc::new(journal));
+        // The client's retried `next` gets the exact pending seed back.
+        assert_eq!(m.next(&token).unwrap().seeds, vec![pending]);
+        let recovered = drive_to_completion(&m, &token);
+        assert_eq!(recovered.selected, reference.selected);
+        assert_eq!(
+            recovered.profit.to_bits(),
+            reference.profit.to_bits(),
+            "recovered ledger must be bit-equal"
+        );
+        assert_eq!(recovered.total_activated, reference.total_activated);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn recovery_advances_the_token_counter_and_drops_deleted_sessions() {
+        let path = temp_journal("counter");
+        let old_token = {
+            let m = manager();
+            let (journal, _) = Journal::open(&path).unwrap();
+            m.attach_journal(Arc::new(journal));
+            let dead = create(&m, PolicySpec::DeployAll, 1);
+            m.delete(&dead);
+            create(&m, PolicySpec::DeployAll, 2)
+        };
+        let m = manager();
+        let (journal, records) = Journal::open(&path).unwrap();
+        assert_eq!(m.recover(&records), 1, "deleted session stays deleted");
+        m.attach_journal(Arc::new(journal));
+        assert!(m.ledger(&old_token).is_ok());
+        let fresh = create(&m, PolicySpec::DeployAll, 3);
+        assert_ne!(fresh, old_token, "counter must advance past the journal");
+        let _ = std::fs::remove_file(&path);
     }
 }

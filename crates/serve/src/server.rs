@@ -23,17 +23,37 @@
 use std::collections::HashMap;
 use std::io::{self, BufReader};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 use atpm_ris::CoverageScratch;
 
 use crate::http::{read_request, write_response, ReadOutcome, Request};
+use crate::journal::Journal;
 use crate::json::Json;
 use crate::manager::SessionManager;
 use crate::protocol::{nodes_field, ApiError, CreateSessionReq, ObserveReq, SnapshotReq};
 use crate::snapshot::{Snapshot, SnapshotStore};
+
+/// Operational counters surfaced in `GET /healthz`. All fields are plain
+/// atomics updated by whichever backend is running; the pool backend has no
+/// dispatch queue, so its queue fields simply stay zero — keeping the two
+/// backends' healthz bodies byte-identical at rest.
+#[derive(Default)]
+pub struct ServeStats {
+    /// Jobs accepted but not yet picked up by a worker (epoll backend).
+    pub queue_depth: AtomicUsize,
+    /// Shed threshold: dispatches arriving at `queue_depth >= max_queue`
+    /// are answered `503 Retry-After` instead of queued. 0 disables.
+    pub max_queue: AtomicUsize,
+    /// Requests shed with 503 since boot.
+    pub shed_503: AtomicU64,
+    /// Sessions rebuilt from the journal at the last boot.
+    pub recovered_sessions: AtomicU64,
+    /// Raised when shutdown begins (graceful drain in progress).
+    pub draining: AtomicBool,
+}
 
 /// Everything the routes need: snapshot store + session manager.
 pub struct AppState {
@@ -41,6 +61,8 @@ pub struct AppState {
     pub store: Arc<SnapshotStore>,
     /// Live sessions.
     pub manager: SessionManager,
+    /// Overload / durability counters (see [`ServeStats`]).
+    pub stats: ServeStats,
 }
 
 impl AppState {
@@ -50,6 +72,7 @@ impl AppState {
         Arc::new(AppState {
             manager: SessionManager::new(store.clone()),
             store,
+            stats: ServeStats::default(),
         })
     }
 }
@@ -66,7 +89,36 @@ pub fn route(
 ) -> Result<(u16, Json), ApiError> {
     let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
     match (method, segments.as_slice()) {
-        ("GET", ["healthz"]) => Ok((200, Json::obj([("ok", Json::Bool(true))]))),
+        ("GET", ["healthz"]) => {
+            let stats = &state.stats;
+            Ok((
+                200,
+                Json::obj([
+                    ("ok", Json::Bool(true)),
+                    ("sessions", Json::UInt(state.manager.len() as u64)),
+                    (
+                        "queue_depth",
+                        Json::UInt(stats.queue_depth.load(Ordering::Relaxed) as u64),
+                    ),
+                    (
+                        "max_queue",
+                        Json::UInt(stats.max_queue.load(Ordering::Relaxed) as u64),
+                    ),
+                    (
+                        "shed_503",
+                        Json::UInt(stats.shed_503.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "recovered_sessions",
+                        Json::UInt(stats.recovered_sessions.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "draining",
+                        Json::Bool(stats.draining.load(Ordering::Relaxed)),
+                    ),
+                ]),
+            ))
+        }
 
         ("GET", ["snapshots"]) => Ok((200, state.store.list_json())),
         ("POST", ["snapshots"]) => {
@@ -244,10 +296,21 @@ pub struct ServeConfig {
     /// Snapshot-store LRU budget in bytes; `None` is unbounded.
     pub snapshot_budget_bytes: Option<usize>,
     /// Close *connections* (not sessions) idle this long — slowloris
-    /// hygiene, epoll backend only. `None` (the default) keeps connections
-    /// forever, which is also what the pool backend does: leaving this off
-    /// preserves byte-identical behavior with the pool oracle.
+    /// hygiene, epoll backend only. Defaults to 60 s. `None` keeps
+    /// connections forever, which is what the pool backend does: turn it
+    /// off when byte-identical behavior with the pool oracle matters
+    /// (an idle connection reaped here stays open there).
     pub idle_timeout_ms: Option<u64>,
+    /// Shed dispatches with `503 Retry-After` once this many jobs are
+    /// queued ahead of the workers (epoll backend only; the pool backend's
+    /// queue is the kernel accept backlog). 0 disables shedding.
+    pub max_queue: usize,
+    /// Append committed session transitions to this `ATPMJNL1` journal and
+    /// replay it on start. `None` keeps sessions memory-only.
+    pub journal_path: Option<String>,
+    /// On shutdown, give in-flight requests this long to finish writing
+    /// before connections are torn down (epoll backend only).
+    pub drain_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -260,7 +323,10 @@ impl Default for ServeConfig {
             session_ttl_ms: None,
             sweep_every_ms: 1_000,
             snapshot_budget_bytes: None,
-            idle_timeout_ms: None,
+            idle_timeout_ms: Some(60_000),
+            max_queue: 1_024,
+            journal_path: None,
+            drain_ms: 500,
         }
     }
 }
@@ -318,17 +384,38 @@ pub struct Server {
     /// Which backend actually started (epoll falls back to pool on
     /// platforms without the syscall shims).
     effective: Backend,
+    /// Kept so shutdown can raise `draining` and fsync the journal after
+    /// the last worker exits.
+    state: Arc<AppState>,
 }
 
 impl Server {
     /// Binds and starts the configured backend. On platforms without epoll
     /// support, [`Backend::Epoll`] transparently falls back to the pool.
+    ///
+    /// With [`ServeConfig::journal_path`] set, the journal is opened (and
+    /// replayed into the session manager) before the first connection is
+    /// accepted; a journal that cannot be opened fails the boot rather
+    /// than silently serving undurably.
     pub fn start(state: Arc<AppState>, cfg: &ServeConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         if let Some(budget) = cfg.snapshot_budget_bytes {
             state.store.set_budget(budget);
+        }
+        state
+            .stats
+            .max_queue
+            .store(cfg.max_queue, Ordering::Relaxed);
+        if let Some(path) = &cfg.journal_path {
+            let (journal, records) = Journal::open(path)?;
+            let recovered = state.manager.recover(&records);
+            state.manager.attach_journal(Arc::new(journal));
+            state
+                .stats
+                .recovered_sessions
+                .store(recovered as u64, Ordering::Relaxed);
         }
         if cfg.backend == Backend::Epoll {
             match crate::epoll::EpollBackend::start(state.clone(), cfg, &listener, stop.clone()) {
@@ -338,6 +425,7 @@ impl Server {
                         stop,
                         backend: ServerBackend::Epoll(backend),
                         effective: Backend::Epoll,
+                        state,
                     })
                 }
                 Err(e) if e.kind() == io::ErrorKind::Unsupported => {
@@ -400,6 +488,7 @@ impl Server {
                 sweeper,
             },
             effective: Backend::Pool,
+            state,
         }
     }
 
@@ -413,12 +502,14 @@ impl Server {
         self.effective
     }
 
-    /// Stops accepting, interrupts live connections, and joins every
-    /// thread. Idempotent.
+    /// Stops accepting, drains in-flight work (epoll backend, up to
+    /// [`ServeConfig::drain_ms`]), joins every thread, and fsyncs the
+    /// journal. Idempotent.
     pub fn shutdown(&mut self) {
         if self.stop.swap(true, Ordering::SeqCst) {
             return;
         }
+        self.state.stats.draining.store(true, Ordering::Relaxed);
         match &mut self.backend {
             ServerBackend::Pool {
                 conns,
@@ -440,6 +531,9 @@ impl Server {
             }
             ServerBackend::Epoll(backend) => backend.shutdown(),
         }
+        // Every worker has exited: nothing appends anymore, so this is the
+        // durability barrier for everything the journal holds.
+        self.state.manager.sync_journal();
     }
 }
 

@@ -101,7 +101,7 @@ fn dripped_request_one_byte_at_a_time() {
     assert_eq!(pool, epoll);
     let text = String::from_utf8_lossy(&pool);
     assert!(text.starts_with("HTTP/1.1 200 OK"), "{text}");
-    assert!(text.ends_with("{\"ok\":true}"), "{text}");
+    assert!(text.contains("\"ok\":true"), "{text}");
 }
 
 #[test]
@@ -153,7 +153,8 @@ fn slowloris_stalled_header_neither_answers_nor_hangs_up() {
             .set_read_timeout(Some(Duration::from_secs(10)))
             .unwrap();
         let (status, body) = read_one_response(&mut stream);
-        assert_eq!((status, body.as_slice()), (200, &b"{\"ok\":true}"[..]));
+        assert_eq!(status, 200);
+        assert!(String::from_utf8_lossy(&body).contains("\"ok\":true"));
         server.shutdown();
     }
 }

@@ -1,0 +1,152 @@
+//! Crash-safe durability, end to end over real sockets: a server journaling
+//! to `--journal`-style config is killed mid-session (process-level kill is
+//! simulated by leaking the server — no drain, no shutdown, no fsync), a
+//! fresh server replays the same journal, and the recovered session must
+//! continue **bit-for-bit** where the lost one stopped: same pending seed
+//! for the client's retried `next`, same seed sequence overall, same profit
+//! ledger as an uninterrupted reference run.
+
+use std::sync::Arc;
+
+use atpm_serve::client::{HttpClient, LocalClient, ProtocolClient};
+use atpm_serve::json::Json;
+use atpm_serve::protocol::{CreateSessionReq, ObserveReq, PolicySpec, SnapshotReq, SnapshotSource};
+use atpm_serve::server::{AppState, ServeConfig, Server};
+use atpm_serve::snapshot::Snapshot;
+
+fn snapshot_req() -> SnapshotReq {
+    SnapshotReq {
+        name: "g".into(),
+        source: SnapshotSource::Preset {
+            dataset: "nethept".into(),
+            scale: 0.02,
+        },
+        k: 5,
+        rr_theta: 5_000,
+        seed: 1,
+        threads: 1,
+    }
+}
+
+fn state_with_snapshot() -> Arc<AppState> {
+    let state = AppState::new();
+    state
+        .store
+        .insert(Snapshot::build(&snapshot_req()).unwrap());
+    state
+}
+
+fn session_req() -> CreateSessionReq {
+    CreateSessionReq {
+        snapshot: "g".into(),
+        policy: PolicySpec::DeployAll,
+        world_seed: 17,
+    }
+}
+
+/// Drives `token` to completion via server-simulated observations,
+/// appending each committed seed to `seeds`; returns the final ledger JSON.
+fn drive<C: ProtocolClient>(client: &mut C, token: &str, seeds: &mut Vec<u32>) -> Json {
+    loop {
+        match client.next(token).unwrap() {
+            None => {
+                return client
+                    .call("GET", &format!("/sessions/{token}/ledger"), &Json::obj([]))
+                    .unwrap()
+            }
+            Some(batch) => {
+                let seed = batch[0];
+                seeds.push(seed);
+                client
+                    .observe(token, &ObserveReq::Simulate { seed })
+                    .unwrap();
+            }
+        }
+    }
+}
+
+#[test]
+fn killed_mid_session_server_recovers_bit_for_bit_from_the_journal() {
+    let mut path = std::env::temp_dir();
+    path.push(format!("atpm-e2e-journal-{}", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let journal_cfg = ServeConfig {
+        journal_path: Some(path.to_string_lossy().into_owned()),
+        ..ServeConfig::default()
+    };
+
+    // Reference: the identical session driven uninterrupted and journal-free
+    // through the in-process client (the protocol-equivalence oracle).
+    let mut reference_seeds = Vec::new();
+    let reference_ledger = {
+        let mut client = LocalClient::new(state_with_snapshot());
+        let token = client.create_session(&session_req()).unwrap();
+        drive(&mut client, &token, &mut reference_seeds)
+    };
+
+    // Server A: two observed rounds, then a `next` whose seed is committed
+    // (and journaled) but never observed — and the process "dies": the
+    // server is leaked, so no graceful drain, shutdown, or fsync runs.
+    let (token, pending, mut seeds_so_far) = {
+        let server = Server::start(state_with_snapshot(), &journal_cfg).unwrap();
+        let mut client = HttpClient::connect(server.addr()).unwrap();
+        let token = client.create_session(&session_req()).unwrap();
+        let mut seeds = Vec::new();
+        for _ in 0..2 {
+            let seed = client.next(&token).unwrap().unwrap()[0];
+            seeds.push(seed);
+            client
+                .observe(&token, &ObserveReq::Simulate { seed })
+                .unwrap();
+        }
+        let pending = client.next(&token).unwrap().unwrap()[0];
+        std::mem::forget(server); // kill -9, as close as one process gets
+        (token, pending, seeds)
+    };
+    assert_eq!(seeds_so_far, reference_seeds[..2]);
+    assert_eq!(pending, reference_seeds[2], "pending seed diverged");
+
+    // Server B: fresh state, same snapshot build, same journal.
+    let mut server = Server::start(state_with_snapshot(), &journal_cfg).unwrap();
+    let mut client = HttpClient::connect(server.addr()).unwrap();
+    let health = client.call("GET", "/healthz", &Json::obj([])).unwrap();
+    assert_eq!(
+        health.get("recovered_sessions").and_then(Json::as_u64),
+        Some(1),
+        "healthz must report the recovered session"
+    );
+    // The client retries the `next` whose reply the crash may have eaten:
+    // idempotent — the same committed seed comes back, not a 409.
+    let retried = client.next(&token).unwrap().unwrap();
+    assert_eq!(
+        retried,
+        vec![pending],
+        "retried next must re-serve the pending seed"
+    );
+    seeds_so_far.push(pending);
+    client
+        .observe(&token, &ObserveReq::Simulate { seed: pending })
+        .unwrap();
+    let ledger = drive(&mut client, &token, &mut seeds_so_far);
+
+    assert_eq!(
+        seeds_so_far, reference_seeds,
+        "recovered session must replay the exact seed sequence"
+    );
+    let profit = |l: &Json| l.get("profit").and_then(Json::as_f64).unwrap();
+    assert_eq!(
+        profit(&ledger).to_bits(),
+        profit(&reference_ledger).to_bits(),
+        "recovered profit ledger must be bit-equal"
+    );
+    assert_eq!(
+        ledger.get("total_activated").and_then(Json::as_u64),
+        reference_ledger
+            .get("total_activated")
+            .and_then(Json::as_u64)
+    );
+    assert_eq!(ledger.get("selected"), reference_ledger.get("selected"));
+
+    server.shutdown();
+    let _ = std::fs::remove_file(&path);
+}

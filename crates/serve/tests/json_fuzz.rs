@@ -1,0 +1,124 @@
+//! Property-fuzz for the JSON codec: the parser sits directly on untrusted
+//! request bodies, so its contract is *total* — any input, hostile or
+//! truncated, returns `Ok` or `Err`. It must never panic, and never
+//! overflow the stack (a panic costs one request via `catch_unwind`; an
+//! overflow aborts the whole server).
+
+use atpm_serve::json::Json;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Arbitrary JSON documents of bounded depth, biased toward the characters
+/// that stress the escaper (quotes, backslashes, control bytes, braces).
+struct ArbJson {
+    depth: u32,
+}
+
+impl Strategy for ArbJson {
+    type Value = Json;
+
+    fn gen_value(&self, rng: &mut StdRng) -> Json {
+        let scalar_only = self.depth == 0;
+        match rng.gen_range(0..if scalar_only { 5 } else { 7 }) {
+            0 => Json::Null,
+            1 => Json::Bool(rng.gen()),
+            2 => Json::UInt(rng.gen()),
+            // Finite floats only: NaN/inf have no JSON spelling.
+            3 => Json::Num((rng.gen_range(-1.0e9..1.0e9f64) * 1000.0).round() / 1000.0),
+            4 => Json::Str(arb_string(rng)),
+            5 => {
+                let n = rng.gen_range(0..4);
+                let child = ArbJson {
+                    depth: self.depth - 1,
+                };
+                Json::Arr((0..n).map(|_| child.gen_value(rng)).collect())
+            }
+            _ => {
+                let n = rng.gen_range(0..4);
+                let child = ArbJson {
+                    depth: self.depth - 1,
+                };
+                Json::Obj(
+                    (0..n)
+                        .map(|_| (arb_string(rng), child.gen_value(rng)))
+                        .collect(),
+                )
+            }
+        }
+    }
+}
+
+fn arb_string(rng: &mut StdRng) -> String {
+    const ALPHABET: &[u8] = b"ab\"\\/{}[]:,0\x01\x1f\n\t ";
+    let len = rng.gen_range(0..10);
+    (0..len)
+        .map(|_| ALPHABET[rng.gen_range(0..ALPHABET.len())] as char)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Raw byte soup: the parser returns, whatever the input.
+    #[test]
+    fn arbitrary_bytes_never_panic_the_parser(
+        bytes in proptest::collection::vec(0u8..=255, 0..256)
+    ) {
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = Json::parse(&text); // Ok or Err — both fine; panics are not.
+    }
+
+    /// Well-formed documents survive an encode/parse round trip exactly.
+    #[test]
+    fn generated_documents_round_trip(doc in ArbJson { depth: 3 }) {
+        let encoded = doc.encode();
+        let parsed = Json::parse(&encoded).expect("own encoding must parse");
+        prop_assert_eq!(parsed, doc);
+    }
+
+    /// Every proper prefix of a container document is unbalanced, so it
+    /// must error — and, like all inputs, never panic.
+    #[test]
+    fn truncated_documents_error(doc in ArbJson { depth: 2 }) {
+        let encoded = Json::obj([("d", doc)]).encode();
+        for cut in 0..encoded.len() {
+            if let Some(prefix) = encoded.get(..cut) {
+                prop_assert!(
+                    Json::parse(prefix).is_err(),
+                    "prefix {prefix:?} of {encoded:?} parsed"
+                );
+            }
+        }
+    }
+
+    /// Single-byte corruption anywhere in a valid document never panics.
+    #[test]
+    fn mutated_documents_never_panic(
+        doc in ArbJson { depth: 2 },
+        idx in 0usize..4096,
+        flip in 1u8..=255,
+    ) {
+        let mut bytes = Json::obj([("d", doc)]).encode().into_bytes();
+        let at = idx % bytes.len();
+        bytes[at] ^= flip;
+        let _ = Json::parse(&String::from_utf8_lossy(&bytes));
+    }
+}
+
+#[test]
+fn pathological_nesting_is_rejected_without_stack_overflow() {
+    // 100k unclosed brackets: the recursive-descent parser must refuse at
+    // its depth cap, long before the stack would blow.
+    let brackets = "[".repeat(100_000);
+    assert!(Json::parse(&brackets).is_err());
+    let braces = "{\"a\":".repeat(100_000);
+    assert!(Json::parse(&braces).is_err());
+    // Even fully balanced nesting past the cap is rejected — depth is a
+    // resource limit, not a syntax check.
+    let balanced = format!("{}{}", "[".repeat(1_000), "]".repeat(1_000));
+    assert!(Json::parse(&balanced).is_err());
+    // And a document inside the cap still parses.
+    let ok = format!("{}1{}", "[".repeat(30), "]".repeat(30));
+    assert!(Json::parse(&ok).is_ok());
+}
