@@ -29,12 +29,21 @@
 //! are counted per level, and the server's `recovered_sessions` healthz
 //! counter is sampled after each level, so `BENCH_serve.json` records how
 //! rough the run was, not just how fast.
+//!
+//! After each level the generator also scrapes `GET /metrics` and folds
+//! the server-side `atpm_http_request_seconds` histogram into the report
+//! (`srv_requests`, `srv_p50/95/99_us`) — so `BENCH_serve.json` carries
+//! both halves of every latency: what the client saw (network included)
+//! and what the server spent handling. The scrape is load-bearing: an
+//! unreachable endpoint, an exposition that fails the format lint, or a
+//! request counter that goes backwards fails the run.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use atpm_core::AdaptiveSession;
+use atpm_obs::{Histogram, Scrape};
 use atpm_serve::client::{HttpClient, ProtocolClient};
 use atpm_serve::json::Json;
 use atpm_serve::protocol::{
@@ -358,6 +367,18 @@ pub struct LevelReport {
     /// Server-reported `recovered_sessions` (journal replays) at the end
     /// of the level — nonzero means the server restarted mid-run.
     pub recovered_sessions: u64,
+    /// Server-side request count (`atpm_http_request_seconds_count` from
+    /// the end-of-level `/metrics` scrape) — cumulative since server boot,
+    /// so it only grows across levels.
+    pub srv_requests: u64,
+    /// Server-side handling-time p50, microseconds, from the scraped
+    /// `atpm_http_request_seconds` histogram. Excludes network and client
+    /// time, so `srv_p50_us <= p50_us` structurally.
+    pub srv_p50_us: f64,
+    /// Server-side p95, microseconds.
+    pub srv_p95_us: f64,
+    /// Server-side p99, microseconds.
+    pub srv_p99_us: f64,
 }
 
 impl LevelReport {
@@ -384,6 +405,10 @@ impl LevelReport {
                 "recovered_sessions",
                 Json::Num(self.recovered_sessions as f64),
             ),
+            ("srv_requests", Json::Num(self.srv_requests as f64)),
+            ("srv_p50_us", Json::Num(self.srv_p50_us)),
+            ("srv_p95_us", Json::Num(self.srv_p95_us)),
+            ("srv_p99_us", Json::Num(self.srv_p99_us)),
         ])
     }
 }
@@ -391,7 +416,10 @@ impl LevelReport {
 /// Per-thread measurement accumulator.
 #[derive(Default)]
 struct ThreadStats {
-    latencies_ns: Vec<u64>,
+    /// Per-request latency, the same `atpm_obs::Histogram` the server
+    /// exports — thread histograms merge element-wise, so aggregation is
+    /// O(buckets) instead of collect-and-sort over every request.
+    latencies: Histogram,
     sessions: usize,
     seeds: usize,
     /// Of which: sessions driven through the report (client-world) path.
@@ -422,10 +450,20 @@ const MAX_ATTEMPTS: u32 = 6;
 ///
 /// Backoff is exponential with deterministic jitter (xorshift64*, seeded
 /// per thread) so concurrent clients don't re-dogpile in lockstep.
+///
+/// Latency is recorded into the shared `atpm_obs::Histogram` (the same
+/// log-bucketed layout the server's `/metrics` histograms use): constant
+/// memory however long the run, and quantiles read from bucket midpoints
+/// — 8 sub-buckets per octave bounds the relative quantile error at
+/// 1/16 = 6.25% of the true value (values below 8 ns are exact, but no
+/// HTTP round trip is that fast). The old sort-a-`Vec<u64>` percentiles
+/// were exact; ±6.25% is far inside run-to-run noise, and client-side and
+/// server-side quantiles now share one estimator, so they are directly
+/// comparable.
 struct RetryClient {
     addr: String,
     inner: Option<HttpClient>,
-    latencies_ns: Vec<u64>,
+    latencies: Histogram,
     retries: usize,
     shed_503: usize,
     rng: u64,
@@ -436,7 +474,7 @@ impl RetryClient {
         RetryClient {
             addr: addr.to_string(),
             inner: None,
-            latencies_ns: Vec::new(),
+            latencies: Histogram::new(),
             retries: 0,
             shed_503: 0,
             rng: jitter_seed | 1,
@@ -471,7 +509,7 @@ impl ProtocolClient for RetryClient {
                 Some(client) => {
                     let t0 = Instant::now();
                     let out = client.call(method, path, body);
-                    self.latencies_ns.push(t0.elapsed().as_nanos() as u64);
+                    self.latencies.record_duration(t0.elapsed());
                     out
                 }
                 None => match HttpClient::connect(&self.addr) {
@@ -514,12 +552,70 @@ impl ProtocolClient for RetryClient {
     }
 }
 
+/// Exact sort-based percentile in µs — still used for open-loop *sojourns*
+/// (few values, and the tail is the measurement); request latencies go
+/// through [`Histogram`] quantiles instead (see [`RetryClient`]).
 fn percentile(sorted_ns: &[u64], q: f64) -> f64 {
     if sorted_ns.is_empty() {
         return 0.0;
     }
     let idx = ((sorted_ns.len() as f64 - 1.0) * q).round() as usize;
     sorted_ns[idx] as f64 / 1_000.0
+}
+
+/// Server-side numbers folded into a [`LevelReport`] from an end-of-level
+/// `/metrics` scrape.
+struct ServerSide {
+    requests: u64,
+    p50_us: f64,
+    p95_us: f64,
+    p99_us: f64,
+}
+
+/// Scrapes `GET /metrics` and extracts the request-histogram family.
+///
+/// Hard-fails (propagating `Err` out of the run) when the endpoint is
+/// unreachable or non-200, the body is empty or fails the exposition lint,
+/// the family is missing, or the request counter regressed since the
+/// previous scrape — any of those means the server-side half of
+/// `BENCH_serve.json` would be fiction, which is worse than no run.
+fn scrape_server_side(addr: &str, prev_requests: &mut u64) -> Result<ServerSide, String> {
+    let mut client =
+        HttpClient::connect(addr).map_err(|e| format!("metrics scrape: connect {addr}: {e}"))?;
+    let (status, text) = client
+        .get_text("/metrics")
+        .map_err(|e| format!("metrics scrape: {e}"))?;
+    if status != 200 {
+        return Err(format!("metrics scrape: /metrics answered {status}"));
+    }
+    if text.trim().is_empty() {
+        return Err("metrics scrape: empty exposition body".into());
+    }
+    atpm_obs::lint(&text).map_err(|e| format!("metrics scrape: exposition lint: {e}"))?;
+    let scrape = Scrape::parse(&text).map_err(|e| format!("metrics scrape: parse: {e}"))?;
+    let requests = scrape
+        .value("atpm_http_request_seconds_count", &[])
+        .ok_or("metrics scrape: atpm_http_request_seconds missing from exposition")?
+        as u64;
+    if requests < *prev_requests {
+        return Err(format!(
+            "metrics scrape: request counter went backwards ({} -> {requests})",
+            *prev_requests
+        ));
+    }
+    *prev_requests = requests;
+    let q = |p: f64| {
+        scrape
+            .histogram_quantile("atpm_http_request_seconds", &[], p)
+            .unwrap_or(0.0)
+            * 1e6
+    };
+    Ok(ServerSide {
+        requests,
+        p50_us: q(0.50),
+        p95_us: q(0.95),
+        p99_us: q(0.99),
+    })
 }
 
 /// The snapshot every loadgen run measures against.
@@ -598,6 +694,9 @@ pub fn run(cfg: &LoadgenConfig) -> Result<Vec<LevelReport>, String> {
 
     let schedule = cfg.mix_schedule();
     let mut reports = Vec::new();
+    // Monotonicity watermark for the server-side request counter across
+    // the whole sweep (cumulative since boot, so it must only grow).
+    let mut srv_requests_seen = 0u64;
     for &level in &cfg.levels {
         let counter = Arc::new(AtomicUsize::new(0));
         let t0 = Instant::now();
@@ -643,7 +742,7 @@ pub fn run(cfg: &LoadgenConfig) -> Result<Vec<LevelReport>, String> {
                             stats.sessions += 1;
                             stats.seeds += ledger.selected.len();
                         }
-                        stats.latencies_ns = client.latencies_ns;
+                        stats.latencies = client.latencies;
                         stats.retries = client.retries;
                         stats.shed_503 = client.shed_503;
                         Ok(stats)
@@ -657,13 +756,15 @@ pub fn run(cfg: &LoadgenConfig) -> Result<Vec<LevelReport>, String> {
         })?;
         let wall_s = t0.elapsed().as_secs_f64();
 
-        let mut latencies: Vec<u64> = stats
-            .iter()
-            .flat_map(|s| s.latencies_ns.iter().copied())
-            .collect();
-        latencies.sort_unstable();
-        let requests = latencies.len();
+        // O(buckets) fold of the per-thread histograms (merge is
+        // element-wise and associative, pinned by the obs property tests).
+        let latencies = Histogram::new();
+        for s in &stats {
+            latencies.merge_from(&s.latencies);
+        }
+        let requests = latencies.count() as usize;
         let sessions: usize = stats.iter().map(|s| s.sessions).sum();
+        let srv = scrape_server_side(&addr, &mut srv_requests_seen)?;
         reports.push(LevelReport {
             mode: "closed",
             level,
@@ -675,18 +776,28 @@ pub fn run(cfg: &LoadgenConfig) -> Result<Vec<LevelReport>, String> {
             wall_s,
             rps: requests as f64 / wall_s.max(1e-9),
             goodput_sps: sessions as f64 / wall_s.max(1e-9),
-            p50_us: percentile(&latencies, 0.50),
-            p95_us: percentile(&latencies, 0.95),
-            p99_us: percentile(&latencies, 0.99),
+            p50_us: latencies.quantile(0.50) / 1_000.0,
+            p95_us: latencies.quantile(0.95) / 1_000.0,
+            p99_us: latencies.quantile(0.99) / 1_000.0,
             sojourn_p95_ms: 0.0,
             retries: stats.iter().map(|s| s.retries).sum(),
             shed_503: stats.iter().map(|s| s.shed_503).sum(),
             recovered_sessions: fetch_recovered(&addr),
+            srv_requests: srv.requests,
+            srv_p50_us: srv.p50_us,
+            srv_p95_us: srv.p95_us,
+            srv_p99_us: srv.p99_us,
         });
     }
 
     if let Some(rate) = cfg.rate {
-        reports.push(run_open_loop(cfg, &addr, rate, report_snapshot.as_deref())?);
+        reports.push(run_open_loop(
+            cfg,
+            &addr,
+            rate,
+            report_snapshot.as_deref(),
+            &mut srv_requests_seen,
+        )?);
     }
 
     if let Some(server) = own_server.as_mut() {
@@ -710,6 +821,7 @@ fn run_open_loop(
     addr: &str,
     rate: f64,
     report_snapshot: Option<&Snapshot>,
+    srv_requests_seen: &mut u64,
 ) -> Result<LevelReport, String> {
     struct OpenStats {
         inner: ThreadStats,
@@ -769,7 +881,7 @@ fn run_open_loop(
                         // shows up as queueing delay here.
                         stats.sojourns_ns.push(due.elapsed().as_nanos() as u64);
                     }
-                    stats.inner.latencies_ns = client.latencies_ns;
+                    stats.inner.latencies = client.latencies;
                     stats.inner.retries = client.retries;
                     stats.inner.shed_503 = client.shed_503;
                     Ok(stats)
@@ -783,18 +895,18 @@ fn run_open_loop(
     })?;
     let wall_s = t0.elapsed().as_secs_f64();
 
-    let mut latencies: Vec<u64> = stats
-        .iter()
-        .flat_map(|s| s.inner.latencies_ns.iter().copied())
-        .collect();
-    latencies.sort_unstable();
+    let latencies = Histogram::new();
+    for s in &stats {
+        latencies.merge_from(&s.inner.latencies);
+    }
     let mut sojourns: Vec<u64> = stats
         .iter()
         .flat_map(|s| s.sojourns_ns.iter().copied())
         .collect();
     sojourns.sort_unstable();
-    let requests = latencies.len();
+    let requests = latencies.count() as usize;
     let sessions: usize = stats.iter().map(|s| s.inner.sessions).sum();
+    let srv = scrape_server_side(addr, srv_requests_seen)?;
     Ok(LevelReport {
         mode: "open",
         level: cfg.open_workers,
@@ -806,13 +918,17 @@ fn run_open_loop(
         wall_s,
         rps: requests as f64 / wall_s.max(1e-9),
         goodput_sps: sessions as f64 / wall_s.max(1e-9),
-        p50_us: percentile(&latencies, 0.50),
-        p95_us: percentile(&latencies, 0.95),
-        p99_us: percentile(&latencies, 0.99),
+        p50_us: latencies.quantile(0.50) / 1_000.0,
+        p95_us: latencies.quantile(0.95) / 1_000.0,
+        p99_us: latencies.quantile(0.99) / 1_000.0,
         sojourn_p95_ms: percentile(&sojourns, 0.95) / 1_000.0,
         retries: stats.iter().map(|s| s.inner.retries).sum(),
         shed_503: stats.iter().map(|s| s.inner.shed_503).sum(),
         recovered_sessions: fetch_recovered(addr),
+        srv_requests: srv.requests,
+        srv_p50_us: srv.p50_us,
+        srv_p95_us: srv.p95_us,
+        srv_p99_us: srv.p99_us,
     })
 }
 
@@ -832,7 +948,7 @@ pub fn render(reports: &[LevelReport]) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:>6} {:>6} {:>6} {:>9} {:>9} {:>6} {:>8} {:>9} {:>8} {:>9} {:>9} {:>9} {:>11} {:>7} {:>6} {:>5}",
+        "{:>6} {:>6} {:>6} {:>9} {:>9} {:>6} {:>8} {:>9} {:>8} {:>9} {:>9} {:>9} {:>10} {:>10} {:>11} {:>7} {:>6} {:>5}",
         "mode",
         "level",
         "rate",
@@ -845,6 +961,8 @@ pub fn render(reports: &[LevelReport]) -> String {
         "p50_us",
         "p95_us",
         "p99_us",
+        "srv_p50_us",
+        "srv_p95_us",
         "soj_p95_ms",
         "retries",
         "shed",
@@ -853,7 +971,7 @@ pub fn render(reports: &[LevelReport]) -> String {
     for r in reports {
         let _ = writeln!(
             out,
-            "{:>6} {:>6} {:>6.1} {:>9} {:>9} {:>6} {:>8.2} {:>9.0} {:>8.1} {:>9.0} {:>9.0} {:>9.0} {:>11.1} {:>7} {:>6} {:>5}",
+            "{:>6} {:>6} {:>6.1} {:>9} {:>9} {:>6} {:>8.2} {:>9.0} {:>8.1} {:>9.0} {:>9.0} {:>9.0} {:>10.0} {:>10.0} {:>11.1} {:>7} {:>6} {:>5}",
             r.mode,
             r.level,
             r.rate,
@@ -866,6 +984,8 @@ pub fn render(reports: &[LevelReport]) -> String {
             r.p50_us,
             r.p95_us,
             r.p99_us,
+            r.srv_p50_us,
+            r.srv_p95_us,
             r.sojourn_p95_ms,
             r.retries,
             r.shed_503,
@@ -1002,10 +1122,19 @@ mod tests {
             // An unloaded smoke run never sheds, retries, or recovers —
             // and the schema still carries the counters.
             assert_eq!((r.retries, r.shed_503, r.recovered_sessions), (0, 0, 0));
+            // The /metrics scrape folded in: the server handled at least
+            // this level's requests, and its handling-time quantiles are
+            // positive and ordered.
+            assert!(r.srv_requests >= r.requests as u64);
+            assert!(r.srv_p50_us > 0.0);
+            assert!(r.srv_p50_us <= r.srv_p95_us && r.srv_p95_us <= r.srv_p99_us);
             let json = r.to_json();
             assert_eq!(json.get("shed_503").and_then(Json::as_u64), Some(0));
             assert_eq!(json.get("retries").and_then(Json::as_u64), Some(0));
+            assert!(json.get("srv_p50_us").is_some(), "schema carries srv side");
         }
+        // Cumulative server counter: later levels see at least as many.
+        assert!(reports[1].srv_requests >= reports[0].srv_requests);
         assert!(render(&reports).contains("rps"));
         assert!(render(&reports).contains("shed"));
     }

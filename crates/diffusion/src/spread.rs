@@ -7,13 +7,39 @@
 //! test-suite pins down every sampling-based estimator and how the paper's
 //! "oracle model" is realized for the theory tests.
 
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
 use atpm_graph::{GraphView, Node};
+use atpm_obs::{tracer, Counter, Histogram};
 use atpm_ris::workspace::run_sharded;
 use atpm_ris::CounterRng;
 use rand::Rng;
 
 use crate::cascade::CascadeEngine;
 use crate::realization::MaterializedRealization;
+
+/// Lane timers for [`mc_spread_batched`]: one histogram value per worker
+/// lane per call (recorded outside the per-cascade loop), registered in
+/// the process-global registry.
+struct McMetrics {
+    lane: Arc<Histogram>,
+    cascades: Arc<Counter>,
+}
+
+fn mc_metrics() -> &'static McMetrics {
+    static METRICS: OnceLock<McMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = atpm_obs::global();
+        McMetrics {
+            lane: reg.histogram(
+                "atpm_mc_lane_seconds",
+                "mc_spread_batched per-worker-lane wall time",
+            ),
+            cascades: reg.counter("atpm_mc_cascades_total", "Monte-Carlo cascades simulated"),
+        }
+    })
+}
 
 /// Largest edge count accepted by [`exact_spread`]; `2^20` worlds ≈ 1M BFS
 /// runs is where "instant in a test" ends.
@@ -63,16 +89,27 @@ pub fn mc_spread_batched<V: GraphView + Sync>(
     threads: usize,
 ) -> f64 {
     assert!(samples > 0, "need at least one sample");
-    let totals: Vec<u64> = run_sharded(samples, threads, seed, |_tid, quota, wseed| {
+    let t_all = Instant::now();
+    let lanes: Vec<(u64, u64)> = run_sharded(samples, threads, seed, |_tid, quota, wseed| {
+        let t_lane = Instant::now();
         let mut engine = CascadeEngine::new();
         let mut rng = CounterRng::new(wseed);
         let mut total = 0u64;
         for _ in 0..quota {
             total += engine.random_cascade(view, seeds, &mut rng) as u64;
         }
-        total
+        (total, t_lane.elapsed().as_nanos() as u64)
     });
-    totals.iter().sum::<u64>() as f64 / samples as f64
+    let metrics = mc_metrics();
+    for &(_, lane_ns) in &lanes {
+        metrics.lane.record(lane_ns);
+    }
+    metrics.cascades.add(samples as u64);
+    let tr = tracer();
+    if tr.enabled() {
+        tr.record("mc", "spread_batched", t_all, t_all.elapsed());
+    }
+    lanes.iter().map(|&(total, _)| total).sum::<u64>() as f64 / samples as f64
 }
 
 /// Single-stream [`mc_spread_batched`] over a caller-provided engine: the

@@ -17,6 +17,8 @@
 
 use std::cell::RefCell;
 use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// `EINTR`: interrupted by a signal before any data transferred.
 pub const EINTR: i32 = 4;
@@ -58,9 +60,24 @@ pub enum Site {
     Accept,
 }
 
-const SITE_COUNT: usize = 9;
+/// Number of interceptable sites (the arity of [`Site`]).
+pub const SITE_COUNT: usize = 9;
 
-fn site_index(site: Site) -> usize {
+/// Sites in `site_index` order, with their metric-label names.
+pub const SITES: [(Site, &str); SITE_COUNT] = [
+    (Site::EpollCreate, "epoll_create"),
+    (Site::EpollCtl, "epoll_ctl"),
+    (Site::EpollWait, "epoll_wait"),
+    (Site::EventfdCreate, "eventfd_create"),
+    (Site::EventfdRead, "eventfd_read"),
+    (Site::EventfdWrite, "eventfd_write"),
+    (Site::StreamRead, "stream_read"),
+    (Site::StreamWrite, "stream_write"),
+    (Site::Accept, "accept"),
+];
+
+/// Index of `site` into [`SITES`] / per-site count arrays.
+pub fn site_index(site: Site) -> usize {
     match site {
         Site::EpollCreate => 0,
         Site::EpollCtl => 1,
@@ -98,6 +115,43 @@ thread_local! {
     static POLICY: RefCell<Option<Box<dyn SysPolicy>>> = const { RefCell::new(None) };
 }
 
+/// Process-wide injected-fault hit counters, one per site, incremented by
+/// [`gate`] whenever a policy verdict actually perturbs a call (`Fail` or
+/// `Short`). These are the single source of truth the `/metrics`
+/// exposition reads through render-time callbacks; with no policy
+/// installed anywhere they stay zero forever.
+static INJECTED: [AtomicU64; SITE_COUNT] = {
+    #[allow(clippy::declare_interior_mutable_const)]
+    const ZERO: AtomicU64 = AtomicU64::new(0);
+    [ZERO; SITE_COUNT]
+};
+
+/// Total faults injected at `site` since process start.
+pub fn injected_total(site: Site) -> u64 {
+    INJECTED[site_index(site)].load(Ordering::Relaxed)
+}
+
+/// A shared, exact tally of the non-`Pass` verdicts one [`FaultPlan`]
+/// produced, by site. The chaos suite holds a clone and compares it
+/// against what the script was expected to fire — unlike the process-wide
+/// [`injected_total`], it cannot be perturbed by plans on other threads.
+#[derive(Debug, Default)]
+pub struct FaultTally {
+    counts: [AtomicU64; SITE_COUNT],
+}
+
+impl FaultTally {
+    /// Injections this plan performed at `site`.
+    pub fn at(&self, site: Site) -> u64 {
+        self.counts[site_index(site)].load(Ordering::Relaxed)
+    }
+
+    /// Total injections across all sites.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+}
+
 /// Installs `policy` for the current thread (replacing any previous one).
 pub fn install(policy: Box<dyn SysPolicy>) {
     POLICY.with(|slot| *slot.borrow_mut() = Some(policy));
@@ -121,8 +175,14 @@ pub fn gate(site: Site) -> io::Result<Option<usize>> {
                 Verdict::Pass => Ok(None),
                 // A zero-byte cap would read as EOF to callers; shortest
                 // honest short IO is one byte.
-                Verdict::Short(n) => Ok(Some(n.max(1))),
-                Verdict::Fail(errno) => Err(io::Error::from_raw_os_error(errno)),
+                Verdict::Short(n) => {
+                    INJECTED[site_index(site)].fetch_add(1, Ordering::Relaxed);
+                    Ok(Some(n.max(1)))
+                }
+                Verdict::Fail(errno) => {
+                    INJECTED[site_index(site)].fetch_add(1, Ordering::Relaxed);
+                    Err(io::Error::from_raw_os_error(errno))
+                }
             },
         }
     })
@@ -146,6 +206,7 @@ pub struct FaultPlan {
     streak: u32,
     counts: [u64; SITE_COUNT],
     scripted: Vec<(Site, u64, i32)>,
+    tally: Arc<FaultTally>,
 }
 
 impl FaultPlan {
@@ -163,7 +224,14 @@ impl FaultPlan {
             streak: 0,
             counts: [0; SITE_COUNT],
             scripted: Vec::new(),
+            tally: Arc::new(FaultTally::default()),
         }
+    }
+
+    /// The plan's shared injection tally. Clone it before
+    /// [`install`]ing the plan; it keeps counting as the plan runs.
+    pub fn tally(&self) -> Arc<FaultTally> {
+        self.tally.clone()
     }
 
     /// Adds a scripted fault: the `nth` call (0-based, per site) at `site`
@@ -197,6 +265,7 @@ impl SysPolicy for FaultPlan {
         {
             let (_, _, errno) = self.scripted.swap_remove(pos);
             self.streak = 0;
+            self.tally.counts[idx].fetch_add(1, Ordering::Relaxed);
             return Verdict::Fail(errno);
         }
         if self.streak >= self.max_streak {
@@ -235,7 +304,10 @@ impl SysPolicy for FaultPlan {
         };
         match verdict {
             Verdict::Pass => self.streak = 0,
-            _ => self.streak += 1,
+            _ => {
+                self.streak += 1;
+                self.tally.counts[idx].fetch_add(1, Ordering::Relaxed);
+            }
         }
         verdict
     }

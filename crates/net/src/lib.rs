@@ -24,13 +24,18 @@
 //!   nonblocking read helper;
 //! * [`fault`] — deterministic syscall fault injection: a per-thread
 //!   [`fault::SysPolicy`] gate on every IO edge (passthrough by default,
-//!   a seeded [`fault::FaultPlan`] under test);
+//!   a seeded [`fault::FaultPlan`] under test), with per-site injection
+//!   tallies the `/metrics` exposition reads;
+//! * [`metrics`] — [`metrics::NetMetrics`], connection-plane counters a
+//!   server registers in its own `atpm_obs::Registry` and attaches via
+//!   [`reactor::Reactor::with_metrics`];
 //! * [`reactor`] — [`reactor::Reactor`]: accept loop, per-connection state
 //!   machines (read → slice → dispatch → write, with backpressure), reply
 //!   completion, timers. Protocols plug in via [`reactor::Driver`].
 
 pub mod buf;
 pub mod fault;
+pub mod metrics;
 pub mod poll;
 pub mod reactor;
 pub mod sys;
@@ -38,7 +43,8 @@ pub mod timer;
 pub mod wake;
 
 pub use buf::{read_nonblocking, ReadStatus, WriteBuf};
-pub use fault::{FaultPlan, SysPolicy};
+pub use fault::{FaultPlan, FaultTally, SysPolicy};
+pub use metrics::NetMetrics;
 pub use poll::{Event, Interest, Poller};
 pub use reactor::{
     ConnId, Driver, Reactor, ReactorConfig, ReactorStats, Reply, ReplyQueue, Sliced,

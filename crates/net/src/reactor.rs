@@ -28,8 +28,11 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use atpm_obs::trace::tracer;
+
 use crate::buf::{read_nonblocking, ReadStatus, WriteBuf};
 use crate::fault::{gate, Site};
+use crate::metrics::NetMetrics;
 use crate::poll::{Event, Interest, Poller};
 use crate::timer::{TimerId, TimerWheel};
 use crate::wake::Waker;
@@ -209,6 +212,9 @@ struct Conn {
     interest: Interest,
     last_activity_ms: u64,
     idle_timer: Option<TimerId>,
+    /// Dispatch timestamp of the in-flight frame, kept only while tracing
+    /// is enabled; closes the dispatch→reply span in `reply_ready`.
+    dispatched_at: Option<Instant>,
 }
 
 /// One event loop. Construct with a bound listener, then [`run`](Self::run)
@@ -224,6 +230,7 @@ pub struct Reactor {
     wheel: TimerWheel,
     t0: Instant,
     live: usize,
+    metrics: Option<Arc<NetMetrics>>,
 }
 
 impl Reactor {
@@ -251,7 +258,16 @@ impl Reactor {
             wheel,
             t0: Instant::now(),
             live: 0,
+            metrics: None,
         })
+    }
+
+    /// Attaches connection-plane counters (typically registered in the
+    /// owning server's metrics registry). Without this the reactor runs
+    /// uncounted — the chaos and unit harnesses don't care.
+    pub fn with_metrics(mut self, metrics: Arc<NetMetrics>) -> Reactor {
+        self.metrics = Some(metrics);
+        self
     }
 
     /// The shard's completion queue — hand it to whoever produces replies.
@@ -437,8 +453,12 @@ impl Reactor {
             interest: Interest::READ,
             last_activity_ms: now,
             idle_timer,
+            dispatched_at: None,
         });
         self.live += 1;
+        if let Some(m) = &self.metrics {
+            m.accepts.inc();
+        }
         Ok(())
     }
 
@@ -459,6 +479,9 @@ impl Reactor {
             self.gens[slot as usize] = self.gens[slot as usize].wrapping_add(1);
             self.free.push(slot);
             self.live -= 1;
+            if let Some(m) = &self.metrics {
+                m.conns_closed.inc();
+            }
         }
     }
 
@@ -511,7 +534,11 @@ impl Reactor {
                 Sliced::Frame(n) => {
                     let frame: Vec<u8> = conn.read_buf.drain(..n).collect();
                     conn.busy = true;
+                    conn.dispatched_at = tracer().enabled().then(Instant::now);
                     let token = conn_token(slot, conn.gen);
+                    if let Some(m) = &self.metrics {
+                        m.dispatches.inc();
+                    }
                     driver.dispatch(token, frame, &replies);
                 }
                 Sliced::Partial { head_complete } => {
@@ -547,6 +574,9 @@ impl Reactor {
             let conn = self.conns[slot as usize].as_mut().expect("live slot");
             conn.busy = false;
             conn.last_activity_ms = now;
+            if let Some(start) = conn.dispatched_at.take() {
+                tracer().record("net", "inflight", start, start.elapsed());
+            }
             conn.write.push(&reply.bytes);
             if !reply.keep_alive {
                 conn.close_after_flush = true;

@@ -1,5 +1,6 @@
 //! Raw Linux syscall shims for the handful of calls the reactor needs —
-//! `epoll_create1`, `epoll_ctl`, `epoll_wait`/`epoll_pwait`, `eventfd2` —
+//! `epoll_create1`, `epoll_ctl`, `epoll_wait`/`epoll_pwait`, `eventfd2`,
+//! plus `rt_sigaction` for graceful-shutdown signal handling —
 //! issued directly through the architecture's syscall instruction. The repo
 //! builds with no crates.io dependencies, and `std` does not expose epoll,
 //! so this module is the entire FFI surface: no `libc` crate, no `extern`
@@ -12,6 +13,17 @@
 
 use std::io;
 use std::os::fd::{AsRawFd, BorrowedFd, RawFd};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Raised by the handler [`arm_terminate_flag`] installs. Lives outside
+/// the arch-gated modules so the public API shape is target-independent.
+static TERMINATE: AtomicBool = AtomicBool::new(false);
+
+/// The signal handler itself: one atomic store, the only thing that is
+/// async-signal-safe to do here.
+extern "C" fn on_terminate_signal(_sig: i32) {
+    TERMINATE.store(true, Ordering::Release);
+}
 
 /// `EPOLLIN`: the fd is readable (or at EOF).
 pub const EPOLLIN: u32 = 0x001;
@@ -55,10 +67,54 @@ pub struct EpollEvent {
 mod arch {
     pub const SYS_READ: usize = 0;
     pub const SYS_WRITE: usize = 1;
+    pub const SYS_RT_SIGACTION: usize = 13;
     pub const SYS_EPOLL_PWAIT: usize = 281;
     pub const SYS_EPOLL_CTL: usize = 233;
     pub const SYS_EPOLL_CREATE1: usize = 291;
     pub const SYS_EVENTFD2: usize = 290;
+    #[cfg(test)]
+    pub const SYS_GETPID: usize = 39;
+    #[cfg(test)]
+    pub const SYS_KILL: usize = 62;
+
+    /// x86_64 requires userspace to supply the signal-return trampoline
+    /// (`SA_RESTORER`); glibc normally hides this. Ours is the canonical
+    /// two instructions: load `rt_sigreturn` (15) and trap.
+    pub const SA_RESTORER: usize = 0x0400_0000;
+
+    core::arch::global_asm!(
+        // `.globl` so the symbol survives codegen-unit partitioning (the
+        // reference in `sigaction` can land in a different object file);
+        // `.hidden` keeps it out of the dynamic symbol table.
+        ".globl __atpm_sigrestorer",
+        ".hidden __atpm_sigrestorer",
+        "__atpm_sigrestorer:",
+        "mov rax, 15",
+        "syscall",
+    );
+    extern "C" {
+        pub fn __atpm_sigrestorer();
+    }
+
+    /// The kernel's `struct sigaction` on x86_64: handler, flags,
+    /// restorer, then a 64-bit mask.
+    #[repr(C)]
+    pub struct KSigaction {
+        pub handler: usize,
+        pub flags: usize,
+        pub restorer: usize,
+        pub mask: u64,
+    }
+
+    /// Builds the sigaction installing `handler` with `flags`.
+    pub fn sigaction(handler: usize, flags: usize) -> KSigaction {
+        KSigaction {
+            handler,
+            flags: flags | SA_RESTORER,
+            restorer: __atpm_sigrestorer as *const () as usize,
+            mask: 0,
+        }
+    }
 
     /// One instruction, six argument registers: the x86_64 Linux syscall
     /// ABI (`rax` = number, args in `rdi rsi rdx r10 r8 r9`; `rcx`/`r11`
@@ -97,10 +153,33 @@ mod arch {
 mod arch {
     pub const SYS_READ: usize = 63;
     pub const SYS_WRITE: usize = 64;
+    pub const SYS_RT_SIGACTION: usize = 134;
     pub const SYS_EPOLL_PWAIT: usize = 22;
     pub const SYS_EPOLL_CTL: usize = 21;
     pub const SYS_EPOLL_CREATE1: usize = 20;
     pub const SYS_EVENTFD2: usize = 19;
+    #[cfg(test)]
+    pub const SYS_GETPID: usize = 172;
+    #[cfg(test)]
+    pub const SYS_KILL: usize = 129;
+
+    /// The kernel's `struct sigaction` on aarch64 (asm-generic layout, no
+    /// `SA_RESTORER`: the kernel maps its own vDSO trampoline).
+    #[repr(C)]
+    pub struct KSigaction {
+        pub handler: usize,
+        pub flags: usize,
+        pub mask: u64,
+    }
+
+    /// Builds the sigaction installing `handler` with `flags`.
+    pub fn sigaction(handler: usize, flags: usize) -> KSigaction {
+        KSigaction {
+            handler,
+            flags,
+            mask: 0,
+        }
+    }
 
     /// The aarch64 Linux syscall ABI: `x8` = number, args in `x0..x5`.
     #[allow(clippy::too_many_arguments)]
@@ -254,6 +333,40 @@ mod imp {
             )
         })
     }
+
+    /// Installs a `SIGINT` + `SIGTERM` handler that raises the returned
+    /// flag and returns (`SA_RESTART`, so in-flight blocking syscalls
+    /// resume). Poll the flag from an ordinary loop to shut down
+    /// gracefully — `atpm-served` uses it to flush its trace buffer and
+    /// journal before exiting. Idempotent.
+    pub fn arm_terminate_flag() -> io::Result<&'static AtomicBool> {
+        const SIGINT: usize = 2;
+        const SIGTERM: usize = 15;
+        const SA_RESTART: usize = 0x1000_0000;
+        let act = sigaction(on_terminate_signal as *const () as usize, SA_RESTART);
+        for sig in [SIGINT, SIGTERM] {
+            check(unsafe {
+                syscall6(
+                    SYS_RT_SIGACTION,
+                    sig,
+                    std::ptr::addr_of!(act) as usize,
+                    0, // oldact: NULL
+                    8, // sigsetsize
+                    0,
+                    0,
+                )
+            })?;
+        }
+        Ok(&TERMINATE)
+    }
+
+    /// Sends `sig` to the current process (tests only).
+    #[cfg(test)]
+    pub fn raise(sig: usize) -> io::Result<()> {
+        let pid = check(unsafe { syscall6(SYS_GETPID, 0, 0, 0, 0, 0, 0) })?;
+        check(unsafe { syscall6(SYS_KILL, pid, sig, 0, 0, 0, 0) })?;
+        Ok(())
+    }
 }
 
 #[cfg(not(all(
@@ -304,9 +417,15 @@ mod imp {
     pub fn read(_fd: BorrowedFd<'_>, _buf: &mut [u8]) -> io::Result<usize> {
         unsupported()
     }
+
+    pub fn arm_terminate_flag() -> io::Result<&'static AtomicBool> {
+        // Touch the statics so unsupported builds don't warn on them.
+        let _ = on_terminate_signal as *const ();
+        unsupported()
+    }
 }
 
-pub use imp::{epoll_create1, epoll_ctl, epoll_wait, eventfd, read, write};
+pub use imp::{arm_terminate_flag, epoll_create1, epoll_ctl, epoll_wait, eventfd, read, write};
 
 #[cfg(test)]
 mod tests {
@@ -367,5 +486,20 @@ mod tests {
         // Deregister; the next wait must time out.
         epoll_ctl(ep.as_fd(), EPOLL_CTL_DEL, efd.as_raw_fd(), 0, 0).unwrap();
         assert_eq!(epoll_wait(ep.as_fd(), &mut events, 10).unwrap(), 0);
+    }
+
+    #[test]
+    fn sigterm_raises_the_terminate_flag_instead_of_killing_us() {
+        let flag = arm_terminate_flag().unwrap();
+        assert!(!flag.load(Ordering::Acquire));
+        imp::raise(15).unwrap(); // SIGTERM, handled — the process survives
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while !flag.load(Ordering::Acquire) {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "terminate flag never raised"
+            );
+            std::thread::yield_now();
+        }
     }
 }

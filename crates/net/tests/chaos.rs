@@ -204,6 +204,40 @@ fn destructive_faults_never_leak_slots_or_timers() {
 }
 
 #[test]
+fn fault_tally_and_global_counters_account_for_injections() {
+    if !atpm_net::supported() {
+        return;
+    }
+    let before = fault::injected_total(Site::EpollCtl);
+    let plan = FaultPlan::recoverable(3)
+        .script(Site::EpollCtl, 0, ENOSPC)
+        .script(Site::StreamRead, 3, ECONNRESET);
+    // Clone the tally before the plan moves onto the reactor thread; it
+    // keeps counting as the scenario runs.
+    let tally = plan.tally();
+    let (_outputs, stats) = run_scenario(3, Some(plan));
+    assert_leak_free(&stats, "tally scenario");
+    // EpollCtl never takes probabilistic faults, so its tally is exactly
+    // the script: one ENOSPC.
+    assert_eq!(tally.at(Site::EpollCtl), 1, "scripted epoll_ctl fault");
+    // StreamRead takes the scripted reset plus whatever the probabilistic
+    // layer rolled — at least the scripted one must have landed.
+    assert!(
+        tally.at(Site::StreamRead) >= 1,
+        "scripted stream-read fault"
+    );
+    assert!(tally.total() >= 2);
+    // The process-global counters (what `atpm_net_fault_injected_total`
+    // exports on /metrics) are a superset of this plan's tally: other
+    // tests in this binary run in parallel and also inject, so we can
+    // only assert the delta covers our scripted fault.
+    assert!(
+        fault::injected_total(Site::EpollCtl) - before >= 1,
+        "global injected_total must include this plan's epoll_ctl fault"
+    );
+}
+
+#[test]
 fn graceful_drain_answers_in_flight_work_before_exit() {
     if !atpm_net::supported() {
         return;

@@ -1,0 +1,31 @@
+//! atpm-obs: in-process observability for the adaptive-TPM stack.
+//!
+//! Std-only, zero crates.io dependencies, like the rest of the workspace.
+//! Three pieces:
+//!
+//! * [`metrics`] — lock-free [`Counter`] / [`Gauge`] and a fixed-size
+//!   log-bucketed latency [`Histogram`] (wait-free, allocation-free record
+//!   path; ≤ 6.25% relative quantile error, documented on the type);
+//! * [`registry`] — named/labeled registration with `Arc` handles, a
+//!   process-global registry for library crates, and render-time callback
+//!   metrics for state owned elsewhere;
+//! * [`expo`] — deterministic Prometheus text exposition plus a parser and
+//!   lint for scraping it back;
+//! * [`trace`] — a runtime-gated span facade drained as Chrome trace-event
+//!   JSON (Perfetto-loadable), one relaxed load per hook when disabled.
+//!
+//! The serving tier renders its per-instance [`Registry`] merged with
+//! [`global()`] at `GET /metrics`; atpm-loadgen scrapes that endpoint and
+//! folds server-side histograms into `BENCH_serve.json`.
+
+pub mod expo;
+pub mod metrics;
+pub mod registry;
+pub mod trace;
+
+pub use expo::{lint, render, Sample, Scrape, CONTENT_TYPE};
+pub use metrics::{
+    bucket_bounds, bucket_index, Counter, Gauge, Histogram, HistogramSnapshot, BUCKETS,
+};
+pub use registry::{global, Entry, Metric, Registry};
+pub use trace::{tracer, Span, Tracer};

@@ -1,0 +1,317 @@
+//! Lock-free metric primitives: [`Counter`], [`Gauge`], and a fixed-size
+//! log-bucketed latency [`Histogram`].
+//!
+//! All three are plain atomics: the record path is wait-free, allocates
+//! nothing, and never takes a lock, so the workspace's counting-allocator
+//! discipline (steady-state request paths allocate zero bytes) extends to
+//! instrumented code unchanged. Readers observe each scalar atomically but
+//! not the set of scalars as a snapshot — a scrape racing a `record` may
+//! see the bucket increment before the sum, which the Prometheus data
+//! model tolerates (every individual series is still monotone).
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Sub-bucket resolution: 2^3 = 8 log-linear sub-buckets per octave.
+const SUB_BITS: u32 = 3;
+/// Sub-buckets per octave.
+const SUB: usize = 1 << SUB_BITS;
+/// Octaves above the exact linear region `[0, 8)`.
+const OCTAVES: usize = 39;
+/// Total bucket count. The last bucket's upper bound is 2^42 ns
+/// (≈ 73 minutes); larger values clamp into it.
+pub const BUCKETS: usize = SUB + OCTAVES * SUB;
+
+/// A monotone event counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter at zero.
+    pub const fn new() -> Counter {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous signed value (queue depths, flags, limits).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// A gauge at zero.
+    pub const fn new() -> Gauge {
+        Gauge(AtomicI64::new(0))
+    }
+
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Subtracts one.
+    pub fn dec(&self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Maps a nanosecond value to its bucket index.
+///
+/// Values below 8 get one bucket each (exact). From 8 up, each power-of-two
+/// octave `[2^e, 2^(e+1))` splits into 8 equal sub-buckets, HdrHistogram
+/// style: the bucket of `v` is derived from its exponent and the 3 bits
+/// below the leading one — two shifts and a mask, no loops, no floats.
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUB as u64 {
+        return v as usize;
+    }
+    let e = 63 - v.leading_zeros() as usize;
+    let group = e - SUB_BITS as usize + 1;
+    let sub = ((v >> (e - SUB_BITS as usize)) & (SUB as u64 - 1)) as usize;
+    ((group << SUB_BITS) + sub).min(BUCKETS - 1)
+}
+
+/// Half-open value range `[lo, hi)` covered by bucket `idx`.
+pub fn bucket_bounds(idx: usize) -> (u64, u64) {
+    assert!(idx < BUCKETS, "bucket index out of range");
+    if idx < SUB {
+        return (idx as u64, idx as u64 + 1);
+    }
+    let group = idx >> SUB_BITS;
+    let sub = (idx & (SUB - 1)) as u64;
+    let lo = (SUB as u64 + sub) << (group - 1);
+    (lo, lo + (1u64 << (group - 1)))
+}
+
+/// A fixed-size log-bucketed latency histogram over `u64` nanoseconds.
+///
+/// # Quantile error bound
+///
+/// Buckets are exact (width 1 ns) below 8 ns and log-linear above: every
+/// bucket `[lo, hi)` with `lo ≥ 8` has width `hi - lo = lo / (8 + s) ≤
+/// lo / 8`. [`Histogram::quantile`] returns the midpoint of the bucket
+/// containing the requested order statistic, so its estimate differs from
+/// the exact sorted-oracle value `t` by at most half a bucket width:
+/// **relative error ≤ 1/16 = 6.25%** for any `t` in `[8 ns, 2^42 ns)`,
+/// and at most ±0.5 ns below 8 ns. Values ≥ 2^42 ns (≈ 73 minutes) clamp
+/// into the last bucket and carry no bound. `tests/histogram_props.rs`
+/// pins this bound against an exact sorted oracle.
+///
+/// # Concurrency
+///
+/// `record` is three relaxed `fetch_add`s — wait-free, zero allocation.
+/// Histograms merge by element-wise addition, which is exactly associative
+/// and commutative, so per-thread histograms can be folded in any order.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram. The bucket array lives inline (~2.6 KiB).
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one value (nanoseconds). Wait-free, allocation-free.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Records a duration at nanosecond resolution.
+    pub fn record_duration(&self, d: Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Total number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded values in nanoseconds.
+    pub fn sum_ns(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Folds `other`'s contents into `self` (element-wise atomic adds).
+    pub fn merge_from(&self, other: &Histogram) {
+        for (dst, src) in self.buckets.iter().zip(other.buckets.iter()) {
+            let n = src.load(Ordering::Relaxed);
+            if n > 0 {
+                dst.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the bucket array.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Estimated `q`-quantile (`0 < q ≤ 1`) in nanoseconds; 0.0 when
+    /// empty. See the type docs for the error bound.
+    pub fn quantile(&self, q: f64) -> f64 {
+        self.snapshot().quantile(q)
+    }
+}
+
+/// An owned, non-atomic histogram snapshot — what [`Histogram::snapshot`]
+/// returns and what quantile math runs on.
+#[derive(Clone)]
+pub struct HistogramSnapshot {
+    buckets: [u64; BUCKETS],
+    sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Total recorded values.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Sum of recorded values in nanoseconds.
+    pub fn sum_ns(&self) -> u64 {
+        self.sum
+    }
+
+    /// Per-bucket counts.
+    pub fn buckets(&self) -> &[u64; BUCKETS] {
+        &self.buckets
+    }
+
+    /// Estimated `q`-quantile (`0 < q ≤ 1`) in nanoseconds: the midpoint
+    /// of the bucket holding the `⌈q·n⌉`-th smallest recorded value.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            return 0.0;
+        }
+        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let mut seen = 0u64;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let (lo, hi) = bucket_bounds(idx);
+                return (lo + hi) as f64 / 2.0;
+            }
+        }
+        let (lo, hi) = bucket_bounds(BUCKETS - 1);
+        (lo + hi) as f64 / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_region_is_exact() {
+        for v in 0..8u64 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_bounds(v as usize), (v, v + 1));
+        }
+    }
+
+    #[test]
+    fn bounds_are_contiguous_and_monotone() {
+        let mut expect_lo = 0u64;
+        for idx in 0..BUCKETS {
+            let (lo, hi) = bucket_bounds(idx);
+            assert_eq!(lo, expect_lo, "gap or overlap at bucket {idx}");
+            assert!(hi > lo);
+            expect_lo = hi;
+        }
+        assert_eq!(expect_lo, 1 << 42, "ladder must top out at 2^42 ns");
+    }
+
+    #[test]
+    fn index_and_bounds_agree() {
+        for &v in &[
+            0,
+            1,
+            7,
+            8,
+            9,
+            15,
+            16,
+            17,
+            100,
+            1_000,
+            123_456_789,
+            (1 << 42) - 1,
+        ] {
+            let idx = bucket_index(v);
+            let (lo, hi) = bucket_bounds(idx);
+            assert!(
+                lo <= v && v < hi,
+                "v={v} not in [{lo},{hi}) of bucket {idx}"
+            );
+        }
+        // Oversized values clamp into the last bucket.
+        assert_eq!(bucket_index(1 << 42), BUCKETS - 1);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn record_merge_quantile_roundtrip() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for v in [5u64, 100, 100, 2_000, 50_000] {
+            a.record(v);
+        }
+        b.record_duration(Duration::from_micros(3));
+        b.merge_from(&a);
+        assert_eq!(b.count(), 6);
+        assert_eq!(b.sum_ns(), 5 + 100 + 100 + 2_000 + 50_000 + 3_000);
+        // The median of {5, 100, 100, 2000, 3000, 50000} straddles 100's
+        // bucket; the estimate must stay within the documented 6.25%.
+        let est = b.quantile(0.5);
+        assert!((est - 100.0).abs() / 100.0 <= 0.0625, "median est {est}");
+        assert_eq!(Histogram::new().quantile(0.99), 0.0);
+    }
+}

@@ -1,0 +1,286 @@
+//! The metrics registry: named, labeled handles over the primitives in
+//! [`crate::metrics`].
+//!
+//! Registration is the cold path and takes a mutex; the handles it returns
+//! are plain `Arc`s to the atomics, so recording never touches the
+//! registry again. Registration is get-or-register: asking twice for the
+//! same `(name, labels)` returns the same underlying metric, which lets
+//! independent subsystems share a family without coordination.
+//!
+//! Besides owned metrics, a registry accepts *callback* entries
+//! ([`Registry::counter_fn`] / [`Registry::gauge_fn`]) whose value is read
+//! at render time. These mirror state that already has one source of truth
+//! elsewhere (live session count, fault-injection tallies) so `/metrics`
+//! can expose it without a shadow copy that could drift.
+
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::metrics::{Counter, Gauge, Histogram};
+
+/// The value half of a registered entry.
+pub enum Metric {
+    /// An owned monotone counter.
+    Counter(Arc<Counter>),
+    /// An owned gauge.
+    Gauge(Arc<Gauge>),
+    /// An owned histogram.
+    Histogram(Arc<Histogram>),
+    /// A counter whose value is computed at render time.
+    CounterFn(Box<dyn Fn() -> u64 + Send + Sync>),
+    /// A gauge whose value is computed at render time.
+    GaugeFn(Box<dyn Fn() -> i64 + Send + Sync>),
+}
+
+impl Metric {
+    /// Prometheus `# TYPE` keyword for this metric.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) | Metric::CounterFn(_) => "counter",
+            Metric::Gauge(_) | Metric::GaugeFn(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// One registered metric: family name, label pairs, help text, value.
+pub struct Entry {
+    /// Family name, e.g. `atpm_http_requests_total`.
+    pub name: &'static str,
+    /// Label pairs in render order.
+    pub labels: Vec<(&'static str, String)>,
+    /// `# HELP` text (first registration of a family wins).
+    pub help: &'static str,
+    /// The metric itself.
+    pub metric: Metric,
+}
+
+/// A set of metric families rendered together into one exposition.
+#[derive(Default)]
+pub struct Registry {
+    entries: Mutex<Vec<Arc<Entry>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// A point-in-time list of entries (for rendering).
+    pub fn entries(&self) -> Vec<Arc<Entry>> {
+        self.entries
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone()
+    }
+
+    fn get_or_insert<T, F, G>(
+        &self,
+        name: &'static str,
+        labels: &[(&'static str, &str)],
+        help: &'static str,
+        extract: F,
+        build: G,
+    ) -> Arc<T>
+    where
+        F: Fn(&Metric) -> Option<Arc<T>>,
+        G: FnOnce() -> (Arc<T>, Metric),
+    {
+        let mut entries = self.entries.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(entry) = entries
+            .iter()
+            .find(|e| e.name == name && labels_eq(&e.labels, labels))
+        {
+            return extract(&entry.metric)
+                .unwrap_or_else(|| panic!("metric {name} re-registered with a different type"));
+        }
+        let (handle, metric) = build();
+        entries.push(Arc::new(Entry {
+            name,
+            labels: labels.iter().map(|&(k, v)| (k, v.to_string())).collect(),
+            help,
+            metric,
+        }));
+        handle
+    }
+
+    /// Registers (or fetches) an unlabeled counter.
+    pub fn counter(&self, name: &'static str, help: &'static str) -> Arc<Counter> {
+        self.counter_with(name, &[], help)
+    }
+
+    /// Registers (or fetches) a labeled counter.
+    pub fn counter_with(
+        &self,
+        name: &'static str,
+        labels: &[(&'static str, &str)],
+        help: &'static str,
+    ) -> Arc<Counter> {
+        self.get_or_insert(
+            name,
+            labels,
+            help,
+            |m| match m {
+                Metric::Counter(c) => Some(c.clone()),
+                _ => None,
+            },
+            || {
+                let c = Arc::new(Counter::new());
+                (c.clone(), Metric::Counter(c))
+            },
+        )
+    }
+
+    /// Registers (or fetches) an unlabeled gauge.
+    pub fn gauge(&self, name: &'static str, help: &'static str) -> Arc<Gauge> {
+        self.gauge_with(name, &[], help)
+    }
+
+    /// Registers (or fetches) a labeled gauge.
+    pub fn gauge_with(
+        &self,
+        name: &'static str,
+        labels: &[(&'static str, &str)],
+        help: &'static str,
+    ) -> Arc<Gauge> {
+        self.get_or_insert(
+            name,
+            labels,
+            help,
+            |m| match m {
+                Metric::Gauge(g) => Some(g.clone()),
+                _ => None,
+            },
+            || {
+                let g = Arc::new(Gauge::new());
+                (g.clone(), Metric::Gauge(g))
+            },
+        )
+    }
+
+    /// Registers (or fetches) an unlabeled histogram.
+    pub fn histogram(&self, name: &'static str, help: &'static str) -> Arc<Histogram> {
+        self.histogram_with(name, &[], help)
+    }
+
+    /// Registers (or fetches) a labeled histogram.
+    pub fn histogram_with(
+        &self,
+        name: &'static str,
+        labels: &[(&'static str, &str)],
+        help: &'static str,
+    ) -> Arc<Histogram> {
+        self.get_or_insert(
+            name,
+            labels,
+            help,
+            |m| match m {
+                Metric::Histogram(h) => Some(h.clone()),
+                _ => None,
+            },
+            || {
+                let h = Arc::new(Histogram::new());
+                (h.clone(), Metric::Histogram(h))
+            },
+        )
+    }
+
+    /// Registers a counter read from `f` at render time. Last registration
+    /// of a `(name, labels)` pair wins; `f` must be monotone for the
+    /// exposition to be Prometheus-correct.
+    pub fn counter_fn(
+        &self,
+        name: &'static str,
+        labels: &[(&'static str, &str)],
+        help: &'static str,
+        f: impl Fn() -> u64 + Send + Sync + 'static,
+    ) {
+        self.insert_fn(name, labels, help, Metric::CounterFn(Box::new(f)));
+    }
+
+    /// Registers a gauge read from `f` at render time.
+    pub fn gauge_fn(
+        &self,
+        name: &'static str,
+        labels: &[(&'static str, &str)],
+        help: &'static str,
+        f: impl Fn() -> i64 + Send + Sync + 'static,
+    ) {
+        self.insert_fn(name, labels, help, Metric::GaugeFn(Box::new(f)));
+    }
+
+    fn insert_fn(
+        &self,
+        name: &'static str,
+        labels: &[(&'static str, &str)],
+        help: &'static str,
+        metric: Metric,
+    ) {
+        let mut entries = self.entries.lock().unwrap_or_else(|p| p.into_inner());
+        entries.retain(|e| !(e.name == name && labels_eq(&e.labels, labels)));
+        entries.push(Arc::new(Entry {
+            name,
+            labels: labels.iter().map(|&(k, v)| (k, v.to_string())).collect(),
+            help,
+            metric,
+        }));
+    }
+}
+
+fn labels_eq(have: &[(&'static str, String)], want: &[(&'static str, &str)]) -> bool {
+    have.len() == want.len()
+        && have
+            .iter()
+            .zip(want.iter())
+            .all(|((hk, hv), (wk, wv))| hk == wk && hv == wv)
+}
+
+/// The process-global registry. Library crates with no registry to hand
+/// (RIS sampling, diffusion) register their metrics here; servers render
+/// it merged with their per-instance registry.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent_per_name_and_labels() {
+        let reg = Registry::new();
+        let a = reg.counter("x_total", "x");
+        let b = reg.counter("x_total", "x");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3, "same handle behind both registrations");
+        let l1 = reg.counter_with("y_total", &[("site", "read")], "y");
+        let l2 = reg.counter_with("y_total", &[("site", "write")], "y");
+        l1.inc();
+        assert_eq!(l2.get(), 0, "distinct label sets are distinct series");
+        assert_eq!(reg.entries().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "different type")]
+    fn type_conflicts_panic() {
+        let reg = Registry::new();
+        reg.counter("z", "z");
+        reg.gauge("z", "z");
+    }
+
+    #[test]
+    fn callback_entries_read_live_values() {
+        let reg = Registry::new();
+        let src = Arc::new(Counter::new());
+        let rd = src.clone();
+        reg.counter_fn("cb_total", &[], "cb", move || rd.get());
+        src.add(7);
+        let entries = reg.entries();
+        match &entries[0].metric {
+            Metric::CounterFn(f) => assert_eq!(f(), 7),
+            _ => panic!("wrong kind"),
+        }
+    }
+}

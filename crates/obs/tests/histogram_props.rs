@@ -1,0 +1,124 @@
+//! Property tests pinning the histogram's documented guarantees: bucket
+//! monotonicity/contiguity, merge associativity, exact counts at bucket
+//! boundaries, and the ≤ 6.25% relative quantile error bound against an
+//! exact sorted oracle (see the bound derivation on `Histogram`).
+
+use atpm_obs::{bucket_bounds, bucket_index, Histogram, BUCKETS};
+use proptest::prelude::*;
+
+/// The documented worst-case relative quantile error: half a bucket width
+/// over the bucket's lower bound, 1/16.
+const REL_ERR: f64 = 1.0 / 16.0;
+
+/// Upper bound of the histogram's tracked range (2^42 ns).
+const RANGE_END: u64 = 1 << 42;
+
+fn hist_of(values: &[u64]) -> Histogram {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+#[test]
+fn bucket_bounds_are_monotone_and_contiguous() {
+    let mut expect_lo = 0u64;
+    for idx in 0..BUCKETS {
+        let (lo, hi) = bucket_bounds(idx);
+        assert_eq!(
+            lo,
+            expect_lo,
+            "bucket {idx} does not start where {} ended",
+            idx.max(1) - 1
+        );
+        assert!(hi > lo, "bucket {idx} is empty");
+        expect_lo = hi;
+    }
+    assert_eq!(expect_lo, RANGE_END);
+}
+
+#[test]
+fn every_boundary_value_lands_in_its_own_bucket() {
+    // Exact counts at bucket boundaries: recording each bucket's lower
+    // bound must produce exactly one count in exactly that bucket, and
+    // `hi - 1` must stay in the same bucket (half-open ranges).
+    for idx in 0..BUCKETS {
+        let (lo, hi) = bucket_bounds(idx);
+        assert_eq!(bucket_index(lo), idx, "lo of bucket {idx} misplaced");
+        assert_eq!(bucket_index(hi - 1), idx, "hi-1 of bucket {idx} misplaced");
+        if idx + 1 < BUCKETS {
+            assert_eq!(bucket_index(hi), idx + 1, "hi of bucket {idx} misplaced");
+        }
+        let h = hist_of(&[lo]);
+        assert_eq!(h.snapshot().buckets()[idx], 1);
+        assert_eq!(h.count(), 1);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn recorded_values_fall_inside_their_bucket(v in 0u64..RANGE_END) {
+        let idx = bucket_index(v);
+        let (lo, hi) = bucket_bounds(idx);
+        prop_assert!(lo <= v && v < hi, "v={} outside [{},{}) of bucket {}", v, lo, hi, idx);
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative(
+        a in proptest::collection::vec(0u64..RANGE_END, 0..40),
+        b in proptest::collection::vec(0u64..RANGE_END, 0..40),
+        c in proptest::collection::vec(0u64..RANGE_END, 0..40),
+    ) {
+        // (a ⊕ b) ⊕ c
+        let left = hist_of(&a);
+        left.merge_from(&hist_of(&b));
+        left.merge_from(&hist_of(&c));
+        // a ⊕ (b ⊕ c)
+        let bc = hist_of(&b);
+        bc.merge_from(&hist_of(&c));
+        let right = hist_of(&a);
+        right.merge_from(&bc);
+        // c ⊕ b ⊕ a (commutativity)
+        let rev = hist_of(&c);
+        rev.merge_from(&hist_of(&b));
+        rev.merge_from(&hist_of(&a));
+        for h in [&right, &rev] {
+            prop_assert_eq!(left.snapshot().buckets(), h.snapshot().buckets());
+            prop_assert_eq!(left.count(), h.count());
+            prop_assert_eq!(left.sum_ns(), h.sum_ns());
+        }
+    }
+
+    #[test]
+    fn quantiles_stay_within_documented_error_vs_sorted_oracle(
+        mut values in proptest::collection::vec(8u64..RANGE_END, 1..200),
+        q in 0.01f64..1.0,
+    ) {
+        let h = hist_of(&values);
+        values.sort_unstable();
+        // Exact oracle: the same nearest-rank definition the histogram uses.
+        let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+        let exact = values[rank - 1] as f64;
+        let est = h.quantile(q);
+        let rel = (est - exact).abs() / exact;
+        prop_assert!(
+            rel <= REL_ERR + 1e-12,
+            "q={} exact={} est={} rel_err={} > {}",
+            q, exact, est, rel, REL_ERR
+        );
+    }
+
+    #[test]
+    fn sub_8ns_values_are_exact(values in proptest::collection::vec(0u64..8, 1..50), q in 0.01f64..1.0) {
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let h = hist_of(&values);
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        let exact = sorted[rank - 1] as f64;
+        // Sub-8ns buckets are width 1; the midpoint is exact + 0.5.
+        prop_assert!((h.quantile(q) - exact).abs() <= 0.5);
+    }
+}

@@ -8,7 +8,11 @@
 //! samples through the coin-free `SampleView` path of [`RrSampler`], fed by
 //! its own buffered [`CounterRng`] stream.
 
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
 use atpm_graph::GraphView;
+use atpm_obs::{tracer, Counter, Histogram};
 
 use crate::collection::{RrCollection, RrShard};
 use crate::rng::CounterRng;
@@ -19,6 +23,35 @@ use crate::workspace::{available_threads, run_sharded};
 /// dependent; over-estimating wastes a little reserve, under-estimating
 /// costs one or two grows per worker).
 const AVG_SET_SIZE_HINT: usize = 8;
+
+/// Stage timers for [`generate_batch`], registered once in the
+/// process-global registry ([`atpm_obs::global`]). Each batch records one
+/// value per stage — sample (worker fan-out), merge (shard absorption),
+/// freeze (index build) — strictly *outside* the per-sample inner loop, so
+/// the instrumented cost per batch is a handful of clock reads and the
+/// `sample/skip` bench medians stay inside the regression gate.
+struct StageMetrics {
+    sample: Arc<Histogram>,
+    merge: Arc<Histogram>,
+    freeze: Arc<Histogram>,
+    batches: Arc<Counter>,
+    sets: Arc<Counter>,
+}
+
+fn stage_metrics() -> &'static StageMetrics {
+    static METRICS: OnceLock<StageMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = atpm_obs::global();
+        const HELP: &str = "generate_batch stage wall time by stage (sample/merge/freeze)";
+        StageMetrics {
+            sample: reg.histogram_with("atpm_ris_stage_seconds", &[("stage", "sample")], HELP),
+            merge: reg.histogram_with("atpm_ris_stage_seconds", &[("stage", "merge")], HELP),
+            freeze: reg.histogram_with("atpm_ris_stage_seconds", &[("stage", "freeze")], HELP),
+            batches: reg.counter("atpm_ris_batches_total", "generate_batch invocations"),
+            sets: reg.counter("atpm_ris_sets_total", "RR sets generated"),
+        }
+    })
+}
 
 /// Generates `count` RR sets on `view` into a frozen [`RrCollection`].
 ///
@@ -40,6 +73,8 @@ pub fn generate_batch<V: GraphView + Sync>(
         merged.freeze();
         return merged;
     }
+    let metrics = stage_metrics();
+    let t_sample = Instant::now();
     let shards: Vec<RrShard> = run_sharded(count, threads, seed, |_tid, quota, wseed| {
         let mut shard = RrShard::with_capacity(quota, AVG_SET_SIZE_HINT);
         let mut sampler = RrSampler::new();
@@ -71,13 +106,29 @@ pub fn generate_batch<V: GraphView + Sync>(
         }
         shard
     });
+    let sample_d = t_sample.elapsed();
+    let t_merge = Instant::now();
     let sets: usize = shards.iter().map(RrShard::len).sum();
     let members: usize = shards.iter().map(RrShard::total_members).sum();
     let mut merged = RrCollection::with_capacity(view.num_nodes(), view.num_alive(), sets, members);
     for shard in &shards {
         merged.absorb_shard(shard);
     }
+    let merge_d = t_merge.elapsed();
+    let t_freeze = Instant::now();
     merged.freeze_parallel(threads);
+    let freeze_d = t_freeze.elapsed();
+    metrics.sample.record_duration(sample_d);
+    metrics.merge.record_duration(merge_d);
+    metrics.freeze.record_duration(freeze_d);
+    metrics.batches.inc();
+    metrics.sets.add(sets as u64);
+    let tr = tracer();
+    if tr.enabled() {
+        tr.record("ris", "sample", t_sample, sample_d);
+        tr.record("ris", "merge", t_merge, merge_d);
+        tr.record("ris", "freeze", t_freeze, freeze_d);
+    }
     merged
 }
 

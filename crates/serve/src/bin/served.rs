@@ -16,6 +16,8 @@
 //!                              1024, 0 = never shed)
 //!        --journal PATH        append-only ATPMJNL1 session journal,
 //!                              replayed on restart (default: none)
+//!        --trace PATH          enable span tracing; dump Chrome trace-event
+//!                              JSON (Perfetto-loadable) here on shutdown
 //!        --drain-ms MS         graceful-shutdown drain window (default 500)
 //!        --snapshot-budget MB  snapshot-store LRU byte budget (default: unbounded)
 //!        --preset NAME         preload a snapshot from a Table II preset
@@ -92,6 +94,7 @@ fn parse(args: &[String]) -> Result<Args, String> {
                     .map_err(|e| format!("bad --max-queue: {e}"))?;
             }
             "--journal" => cfg.journal_path = Some(value_of("--journal")?),
+            "--trace" => cfg.trace_path = Some(value_of("--trace")?),
             "--drain-ms" => {
                 cfg.drain_ms = value_of("--drain-ms")?
                     .parse()
@@ -168,7 +171,7 @@ fn main() {
                 "usage: atpm-served [--addr HOST:PORT] [--backend epoll|pool] \
                  [--workers N] [--shards N] [--session-ttl SECS] \
                  [--idle-timeout SECS] [--max-queue N] [--journal PATH] \
-                 [--drain-ms MS] [--snapshot-budget MB] \
+                 [--trace PATH] [--drain-ms MS] [--snapshot-budget MB] \
                  [--preset NAME | --graph PATH] \
                  [--name NAME] [--scale F] [--k N] [--rr-theta N] [--seed S]"
             );
@@ -197,7 +200,7 @@ fn main() {
         }
     }
     match Server::start(state, &args.cfg) {
-        Ok(server) => {
+        Ok(mut server) => {
             eprintln!(
                 "# atpm-served listening on http://{} ({} backend, {} workers{}); Ctrl-C to stop",
                 server.addr(),
@@ -211,9 +214,21 @@ fn main() {
                     None => String::new(),
                 },
             );
-            // Run until killed: the worker pool owns the process.
-            loop {
-                std::thread::park();
+            // SIGINT/SIGTERM raise a flag; seeing it, shut down gracefully
+            // (drain in-flight work, fsync the journal, dump the trace).
+            // On platforms without the signal shim the old behavior stands:
+            // run until killed.
+            match atpm_net::sys::arm_terminate_flag() {
+                Ok(flag) => {
+                    while !flag.load(std::sync::atomic::Ordering::Acquire) {
+                        std::thread::park_timeout(std::time::Duration::from_millis(200));
+                    }
+                    eprintln!("# terminate signal received; draining...");
+                    server.shutdown();
+                }
+                Err(_) => loop {
+                    std::thread::park();
+                },
             }
         }
         Err(e) => {

@@ -174,6 +174,16 @@ impl HttpClient {
         self.reader.read_exact(&mut body)?;
         Ok((status, body))
     }
+
+    /// GETs `path` and returns `(status, body)` as text — the non-JSON
+    /// escape hatch `/metrics` scrapes use (the exposition is Prometheus
+    /// text, not a protocol object).
+    pub fn get_text(&mut self, path: &str) -> io::Result<(u16, String)> {
+        let (status, bytes) = self.exchange("GET", path, b"")?;
+        let text = String::from_utf8(bytes)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 response body"))?;
+        Ok((status, text))
+    }
 }
 
 fn read_line(reader: &mut BufReader<TcpStream>, out: &mut String) -> io::Result<()> {

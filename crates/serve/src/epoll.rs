@@ -29,16 +29,17 @@
 
 use std::io;
 use std::net::TcpListener;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::AtomicBool;
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use atpm_net::{ConnId, Driver, Reactor, ReactorConfig, Reply, ReplyQueue, Sliced};
 use atpm_ris::CoverageScratch;
 
 use crate::http::{self, FrameStatus};
 use crate::json::Json;
-use crate::server::{respond, AppState, ServeConfig};
+use crate::server::{respond, AppState, RespBody, ServeConfig};
 
 /// A complete request frame on its way to a worker, with the return
 /// address (shard queue + connection) attached.
@@ -46,6 +47,8 @@ struct Job {
     conn: ConnId,
     frame: Vec<u8>,
     replies: Arc<ReplyQueue>,
+    /// Dispatch time, for the queue-wait histogram (reactor → worker).
+    enqueued: Instant,
 }
 
 /// JSON error body in wire form, matching the router's error shape.
@@ -78,10 +81,10 @@ impl Driver for HttpDriver {
         // is the only unbounded buffer in the pipeline. Past `max_queue`
         // waiting jobs, shed the request right here — a cheap 503 with
         // Retry-After now beats an indefinitely queued answer later.
-        let stats = &self.state.stats;
-        let max = stats.max_queue.load(Ordering::Relaxed);
-        if max > 0 && stats.queue_depth.load(Ordering::Relaxed) >= max {
-            stats.shed_503.fetch_add(1, Ordering::Relaxed);
+        let m = &self.state.metrics;
+        let max = m.max_queue.get();
+        if max > 0 && m.queue_depth.get() >= max {
+            m.shed_503.inc();
             let body =
                 Json::obj([("error", Json::Str("server overloaded; retry later".into()))]).encode();
             replies.push(Reply {
@@ -96,7 +99,7 @@ impl Driver for HttpDriver {
             });
             return;
         }
-        stats.queue_depth.fetch_add(1, Ordering::Relaxed);
+        m.queue_depth.inc();
         // A send failure means the worker pool is gone (shutdown); the
         // connection dies with the reactor moments later.
         if self
@@ -105,10 +108,11 @@ impl Driver for HttpDriver {
                 conn,
                 frame,
                 replies: replies.clone(),
+                enqueued: Instant::now(),
             })
             .is_err()
         {
-            stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
+            m.queue_depth.dec();
         }
     }
 
@@ -144,14 +148,31 @@ fn worker_loop(rx: &Mutex<mpsc::Receiver<Job>>, state: &AppState) {
             Ok(job) => job,
             Err(_) => return, // all senders (shard drivers) gone
         };
-        state.stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        let m = &state.metrics;
+        m.queue_depth.dec();
+        let waited = job.enqueued.elapsed();
         let reply = match http::parse_frame(&job.frame) {
             Ok(req) => {
+                // Latency (and the queue wait measured above) record
+                // strictly after respond — same discipline as the pool
+                // backend, so a /metrics scrape never counts itself and an
+                // at-rest exposition is byte-identical across backends.
+                let t0 = Instant::now();
                 let (status, body) = respond(state, &req, &mut scratch);
+                m.queue_wait_seconds.record_duration(waited);
+                m.record_request(&req.method, &req.path, t0);
                 let keep = !req.wants_close();
+                let bytes = match &body {
+                    RespBody::Json(json) => {
+                        http::encode_response(status, json.encode().as_bytes(), keep)
+                    }
+                    RespBody::Text(ct, text) => {
+                        http::encode_response_ct(status, ct, text.as_bytes(), keep, &[])
+                    }
+                };
                 Reply {
                     conn: job.conn,
-                    bytes: http::encode_response(status, body.encode().as_bytes(), keep),
+                    bytes,
                     keep_alive: keep,
                 }
             }
@@ -204,7 +225,8 @@ impl EpollBackend {
                     max_conns: 65_536,
                     drain_ms: cfg.drain_ms,
                 },
-            )?;
+            )?
+            .with_metrics(state.metrics.net.clone());
             reactors.push(reactor);
         }
 

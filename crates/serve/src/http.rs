@@ -453,9 +453,24 @@ pub fn write_response_with<W: Write>(
     keep_alive: bool,
     extra: &[(&str, &str)],
 ) -> io::Result<()> {
+    write_response_ct(stream, status, "application/json", body, keep_alive, extra)
+}
+
+/// The fully general response writer: JSON callers go through
+/// [`write_response_with`] (which pins the historical `application/json`
+/// header bytes); `GET /metrics` supplies the Prometheus exposition
+/// content type.
+pub fn write_response_ct<W: Write>(
+    stream: &mut W,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+    extra: &[(&str, &str)],
+) -> io::Result<()> {
     write!(
         stream,
-        "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n",
+        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: {}\r\n",
         reason(status),
         body.len(),
         if keep_alive { "keep-alive" } else { "close" },
@@ -483,6 +498,21 @@ pub fn encode_response_with(
 ) -> Vec<u8> {
     let mut out = Vec::with_capacity(body.len() + 96);
     write_response_with(&mut out, status, body, keep_alive, extra)
+        .expect("writing to a Vec cannot fail");
+    out
+}
+
+/// [`encode_response`] with an explicit content type (see
+/// [`write_response_ct`]).
+pub fn encode_response_ct(
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+    extra: &[(&str, &str)],
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(body.len() + 96);
+    write_response_ct(&mut out, status, content_type, body, keep_alive, extra)
         .expect("writing to a Vec cannot fail");
     out
 }

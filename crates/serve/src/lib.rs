@@ -29,7 +29,10 @@
 //!   connection, kept as the differential oracle). Both share the same
 //!   router, the same per-worker reusable [`atpm_ris::CoverageScratch`],
 //!   and the same [`http`] parser and [`json`] codec underneath, so their
-//!   wire behavior is identical.
+//!   wire behavior is identical — including `GET /metrics`, the Prometheus
+//!   text exposition of the server's [`metrics`] registry (latency
+//!   histograms, overload/lifecycle counters, journal timings) merged with
+//!   the process-global registry (RIS/MC stage timers from `atpm-obs`).
 //!
 //! [`client`] provides the in-process [`client::LocalClient`] (no sockets)
 //! and the socket [`client::HttpClient`] behind one [`client::ProtocolClient`]
@@ -70,6 +73,7 @@ pub mod http;
 pub mod journal;
 pub mod json;
 pub mod manager;
+pub mod metrics;
 pub mod protocol;
 pub mod server;
 pub mod snapshot;
@@ -77,6 +81,7 @@ pub mod snapshot;
 pub use client::{HttpClient, LocalClient, ProtocolClient};
 pub use json::Json;
 pub use manager::SessionManager;
+pub use metrics::ServeMetrics;
 pub use protocol::{ApiError, CreateSessionReq, Ledger, ObserveReq, PolicySpec, SnapshotReq};
 pub use server::{AppState, Backend, ServeConfig, Server};
 pub use snapshot::{Snapshot, SnapshotStore};

@@ -42,13 +42,14 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 use atpm_core::{AdaptiveSession, PolicyStepper, SessionState};
 use atpm_graph::Node;
 
 use crate::journal::{Journal, Record};
+use crate::metrics::ServeMetrics;
 use crate::protocol::{ApiError, CreateSessionReq, Ledger, ObserveReq};
 use crate::snapshot::{Snapshot, SnapshotStore};
 
@@ -169,6 +170,9 @@ pub struct SessionManager {
     /// Raised during [`recover`](Self::recover) so replayed transitions are
     /// not appended back to the journal they came from.
     replaying: AtomicBool,
+    /// Lifecycle counters + journal timings, when the owning server bound
+    /// them (a bare manager — unit tests, LocalClient — runs uncounted).
+    metrics: OnceLock<Arc<ServeMetrics>>,
 }
 
 impl SessionManager {
@@ -189,7 +193,14 @@ impl SessionManager {
             expired: Mutex::new(Tombstones::default()),
             journal: Mutex::new(None),
             replaying: AtomicBool::new(false),
+            metrics: OnceLock::new(),
         }
+    }
+
+    /// Binds the server's metrics so session lifecycle events and journal
+    /// I/O are counted. First bind wins; later calls are ignored.
+    pub fn bind_metrics(&self, metrics: Arc<ServeMetrics>) {
+        let _ = self.metrics.set(metrics);
     }
 
     /// Attaches a journal: every committed transition from here on is
@@ -208,7 +219,11 @@ impl SessionManager {
             .unwrap_or_else(|p| p.into_inner())
             .clone();
         if let Some(journal) = journal {
+            let t0 = Instant::now();
             let _ = journal.sync();
+            if let Some(m) = self.metrics.get() {
+                m.journal_fsync_seconds.record_duration(t0.elapsed());
+            }
         }
     }
 
@@ -227,7 +242,11 @@ impl SessionManager {
             .unwrap_or_else(|p| p.into_inner())
             .clone();
         if let Some(journal) = journal {
+            let t0 = Instant::now();
             let _ = journal.append(&make());
+            if let Some(m) = self.metrics.get() {
+                m.journal_append_seconds.record_duration(t0.elapsed());
+            }
         }
     }
 
@@ -300,6 +319,11 @@ impl SessionManager {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let token = format!("s{:08x}", splitmix64(id));
         let out = self.create_with_token(req, &token)?;
+        // Counted here (not in create_with_token) so journal recovery's
+        // replayed creates don't inflate the API counter.
+        if let Some(m) = self.metrics.get() {
+            m.sessions_created.inc();
+        }
         self.log(|| Record::Create {
             id,
             token,
@@ -398,6 +422,9 @@ impl SessionManager {
         }
         drop(tombstones);
         drop(table);
+        if let Some(m) = self.metrics.get() {
+            m.sessions_expired.add(stale.len() as u64);
+        }
         for token in &stale {
             self.log(|| Record::Delete {
                 token: token.clone(),
@@ -531,6 +558,13 @@ impl SessionManager {
             .remove(token)
             .is_some();
         if removed {
+            // Replay deletes (journal recovery discarding a diverged
+            // session) are bookkeeping, not API traffic.
+            if !self.replaying.load(Ordering::SeqCst) {
+                if let Some(m) = self.metrics.get() {
+                    m.sessions_deleted.inc();
+                }
+            }
             self.log(|| Record::Delete {
                 token: token.to_string(),
             });

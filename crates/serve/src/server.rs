@@ -23,57 +23,49 @@
 use std::collections::HashMap;
 use std::io::{self, BufReader};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
+use atpm_obs::tracer;
 use atpm_ris::CoverageScratch;
 
-use crate::http::{read_request, write_response, ReadOutcome, Request};
+use crate::http::{read_request, write_response, write_response_ct, ReadOutcome, Request};
 use crate::journal::Journal;
 use crate::json::Json;
 use crate::manager::SessionManager;
+use crate::metrics::ServeMetrics;
 use crate::protocol::{nodes_field, ApiError, CreateSessionReq, ObserveReq, SnapshotReq};
 use crate::snapshot::{Snapshot, SnapshotStore};
 
-/// Operational counters surfaced in `GET /healthz`. All fields are plain
-/// atomics updated by whichever backend is running; the pool backend has no
-/// dispatch queue, so its queue fields simply stay zero — keeping the two
-/// backends' healthz bodies byte-identical at rest.
-#[derive(Default)]
-pub struct ServeStats {
-    /// Jobs accepted but not yet picked up by a worker (epoll backend).
-    pub queue_depth: AtomicUsize,
-    /// Shed threshold: dispatches arriving at `queue_depth >= max_queue`
-    /// are answered `503 Retry-After` instead of queued. 0 disables.
-    pub max_queue: AtomicUsize,
-    /// Requests shed with 503 since boot.
-    pub shed_503: AtomicU64,
-    /// Sessions rebuilt from the journal at the last boot.
-    pub recovered_sessions: AtomicU64,
-    /// Raised when shutdown begins (graceful drain in progress).
-    pub draining: AtomicBool,
-}
-
-/// Everything the routes need: snapshot store + session manager.
+/// Everything the routes need: snapshot store + session manager + the
+/// metrics registry both `/healthz` and `/metrics` read from.
 pub struct AppState {
     /// Named snapshots.
     pub store: Arc<SnapshotStore>,
     /// Live sessions.
     pub manager: SessionManager,
-    /// Overload / durability counters (see [`ServeStats`]).
-    pub stats: ServeStats,
+    /// Overload / durability / latency metrics (see [`ServeMetrics`]).
+    /// `/healthz` reads the same atomics `/metrics` exports, so the two
+    /// endpoints cannot disagree.
+    pub metrics: Arc<ServeMetrics>,
 }
 
 impl AppState {
     /// Fresh state with an empty store.
     pub fn new() -> Arc<AppState> {
         let store = Arc::new(SnapshotStore::new());
-        Arc::new(AppState {
-            manager: SessionManager::new(store.clone()),
+        let metrics = Arc::new(ServeMetrics::new());
+        let manager = SessionManager::new(store.clone());
+        manager.bind_metrics(metrics.clone());
+        let state = Arc::new(AppState {
+            manager,
             store,
-            stats: ServeStats::default(),
-        })
+            metrics,
+        });
+        state.metrics.bind_state(&state);
+        state
     }
 }
 
@@ -90,32 +82,21 @@ pub fn route(
     let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
     match (method, segments.as_slice()) {
         ("GET", ["healthz"]) => {
-            let stats = &state.stats;
+            // Reads the same registry atomics /metrics exports; the body
+            // stays byte-identical to the pre-registry format (field order
+            // and JSON shapes are pinned by the pool/epoll differential
+            // tests).
+            let m = &state.metrics;
             Ok((
                 200,
                 Json::obj([
                     ("ok", Json::Bool(true)),
                     ("sessions", Json::UInt(state.manager.len() as u64)),
-                    (
-                        "queue_depth",
-                        Json::UInt(stats.queue_depth.load(Ordering::Relaxed) as u64),
-                    ),
-                    (
-                        "max_queue",
-                        Json::UInt(stats.max_queue.load(Ordering::Relaxed) as u64),
-                    ),
-                    (
-                        "shed_503",
-                        Json::UInt(stats.shed_503.load(Ordering::Relaxed)),
-                    ),
-                    (
-                        "recovered_sessions",
-                        Json::UInt(stats.recovered_sessions.load(Ordering::Relaxed)),
-                    ),
-                    (
-                        "draining",
-                        Json::Bool(stats.draining.load(Ordering::Relaxed)),
-                    ),
+                    ("queue_depth", Json::UInt(m.queue_depth.get().max(0) as u64)),
+                    ("max_queue", Json::UInt(m.max_queue.get().max(0) as u64)),
+                    ("shed_503", Json::UInt(m.shed_503.get())),
+                    ("recovered_sessions", Json::UInt(m.recovered_sessions.get())),
+                    ("draining", Json::Bool(m.draining.get() != 0)),
                 ]),
             ))
         }
@@ -210,14 +191,34 @@ pub fn route(
     }
 }
 
+/// A response payload: the protocol surface is JSON throughout, except
+/// `GET /metrics`, which serves the Prometheus text exposition.
+pub(crate) enum RespBody {
+    /// `application/json` (everything but /metrics).
+    Json(Json),
+    /// Pre-rendered text with an explicit content type (/metrics).
+    Text(&'static str, String),
+}
+
 /// Runs `route` on a raw request, folding parse failures and `ApiError`s
 /// into JSON error responses. Shared by both backends — the pool workers
 /// call it inline, the epoll workers via [`crate::epoll`].
+///
+/// `GET /metrics` is intercepted here, before the JSON router: the
+/// exposition is plain text, and rendering it inside `respond` (while
+/// request recording happens strictly after `respond` returns) is what
+/// keeps a scrape from observing itself.
 pub(crate) fn respond(
     state: &AppState,
     req: &Request,
     scratch: &mut CoverageScratch,
-) -> (u16, Json) {
+) -> (u16, RespBody) {
+    if req.method == "GET" && req.path == "/metrics" {
+        return (
+            200,
+            RespBody::Text(atpm_obs::CONTENT_TYPE, state.metrics.render()),
+        );
+    }
     let body = if req.body.is_empty() {
         Ok(Json::obj([]))
     } else {
@@ -240,8 +241,11 @@ pub(crate) fn respond(
         Err(msg) => Err(ApiError::bad_request(msg)),
     };
     match result {
-        Ok(ok) => ok,
-        Err(e) => (e.status, Json::obj([("error", Json::Str(e.message))])),
+        Ok((status, json)) => (status, RespBody::Json(json)),
+        Err(e) => (
+            e.status,
+            RespBody::Json(Json::obj([("error", Json::Str(e.message))])),
+        ),
     }
 }
 
@@ -311,6 +315,10 @@ pub struct ServeConfig {
     /// On shutdown, give in-flight requests this long to finish writing
     /// before connections are torn down (epoll backend only).
     pub drain_ms: u64,
+    /// Enable the process tracer at boot and dump Chrome trace-event JSON
+    /// (Perfetto / `chrome://tracing` loadable) to this path on shutdown.
+    /// `None` leaves tracing disabled (one relaxed load per would-be span).
+    pub trace_path: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -327,6 +335,7 @@ impl Default for ServeConfig {
             max_queue: 1_024,
             journal_path: None,
             drain_ms: 500,
+            trace_path: None,
         }
     }
 }
@@ -387,6 +396,8 @@ pub struct Server {
     /// Kept so shutdown can raise `draining` and fsync the journal after
     /// the last worker exits.
     state: Arc<AppState>,
+    /// Where shutdown dumps the Chrome trace, when tracing was enabled.
+    trace_path: Option<String>,
 }
 
 impl Server {
@@ -404,18 +415,20 @@ impl Server {
         if let Some(budget) = cfg.snapshot_budget_bytes {
             state.store.set_budget(budget);
         }
-        state
-            .stats
-            .max_queue
-            .store(cfg.max_queue, Ordering::Relaxed);
+        state.metrics.max_queue.set(cfg.max_queue as i64);
+        if cfg.trace_path.is_some() {
+            tracer().set_enabled(true);
+        }
         if let Some(path) = &cfg.journal_path {
             let (journal, records) = Journal::open(path)?;
+            let t_replay = Instant::now();
             let recovered = state.manager.recover(&records);
-            state.manager.attach_journal(Arc::new(journal));
             state
-                .stats
-                .recovered_sessions
-                .store(recovered as u64, Ordering::Relaxed);
+                .metrics
+                .journal_replay_seconds
+                .record_duration(t_replay.elapsed());
+            state.manager.attach_journal(Arc::new(journal));
+            state.metrics.recovered_sessions.add(recovered as u64);
         }
         if cfg.backend == Backend::Epoll {
             match crate::epoll::EpollBackend::start(state.clone(), cfg, &listener, stop.clone()) {
@@ -426,6 +439,7 @@ impl Server {
                         backend: ServerBackend::Epoll(backend),
                         effective: Backend::Epoll,
                         state,
+                        trace_path: cfg.trace_path.clone(),
                     })
                 }
                 Err(e) if e.kind() == io::ErrorKind::Unsupported => {
@@ -489,6 +503,7 @@ impl Server {
             },
             effective: Backend::Pool,
             state,
+            trace_path: cfg.trace_path.clone(),
         }
     }
 
@@ -509,7 +524,7 @@ impl Server {
         if self.stop.swap(true, Ordering::SeqCst) {
             return;
         }
-        self.state.stats.draining.store(true, Ordering::Relaxed);
+        self.state.metrics.draining.set(1);
         match &mut self.backend {
             ServerBackend::Pool {
                 conns,
@@ -534,6 +549,12 @@ impl Server {
         // Every worker has exited: nothing appends anymore, so this is the
         // durability barrier for everything the journal holds.
         self.state.manager.sync_journal();
+        if let Some(path) = self.trace_path.take() {
+            match std::fs::write(&path, tracer().drain_json()) {
+                Ok(()) => eprintln!("# trace written to {path}"),
+                Err(e) => eprintln!("# trace write to {path} failed: {e}"),
+            }
+        }
     }
 }
 
@@ -561,7 +582,12 @@ fn worker_loop(listener: &TcpListener, state: &AppState, stop: &AtomicBool, conn
             conns.deregister(id);
             return;
         }
+        // Mirror the reactor's connection counters at the equivalent
+        // points (accept here, close below) so the two backends' /metrics
+        // bodies agree at rest.
+        state.metrics.net.accepts.inc();
         let _ = serve_connection(stream, state, stop, &mut scratch);
+        state.metrics.net.conns_closed.inc();
         conns.deregister(id);
     }
 }
@@ -587,9 +613,22 @@ fn serve_connection(
                 return Ok(());
             }
             ReadOutcome::Ok(req) => {
+                // `dispatches` counts before respond (the reactor counts at
+                // job dispatch); request latency records strictly after, so
+                // a /metrics scrape never observes itself.
+                state.metrics.net.dispatches.inc();
+                let t0 = Instant::now();
                 let (status, body) = respond(state, &req, scratch);
+                state.metrics.record_request(&req.method, &req.path, t0);
                 let keep = !req.wants_close();
-                write_response(&mut writer, status, body.encode().as_bytes(), keep)?;
+                match &body {
+                    RespBody::Json(json) => {
+                        write_response(&mut writer, status, json.encode().as_bytes(), keep)?
+                    }
+                    RespBody::Text(ct, text) => {
+                        write_response_ct(&mut writer, status, ct, text.as_bytes(), keep, &[])?
+                    }
+                }
                 if !keep {
                     return Ok(());
                 }
