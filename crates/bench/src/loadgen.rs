@@ -618,6 +618,75 @@ fn scrape_server_side(addr: &str, prev_requests: &mut u64) -> Result<ServerSide,
     })
 }
 
+/// One on-demand CPU-profile window taken *under load*: a background
+/// thread hammers the CPU-heavy HATP session path while the main thread
+/// asks the server for `GET /debug/profile?seconds=1`. Hard-fails when the
+/// window answers non-200, comes back empty, any folded line fails to
+/// parse, or no hot stack reaches the sampling core (`atpm_ris` /
+/// `atpm_diffusion` frames) — an empty or rootless profile means the
+/// SIGPROF profiler, the frame-pointer unwinder, or the symbolizer
+/// regressed, and the bench report would be measuring a broken tool.
+fn drive_profile(addr: &str, cfg: &LoadgenConfig) -> Result<(), String> {
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let driver = {
+        let stop = stop.clone();
+        let addr = addr.to_string();
+        let seed = cfg.seed;
+        std::thread::spawn(move || {
+            let mut client = RetryClient::connect(&addr, seed | 1);
+            let mut i = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let req = CreateSessionReq {
+                    snapshot: "bench".into(),
+                    policy: policy_spec("hatp", seed ^ i).expect("hatp is a known policy"),
+                    world_seed: seed.wrapping_add(i),
+                };
+                // Errors here are tolerable (the server may be busy inside
+                // the profile window); the window assertion below is the
+                // actual check.
+                let _ = client.run_session(&req);
+                i += 1;
+            }
+        })
+    };
+    let result = (|| {
+        let mut client =
+            HttpClient::connect(addr).map_err(|e| format!("profile: connect {addr}: {e}"))?;
+        let (status, folded) = client
+            .get_text("/debug/profile?seconds=1")
+            .map_err(|e| format!("profile: {e}"))?;
+        if status != 200 {
+            return Err(format!(
+                "profile: /debug/profile answered {status}: {folded}"
+            ));
+        }
+        if folded.trim().is_empty() {
+            return Err("profile: empty folded output".into());
+        }
+        let mut hot = false;
+        for line in folded.lines() {
+            let (stack, count) = line
+                .rsplit_once(' ')
+                .ok_or_else(|| format!("profile: bad folded line {line:?}"))?;
+            count
+                .parse::<u64>()
+                .map_err(|_| format!("profile: bad count in folded line {line:?}"))?;
+            if stack.contains("atpm_ris") || stack.contains("atpm_diffusion") {
+                hot = true;
+            }
+        }
+        if !hot {
+            return Err("profile: no atpm_ris/atpm_diffusion frames in any sampled stack".into());
+        }
+        Ok(())
+    })();
+    stop.store(true, Ordering::Relaxed);
+    driver
+        .join()
+        .map_err(|_| "profile: session driver panicked".to_string())?;
+    result
+}
+
 /// The snapshot every loadgen run measures against.
 pub fn snapshot_req(cfg: &LoadgenConfig) -> SnapshotReq {
     SnapshotReq {
@@ -799,6 +868,11 @@ pub fn run(cfg: &LoadgenConfig) -> Result<Vec<LevelReport>, String> {
             &mut srv_requests_seen,
         )?);
     }
+
+    // One profile window under load closes every run: the hot frames must
+    // land in the sampling core, or the run fails (the CI profile-smoke
+    // contract; see `drive_profile`).
+    drive_profile(&addr, cfg)?;
 
     if let Some(server) = own_server.as_mut() {
         server.shutdown();

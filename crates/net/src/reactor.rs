@@ -82,6 +82,11 @@ pub struct Reply {
     pub bytes: Vec<u8>,
     /// `false` closes the connection once the bytes are flushed.
     pub keep_alive: bool,
+    /// Request id for diagnostics: when set, the reactor attaches it to
+    /// the `inflight` span so a trace links back to the `X-Request-Id`
+    /// the client saw. Workers only populate it while tracing is enabled
+    /// (it is an allocation the hot path otherwise skips).
+    pub id: Option<String>,
 }
 
 /// The completion side of a shard: worker threads push, the waker fires,
@@ -575,7 +580,13 @@ impl Reactor {
             conn.busy = false;
             conn.last_activity_ms = now;
             if let Some(start) = conn.dispatched_at.take() {
-                tracer().record("net", "inflight", start, start.elapsed());
+                tracer().record_with_id(
+                    "net",
+                    "inflight",
+                    start,
+                    start.elapsed(),
+                    reply.id.as_deref(),
+                );
             }
             conn.write.push(&reply.bytes);
             if !reply.keep_alive {

@@ -45,6 +45,7 @@ impl Driver for EchoDriver {
             conn,
             bytes: frame.to_ascii_uppercase(),
             keep_alive: true,
+            id: None,
         });
     }
 }
@@ -284,6 +285,7 @@ fn graceful_drain_answers_in_flight_work_before_exit() {
                     conn,
                     bytes: frame.to_ascii_uppercase(),
                     keep_alive: true,
+                    id: None,
                 });
             });
         }

@@ -34,12 +34,14 @@ fn echo_reply(conn: ConnId, frame: &[u8]) -> Reply {
             conn,
             bytes: b"ERR\n".to_vec(),
             keep_alive: false,
+            id: None,
         };
     }
     Reply {
         conn,
         bytes: frame.to_ascii_uppercase(),
         keep_alive: true,
+        id: None,
     }
 }
 

@@ -223,7 +223,10 @@ impl Scrape {
     /// its cumulative bucket lines. The estimate is the upper bound of the
     /// bucket holding the requested rank, so it is conservative: at most
     /// one bucket width (≤ 12.5% relative) above the true value. Returns
-    /// `None` when the histogram is absent or empty.
+    /// `None` when the histogram is absent or empty, and `None` when all
+    /// mass sits in the `+Inf` bucket (no finite upper bound exists —
+    /// reporting 0.0 there would under-state an over-range latency).
+    /// `q` outside `[0, 1]` clamps to the extreme ranks.
     pub fn histogram_quantile(&self, name: &str, labels: &[(&str, &str)], q: f64) -> Option<f64> {
         let bucket_name = format!("{name}_bucket");
         let mut buckets: Vec<(f64, f64)> = Vec::new();
@@ -260,16 +263,22 @@ impl Scrape {
             return None;
         }
         let rank = (q * total).ceil().clamp(1.0, total);
-        let mut best_finite = 0.0f64;
+        let mut best_finite = None;
         for &(le, cum) in &buckets {
             if le.is_finite() {
-                best_finite = le;
+                best_finite = Some(le);
             }
             if cum >= rank {
-                return Some(if le.is_finite() { le } else { best_finite });
+                // Rank falls in +Inf: fall back to the largest finite
+                // bound, or admit there is none.
+                return if le.is_finite() {
+                    Some(le)
+                } else {
+                    best_finite
+                };
             }
         }
-        Some(best_finite)
+        best_finite
     }
 }
 
@@ -404,5 +413,81 @@ mod tests {
         r2.histogram("h_seconds", "h");
         assert_eq!(render(&[&r1]), render(&[&r2]));
         assert!(render(&[&r1]).contains("h_seconds_bucket{le=\"+Inf\"} 0"));
+    }
+
+    #[test]
+    fn histogram_quantile_of_empty_or_absent_histogram_is_none() {
+        let text = "\
+# TYPE h_seconds histogram
+h_seconds_bucket{le=\"0.5\"} 0
+h_seconds_bucket{le=\"+Inf\"} 0
+h_seconds_sum 0
+h_seconds_count 0
+";
+        let scrape = Scrape::parse(text).unwrap();
+        assert_eq!(scrape.histogram_quantile("h_seconds", &[], 0.5), None);
+        assert_eq!(scrape.histogram_quantile("missing_seconds", &[], 0.5), None);
+    }
+
+    #[test]
+    fn histogram_quantile_with_all_mass_in_inf_bucket_is_none() {
+        // Every observation exceeded the largest finite bound: there is
+        // no finite upper estimate, and 0.0 would be a lie.
+        let text = "\
+# TYPE h_seconds histogram
+h_seconds_bucket{le=\"+Inf\"} 5
+h_seconds_sum 50
+h_seconds_count 5
+";
+        let scrape = Scrape::parse(text).unwrap();
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(
+                scrape.histogram_quantile("h_seconds", &[], q),
+                None,
+                "q={q}"
+            );
+        }
+    }
+
+    #[test]
+    fn histogram_quantile_single_finite_bucket_answers_every_quantile() {
+        let text = "\
+# TYPE h_seconds histogram
+h_seconds_bucket{le=\"0.25\"} 7
+h_seconds_bucket{le=\"+Inf\"} 7
+h_seconds_sum 1
+h_seconds_count 7
+";
+        let scrape = Scrape::parse(text).unwrap();
+        for q in [0.0, 0.01, 0.5, 0.999, 1.0] {
+            assert_eq!(
+                scrape.histogram_quantile("h_seconds", &[], q),
+                Some(0.25),
+                "q={q}"
+            );
+        }
+    }
+
+    #[test]
+    fn histogram_quantile_clamps_extreme_quantiles_to_extreme_ranks() {
+        let text = "\
+# TYPE h_seconds histogram
+h_seconds_bucket{le=\"0.1\"} 2
+h_seconds_bucket{le=\"0.2\"} 3
+h_seconds_bucket{le=\"0.4\"} 9
+h_seconds_bucket{le=\"+Inf\"} 10
+h_seconds_sum 3
+h_seconds_count 10
+";
+        let scrape = Scrape::parse(text).unwrap();
+        // q=0.0 clamps to rank 1 → first non-empty bucket; q=1.0 is rank
+        // 10, which falls in +Inf → the largest finite bound. Values
+        // outside [0, 1] clamp the same way instead of panicking.
+        assert_eq!(scrape.histogram_quantile("h_seconds", &[], 0.0), Some(0.1));
+        assert_eq!(scrape.histogram_quantile("h_seconds", &[], -3.0), Some(0.1));
+        assert_eq!(scrape.histogram_quantile("h_seconds", &[], 1.0), Some(0.4));
+        assert_eq!(scrape.histogram_quantile("h_seconds", &[], 7.5), Some(0.4));
+        // Interior sanity: rank 5 (q=0.5) lands in the 0.4 bucket.
+        assert_eq!(scrape.histogram_quantile("h_seconds", &[], 0.5), Some(0.4));
     }
 }

@@ -5,16 +5,25 @@
 //! is one relaxed atomic load — no clock read, no lock, no allocation —
 //! so instrumentation can stay in the hot paths permanently (the bench
 //! regression gate runs with tracing disabled and must not move). Enabled,
-//! spans buffer into a bounded in-memory vector; [`Tracer::drain_json`]
+//! spans buffer into a bounded drop-oldest ring; [`Tracer::drain_json`]
 //! serializes and clears it. Event names are `&'static str` so recording
-//! allocates nothing until the buffer itself grows.
+//! allocates nothing until the ring itself grows; the optional per-event
+//! request id ([`Tracer::record_with_id`]) is the one owned allocation,
+//! paid only while tracing is on.
+//!
+//! The ring drops **oldest** events when full: a long-running traced
+//! process keeps the most recent history, and the cumulative
+//! [`Tracer::dropped_total`] count (exported as
+//! `atpm_obs_trace_dropped_total`) tells a scrape how much was shed.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
-/// Hard cap on buffered events; past it events are counted but dropped.
-const EVENT_CAP: usize = 1 << 20;
+/// Default cap on buffered events; past it the oldest are evicted (and
+/// counted). Tunable via [`Tracer::set_cap`].
+pub const DEFAULT_EVENT_CAP: usize = 1 << 20;
 
 struct Event {
     name: &'static str,
@@ -22,14 +31,17 @@ struct Event {
     tid: u64,
     ts_ns: u64,
     dur_ns: u64,
+    /// Request id rendered as `"args":{"id":...}` when present.
+    id: Option<Box<str>>,
 }
 
 /// The global trace collector. See the module docs.
 pub struct Tracer {
     enabled: AtomicBool,
     t0: Instant,
-    events: Mutex<Vec<Event>>,
+    events: Mutex<VecDeque<Event>>,
     thread_names: Mutex<Vec<(u64, String)>>,
+    cap: AtomicUsize,
     dropped: AtomicU64,
 }
 
@@ -40,8 +52,9 @@ pub fn tracer() -> &'static Tracer {
     TRACER.get_or_init(|| Tracer {
         enabled: AtomicBool::new(false),
         t0: Instant::now(),
-        events: Mutex::new(Vec::new()),
+        events: Mutex::new(VecDeque::new()),
         thread_names: Mutex::new(Vec::new()),
+        cap: AtomicUsize::new(DEFAULT_EVENT_CAP),
         dropped: AtomicU64::new(0),
     })
 }
@@ -66,6 +79,19 @@ impl Tracer {
         self.enabled.store(on, Ordering::Relaxed);
     }
 
+    /// Changes the ring capacity (minimum 1). Existing excess events are
+    /// evicted (and counted) on the next record.
+    pub fn set_cap(&self, cap: usize) {
+        self.cap.store(cap.max(1), Ordering::Relaxed);
+    }
+
+    /// Events evicted from the ring since process start. Cumulative —
+    /// draining does not reset it (it backs the monotone
+    /// `atpm_obs_trace_dropped_total` counter).
+    pub fn dropped_total(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
     /// Opens a span; its duration records when the guard drops. Returns an
     /// inert guard when disabled.
     pub fn span(&'static self, cat: &'static str, name: &'static str) -> Span {
@@ -78,6 +104,20 @@ impl Tracer {
     /// measured the interval itself (queue waits, stage timers). No-op
     /// when disabled.
     pub fn record(&self, cat: &'static str, name: &'static str, start: Instant, dur: Duration) {
+        self.record_with_id(cat, name, start, dur, None);
+    }
+
+    /// [`Tracer::record`] carrying a request id, rendered into the
+    /// event's `args` so a span in the trace viewer links back to the
+    /// `X-Request-Id` a client saw.
+    pub fn record_with_id(
+        &self,
+        cat: &'static str,
+        name: &'static str,
+        start: Instant,
+        dur: Duration,
+        id: Option<&str>,
+    ) {
         if !self.enabled() {
             return;
         }
@@ -85,17 +125,19 @@ impl Tracer {
             .checked_duration_since(self.t0)
             .unwrap_or_default()
             .as_nanos() as u64;
+        let cap = self.cap.load(Ordering::Relaxed).max(1);
         let mut events = self.events.lock().unwrap_or_else(|p| p.into_inner());
-        if events.len() >= EVENT_CAP {
+        while events.len() >= cap {
+            events.pop_front();
             self.dropped.fetch_add(1, Ordering::Relaxed);
-            return;
         }
-        events.push(Event {
+        events.push_back(Event {
             name,
             cat,
             tid: thread_id(),
             ts_ns,
             dur_ns: dur.as_nanos() as u64,
+            id: id.map(Box::from),
         });
     }
 
@@ -152,11 +194,15 @@ impl Tracer {
             push_us(&mut out, e.ts_ns);
             out.push_str(",\"dur\":");
             push_us(&mut out, e.dur_ns);
+            if let Some(id) = &e.id {
+                out.push_str(",\"args\":{\"id\":\"");
+                escape_into(&mut out, id);
+                out.push_str("\"}");
+            }
             out.push('}');
         }
-        let dropped = self.dropped.swap(0, Ordering::Relaxed);
         out.push_str("],\"displayTimeUnit\":\"ns\",\"otherData\":{\"dropped_events\":\"");
-        out.push_str(&dropped.to_string());
+        out.push_str(&self.dropped_total().to_string());
         out.push_str("\"}}");
         out
     }
@@ -216,7 +262,7 @@ mod tests {
     }
 
     #[test]
-    fn spans_drain_as_chrome_json() {
+    fn spans_drain_as_chrome_json_with_request_id_args() {
         let _g = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
         let t = tracer();
         t.drain_json(); // reset any residue
@@ -226,12 +272,56 @@ mod tests {
             let _s = t.span("cat", "work");
             std::thread::sleep(Duration::from_millis(1));
         }
+        t.record_with_id(
+            "net",
+            "inflight",
+            Instant::now(),
+            Duration::from_micros(5),
+            Some("req-00000000000000aa"),
+        );
         t.set_enabled(false);
         let json = t.drain_json();
         assert!(json.starts_with("{\"traceEvents\":["));
         assert!(json.contains("\"name\":\"work\""));
         assert!(json.contains("\"ph\":\"X\""));
         assert!(json.contains("\"thread_name\""));
+        assert!(
+            json.contains("\"args\":{\"id\":\"req-00000000000000aa\"}"),
+            "request id must land in span args: {json}"
+        );
         assert_eq!(t.pending(), 0, "drain must clear the buffer");
+    }
+
+    #[test]
+    fn ring_caps_drop_oldest_and_count_cumulatively() {
+        let _g = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+        let t = tracer();
+        t.drain_json();
+        let dropped_before = t.dropped_total();
+        t.set_cap(4);
+        t.set_enabled(true);
+        const NAMES: [&str; 6] = ["e0", "e1", "e2", "e3", "e4", "e5"];
+        for name in NAMES {
+            t.record("test", name, Instant::now(), Duration::from_micros(1));
+        }
+        t.set_enabled(false);
+        assert_eq!(t.pending(), 4, "ring holds exactly the cap");
+        assert_eq!(
+            t.dropped_total() - dropped_before,
+            2,
+            "two oldest evicted and counted"
+        );
+        let json = t.drain_json();
+        assert!(
+            !json.contains("\"e0\"") && !json.contains("\"e1\""),
+            "oldest gone: {json}"
+        );
+        assert!(json.contains("\"e5\""), "newest kept: {json}");
+        assert_eq!(
+            t.dropped_total(),
+            dropped_before + 2,
+            "drain must not reset the cumulative drop count"
+        );
+        t.set_cap(DEFAULT_EVENT_CAP);
     }
 }

@@ -18,6 +18,11 @@
 //!                              replayed on restart (default: none)
 //!        --trace PATH          enable span tracing; dump Chrome trace-event
 //!                              JSON (Perfetto-loadable) here on shutdown
+//!        --profile-hz HZ       arm the SIGPROF sampling CPU profiler at HZ
+//!                              samples/sec of process CPU time; dump folded
+//!                              stacks on shutdown (default: off)
+//!        --profile-out PATH    where the shutdown dump goes
+//!                              (default atpm-profile.folded)
 //!        --drain-ms MS         graceful-shutdown drain window (default 500)
 //!        --snapshot-budget MB  snapshot-store LRU byte budget (default: unbounded)
 //!        --preset NAME         preload a snapshot from a Table II preset
@@ -95,6 +100,12 @@ fn parse(args: &[String]) -> Result<Args, String> {
             }
             "--journal" => cfg.journal_path = Some(value_of("--journal")?),
             "--trace" => cfg.trace_path = Some(value_of("--trace")?),
+            "--profile-hz" => {
+                cfg.profile_hz = value_of("--profile-hz")?
+                    .parse()
+                    .map_err(|e| format!("bad --profile-hz: {e}"))?;
+            }
+            "--profile-out" => cfg.profile_path = Some(value_of("--profile-out")?),
             "--drain-ms" => {
                 cfg.drain_ms = value_of("--drain-ms")?
                     .parse()
@@ -171,13 +182,23 @@ fn main() {
                 "usage: atpm-served [--addr HOST:PORT] [--backend epoll|pool] \
                  [--workers N] [--shards N] [--session-ttl SECS] \
                  [--idle-timeout SECS] [--max-queue N] [--journal PATH] \
-                 [--trace PATH] [--drain-ms MS] [--snapshot-budget MB] \
+                 [--trace PATH] [--profile-hz HZ] [--profile-out PATH] \
+                 [--drain-ms MS] [--snapshot-budget MB] \
                  [--preset NAME | --graph PATH] \
                  [--name NAME] [--scale F] [--k N] [--rr-theta N] [--seed S]"
             );
             std::process::exit(2);
         }
     };
+    // Arm the profiler before the boot snapshot build, not just in
+    // `Server::start`: the build is the heaviest CPU this process may ever
+    // run, and the shutdown dump should include it. `Server::start` re-arms
+    // at the same rate (idempotent) and owns the dump path.
+    if args.cfg.profile_hz > 0 {
+        if let Err(e) = atpm_net::sys::profiler_arm(args.cfg.profile_hz) {
+            eprintln!("# warning: profiler unavailable ({e}); continuing without");
+        }
+    }
     let state = AppState::new();
     if let Some(req) = &args.snapshot {
         eprintln!("# building snapshot '{}'...", req.name);

@@ -39,7 +39,7 @@ use atpm_ris::CoverageScratch;
 
 use crate::http::{self, FrameStatus};
 use crate::json::Json;
-use crate::server::{respond, AppState, RespBody, ServeConfig};
+use crate::server::{request_id, respond, valid_request_id, AppState, RespBody, ServeConfig};
 
 /// A complete request frame on its way to a worker, with the return
 /// address (shard queue + connection) attached.
@@ -55,6 +55,28 @@ struct Job {
 fn error_bytes(status: u16, message: &str) -> Vec<u8> {
     let body = Json::obj([("error", Json::Str(message.to_string()))]).encode();
     http::encode_response(status, body.as_bytes(), false)
+}
+
+/// Cheap header scan for a client-supplied `X-Request-Id` in a raw frame.
+///
+/// The shed path answers 503 from the reactor thread *without* parsing the
+/// request, but an overloaded rejection should still echo the caller's id
+/// so it can be correlated client-side. Only a valid id (per
+/// [`valid_request_id`]) is returned; the generated-id counter is never
+/// consumed here, keeping generated sequences identical across backends.
+fn shed_request_id(frame: &[u8]) -> Option<&str> {
+    let head_end = frame.windows(4).position(|w| w == b"\r\n\r\n")?;
+    for line in frame[..head_end].split(|&b| b == b'\n') {
+        let line = line.strip_suffix(b"\r").unwrap_or(line);
+        let Some(colon) = line.iter().position(|&b| b == b':') else {
+            continue; // request line, or a fragment with no header syntax
+        };
+        if line[..colon].eq_ignore_ascii_case(b"x-request-id") {
+            let value = std::str::from_utf8(&line[colon + 1..]).ok()?.trim();
+            return valid_request_id(value).then_some(value);
+        }
+    }
+    None
 }
 
 /// The HTTP protocol plugged into a reactor shard.
@@ -87,15 +109,15 @@ impl Driver for HttpDriver {
             m.shed_503.inc();
             let body =
                 Json::obj([("error", Json::Str("server overloaded; retry later".into()))]).encode();
+            let mut extra = vec![("retry-after", "1")];
+            if let Some(id) = shed_request_id(&frame) {
+                extra.push(("x-request-id", id));
+            }
             replies.push(Reply {
                 conn,
-                bytes: http::encode_response_with(
-                    503,
-                    body.as_bytes(),
-                    false,
-                    &[("retry-after", "1")],
-                ),
+                bytes: http::encode_response_with(503, body.as_bytes(), false, &extra),
                 keep_alive: false,
+                id: None,
             });
             return;
         }
@@ -155,31 +177,45 @@ fn worker_loop(rx: &Mutex<mpsc::Receiver<Job>>, state: &AppState) {
             Ok(req) => {
                 // Latency (and the queue wait measured above) record
                 // strictly after respond — same discipline as the pool
-                // backend, so a /metrics scrape never counts itself and an
+                // backend, so a /metrics scrape never counts itself, a
+                // /debug/events tail never lists its own request, and an
                 // at-rest exposition is byte-identical across backends.
+                let rid = request_id(state, &req);
                 let t0 = Instant::now();
                 let (status, body) = respond(state, &req, &mut scratch);
                 m.queue_wait_seconds.record_duration(waited);
                 m.record_request(&req.method, &req.path, t0);
+                state.events.record(
+                    "http",
+                    &rid,
+                    &format!("{} {}", req.method, req.path),
+                    status,
+                    t0.elapsed(),
+                );
                 let keep = !req.wants_close();
+                let extra = [("x-request-id", rid.as_str())];
                 let bytes = match &body {
                     RespBody::Json(json) => {
-                        http::encode_response(status, json.encode().as_bytes(), keep)
+                        http::encode_response_with(status, json.encode().as_bytes(), keep, &extra)
                     }
                     RespBody::Text(ct, text) => {
-                        http::encode_response_ct(status, ct, text.as_bytes(), keep, &[])
+                        http::encode_response_ct(status, ct, text.as_bytes(), keep, &extra)
                     }
                 };
                 Reply {
                     conn: job.conn,
                     bytes,
                     keep_alive: keep,
+                    // Reply ids feed the reactor's per-request span args;
+                    // skip the clone entirely when tracing is off.
+                    id: atpm_obs::tracer().enabled().then(|| rid.clone()),
                 }
             }
             Err((status, message)) => Reply {
                 conn: job.conn,
                 bytes: error_bytes(status, &message),
                 keep_alive: false,
+                id: None,
             },
         };
         job.replies.push(reply);

@@ -36,6 +36,8 @@ pub struct Request {
     pub method: String,
     /// Path with any `?query` suffix stripped.
     pub path: String,
+    /// The raw query string after `?` (no decoding), empty when absent.
+    pub query: String,
     /// Lowercased header names with trimmed values, in arrival order.
     pub headers: Vec<(String, String)>,
     /// Raw body bytes (`Content-Length`-delimited; empty if absent).
@@ -61,6 +63,16 @@ impl Request {
     /// `["sessions", "s1", "next"]`.
     pub fn segments(&self) -> Vec<&str> {
         self.path.split('/').filter(|s| !s.is_empty()).collect()
+    }
+
+    /// First value of `key` in the query string (`?seconds=2&n=50`). No
+    /// percent-decoding — the `/debug/*` parameters are plain integers.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query
+            .split('&')
+            .filter_map(|pair| pair.split_once('='))
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| v)
     }
 }
 
@@ -105,9 +117,14 @@ fn parse_head(lines: &[Vec<u8>]) -> Result<(Request, Option<usize>), (u16, Strin
         headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
     }
 
+    let (path, query) = match target.split_once('?') {
+        Some((path, query)) => (path, query),
+        None => (target, ""),
+    };
     let req = Request {
         method: method.to_ascii_uppercase(),
-        path: target.split('?').next().unwrap_or(target).to_string(),
+        path: path.to_string(),
+        query: query.to_string(),
         headers,
         body: Vec::new(),
     };

@@ -35,7 +35,7 @@ use crate::server::AppState;
 /// Route labels for `atpm_http_route_seconds`, in registration (and
 /// therefore stable exposition) order. The last entry absorbs anything the
 /// router 404s.
-pub const ROUTE_KEYS: [&str; 13] = [
+pub const ROUTE_KEYS: [&str; 15] = [
     "healthz",
     "metrics",
     "snapshots_list",
@@ -48,6 +48,8 @@ pub const ROUTE_KEYS: [&str; 13] = [
     "session_observe",
     "session_ledger",
     "session_delete",
+    "debug_profile",
+    "debug_events",
     "other",
 ];
 
@@ -69,7 +71,9 @@ pub fn route_index(method: &str, path: &str) -> usize {
         ("POST", ["sessions", _, "observe"]) => 9,
         ("GET", ["sessions", _, "ledger"]) => 10,
         ("DELETE", ["sessions", _]) => 11,
-        _ => 12,
+        ("GET", ["debug", "profile"]) => 12,
+        ("GET", ["debug", "events"]) => 13,
+        _ => 14,
     }
 }
 
@@ -120,6 +124,11 @@ impl ServeMetrics {
     /// render-time fault-injection counters (process-wide tallies from
     /// `atpm_net::fault` — one source of truth, no shadow copy).
     pub fn new() -> ServeMetrics {
+        // Process-wide runtime metrics (RSS / CPU / fds, trace- and
+        // profile-drop counters) live on the global registry; registering
+        // here is idempotent (last registration wins) and keeps them out of
+        // library-crate init paths.
+        atpm_obs::register_runtime_metrics();
         let registry = Registry::new();
         let net = NetMetrics::register(&registry);
         const ROUTE_HELP: &str = "Request handling wall time by route, seconds";
@@ -211,6 +220,18 @@ impl ServeMetrics {
         );
     }
 
+    /// Registers the event-log drop counter over this server's bounded
+    /// `/debug/events` ring. Called once by [`AppState::new`].
+    pub(crate) fn bind_events(&self, events: &Arc<atpm_obs::EventLog>) {
+        let weak = Arc::downgrade(events);
+        self.registry.counter_fn(
+            "atpm_serve_events_dropped_total",
+            &[],
+            "Structured event records evicted from the /debug/events ring",
+            move || weak.upgrade().map_or(0, |e| e.dropped()),
+        );
+    }
+
     /// Renders the Prometheus text exposition: this server's registry
     /// merged with the process-global one (RIS/MC stage timers).
     pub fn render(&self) -> String {
@@ -253,6 +274,9 @@ mod tests {
             ("POST", "/sessions/s1/observe", "session_observe"),
             ("GET", "/sessions/s1/ledger", "session_ledger"),
             ("DELETE", "/sessions/s1", "session_delete"),
+            ("GET", "/debug/profile", "debug_profile"),
+            ("GET", "/debug/events", "debug_events"),
+            ("POST", "/debug/profile", "other"),
             ("PATCH", "/healthz", "other"),
             ("GET", "/nope", "other"),
         ];

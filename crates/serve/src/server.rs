@@ -31,7 +31,9 @@ use std::time::Instant;
 use atpm_obs::tracer;
 use atpm_ris::CoverageScratch;
 
-use crate::http::{read_request, write_response, write_response_ct, ReadOutcome, Request};
+use crate::http::{
+    read_request, write_response, write_response_ct, write_response_with, ReadOutcome, Request,
+};
 use crate::journal::Journal;
 use crate::json::Json;
 use crate::manager::SessionManager;
@@ -50,6 +52,13 @@ pub struct AppState {
     /// `/healthz` reads the same atomics `/metrics` exports, so the two
     /// endpoints cannot disagree.
     pub metrics: Arc<ServeMetrics>,
+    /// Structured request event ring behind `GET /debug/events`.
+    pub events: Arc<atpm_obs::EventLog>,
+    /// Generated `X-Request-Id` sequence. Consumed only for *parsed*
+    /// requests that arrive without a usable client id — never for
+    /// malformed input or shed jobs — so fresh-boot id sequences are
+    /// byte-identical across the pool and epoll backends.
+    request_seq: AtomicU64,
 }
 
 impl AppState {
@@ -63,10 +72,41 @@ impl AppState {
             manager,
             store,
             metrics,
+            events: Arc::new(atpm_obs::EventLog::with_cap(4_096)),
+            request_seq: AtomicU64::new(0),
         });
         state.metrics.bind_state(&state);
+        state.metrics.bind_events(&state.events);
         state
     }
+}
+
+/// The request's diagnostic id: the client's `X-Request-Id` when it is
+/// usable (non-empty, ≤ 64 bytes, RFC 7230 token characters only — it is
+/// echoed into a response header, so anything that could smuggle header
+/// syntax is refused), else the next generated `req-{seq:016x}`. Both
+/// backends call this once per parsed request, before `respond`.
+pub(crate) fn request_id(state: &AppState, req: &Request) -> String {
+    if let Some(id) = req.header("x-request-id") {
+        if valid_request_id(id) {
+            return id.to_string();
+        }
+    }
+    format!(
+        "req-{:016x}",
+        state.request_seq.fetch_add(1, Ordering::Relaxed)
+    )
+}
+
+/// Whether a client-supplied `X-Request-Id` is safe to echo back.
+pub(crate) fn valid_request_id(id: &str) -> bool {
+    !id.is_empty() && id.len() <= 64 && id.bytes().all(is_tchar)
+}
+
+/// RFC 7230 `tchar`: the characters legal in a token (and therefore safe
+/// to echo verbatim inside a header value).
+fn is_tchar(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b"!#$%&'*+-.^_`|~".contains(&b)
 }
 
 /// Dispatches one protocol call. Both the HTTP workers and the in-process
@@ -219,6 +259,20 @@ pub(crate) fn respond(
             RespBody::Text(atpm_obs::CONTENT_TYPE, state.metrics.render()),
         );
     }
+    if req.method == "GET" && req.path == "/debug/profile" {
+        return debug_profile(req);
+    }
+    if req.method == "GET" && req.path == "/debug/events" {
+        let n = req
+            .query_param("n")
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(100)
+            .clamp(1, 4_096);
+        return (
+            200,
+            RespBody::Text("text/plain; charset=utf-8", state.events.render_tail(n)),
+        );
+    }
     let body = if req.body.is_empty() {
         Ok(Json::obj([]))
     } else {
@@ -245,6 +299,47 @@ pub(crate) fn respond(
         Err(e) => (
             e.status,
             RespBody::Json(Json::obj([("error", Json::Str(e.message))])),
+        ),
+    }
+}
+
+/// `GET /debug/profile?seconds=N`: a windowed CPU profile of the running
+/// server, as folded stacks (flamegraph.pl / Speedscope input). When the
+/// profiler is not armed (`--profile-hz 0`, the default) it is armed at
+/// 99 Hz for the window and disarmed after, so the endpoint works — and
+/// costs nothing — on an otherwise unprofiled server.
+///
+/// The handler *blocks its worker* for the window (clamped to 1..=30 s);
+/// a process-wide mutex serializes overlapping windows so a second
+/// concurrent call waits rather than disarming under the first.
+fn debug_profile(req: &Request) -> (u16, RespBody) {
+    static WINDOW: Mutex<()> = Mutex::new(());
+    let seconds = req
+        .query_param("seconds")
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(1)
+        .clamp(1, 30);
+    let _window = WINDOW.lock().unwrap_or_else(|p| p.into_inner());
+    let temporary = atpm_net::sys::profiler_hz() == 0;
+    if temporary {
+        if let Err(e) = atpm_net::sys::profiler_arm(99) {
+            return (
+                501,
+                RespBody::Text("text/plain", format!("profiler unavailable: {e}\n")),
+            );
+        }
+    }
+    let pos = atpm_obs::profile::cursor();
+    std::thread::sleep(std::time::Duration::from_secs(seconds));
+    let folded = atpm_obs::profile::render_folded_since(pos);
+    if temporary {
+        let _ = atpm_net::sys::profiler_disarm();
+    }
+    match folded {
+        Ok(text) => (200, RespBody::Text("text/plain; charset=utf-8", text)),
+        Err(e) => (
+            500,
+            RespBody::Text("text/plain", format!("symbolization failed: {e}\n")),
         ),
     }
 }
@@ -319,6 +414,15 @@ pub struct ServeConfig {
     /// (Perfetto / `chrome://tracing` loadable) to this path on shutdown.
     /// `None` leaves tracing disabled (one relaxed load per would-be span).
     pub trace_path: Option<String>,
+    /// Arm the sampling CPU profiler at this rate for the server's whole
+    /// lifetime; folded stacks dump to [`ServeConfig::profile_path`] on
+    /// shutdown. 0 (the default) leaves the profiler off — zero overhead —
+    /// and `GET /debug/profile` arms temporarily per window instead.
+    pub profile_hz: u32,
+    /// Where shutdown writes the cumulative folded-stack profile when
+    /// [`ServeConfig::profile_hz`] > 0. `None` defaults to
+    /// `atpm-profile.folded`.
+    pub profile_path: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -336,6 +440,8 @@ impl Default for ServeConfig {
             journal_path: None,
             drain_ms: 500,
             trace_path: None,
+            profile_hz: 0,
+            profile_path: None,
         }
     }
 }
@@ -398,6 +504,9 @@ pub struct Server {
     state: Arc<AppState>,
     /// Where shutdown dumps the Chrome trace, when tracing was enabled.
     trace_path: Option<String>,
+    /// Where shutdown dumps the folded CPU profile, when the lifetime
+    /// profiler (`profile_hz > 0`) armed successfully.
+    profile_path: Option<String>,
 }
 
 impl Server {
@@ -418,6 +527,21 @@ impl Server {
         state.metrics.max_queue.set(cfg.max_queue as i64);
         if cfg.trace_path.is_some() {
             tracer().set_enabled(true);
+        }
+        // Lifetime profiler: warn-and-continue when the platform lacks the
+        // shims — profiling is diagnostics, not a reason to refuse boot.
+        let mut profile_path = None;
+        if cfg.profile_hz > 0 {
+            match atpm_net::sys::profiler_arm(cfg.profile_hz) {
+                Ok(()) => {
+                    profile_path = Some(
+                        cfg.profile_path
+                            .clone()
+                            .unwrap_or_else(|| "atpm-profile.folded".to_string()),
+                    );
+                }
+                Err(e) => eprintln!("# profiler unavailable ({e}); continuing without"),
+            }
         }
         if let Some(path) = &cfg.journal_path {
             let (journal, records) = Journal::open(path)?;
@@ -440,6 +564,7 @@ impl Server {
                         effective: Backend::Epoll,
                         state,
                         trace_path: cfg.trace_path.clone(),
+                        profile_path,
                     })
                 }
                 Err(e) if e.kind() == io::ErrorKind::Unsupported => {
@@ -452,7 +577,14 @@ impl Server {
                 Err(e) => return Err(e),
             }
         }
-        Ok(Self::start_pool(state, cfg, listener, addr, stop))
+        Ok(Self::start_pool(
+            state,
+            cfg,
+            listener,
+            addr,
+            stop,
+            profile_path,
+        ))
     }
 
     fn start_pool(
@@ -461,6 +593,7 @@ impl Server {
         listener: TcpListener,
         addr: SocketAddr,
         stop: Arc<AtomicBool>,
+        profile_path: Option<String>,
     ) -> Server {
         let conns = Arc::new(ConnRegistry::default());
         let workers = (0..cfg.workers.max(1))
@@ -504,6 +637,7 @@ impl Server {
             effective: Backend::Pool,
             state,
             trace_path: cfg.trace_path.clone(),
+            profile_path,
         }
     }
 
@@ -553,6 +687,16 @@ impl Server {
             match std::fs::write(&path, tracer().drain_json()) {
                 Ok(()) => eprintln!("# trace written to {path}"),
                 Err(e) => eprintln!("# trace write to {path} failed: {e}"),
+            }
+        }
+        if let Some(path) = self.profile_path.take() {
+            let _ = atpm_net::sys::profiler_disarm();
+            // Cumulative dump: everything sampled since boot.
+            match atpm_obs::profile::render_folded_since(0)
+                .and_then(|folded| std::fs::write(&path, folded))
+            {
+                Ok(()) => eprintln!("# profile written to {path}"),
+                Err(e) => eprintln!("# profile write to {path} failed: {e}"),
             }
         }
     }
@@ -614,19 +758,33 @@ fn serve_connection(
             }
             ReadOutcome::Ok(req) => {
                 // `dispatches` counts before respond (the reactor counts at
-                // job dispatch); request latency records strictly after, so
-                // a /metrics scrape never observes itself.
+                // job dispatch); request latency and the event record land
+                // strictly after, so a /metrics or /debug/events response
+                // never observes itself.
                 state.metrics.net.dispatches.inc();
+                let rid = request_id(state, &req);
                 let t0 = Instant::now();
                 let (status, body) = respond(state, &req, scratch);
                 state.metrics.record_request(&req.method, &req.path, t0);
+                state.events.record(
+                    "http",
+                    &rid,
+                    &format!("{} {}", req.method, req.path),
+                    status,
+                    t0.elapsed(),
+                );
                 let keep = !req.wants_close();
+                let extra = [("x-request-id", rid.as_str())];
                 match &body {
-                    RespBody::Json(json) => {
-                        write_response(&mut writer, status, json.encode().as_bytes(), keep)?
-                    }
+                    RespBody::Json(json) => write_response_with(
+                        &mut writer,
+                        status,
+                        json.encode().as_bytes(),
+                        keep,
+                        &extra,
+                    )?,
                     RespBody::Text(ct, text) => {
-                        write_response_ct(&mut writer, status, ct, text.as_bytes(), keep, &[])?
+                        write_response_ct(&mut writer, status, ct, text.as_bytes(), keep, &extra)?
                     }
                 }
                 if !keep {

@@ -1,0 +1,128 @@
+//! `/debug/*` endpoint integration suite: the on-demand CPU profile
+//! window and the structured request event log, end-to-end over HTTP.
+//!
+//! The profiler (SIGPROF + per-process itimer) and its sample buffer are
+//! process-wide singletons, so the two tests serialize on one mutex.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+use atpm_serve::server::{AppState, Backend, ServeConfig, Server};
+
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    static SERIAL: OnceLock<Mutex<()>> = OnceLock::new();
+    SERIAL
+        .get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+}
+
+fn boot(backend: Backend) -> Server {
+    let cfg = ServeConfig {
+        workers: 2,
+        shards: 1,
+        backend,
+        ..ServeConfig::default()
+    };
+    Server::start(AppState::new(), &cfg).unwrap()
+}
+
+/// One request on a fresh connection; returns (status, headers, body).
+fn get(addr: std::net::SocketAddr, path: &str, extra: &str) -> (u16, String, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nhost: atpm\r\n{extra}connection: close\r\ncontent-length: 0\r\n\r\n"
+    )
+    .unwrap();
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).unwrap();
+    let text = String::from_utf8_lossy(&raw).into_owned();
+    let (head, body) = text.split_once("\r\n\r\n").expect("header/body split");
+    let status: u16 = head
+        .split_ascii_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status code");
+    (status, head.to_string(), body.to_string())
+}
+
+#[test]
+fn debug_profile_returns_parseable_folded_stacks() {
+    let _guard = serial();
+    let server = {
+        let s = boot(Backend::Epoll);
+        // Burn CPU for the whole profile window so the process-CPU-time
+        // itimer actually fires: SIGPROF only ticks while the process
+        // runs, and an idle server accumulates no samples.
+        let stop = Arc::new(AtomicBool::new(false));
+        let burner = {
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let mut x = 1u64;
+                while !stop.load(Ordering::Relaxed) {
+                    for _ in 0..1_000_000 {
+                        x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+                    }
+                    std::hint::black_box(x);
+                }
+            })
+        };
+        let (status, _, body) = get(s.addr(), "/debug/profile?seconds=1", "");
+        stop.store(true, Ordering::Relaxed);
+        burner.join().unwrap();
+        assert_eq!(status, 200, "profile window failed: {body}");
+        assert!(!body.trim().is_empty(), "folded output must be non-empty");
+        // Every line must parse as `frame(;frame)* count`.
+        for line in body.lines() {
+            let (stack, count) = line.rsplit_once(' ').expect("folded line shape");
+            assert!(!stack.is_empty(), "empty stack in {line:?}");
+            count
+                .parse::<u64>()
+                .unwrap_or_else(|_| panic!("bad count in {line:?}"));
+        }
+        s
+    };
+    let mut server = server;
+    server.shutdown();
+}
+
+#[test]
+fn debug_events_tails_request_records_with_matching_ids() {
+    let _guard = serial();
+    for backend in [Backend::Pool, Backend::Epoll] {
+        let mut server = boot(backend);
+        let (status, head, _) = get(server.addr(), "/healthz", "x-request-id: evt-test-1\r\n");
+        assert_eq!(status, 200);
+        assert!(head.contains("x-request-id: evt-test-1"), "{head}");
+        get(server.addr(), "/nope", "x-request-id: evt-test-2\r\n");
+
+        let (status, _, body) = get(server.addr(), "/debug/events?n=10", "");
+        assert_eq!(status, 200, "{backend:?}");
+        // The tail lists the requests above — but never itself: events
+        // record strictly after respond renders.
+        assert!(
+            body.contains("id=evt-test-1") && body.contains("status=200"),
+            "{backend:?} missing healthz record:\n{body}"
+        );
+        assert!(
+            body.contains("id=evt-test-2") && body.contains("status=404"),
+            "{backend:?} missing 404 record:\n{body}"
+        );
+        assert!(
+            body.contains("GET /healthz"),
+            "{backend:?} detail missing:\n{body}"
+        );
+        assert!(
+            !body.contains("GET /debug/events"),
+            "{backend:?} events tail observed itself:\n{body}"
+        );
+        server.shutdown();
+    }
+}

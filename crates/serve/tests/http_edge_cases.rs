@@ -351,6 +351,81 @@ fn pipelined_request_after_agreeing_duplicates_still_answers() {
 }
 
 #[test]
+fn request_id_echo_is_byte_identical_across_backends() {
+    // A usable client-supplied X-Request-Id (non-empty, ≤ 64 bytes, RFC
+    // 7230 token chars) is echoed verbatim on both backends.
+    let (pool, epoll) = differential(|stream| {
+        stream
+            .write_all(
+                b"GET /healthz HTTP/1.1\r\nx-request-id: client-id-1\r\nconnection: close\r\n\r\n",
+            )
+            .unwrap();
+    });
+    assert_eq!(pool, epoll);
+    let text = String::from_utf8_lossy(&pool);
+    assert!(
+        text.contains("x-request-id: client-id-1"),
+        "supplied id must echo: {text}"
+    );
+
+    // No header → the server generates from a per-server counter that only
+    // parsed requests consume, so a fresh server's first id is always
+    // req-0000000000000000 on either backend.
+    let (pool, epoll) = differential(|stream| {
+        stream
+            .write_all(b"GET /healthz HTTP/1.1\r\nconnection: close\r\n\r\n")
+            .unwrap();
+    });
+    assert_eq!(pool, epoll);
+    let text = String::from_utf8_lossy(&pool);
+    assert!(
+        text.contains("x-request-id: req-0000000000000000"),
+        "generated id must be deterministic on a fresh server: {text}"
+    );
+}
+
+#[test]
+fn unusable_request_ids_are_replaced_not_echoed() {
+    // Oversized (> 64 bytes) and non-token ids must not be reflected into
+    // a response header; the server substitutes a generated id instead.
+    let oversized = "a".repeat(65);
+    let (pool, epoll) = differential(|stream| {
+        stream
+            .write_all(
+                format!(
+                    "GET /healthz HTTP/1.1\r\nx-request-id: {oversized}\r\nconnection: close\r\n\r\n"
+                )
+                .as_bytes(),
+            )
+            .unwrap();
+    });
+    assert_eq!(pool, epoll);
+    let text = String::from_utf8_lossy(&pool);
+    assert!(!text.contains(&oversized), "oversized id echoed: {text}");
+    assert!(
+        text.contains("x-request-id: req-0000000000000000"),
+        "{text}"
+    );
+
+    // Garbage id: spaces and slashes are not tchars (and could smuggle
+    // header syntax if reflected).
+    let (pool, epoll) = differential(|stream| {
+        stream
+            .write_all(
+                b"GET /healthz HTTP/1.1\r\nx-request-id: not a/token\r\nconnection: close\r\n\r\n",
+            )
+            .unwrap();
+    });
+    assert_eq!(pool, epoll);
+    let text = String::from_utf8_lossy(&pool);
+    assert!(!text.contains("not a/token"), "garbage id echoed: {text}");
+    assert!(
+        text.contains("x-request-id: req-0000000000000000"),
+        "{text}"
+    );
+}
+
+#[test]
 fn eof_mid_header_answers_400_and_closes() {
     let (pool, epoll) = differential(|stream| {
         stream.write_all(b"GET /healthz HTT").unwrap();

@@ -83,8 +83,27 @@ fn at_rest_scrape_is_byte_identical_across_backends() {
     // assertion is about the exposition, not the transport.
     let (_, pool_body) = &expositions[0];
     let (_, epoll_body) = &expositions[1];
+    // The process self-metrics (RSS, CPU seconds, open fds) are genuinely
+    // time-dependent — fd count even varies with the test's own sockets —
+    // so they are excluded from the byte-compare but must be present in
+    // both expositions.
+    for family in [
+        "process_resident_memory_bytes",
+        "process_cpu_seconds_total",
+        "process_open_fds",
+    ] {
+        assert!(pool_body.contains(family), "pool missing {family}");
+        assert!(epoll_body.contains(family), "epoll missing {family}");
+    }
+    let strip_process = |body: &str| -> String {
+        body.lines()
+            .filter(|l| !l.contains("process_"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
     assert_eq!(
-        pool_body, epoll_body,
+        strip_process(pool_body),
+        strip_process(epoll_body),
         "at-rest /metrics must not depend on the backend"
     );
     let scrape = Scrape::parse(pool_body).unwrap();
