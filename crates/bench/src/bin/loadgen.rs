@@ -15,6 +15,10 @@
 //!        --open-sessions N      open-loop total arrivals    (default 48)
 //!        --open-workers N       open-loop client threads    (default 16)
 //!        --mix p=w,p=w          session mix                 (default hatp=1,ars=2,deploy_all=3)
+//!        --crash-every N        ALSO run the crash-restart drill: kill -9 a
+//!                               journaling atpm-served child every N
+//!                               completed sessions; hard-fail unless every
+//!                               acked session recovers bit-equal
 //!        --scale F --k N --rr-theta N --seed S    snapshot knobs
 //!        --json PATH            report file (default BENCH_serve.json); --no-json
 //! ```
@@ -30,8 +34,9 @@ fn main() {
             eprintln!(
                 "usage: atpm-loadgen [--quick] [--addr HOST:PORT] [--backend epoll|pool] \
                  [--boot-workers N] [--levels a,b,c] [--sessions N] [--rate R] \
-                 [--open-sessions N] [--open-workers N] [--mix p=w,...] [--scale F] \
-                 [--k N] [--rr-theta N] [--seed S] [--json PATH | --no-json]"
+                 [--open-sessions N] [--open-workers N] [--mix p=w,...] \
+                 [--crash-every N] [--scale F] [--k N] [--rr-theta N] [--seed S] \
+                 [--json PATH | --no-json]"
             );
             std::process::exit(2);
         }

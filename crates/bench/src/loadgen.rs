@@ -91,6 +91,12 @@ pub struct LoadgenConfig {
     /// feeding field observations back. 0.0 (default) keeps every session
     /// on the server-simulated path.
     pub report_frac: f64,
+    /// Crash-restart drill: kill -9 a journaling `atpm-served` child
+    /// process every N completed sessions and hard-fail unless every
+    /// session (including the ones in flight across each kill) finishes
+    /// with a ledger bit-equal to an uninterrupted in-process reference
+    /// run. `None` (default) skips the drill.
+    pub crash_every: Option<usize>,
     /// Where to write the JSON report (`None` = don't write).
     pub json_path: Option<String>,
 }
@@ -116,6 +122,7 @@ impl Default for LoadgenConfig {
                 ("deploy_all".into(), 3),
             ],
             report_frac: 0.0,
+            crash_every: None,
             json_path: Some("BENCH_serve.json".into()),
         }
     }
@@ -152,9 +159,16 @@ impl LoadgenConfig {
                         cfg.addr.clone(),
                         cfg.backend,
                         cfg.rate,
+                        cfg.crash_every,
                     );
                     cfg = LoadgenConfig::quick();
-                    (cfg.json_path, cfg.addr, cfg.backend, cfg.rate) = keep;
+                    (
+                        cfg.json_path,
+                        cfg.addr,
+                        cfg.backend,
+                        cfg.rate,
+                        cfg.crash_every,
+                    ) = keep;
                 }
                 "--addr" => cfg.addr = Some(value_of("--addr")?),
                 "--backend" => {
@@ -240,6 +254,15 @@ impl LoadgenConfig {
                         return Err("--report-frac must be in [0, 1]".into());
                     }
                     cfg.report_frac = f;
+                }
+                "--crash-every" => {
+                    let n: usize = value_of("--crash-every")?
+                        .parse()
+                        .map_err(|e| format!("bad --crash-every: {e}"))?;
+                    if n == 0 {
+                        return Err("--crash-every must be positive".into());
+                    }
+                    cfg.crash_every = Some(n);
                 }
                 "--json" => cfg.json_path = Some(value_of("--json")?),
                 "--no-json" => cfg.json_path = None,
@@ -467,6 +490,10 @@ struct RetryClient {
     retries: usize,
     shed_503: usize,
     rng: u64,
+    /// Attempts per request before surfacing the error. [`MAX_ATTEMPTS`]
+    /// by default; the crash drill raises it, because a kill -9'd server
+    /// takes a snapshot rebuild (seconds) to come back, not a backoff.
+    max_attempts: u32,
 }
 
 impl RetryClient {
@@ -478,7 +505,13 @@ impl RetryClient {
             retries: 0,
             shed_503: 0,
             rng: jitter_seed | 1,
+            max_attempts: MAX_ATTEMPTS,
         }
+    }
+
+    fn with_max_attempts(mut self, n: u32) -> Self {
+        self.max_attempts = n.max(1);
+        self
     }
 
     /// xorshift64* in [0, 1): cheap, deterministic, per-thread.
@@ -542,7 +575,7 @@ impl ProtocolClient for RetryClient {
             if err.status == 409 && attempt > 0 && method == "POST" && path.ends_with("/observe") {
                 return Ok(Json::obj([]));
             }
-            if !(shed || transport) || attempt + 1 >= MAX_ATTEMPTS {
+            if !(shed || transport) || attempt + 1 >= self.max_attempts {
                 return Err(err);
             }
             self.retries += 1;
@@ -869,6 +902,13 @@ pub fn run(cfg: &LoadgenConfig) -> Result<Vec<LevelReport>, String> {
         )?);
     }
 
+    // Crash-restart drill: a separate journaling `atpm-served` child
+    // process, kill -9'd under load; the record it emits is the durability
+    // half of the bench report.
+    if let Some(every) = cfg.crash_every {
+        reports.push(run_crash_drill(cfg, every)?);
+    }
+
     // One profile window under load closes every run: the hot frames must
     // land in the sampling core, or the run fails (the CI profile-smoke
     // contract; see `drive_profile`).
@@ -1004,6 +1044,267 @@ fn run_open_loop(
         srv_p95_us: srv.p95_us,
         srv_p99_us: srv.p99_us,
     })
+}
+
+/// Handle to the `atpm-served` child under the crash drill. Kills and
+/// reaps the process on drop so a failed drill doesn't leak a server.
+struct ServedChild(std::process::Child);
+
+impl Drop for ServedChild {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+/// Locates the `atpm-served` binary next to the running executable:
+/// `target/<profile>/atpm-served`, one directory up when this binary runs
+/// from `target/<profile>/deps/` (as test binaries do).
+fn served_binary() -> Result<std::path::PathBuf, String> {
+    let exe = std::env::current_exe().map_err(|e| format!("crash drill: current_exe: {e}"))?;
+    let mut dir = exe.parent();
+    for _ in 0..2 {
+        let Some(d) = dir else { break };
+        let cand = d.join("atpm-served");
+        if cand.is_file() {
+            return Ok(cand);
+        }
+        dir = d.parent();
+    }
+    Err(
+        "crash drill: atpm-served not found next to this binary; build it first \
+         (cargo build -p atpm-serve --bin atpm-served)"
+            .into(),
+    )
+}
+
+/// Spawns `atpm-served` journaling under `--fsync group:5` with the same
+/// preset snapshot every loadgen run measures (see [`snapshot_req`]).
+fn spawn_served(
+    cfg: &LoadgenConfig,
+    addr: &str,
+    journal: &std::path::Path,
+) -> Result<ServedChild, String> {
+    let bin = served_binary()?;
+    let child = std::process::Command::new(&bin)
+        .arg("--addr")
+        .arg(addr)
+        .arg("--journal")
+        .arg(journal)
+        .args(["--fsync", "group:5", "--checkpoint-every", "1"])
+        .args(["--preset", "nethept", "--name", "bench"])
+        .arg("--scale")
+        .arg(cfg.scale.to_string())
+        .arg("--k")
+        .arg(cfg.k.to_string())
+        .arg("--rr-theta")
+        .arg(cfg.rr_theta.to_string())
+        .arg("--seed")
+        .arg(cfg.seed.to_string())
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .map_err(|e| format!("crash drill: spawn {}: {e}", bin.display()))?;
+    Ok(ServedChild(child))
+}
+
+/// Polls `/healthz` until the server answers. `atpm-served` builds its boot
+/// snapshot (and replays the journal) before it starts listening, so a
+/// healthz answer means the store is loaded and recovery is complete.
+fn wait_healthz(addr: &str, deadline: Duration) -> Result<(), String> {
+    let t0 = Instant::now();
+    loop {
+        if let Ok(mut c) = HttpClient::connect(addr) {
+            if c.call("GET", "/healthz", &Json::obj([])).is_ok() {
+                return Ok(());
+            }
+        }
+        if t0.elapsed() > deadline {
+            return Err(format!(
+                "crash drill: server at {addr} not healthy after {deadline:?}"
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+/// The crash-restart drill (`--crash-every N`): the durability contract,
+/// measured end to end through real processes.
+///
+/// Boots `atpm-served` as a child process journaling under `--fsync
+/// group:5`, interleaves N+ sessions through it (so sessions are always
+/// mid-flight), and SIGKILLs the process every `every` completed sessions —
+/// no drain, no shutdown fsync, exactly the failure the group-commit
+/// barrier exists for. After each kill the supervisor restarts the server
+/// on the same journal and the client rides the transport retries through
+/// the outage (a replayed `next` re-serves the pending seed; a replayed
+/// `observe` answering 409 means the original landed).
+///
+/// Hard-fails (propagating `Err` out of the run) unless:
+///
+/// * every session completes and its ledger is **bit-equal**
+///   (`f64::to_bits` on profit, exact on every other field) to an
+///   uninterrupted in-process reference run over the same snapshot — acked
+///   state must never be lost or altered by a kill;
+/// * at least one kill actually happened and the restarted server reported
+///   recovering journaled sessions (`recovered_sessions` on healthz).
+fn run_crash_drill(cfg: &LoadgenConfig, every: usize) -> Result<LevelReport, String> {
+    // Enough sessions that at least one kill lands with work in flight.
+    let total = cfg.sessions_per_level.max(every + 1);
+    let schedule = cfg.mix_schedule();
+    let session_req = |i: usize| CreateSessionReq {
+        snapshot: "bench".into(),
+        policy: policy_spec(&schedule[i % schedule.len()], cfg.seed ^ (i as u64) << 17)
+            .expect("mix validated"),
+        world_seed: cfg.seed.wrapping_add(i as u64),
+    };
+
+    // Reference ledgers: the same sessions, uninterrupted, in process.
+    let reference: Vec<Ledger> = {
+        let state = AppState::new();
+        state.store.insert(
+            Snapshot::build(&snapshot_req(cfg))
+                .map_err(|e| format!("crash drill: reference snapshot: {e}"))?,
+        );
+        let mut client = atpm_serve::client::LocalClient::new(state);
+        (0..total)
+            .map(|i| client.run_session(&session_req(i)))
+            .collect::<Result<_, _>>()
+            .map_err(|e| format!("crash drill: reference run: {e}"))?
+    };
+
+    // An ephemeral port the child can bind: bind :0, read, release. (The
+    // server's listener sets SO_REUSEADDR, so respawns rebind immediately.)
+    let addr = {
+        let probe = std::net::TcpListener::bind("127.0.0.1:0")
+            .map_err(|e| format!("crash drill: probe bind: {e}"))?;
+        probe
+            .local_addr()
+            .map_err(|e| format!("crash drill: probe addr: {e}"))?
+            .to_string()
+    };
+    let dir = std::env::temp_dir().join(format!("atpm-crash-drill-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).map_err(|e| format!("crash drill: mkdir {dir:?}: {e}"))?;
+    let journal = dir.join("journal");
+    let boot_deadline = Duration::from_secs(120);
+    let mut child = spawn_served(cfg, &addr, &journal)?;
+    wait_healthz(&addr, boot_deadline)?;
+
+    let mut client =
+        RetryClient::connect(&addr, cfg.seed ^ 0xC4A5_C4A5).with_max_attempts(MAX_ATTEMPTS * 8);
+    let t0 = Instant::now();
+
+    // Create everything up front, then drive the sessions round-robin one
+    // seed batch at a time — kills always land with sessions mid-flight.
+    let mut tokens = Vec::with_capacity(total);
+    for i in 0..total {
+        tokens.push(
+            client
+                .create_session(&session_req(i))
+                .map_err(|e| format!("crash drill: create session {i}: {e}"))?,
+        );
+    }
+    let mut ledgers: Vec<Option<Ledger>> = vec![None; total];
+    let mut completed = 0usize;
+    let mut kills = 0usize;
+    let mut recovered_total = 0u64;
+    while completed < total {
+        for i in 0..total {
+            if ledgers[i].is_some() {
+                continue;
+            }
+            let step = (|client: &mut RetryClient| -> Result<Option<Ledger>, ApiError> {
+                match client.next(&tokens[i])? {
+                    Some(seeds) => {
+                        for seed in seeds {
+                            client.observe(&tokens[i], &ObserveReq::Simulate { seed })?;
+                        }
+                        Ok(None)
+                    }
+                    None => {
+                        let ledger = client.ledger(&tokens[i])?;
+                        client.delete_session(&tokens[i])?;
+                        Ok(Some(ledger))
+                    }
+                }
+            })(&mut client)
+            .map_err(|e| format!("crash drill: session {i}: {e}"))?;
+            if let Some(ledger) = step {
+                ledgers[i] = Some(ledger);
+                completed += 1;
+                if completed.is_multiple_of(every) && completed < total {
+                    // SIGKILL mid-run: the remaining sessions are live on
+                    // the server with acked, journaled state.
+                    drop(child);
+                    kills += 1;
+                    child = spawn_served(cfg, &addr, &journal)?;
+                    wait_healthz(&addr, boot_deadline)?;
+                    recovered_total += fetch_recovered(&addr);
+                }
+            }
+        }
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+
+    // The whole point: acked state survived every kill bit-for-bit.
+    for (i, (got, want)) in ledgers.iter().zip(&reference).enumerate() {
+        let got = got.as_ref().expect("completed == total");
+        if got.profit.to_bits() != want.profit.to_bits()
+            || got.to_json().encode() != want.to_json().encode()
+        {
+            return Err(format!(
+                "crash drill: session {i} ledger diverged after {kills} kills: \
+                 profit {} (bits {:#018x}) vs reference {} (bits {:#018x})",
+                got.profit,
+                got.profit.to_bits(),
+                want.profit,
+                want.profit.to_bits(),
+            ));
+        }
+    }
+    if kills == 0 {
+        return Err("crash drill: no kill happened (too few sessions for --crash-every)".into());
+    }
+    if recovered_total == 0 {
+        return Err(format!(
+            "crash drill: {kills} kills but the restarted server never reported \
+             recovered sessions — the journal replay is not happening"
+        ));
+    }
+
+    // Server-side half from the (last incarnation of the) drill server.
+    // Its counters reset at each kill, so the watermark is drill-local.
+    let srv = scrape_server_side(&addr, &mut 0)?;
+    let report = LevelReport {
+        mode: "crash",
+        level: 1,
+        rate: 0.0,
+        sessions: total,
+        requests: client.latencies.count() as usize,
+        seeds: ledgers
+            .iter()
+            .map(|l| l.as_ref().map_or(0, |l| l.selected.len()))
+            .sum(),
+        report_sessions: 0,
+        wall_s,
+        rps: client.latencies.count() as f64 / wall_s.max(1e-9),
+        goodput_sps: total as f64 / wall_s.max(1e-9),
+        p50_us: client.latencies.quantile(0.50) / 1_000.0,
+        p95_us: client.latencies.quantile(0.95) / 1_000.0,
+        p99_us: client.latencies.quantile(0.99) / 1_000.0,
+        sojourn_p95_ms: 0.0,
+        retries: client.retries,
+        shed_503: client.shed_503,
+        recovered_sessions: recovered_total,
+        srv_requests: srv.requests,
+        srv_p50_us: srv.p50_us,
+        srv_p95_us: srv.p95_us,
+        srv_p99_us: srv.p99_us,
+    };
+    drop(child);
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(report)
 }
 
 /// Samples the server's `recovered_sessions` healthz counter; 0 if the
@@ -1291,6 +1592,50 @@ mod tests {
             Some(2),
             "schema carries the report count"
         );
+    }
+
+    #[test]
+    fn parse_crash_every_flag() {
+        let cfg = LoadgenConfig::parse(&s(&["--crash-every", "3"])).unwrap();
+        assert_eq!(cfg.crash_every, Some(3));
+        assert!(LoadgenConfig::parse(&s(&["--crash-every", "0"])).is_err());
+        assert_eq!(LoadgenConfig::parse(&[]).unwrap().crash_every, None);
+        // --quick keeps an explicitly chosen drill.
+        let cfg = LoadgenConfig::parse(&s(&["--crash-every", "2", "--quick"])).unwrap();
+        assert_eq!(cfg.crash_every, Some(2));
+    }
+
+    #[test]
+    fn crash_drill_recovers_every_acked_session_bit_equal() {
+        // The real thing, miniaturized: a journaling atpm-served child is
+        // SIGKILLed twice mid-run and every session must still finish with
+        // a ledger bit-equal to an uninterrupted reference run. Needs the
+        // atpm-served binary, which `cargo test` builds because atpm-serve
+        // has integration tests.
+        let cfg = LoadgenConfig {
+            sessions_per_level: 5,
+            scale: 0.005,
+            k: 2,
+            rr_theta: 500,
+            mix: vec![("deploy_all".into(), 2), ("ars".into(), 1)],
+            json_path: None,
+            ..Default::default()
+        };
+        let report = run_crash_drill(&cfg, 2).unwrap();
+        assert_eq!(report.mode, "crash");
+        assert_eq!(report.sessions, 5);
+        assert!(report.seeds > 0);
+        assert!(
+            report.recovered_sessions > 0,
+            "kills must force journal replays"
+        );
+        assert!(
+            report.retries > 0,
+            "the kill severs connections; the client must have ridden retries"
+        );
+        let json = report.to_json();
+        assert_eq!(json.get("mode").and_then(Json::as_str), Some("crash"));
+        assert!(json.get("recovered_sessions").and_then(Json::as_u64) > Some(0));
     }
 
     #[test]

@@ -36,7 +36,8 @@ pub mod trace;
 pub use events::{EventLog, EventRecord};
 pub use expo::{lint, render, Sample, Scrape, CONTENT_TYPE};
 pub use metrics::{
-    bucket_bounds, bucket_index, Counter, Gauge, Histogram, HistogramSnapshot, BUCKETS,
+    bucket_bounds, bucket_index, Counter, Gauge, Histogram, HistogramSnapshot, HistogramTimer,
+    BUCKETS,
 };
 pub use registry::{global, Entry, Metric, Registry};
 pub use trace::{tracer, Span, Tracer};

@@ -10,6 +10,7 @@
 //! model tolerates (every individual series is still monotone).
 
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Sub-bucket resolution: 2^3 = 8 log-linear sub-buckets per octave.
@@ -197,6 +198,31 @@ impl Histogram {
     /// empty. See the type docs for the error bound.
     pub fn quantile(&self, q: f64) -> f64 {
         self.snapshot().quantile(q)
+    }
+
+    /// Starts a scope timer: the guard records the elapsed wall time into
+    /// this histogram when dropped — including on early return and unwind,
+    /// which is what makes it safer than a manual `record_duration` at the
+    /// end of a fallible function.
+    pub fn start_timer(self: &Arc<Self>) -> HistogramTimer {
+        HistogramTimer {
+            hist: self.clone(),
+            t0: std::time::Instant::now(),
+        }
+    }
+}
+
+/// A drop guard from [`Histogram::start_timer`]: records the time between
+/// construction and drop.
+#[derive(Debug)]
+pub struct HistogramTimer {
+    hist: Arc<Histogram>,
+    t0: std::time::Instant,
+}
+
+impl Drop for HistogramTimer {
+    fn drop(&mut self) {
+        self.hist.record_duration(self.t0.elapsed());
     }
 }
 

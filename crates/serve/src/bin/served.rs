@@ -14,8 +14,15 @@
 //!                              behavior, which never reaps)
 //!        --max-queue N         shed 503 past N queued jobs (epoll; default
 //!                              1024, 0 = never shed)
-//!        --journal PATH        append-only ATPMJNL1 session journal,
-//!                              replayed on restart (default: none)
+//!        --journal PATH        append-only session journal, replayed
+//!                              (checkpoint + tail) on restart (default: none)
+//!        --fsync POLICY        journal durability: shutdown | group:MS |
+//!                              always (default group:5 — appends batch
+//!                              behind a shared fsync barrier with a 5 ms
+//!                              latency window)
+//!        --checkpoint-every S  checkpoint live sessions + rotate the
+//!                              journal every S seconds; 0 disables
+//!                              (default 300)
 //!        --trace PATH          enable span tracing; dump Chrome trace-event
 //!                              JSON (Perfetto-loadable) here on shutdown
 //!        --profile-hz HZ       arm the SIGPROF sampling CPU profiler at HZ
@@ -37,6 +44,7 @@
 //! only — connection count is limited by fds, not threads; `--backend
 //! pool` restores the original one-connection-per-worker accept pool.
 
+use atpm_serve::journal::FsyncPolicy;
 use atpm_serve::protocol::{SnapshotReq, SnapshotSource};
 use atpm_serve::server::{AppState, Backend, ServeConfig, Server};
 use atpm_serve::snapshot::Snapshot;
@@ -99,6 +107,17 @@ fn parse(args: &[String]) -> Result<Args, String> {
                     .map_err(|e| format!("bad --max-queue: {e}"))?;
             }
             "--journal" => cfg.journal_path = Some(value_of("--journal")?),
+            "--fsync" => {
+                let v = value_of("--fsync")?;
+                cfg.fsync =
+                    FsyncPolicy::parse(&v).map_err(|e| format!("bad --fsync '{v}': {e}"))?;
+            }
+            "--checkpoint-every" => {
+                let secs: u64 = value_of("--checkpoint-every")?
+                    .parse()
+                    .map_err(|e| format!("bad --checkpoint-every: {e}"))?;
+                cfg.checkpoint_every_ms = secs * 1_000;
+            }
             "--trace" => cfg.trace_path = Some(value_of("--trace")?),
             "--profile-hz" => {
                 cfg.profile_hz = value_of("--profile-hz")?
@@ -182,6 +201,7 @@ fn main() {
                 "usage: atpm-served [--addr HOST:PORT] [--backend epoll|pool] \
                  [--workers N] [--shards N] [--session-ttl SECS] \
                  [--idle-timeout SECS] [--max-queue N] [--journal PATH] \
+                 [--fsync shutdown|group:MS|always] [--checkpoint-every SECS] \
                  [--trace PATH] [--profile-hz HZ] [--profile-out PATH] \
                  [--drain-ms MS] [--snapshot-budget MB] \
                  [--preset NAME | --graph PATH] \
@@ -246,6 +266,13 @@ fn main() {
                     }
                     eprintln!("# terminate signal received; draining...");
                     server.shutdown();
+                    // Lost durability must not look like a clean exit: a
+                    // failed shutdown fsync (or a journal already poisoned
+                    // by an earlier failure) exits nonzero so supervisors
+                    // notice.
+                    if server.durability_error().is_some() {
+                        std::process::exit(3);
+                    }
                 }
                 Err(_) => loop {
                     std::thread::park();

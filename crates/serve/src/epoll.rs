@@ -193,7 +193,12 @@ fn worker_loop(rx: &Mutex<mpsc::Receiver<Job>>, state: &AppState) {
                     t0.elapsed(),
                 );
                 let keep = !req.wants_close();
-                let extra = [("x-request-id", rid.as_str())];
+                // 503s (degraded journal) always carry Retry-After; header
+                // order matches the pool backend byte-for-byte.
+                let mut extra = vec![("x-request-id", rid.as_str())];
+                if status == 503 {
+                    extra.push(("retry-after", "1"));
+                }
                 let bytes = match &body {
                     RespBody::Json(json) => {
                         http::encode_response_with(status, json.encode().as_bytes(), keep, &extra)

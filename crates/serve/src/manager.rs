@@ -41,6 +41,7 @@
 //! thread under the pool backend); the manager itself never spawns.
 
 use std::collections::{HashMap, VecDeque};
+use std::io;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
@@ -48,7 +49,7 @@ use std::time::Instant;
 use atpm_core::{AdaptiveSession, PolicyStepper, SessionState};
 use atpm_graph::Node;
 
-use crate::journal::{Journal, Record};
+use crate::journal::{CkpSession, Journal, Record};
 use crate::metrics::ServeMetrics;
 use crate::protocol::{ApiError, CreateSessionReq, Ledger, ObserveReq};
 use crate::snapshot::{Snapshot, SnapshotStore};
@@ -94,6 +95,29 @@ struct SessionEntry {
     /// Manager-clock milliseconds of the last request that touched this
     /// session (any verb counts as a sign of life).
     last_touched_ms: u64,
+    /// Counter value the token was minted from (checkpoints persist it so
+    /// a reload can keep replay-checking against journaled creates).
+    id: u64,
+    /// The creating request — with `rounds`, the session's full
+    /// replayable history for checkpoint serialization.
+    req: CreateSessionReq,
+    /// Every observation applied, in order. The stepper itself (RNG,
+    /// residual-graph cursors) cannot be serialized; replaying this
+    /// history through the live handlers rebuilds it bit-for-bit.
+    rounds: Vec<ObserveReq>,
+    /// Highest journal seq reflected in this state; a checkpoint captures
+    /// it so tail replay skips records already folded in.
+    last_seq: u64,
+}
+
+/// The 503 a mutating request answers with when the journal is poisoned:
+/// the transition may not survive a crash, so it is refused rather than
+/// acked undurably. Read routes keep serving.
+fn degraded_error(e: io::Error) -> ApiError {
+    ApiError::new(
+        503,
+        format!("journal degraded; durability lost ({e}); mutations disabled"),
+    )
 }
 
 /// The error a session answers with after a handler panic tore its state:
@@ -170,9 +194,29 @@ pub struct SessionManager {
     /// Raised during [`recover`](Self::recover) so replayed transitions are
     /// not appended back to the journal they came from.
     replaying: AtomicBool,
+    /// Serializes [`checkpoint`](Self::checkpoint) calls (the periodic
+    /// thread vs. an operator-triggered one must not interleave rotations).
+    checkpointing: Mutex<()>,
     /// Lifecycle counters + journal timings, when the owning server bound
     /// them (a bare manager — unit tests, LocalClient — runs uncounted).
     metrics: OnceLock<Arc<ServeMetrics>>,
+}
+
+/// Journal health as reported on `/healthz`. A manager without a journal
+/// reports the inert defaults, so the pool/epoll differential oracle stays
+/// byte-identical.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalStats {
+    /// Active segment size in bytes.
+    pub bytes: u64,
+    /// Segment files on disk (active + sealed).
+    pub segments: u64,
+    /// High-water seq of the last durable checkpoint (0 when none).
+    pub last_checkpoint_seq: u64,
+    /// The configured fsync policy (`"none"` without a journal).
+    pub policy: String,
+    /// True once a durability failure poisoned the journal.
+    pub degraded: bool,
 }
 
 impl SessionManager {
@@ -193,6 +237,7 @@ impl SessionManager {
             expired: Mutex::new(Tombstones::default()),
             journal: Mutex::new(None),
             replaying: AtomicBool::new(false),
+            checkpointing: Mutex::new(()),
             metrics: OnceLock::new(),
         }
     }
@@ -210,44 +255,136 @@ impl SessionManager {
         *self.journal.lock().unwrap_or_else(|p| p.into_inner()) = Some(journal);
     }
 
-    /// Fsyncs the attached journal, if any — the graceful-shutdown
-    /// durability barrier.
-    pub fn sync_journal(&self) {
-        let journal = self
-            .journal
+    /// The attached journal, if any.
+    fn journal(&self) -> Option<Arc<Journal>> {
+        self.journal
             .lock()
             .unwrap_or_else(|p| p.into_inner())
-            .clone();
-        if let Some(journal) = journal {
-            let t0 = Instant::now();
-            let _ = journal.sync();
-            if let Some(m) = self.metrics.get() {
-                m.journal_fsync_seconds.record_duration(t0.elapsed());
-            }
+            .clone()
+    }
+
+    /// Fsyncs the attached journal, if any — the graceful-shutdown
+    /// durability barrier. An error here means the tail of the run may
+    /// not have reached the disk; the caller must surface it (the server
+    /// binary exits nonzero so supervisors notice lost durability).
+    pub fn sync_journal(&self) -> io::Result<()> {
+        let Some(journal) = self.journal() else {
+            return Ok(());
+        };
+        let t0 = Instant::now();
+        let result = journal.sync();
+        if let Some(m) = self.metrics.get() {
+            m.journal_fsync_seconds.record_duration(t0.elapsed());
+        }
+        result
+    }
+
+    /// Journal health for `/healthz` (inert defaults without a journal).
+    pub fn journal_stats(&self) -> JournalStats {
+        match self.journal() {
+            Some(journal) => JournalStats {
+                bytes: journal.bytes(),
+                segments: journal.segments(),
+                last_checkpoint_seq: journal.last_checkpoint_seq(),
+                policy: journal.policy().render(),
+                degraded: journal.poisoned(),
+            },
+            None => JournalStats {
+                bytes: 0,
+                segments: 0,
+                last_checkpoint_seq: 0,
+                policy: "none".into(),
+                degraded: false,
+            },
         }
     }
 
-    /// Appends a record to the attached journal. Availability over
-    /// durability: an append failure (disk full, journal on a dead volume)
-    /// must not fail the client's request — the session keeps serving,
-    /// undurably. `make` runs only when a journal is attached and not
-    /// replaying, so the hot path never clones request payloads.
-    fn log(&self, make: impl FnOnce() -> Record) {
+    /// True once the attached journal is poisoned: durability is lost,
+    /// so mutating routes must stop acking (degraded mode).
+    pub fn journal_degraded(&self) -> bool {
+        self.journal().is_some_and(|journal| journal.poisoned())
+    }
+
+    /// Advances the session-id counter to at least `floor` (the
+    /// checkpoint head's watermark — recovered-then-deleted sessions must
+    /// never recycle a token).
+    pub fn bump_next_id(&self, floor: u64) {
+        self.next_id.fetch_max(floor, Ordering::Relaxed);
+    }
+
+    /// Appends a record to the attached journal and blocks until it is
+    /// durable under the configured fsync policy, returning its commit
+    /// seq (0 when no journal is attached or while replaying). A
+    /// durability failure poisons the journal and surfaces as a 503 —
+    /// fsyncgate semantics: never ack a transition the disk may not hold.
+    /// `make` runs only when a journal is attached and not replaying, so
+    /// the hot path never clones request payloads.
+    fn log(&self, make: impl FnOnce() -> Record) -> Result<u64, ApiError> {
         if self.replaying.load(Ordering::SeqCst) {
-            return;
+            return Ok(0);
         }
-        let journal = self
-            .journal
-            .lock()
-            .unwrap_or_else(|p| p.into_inner())
-            .clone();
-        if let Some(journal) = journal {
-            let t0 = Instant::now();
-            let _ = journal.append(&make());
-            if let Some(m) = self.metrics.get() {
-                m.journal_append_seconds.record_duration(t0.elapsed());
+        let Some(journal) = self.journal() else {
+            return Ok(0);
+        };
+        let t0 = Instant::now();
+        let seq = journal.append(&make()).map_err(degraded_error)?;
+        if let Some(m) = self.metrics.get() {
+            m.journal_append_seconds.record_duration(t0.elapsed());
+        }
+        journal.commit(seq).map_err(degraded_error)?;
+        Ok(seq)
+    }
+
+    /// Rotates the journal and writes an `ATPMCKP1` checkpoint of every
+    /// live session, then retires the sealed segments. Returns the number
+    /// of sessions checkpointed (0 without a journal). Recovery becomes
+    /// load-checkpoint + replay-tail: bounded, regardless of run length.
+    pub fn checkpoint(&self) -> io::Result<usize> {
+        let Some(journal) = self.journal() else {
+            return Ok(0);
+        };
+        let _serial = self.checkpointing.lock().unwrap_or_else(|p| p.into_inner());
+        // Drop guard, not a manual record at the end: a failed rotate or
+        // checkpoint write still counts — slow failures matter as much as
+        // slow successes.
+        let _timer = self
+            .metrics
+            .get()
+            .map(|m| m.journal_checkpoint_seconds.start_timer());
+        // Rotate first: from here on, every new append lands in the fresh
+        // segment, so a record is either (a) sealed and therefore folded
+        // into the state serialized below, or (b) in the surviving active
+        // segment. The per-session `last_seq` disambiguates the overlap.
+        journal.rotate()?;
+        let entries: Vec<(String, Arc<Mutex<SessionEntry>>)> = {
+            let table = self.sessions.lock().expect("session table poisoned");
+            table
+                .iter()
+                .map(|(token, entry)| (token.clone(), entry.clone()))
+                .collect()
+        };
+        let mut sessions = Vec::with_capacity(entries.len());
+        for (token, entry) in entries {
+            let guard = lock_entry(&entry);
+            // A panic-quarantined session (state taken) cannot be
+            // serialized; it is discarded at the next restart, which is
+            // strictly better than resurrecting a corrupt run.
+            if guard.state.is_none() {
+                continue;
             }
+            sessions.push(CkpSession {
+                token,
+                id: guard.id,
+                req: guard.req.clone(),
+                rounds: guard.rounds.clone(),
+                pending: guard.pending,
+                done: guard.done,
+                last_seq: guard.last_seq,
+            });
         }
+        let next_id = self.next_id.load(Ordering::Relaxed);
+        journal.write_checkpoint(next_id, &sessions)?;
+        Ok(sessions.len())
     }
 
     /// Replays journal records through the live handlers, rebuilding every
@@ -269,7 +406,7 @@ impl SessionManager {
                 Record::Create { id, token, req } => {
                     // New tokens must never collide with recovered ones.
                     self.next_id.fetch_max(id + 1, Ordering::Relaxed);
-                    let _ = self.create_with_token(req, token);
+                    let _ = self.create_with_token(req, token, *id);
                 }
                 Record::Next { token, seeds, done } => match self.next(token) {
                     Ok(batch) if batch.seeds == *seeds && batch.done == *done => {}
@@ -315,31 +452,67 @@ impl SessionManager {
     }
 
     /// Opens a session; returns `(token, algorithm name, k)`.
+    ///
+    /// Write-ahead ordering: the `Create` record is journaled (and made
+    /// durable) while the entry's lock is held across the table insert,
+    /// so a checkpoint can never serialize a session whose creation is
+    /// only in a segment it is about to retire. A journal failure undoes
+    /// the insert and answers 503 — no orphan state.
     pub fn create(&self, req: &CreateSessionReq) -> Result<(String, String, usize), ApiError> {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let token = format!("s{:08x}", splitmix64(id));
-        let out = self.create_with_token(req, &token)?;
-        // Counted here (not in create_with_token) so journal recovery's
+        let (entry, algorithm, k) = self.build_entry(req, id)?;
+        let entry = Arc::new(Mutex::new(entry));
+        let mut guard = lock_entry(&entry);
+        self.sessions
+            .lock()
+            .expect("session table poisoned")
+            .insert(token.clone(), entry.clone());
+        match self.log(|| Record::Create {
+            id,
+            token: token.clone(),
+            req: req.clone(),
+        }) {
+            Ok(seq) => guard.last_seq = seq,
+            Err(e) => {
+                self.sessions
+                    .lock()
+                    .expect("session table poisoned")
+                    .remove(&token);
+                return Err(e);
+            }
+        }
+        drop(guard);
+        // Counted here (not in build_entry) so journal recovery's
         // replayed creates don't inflate the API counter.
         if let Some(m) = self.metrics.get() {
             m.sessions_created.inc();
         }
-        self.log(|| Record::Create {
-            id,
-            token,
-            req: req.clone(),
-        });
-        Ok(out)
+        Ok((token, algorithm, k))
     }
 
-    /// [`create`](Self::create) under a caller-chosen token — the shared
-    /// body of live creates (which mint the token) and journal recovery
-    /// (which must reuse the journaled one).
+    /// [`create`](Self::create) under a caller-chosen token and id —
+    /// journal recovery, which must reuse the journaled ones.
     fn create_with_token(
         &self,
         req: &CreateSessionReq,
         token: &str,
+        id: u64,
     ) -> Result<(String, String, usize), ApiError> {
+        let (entry, algorithm, k) = self.build_entry(req, id)?;
+        self.sessions
+            .lock()
+            .expect("session table poisoned")
+            .insert(token.to_string(), Arc::new(Mutex::new(entry)));
+        Ok((token.to_string(), algorithm, k))
+    }
+
+    /// Validates the request and builds a fresh (uninserted) entry.
+    fn build_entry(
+        &self,
+        req: &CreateSessionReq,
+        id: u64,
+    ) -> Result<(SessionEntry, String, usize), ApiError> {
         let snapshot = self
             .store
             .get(&req.snapshot)
@@ -355,12 +528,12 @@ impl SessionManager {
             pending: None,
             done: false,
             last_touched_ms: self.now_ms(),
+            id,
+            req: req.clone(),
+            rounds: Vec::new(),
+            last_seq: 0,
         };
-        self.sessions
-            .lock()
-            .expect("session table poisoned")
-            .insert(token.to_string(), Arc::new(Mutex::new(entry)));
-        Ok((token.to_string(), algorithm, k))
+        Ok((entry, algorithm, k))
     }
 
     fn entry(&self, token: &str) -> Result<Arc<Mutex<SessionEntry>>, ApiError> {
@@ -426,7 +599,10 @@ impl SessionManager {
             m.sessions_expired.add(stale.len() as u64);
         }
         for token in &stale {
-            self.log(|| Record::Delete {
+            // Best-effort: a degraded journal must not wedge the sweep;
+            // the eviction already happened in memory, and an unlogged
+            // Delete only resurrects a dead session at the next restart.
+            let _ = self.log(|| Record::Delete {
                 token: token.clone(),
             });
         }
@@ -457,11 +633,12 @@ impl SessionManager {
         match decided {
             Some(u) => {
                 entry.pending = Some(u);
-                self.log(|| Record::Next {
+                let seq = self.log(|| Record::Next {
                     token: token.to_string(),
                     seeds: vec![u],
                     done: false,
-                });
+                })?;
+                entry.last_seq = entry.last_seq.max(seq);
                 Ok(NextBatch {
                     seeds: vec![u],
                     done: false,
@@ -469,11 +646,12 @@ impl SessionManager {
             }
             None => {
                 entry.done = true;
-                self.log(|| Record::Next {
+                let seq = self.log(|| Record::Next {
                     token: token.to_string(),
                     seeds: Vec::new(),
                     done: true,
-                });
+                })?;
+                entry.last_seq = entry.last_seq.max(seq);
                 Ok(NextBatch {
                     seeds: Vec::new(),
                     done: true,
@@ -529,10 +707,12 @@ impl SessionManager {
             }
         };
         entry.pending = None;
-        self.log(|| Record::Observe {
+        entry.rounds.push(req.clone());
+        let seq = self.log(|| Record::Observe {
             token: token.to_string(),
             req: req.clone(),
-        });
+        })?;
+        entry.last_seq = entry.last_seq.max(seq);
         let ledger = entry.ledger()?;
         Ok(Observed {
             newly_activated,
@@ -565,7 +745,9 @@ impl SessionManager {
                     m.sessions_deleted.inc();
                 }
             }
-            self.log(|| Record::Delete {
+            // Best-effort, as in the sweep: the removal is already
+            // visible; degraded mode gates new mutations at the router.
+            let _ = self.log(|| Record::Delete {
                 token: token.to_string(),
             });
         }

@@ -117,6 +117,10 @@ pub struct ServeMetrics {
     pub journal_fsync_seconds: Arc<Histogram>,
     /// Journal replay at boot (one value per boot that replayed).
     pub journal_replay_seconds: Arc<Histogram>,
+    /// One checkpoint cycle (rotate + serialize + fsync + retire).
+    pub journal_checkpoint_seconds: Arc<Histogram>,
+    /// Torn (partially written / corrupt) journal tails truncated at open.
+    pub journal_torn_tail: Arc<Counter>,
 }
 
 impl ServeMetrics {
@@ -194,6 +198,14 @@ impl ServeMetrics {
                 "atpm_journal_replay_seconds",
                 "Session journal replay at boot, seconds",
             ),
+            journal_checkpoint_seconds: registry.histogram(
+                "atpm_journal_checkpoint_seconds",
+                "Session checkpoint cycle (rotate + serialize + fsync), seconds",
+            ),
+            journal_torn_tail: registry.counter(
+                "atpm_serve_journal_torn_tail_total",
+                "Torn journal/checkpoint tails truncated during recovery",
+            ),
             registry,
         };
         for (site, label) in fault::SITES {
@@ -202,6 +214,14 @@ impl ServeMetrics {
                 &[("site", label)],
                 "Syscall faults injected at this site (process-wide)",
                 move || fault::injected_total(site),
+            );
+        }
+        for (site, label) in crate::journal::IO_SITES {
+            metrics.registry.counter_fn(
+                "atpm_serve_journal_fault_injected_total",
+                &[("site", label)],
+                "Journal file-I/O faults injected at this site (process-wide)",
+                move || crate::journal::injected_total(site),
             );
         }
         metrics
@@ -304,6 +324,9 @@ mod tests {
             "atpm_http_route_seconds",
             "atpm_net_fault_injected_total",
             "atpm_journal_append_seconds",
+            "atpm_journal_checkpoint_seconds",
+            "atpm_serve_journal_torn_tail_total",
+            "atpm_serve_journal_fault_injected_total",
         ] {
             assert!(text.contains(family), "missing {family} in:\n{text}");
         }

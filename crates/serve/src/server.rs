@@ -26,7 +26,7 @@ use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use atpm_obs::tracer;
 use atpm_ris::CoverageScratch;
@@ -34,7 +34,7 @@ use atpm_ris::CoverageScratch;
 use crate::http::{
     read_request, write_response, write_response_ct, write_response_with, ReadOutcome, Request,
 };
-use crate::journal::Journal;
+use crate::journal::{FsyncPolicy, Journal, RealIo};
 use crate::json::Json;
 use crate::manager::SessionManager;
 use crate::metrics::ServeMetrics;
@@ -120,6 +120,23 @@ pub fn route(
     scratch: &mut CoverageScratch,
 ) -> Result<(u16, Json), ApiError> {
     let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+    // Degraded mode (fsyncgate semantics): once a durability failure
+    // poisoned the journal, mutating session routes stop acking — the disk
+    // may not hold what an ack would promise. Read routes, snapshot
+    // management, and the observability surface keep serving.
+    if matches!(
+        (method, segments.as_slice()),
+        ("POST", ["sessions"])
+            | ("POST", ["sessions", _, "next"])
+            | ("POST", ["sessions", _, "observe"])
+            | ("DELETE", ["sessions", _])
+    ) && state.manager.journal_degraded()
+    {
+        return Err(ApiError::new(
+            503,
+            "journal degraded; durability lost; mutations disabled",
+        ));
+    }
     match (method, segments.as_slice()) {
         ("GET", ["healthz"]) => {
             // Reads the same registry atomics /metrics exports; the body
@@ -127,6 +144,10 @@ pub fn route(
             // and JSON shapes are pinned by the pool/epoll differential
             // tests).
             let m = &state.metrics;
+            // Journal fields are always present — a journal-less manager
+            // reports inert defaults, so the pool/epoll differential
+            // oracle stays byte-identical.
+            let js = state.manager.journal_stats();
             Ok((
                 200,
                 Json::obj([
@@ -137,6 +158,11 @@ pub fn route(
                     ("shed_503", Json::UInt(m.shed_503.get())),
                     ("recovered_sessions", Json::UInt(m.recovered_sessions.get())),
                     ("draining", Json::Bool(m.draining.get() != 0)),
+                    ("journal_bytes", Json::UInt(js.bytes)),
+                    ("segments", Json::UInt(js.segments)),
+                    ("last_checkpoint_seq", Json::UInt(js.last_checkpoint_seq)),
+                    ("fsync_policy", Json::Str(js.policy)),
+                    ("journal_degraded", Json::Bool(js.degraded)),
                 ]),
             ))
         }
@@ -404,9 +430,20 @@ pub struct ServeConfig {
     /// queued ahead of the workers (epoll backend only; the pool backend's
     /// queue is the kernel accept backlog). 0 disables shedding.
     pub max_queue: usize,
-    /// Append committed session transitions to this `ATPMJNL1` journal and
-    /// replay it on start. `None` keeps sessions memory-only.
+    /// Append committed session transitions to this journal and replay it
+    /// (checkpoint + segment tail) on start. `None` keeps sessions
+    /// memory-only.
     pub journal_path: Option<String>,
+    /// When to fsync journal appends (see [`FsyncPolicy`]): `shutdown`
+    /// defers durability to the final barrier, `group:MS` batches appends
+    /// behind a shared barrier with a bounded-latency window, `always`
+    /// fsyncs every record. Replies to mutating session routes are held
+    /// until their record's barrier completes.
+    pub fsync: FsyncPolicy,
+    /// Checkpoint period: serialize every live session, rotate the journal,
+    /// and retire sealed segments this often. 0 disables checkpointing
+    /// (the journal grows without bound, as before).
+    pub checkpoint_every_ms: u64,
     /// On shutdown, give in-flight requests this long to finish writing
     /// before connections are torn down (epoll backend only).
     pub drain_ms: u64,
@@ -438,6 +475,8 @@ impl Default for ServeConfig {
             idle_timeout_ms: Some(60_000),
             max_queue: 1_024,
             journal_path: None,
+            fsync: FsyncPolicy::default(),
+            checkpoint_every_ms: 300_000,
             drain_ms: 500,
             trace_path: None,
             profile_hz: 0,
@@ -507,6 +546,13 @@ pub struct Server {
     /// Where shutdown dumps the folded CPU profile, when the lifetime
     /// profiler (`profile_hz > 0`) armed successfully.
     profile_path: Option<String>,
+    /// The periodic checkpoint thread, when journaling with
+    /// `checkpoint_every_ms > 0`.
+    checkpointer: Option<JoinHandle<()>>,
+    /// The shutdown durability barrier's failure, if any. Surfaced via
+    /// [`durability_error`](Server::durability_error) so the binary can
+    /// exit nonzero — a supervisor must notice lost durability.
+    durability_error: Option<io::Error>,
 }
 
 impl Server {
@@ -544,7 +590,28 @@ impl Server {
             }
         }
         if let Some(path) = &cfg.journal_path {
-            let (journal, records) = Journal::open(path)?;
+            let (journal, records) = Journal::open_with(path, cfg.fsync, Arc::new(RealIo))?;
+            journal.bind_fsync_histogram(state.metrics.journal_fsync_seconds.clone());
+            // A torn tail (partial append at the moment of a crash) is
+            // normal for a kill -9, but it must never be *silent*: count
+            // it, log the byte offset, and leave an event-ring record so
+            // `/debug/events` shows it after the fact.
+            for (file, offset) in &journal.open_info().torn {
+                state.metrics.journal_torn_tail.inc();
+                state.events.record(
+                    "journal",
+                    "boot",
+                    &format!("torn tail truncated in {file} at byte {offset}"),
+                    0,
+                    Duration::ZERO,
+                );
+                eprintln!("# journal: torn tail truncated in {file} at byte {offset}");
+            }
+            // Checkpoint head watermark: recovered-then-deleted sessions
+            // must never recycle a token.
+            state
+                .manager
+                .bump_next_id(journal.open_info().next_id_floor);
             let t_replay = Instant::now();
             let recovered = state.manager.recover(&records);
             state
@@ -554,6 +621,48 @@ impl Server {
             state.manager.attach_journal(Arc::new(journal));
             state.metrics.recovered_sessions.add(recovered as u64);
         }
+        let checkpointer = (cfg.journal_path.is_some() && cfg.checkpoint_every_ms > 0).then(|| {
+            let state = state.clone();
+            let stop = stop.clone();
+            let period = Duration::from_millis(cfg.checkpoint_every_ms);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::SeqCst) {
+                    // Sleep in short slices so shutdown isn't gated on the
+                    // checkpoint period.
+                    let mut slept = Duration::ZERO;
+                    while slept < period && !stop.load(Ordering::SeqCst) {
+                        let slice = Duration::from_millis(50).min(period - slept);
+                        std::thread::sleep(slice);
+                        slept += slice;
+                    }
+                    if stop.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    match state.manager.checkpoint() {
+                        Ok(sessions) => state.events.record(
+                            "journal",
+                            "checkpoint",
+                            &format!("checkpointed {sessions} sessions"),
+                            0,
+                            Duration::ZERO,
+                        ),
+                        // A failed checkpoint is not a durability loss —
+                        // the sealed segments stay and replay next boot —
+                        // but it must be visible.
+                        Err(e) => {
+                            state.events.record(
+                                "journal",
+                                "checkpoint",
+                                &format!("checkpoint failed: {e}"),
+                                0,
+                                Duration::ZERO,
+                            );
+                            eprintln!("# journal checkpoint failed: {e}");
+                        }
+                    }
+                }
+            })
+        });
         if cfg.backend == Backend::Epoll {
             match crate::epoll::EpollBackend::start(state.clone(), cfg, &listener, stop.clone()) {
                 Ok(backend) => {
@@ -565,6 +674,8 @@ impl Server {
                         state,
                         trace_path: cfg.trace_path.clone(),
                         profile_path,
+                        checkpointer,
+                        durability_error: None,
                     })
                 }
                 Err(e) if e.kind() == io::ErrorKind::Unsupported => {
@@ -584,6 +695,7 @@ impl Server {
             addr,
             stop,
             profile_path,
+            checkpointer,
         ))
     }
 
@@ -594,6 +706,7 @@ impl Server {
         addr: SocketAddr,
         stop: Arc<AtomicBool>,
         profile_path: Option<String>,
+        checkpointer: Option<JoinHandle<()>>,
     ) -> Server {
         let conns = Arc::new(ConnRegistry::default());
         let workers = (0..cfg.workers.max(1))
@@ -638,6 +751,8 @@ impl Server {
             state,
             trace_path: cfg.trace_path.clone(),
             profile_path,
+            checkpointer,
+            durability_error: None,
         }
     }
 
@@ -649,6 +764,14 @@ impl Server {
     /// The backend actually serving (after any platform fallback).
     pub fn backend(&self) -> Backend {
         self.effective
+    }
+
+    /// The shutdown durability barrier's failure, if the final journal
+    /// fsync failed (meaningful only after [`shutdown`](Server::shutdown)).
+    /// A poisoned journal reports its original failure here too — `sync`
+    /// on a poisoned journal fails fast.
+    pub fn durability_error(&self) -> Option<&io::Error> {
+        self.durability_error.as_ref()
     }
 
     /// Stops accepting, drains in-flight work (epoll backend, up to
@@ -680,9 +803,17 @@ impl Server {
             }
             ServerBackend::Epoll(backend) => backend.shutdown(),
         }
+        if let Some(handle) = self.checkpointer.take() {
+            let _ = handle.join();
+        }
         // Every worker has exited: nothing appends anymore, so this is the
-        // durability barrier for everything the journal holds.
-        self.state.manager.sync_journal();
+        // durability barrier for everything the journal holds. A failure
+        // here means the tail of the run may not be on disk — record it so
+        // the binary can exit nonzero and a supervisor notices.
+        if let Err(e) = self.state.manager.sync_journal() {
+            eprintln!("# journal fsync at shutdown failed: {e}; recent transitions may be lost");
+            self.durability_error = Some(e);
+        }
         if let Some(path) = self.trace_path.take() {
             match std::fs::write(&path, tracer().drain_json()) {
                 Ok(()) => eprintln!("# trace written to {path}"),
@@ -774,7 +905,12 @@ fn serve_connection(
                     t0.elapsed(),
                 );
                 let keep = !req.wants_close();
-                let extra = [("x-request-id", rid.as_str())];
+                // 503s (shed, degraded journal) always carry Retry-After;
+                // header order matches the epoll worker byte-for-byte.
+                let mut extra = vec![("x-request-id", rid.as_str())];
+                if status == 503 {
+                    extra.push(("retry-after", "1"));
+                }
                 match &body {
                     RespBody::Json(json) => write_response_with(
                         &mut writer,

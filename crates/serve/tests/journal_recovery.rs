@@ -150,3 +150,274 @@ fn killed_mid_session_server_recovers_bit_for_bit_from_the_journal() {
     server.shutdown();
     let _ = std::fs::remove_file(&path);
 }
+
+/// Recovery fuzz: journal and checkpoint files mutilated at every byte.
+/// The invariants under test — recovery must *never* panic, must never
+/// invent records, and whatever it does return must be an exact committed
+/// prefix (globally for a single segment; per session once a checkpoint is
+/// involved).
+mod fuzz {
+    use super::*;
+    use atpm_serve::journal::{FsyncPolicy, Journal, RealIo, Record};
+    use atpm_serve::manager::SessionManager;
+    use std::collections::HashMap;
+    use std::path::{Path, PathBuf};
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let mut d = std::env::temp_dir();
+        d.push(format!("atpm-fuzz-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn sample_records() -> Vec<Record> {
+        let mut records = vec![Record::Create {
+            id: 1,
+            token: "s-1".into(),
+            req: session_req(),
+        }];
+        for round in 0..3u32 {
+            records.push(Record::Next {
+                token: "s-1".into(),
+                seeds: vec![round * 7 + 1],
+                done: false,
+            });
+            records.push(Record::Observe {
+                token: "s-1".into(),
+                req: ObserveReq::Simulate {
+                    seed: round * 7 + 1,
+                },
+            });
+        }
+        records.push(Record::Delete {
+            token: "s-1".into(),
+        });
+        records
+    }
+
+    /// Appends `records` to a fresh journal at `path`, returning the file
+    /// offset at which each record's frame ends.
+    fn record_journal(path: &Path, records: &[Record]) -> Vec<u64> {
+        let (journal, existing) =
+            Journal::open_with(path, FsyncPolicy::Shutdown, Arc::new(RealIo)).unwrap();
+        assert!(existing.is_empty());
+        let ends = records
+            .iter()
+            .map(|r| {
+                journal.append(r).unwrap();
+                journal.bytes()
+            })
+            .collect();
+        journal.sync().unwrap();
+        ends
+    }
+
+    fn open_must_not_panic(path: &Path, context: &str) -> std::io::Result<(Journal, Vec<Record>)> {
+        let path = path.to_path_buf();
+        std::panic::catch_unwind(move || {
+            Journal::open_with(&path, FsyncPolicy::Shutdown, Arc::new(RealIo))
+        })
+        .unwrap_or_else(|_| panic!("recovery panicked: {context}"))
+    }
+
+    #[test]
+    fn truncating_the_journal_at_every_offset_recovers_the_exact_committed_prefix() {
+        let dir = tmpdir("trunc");
+        let master = dir.join("journal");
+        let records = sample_records();
+        let ends = record_journal(&master, &records);
+        let bytes = std::fs::read(&master).unwrap();
+        assert_eq!(*ends.last().unwrap(), bytes.len() as u64);
+
+        for len in 0..=bytes.len() {
+            let victim = dir.join(format!("t{len}"));
+            std::fs::write(&victim, &bytes[..len]).unwrap();
+            let result = open_must_not_panic(&victim, &format!("truncation at byte {len}"));
+            if len == 0 {
+                // An empty file is a fresh journal, not a corrupt one.
+                assert!(result.unwrap().1.is_empty());
+                continue;
+            }
+            if len < 8 {
+                // A torn-mid-magic file is indistinguishable from a foreign
+                // file: refusing to serve beats guessing.
+                assert!(result.is_err(), "partial magic (len {len}) must refuse");
+                continue;
+            }
+            let (journal, recovered) = result.unwrap();
+            let committed = ends.iter().filter(|&&end| end <= len as u64).count();
+            assert_eq!(
+                recovered,
+                records[..committed],
+                "truncation at byte {len} must recover exactly the committed prefix"
+            );
+            let torn = !journal.open_info().torn.is_empty();
+            let at_boundary = len == 8 || ends.contains(&(len as u64));
+            assert_eq!(
+                torn, !at_boundary,
+                "torn tail at byte {len} must be reported iff mid-frame"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn single_bit_flips_never_panic_and_never_invent_records() {
+        let dir = tmpdir("flip");
+        let master = dir.join("journal");
+        let records = sample_records();
+        record_journal(&master, &records);
+        let bytes = std::fs::read(&master).unwrap();
+
+        for offset in 0..bytes.len() {
+            for bit in [0u8, 7] {
+                let mut mutated = bytes.clone();
+                mutated[offset] ^= 1 << bit;
+                let victim = dir.join("flip");
+                std::fs::write(&victim, &mutated).unwrap();
+                let context = format!("bit {bit} of byte {offset} flipped");
+                let result = open_must_not_panic(&victim, &context);
+                if offset < 8 {
+                    assert!(result.is_err(), "{context}: bad magic must refuse");
+                    continue;
+                }
+                // CRC32 detects every single-bit error, so the flipped
+                // frame (and everything after it) is truncated away — the
+                // survivors are an exact committed prefix, never a
+                // reordering, never invented data.
+                let (_, recovered) = result.unwrap_or_else(|e| panic!("{context}: {e}"));
+                assert!(
+                    recovered.len() < records.len(),
+                    "{context}: the flipped frame must not survive"
+                );
+                assert_eq!(
+                    recovered,
+                    records[..recovered.len()],
+                    "{context}: survivors must be an exact committed prefix"
+                );
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Builds a journaled state with two live sessions, checkpoints it, and
+    /// appends a post-checkpoint tail — the on-disk shape recovery merges
+    /// (checkpoint + active segment).
+    fn checkpointed_state(dir: &Path) -> (Arc<AppState>, PathBuf, PathBuf) {
+        let journal_path = dir.join("journal");
+        let state = state_with_snapshot();
+        let (journal, existing) =
+            Journal::open_with(&journal_path, FsyncPolicy::Shutdown, Arc::new(RealIo)).unwrap();
+        assert!(existing.is_empty());
+        state.manager.attach_journal(Arc::new(journal));
+        let mut client = LocalClient::new(state.clone());
+
+        // Session A: two observed rounds. Session B: one observed round
+        // plus a handed-out-but-unobserved seed (pending survives the
+        // checkpoint).
+        let a = client.create_session(&session_req()).unwrap();
+        let b = client
+            .create_session(&CreateSessionReq {
+                world_seed: 23,
+                ..session_req()
+            })
+            .unwrap();
+        for _ in 0..2 {
+            let seed = client.next(&a).unwrap().unwrap()[0];
+            client.observe(&a, &ObserveReq::Simulate { seed }).unwrap();
+        }
+        let seed = client.next(&b).unwrap().unwrap()[0];
+        client.observe(&b, &ObserveReq::Simulate { seed }).unwrap();
+        let _pending = client.next(&b).unwrap().unwrap()[0];
+
+        assert_eq!(state.manager.checkpoint().unwrap(), 2);
+
+        // Post-checkpoint tail: one more observed round for A.
+        let seed = client.next(&a).unwrap().unwrap()[0];
+        client.observe(&a, &ObserveReq::Simulate { seed }).unwrap();
+
+        let ckp_path = dir.join("journal.ckp");
+        assert!(ckp_path.exists(), "checkpoint file must exist");
+        (state, journal_path, ckp_path)
+    }
+
+    /// Per-token record sequences, for prefix comparison.
+    fn by_token(records: &[Record]) -> HashMap<String, Vec<Record>> {
+        let mut map: HashMap<String, Vec<Record>> = HashMap::new();
+        for r in records {
+            let token = match r {
+                Record::Create { token, .. }
+                | Record::Next { token, .. }
+                | Record::Observe { token, .. }
+                | Record::Delete { token } => token.clone(),
+            };
+            map.entry(token).or_default().push(r.clone());
+        }
+        map
+    }
+
+    #[test]
+    fn mutilating_the_checkpoint_never_panics_and_never_corrupts_a_session() {
+        let dir = tmpdir("ckp");
+        let (state, journal_path, ckp_path) = checkpointed_state(&dir);
+        let journal_bytes = std::fs::read(&journal_path).unwrap();
+        let ckp_bytes = std::fs::read(&ckp_path).unwrap();
+
+        // Intact baseline: what a clean reopen recovers.
+        let work = dir.join("work");
+        std::fs::create_dir_all(&work).unwrap();
+        let victim = work.join("journal");
+        let victim_ckp = work.join("journal.ckp");
+        std::fs::write(&victim, &journal_bytes).unwrap();
+        std::fs::write(&victim_ckp, &ckp_bytes).unwrap();
+        let (_, intact) = open_must_not_panic(&victim, "intact baseline").unwrap();
+        let intact_by_token = by_token(&intact);
+        assert_eq!(intact_by_token.len(), 2, "both sessions must recover");
+
+        // Every truncation length, and a bit flip in every byte. The
+        // journal (active segment) stays intact; only the checkpoint file
+        // is mutilated.
+        let mut cases: Vec<(String, Vec<u8>)> = (0..=ckp_bytes.len())
+            .map(|len| (format!("ckp truncated at {len}"), ckp_bytes[..len].to_vec()))
+            .collect();
+        for offset in 0..ckp_bytes.len() {
+            let mut mutated = ckp_bytes.clone();
+            mutated[offset] ^= 0x01;
+            cases.push((format!("ckp bit flip at {offset}"), mutated));
+        }
+
+        for (context, mutated) in cases {
+            std::fs::write(&victim, &journal_bytes).unwrap();
+            std::fs::write(&victim_ckp, &mutated).unwrap();
+            // A corrupt checkpoint must degrade recovery, never fail the
+            // boot: whatever sessions survive its committed prefix recover
+            // exactly; the rest are lost, not mangled.
+            let (_, recovered) = open_must_not_panic(&victim, &context)
+                .unwrap_or_else(|e| panic!("{context}: boot must not fail: {e}"));
+            for (token, sequence) in by_token(&recovered) {
+                let intact_seq = &intact_by_token[&token];
+                if sequence.iter().any(|r| matches!(r, Record::Create { .. })) {
+                    assert_eq!(
+                        &sequence, intact_seq,
+                        "{context}: session {token} must recover exactly or not at all"
+                    );
+                } else {
+                    // Tail records whose checkpoint frame was lost: they
+                    // must still be *committed* records, in order.
+                    let tail_len = sequence.len();
+                    assert_eq!(
+                        sequence,
+                        intact_seq[intact_seq.len() - tail_len..],
+                        "{context}: orphan tail for {token} must match the committed tail"
+                    );
+                }
+            }
+            // And the session manager must shrug off whatever shape came
+            // back — orphan tails, half-lost sessions — without panicking.
+            let manager = SessionManager::new(state.store.clone());
+            manager.recover(&recovered);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
