@@ -14,7 +14,11 @@
 //!        --rate R               ALSO run open-loop: R session arrivals/s
 //!        --open-sessions N      open-loop total arrivals    (default 48)
 //!        --open-workers N       open-loop client threads    (default 16)
-//!        --mix p=w,p=w          session mix                 (default hatp=1,ars=2,deploy_all=3)
+//!        --mix p=w,p=w          session mix                 (default hatp=1,ars=2,deploy_all=3;
+//!                               policies: hatp | ars | deploy_all | threshold_batch)
+//!        --batch-size a,b       seeds per round trip; each size is its own
+//!                               closed-loop measurement (default 1; sizes > 1
+//!                               drive the batched next_batch/observe_batch verbs)
 //!        --crash-every N        ALSO run the crash-restart drill: kill -9 a
 //!                               journaling atpm-served child every N
 //!                               completed sessions; hard-fail unless every
@@ -35,18 +39,19 @@ fn main() {
                 "usage: atpm-loadgen [--quick] [--addr HOST:PORT] [--backend epoll|pool] \
                  [--boot-workers N] [--levels a,b,c] [--sessions N] [--rate R] \
                  [--open-sessions N] [--open-workers N] [--mix p=w,...] \
-                 [--crash-every N] [--scale F] [--k N] [--rr-theta N] [--seed S] \
-                 [--json PATH | --no-json]"
+                 [--batch-size a,b] [--crash-every N] [--scale F] [--k N] [--rr-theta N] \
+                 [--seed S] [--json PATH | --no-json]"
             );
             std::process::exit(2);
         }
     };
     eprintln!(
-        "# loadgen: levels={:?} sessions/level={} rate={:?} mix={:?} scale={} k={} target={}",
+        "# loadgen: levels={:?} sessions/level={} rate={:?} mix={:?} batch={:?} scale={} k={} target={}",
         cfg.levels,
         cfg.sessions_per_level,
         cfg.rate,
         cfg.mix,
+        cfg.batch_sizes,
         cfg.scale,
         cfg.k,
         match &cfg.addr {

@@ -47,7 +47,8 @@ use atpm_obs::{Histogram, Scrape};
 use atpm_serve::client::{HttpClient, ProtocolClient};
 use atpm_serve::json::Json;
 use atpm_serve::protocol::{
-    ApiError, CreateSessionReq, Ledger, ObserveReq, PolicySpec, SnapshotReq, SnapshotSource,
+    ApiError, CreateSessionReq, Ledger, ObserveBatchReq, ObserveReq, PolicySpec, SnapshotReq,
+    SnapshotSource,
 };
 use atpm_serve::server::{AppState, Backend, ServeConfig, Server};
 use atpm_serve::snapshot::Snapshot;
@@ -91,6 +92,12 @@ pub struct LoadgenConfig {
     /// feeding field observations back. 0.0 (default) keeps every session
     /// on the server-simulated path.
     pub report_frac: f64,
+    /// Seeds requested per protocol round trip (`--batch-size a,b,...`).
+    /// Each entry is measured separately per closed-loop level, so a
+    /// sweep like `1,4` records the round-trip amortization directly.
+    /// Sizes above 1 drive the batched verbs (`next_batch`/
+    /// `observe_batch`); size 1 keeps the classic single-seed protocol.
+    pub batch_sizes: Vec<usize>,
     /// Crash-restart drill: kill -9 a journaling `atpm-served` child
     /// process every N completed sessions and hard-fail unless every
     /// session (including the ones in flight across each kill) finishes
@@ -122,6 +129,7 @@ impl Default for LoadgenConfig {
                 ("deploy_all".into(), 3),
             ],
             report_frac: 0.0,
+            batch_sizes: vec![1],
             crash_every: None,
             json_path: Some("BENCH_serve.json".into()),
         }
@@ -159,6 +167,7 @@ impl LoadgenConfig {
                         cfg.addr.clone(),
                         cfg.backend,
                         cfg.rate,
+                        cfg.batch_sizes.clone(),
                         cfg.crash_every,
                     );
                     cfg = LoadgenConfig::quick();
@@ -167,6 +176,7 @@ impl LoadgenConfig {
                         cfg.addr,
                         cfg.backend,
                         cfg.rate,
+                        cfg.batch_sizes,
                         cfg.crash_every,
                     ) = keep;
                 }
@@ -255,6 +265,12 @@ impl LoadgenConfig {
                     }
                     cfg.report_frac = f;
                 }
+                "--batch-size" => {
+                    cfg.batch_sizes = value_of("--batch-size")?
+                        .split(',')
+                        .map(|t| t.parse().map_err(|e| format!("bad --batch-size: {e}")))
+                        .collect::<Result<_, _>>()?;
+                }
                 "--crash-every" => {
                     let n: usize = value_of("--crash-every")?
                         .parse()
@@ -278,12 +294,18 @@ impl LoadgenConfig {
         if cfg.rate.is_some() && (cfg.open_sessions == 0 || cfg.open_workers == 0) {
             return Err("open-loop mode needs nonzero --open-sessions and --open-workers".into());
         }
+        if cfg.batch_sizes.is_empty() || cfg.batch_sizes.contains(&0) {
+            return Err("need at least one nonzero --batch-size".into());
+        }
         if cfg.mix.is_empty() || cfg.mix.iter().all(|(_, w)| *w == 0) {
             return Err("mix needs at least one positive weight".into());
         }
         for (name, _) in &cfg.mix {
             policy_spec(name, 0).ok_or_else(|| {
-                format!("unknown policy '{name}' in mix (expected hatp | ars | deploy_all)")
+                format!(
+                    "unknown policy '{name}' in mix \
+                     (expected hatp | ars | deploy_all | threshold_batch)"
+                )
             })?;
         }
         Ok(cfg)
@@ -328,6 +350,47 @@ fn run_report_session<C: ProtocolClient>(
     Ok(ledger)
 }
 
+/// [`run_report_session`] over the batched verbs: the client asks for up
+/// to `k` seeds per round, simulates the joint cascade in its own world,
+/// and posts one `observe_batch {activated}` back — one round trip per
+/// batch round instead of one per seed.
+fn run_report_session_batched<C: ProtocolClient>(
+    client: &mut C,
+    req: &CreateSessionReq,
+    snapshot: &Snapshot,
+    k: usize,
+) -> Result<Ledger, ApiError> {
+    let token = client.create_session(req)?;
+    let mut world = AdaptiveSession::new(&snapshot.instance, req.world_seed);
+    while let Some(seeds) = client.next_batch(&token, k)? {
+        let activated = world.select_batch(&seeds);
+        client.observe_batch(&token, &ObserveBatchReq::Report { seeds, activated })?;
+    }
+    let ledger = client.ledger(&token)?;
+    client.delete_session(&token)?;
+    Ok(ledger)
+}
+
+/// Drives one full session: report-mode vs server-simulated per
+/// `report_snapshot`, batched verbs when `batch > 1`, the classic
+/// single-seed protocol when `batch == 1`. Returns the ledger plus
+/// whether the report path was taken (for the per-thread counters).
+fn drive_session<C: ProtocolClient>(
+    client: &mut C,
+    req: &CreateSessionReq,
+    batch: usize,
+    report_snapshot: Option<&Snapshot>,
+) -> Result<(Ledger, bool), ApiError> {
+    match report_snapshot {
+        Some(snap) if batch > 1 => {
+            run_report_session_batched(client, req, snap, batch).map(|l| (l, true))
+        }
+        Some(snap) => run_report_session(client, req, snap).map(|l| (l, true)),
+        None if batch > 1 => client.run_session_batched(req, batch).map(|l| (l, false)),
+        None => client.run_session(req).map(|l| (l, false)),
+    }
+}
+
 /// Builds the policy spec a mix entry names. Sampling knobs are deliberately
 /// modest: loadgen measures the *service*, not HATP's asymptotics.
 fn policy_spec(name: &str, session_seed: u64) -> Option<PolicySpec> {
@@ -343,6 +406,13 @@ fn policy_spec(name: &str, session_seed: u64) -> Option<PolicySpec> {
             seed: session_seed,
         }),
         "deploy_all" => Some(PolicySpec::DeployAll),
+        "threshold_batch" => Some(PolicySpec::ThresholdBatch {
+            theta: 2_000,
+            eps: 0.1,
+            batch: 4,
+            seed: session_seed,
+            threads: 1,
+        }),
         _ => None,
     }
 }
@@ -358,6 +428,9 @@ pub struct LevelReport {
     pub level: usize,
     /// Open-loop target arrival rate, sessions/second (0 for closed).
     pub rate: f64,
+    /// Seeds requested per protocol round trip for this measurement
+    /// (1 = classic single-seed verbs, >1 = `next_batch`/`observe_batch`).
+    pub batch_size: usize,
     /// Completed sessions.
     pub sessions: usize,
     /// Total HTTP requests issued.
@@ -411,6 +484,7 @@ impl LevelReport {
             ("mode", Json::Str(self.mode.to_string())),
             ("level", Json::Num(self.level as f64)),
             ("rate", Json::Num(self.rate)),
+            ("batch_size", Json::Num(self.batch_size as f64)),
             ("sessions", Json::Num(self.sessions as f64)),
             ("requests", Json::Num(self.requests as f64)),
             ("seeds", Json::Num(self.seeds as f64)),
@@ -467,9 +541,10 @@ const MAX_ATTEMPTS: u32 = 6;
 /// * transport failures (connect refused, reset, short read) — the server
 ///   restarted or the connection died. `create` and `next` are idempotent
 ///   server-side (a replayed `next` re-serves the pending seed), so they
-///   retry on a fresh connection. A replayed `observe` that answers 409
-///   means the original *was* applied before the reply was lost; after at
-///   least one retry that counts as success.
+///   retry on a fresh connection. A replayed `observe` (or
+///   `observe_batch`) that answers 409 means the original *was* applied
+///   before the reply was lost; after at least one retry that counts as
+///   success.
 ///
 /// Backoff is exponential with deterministic jitter (xorshift64*, seeded
 /// per thread) so concurrent clients don't re-dogpile in lockstep.
@@ -572,7 +647,11 @@ impl ProtocolClient for RetryClient {
             }
             // A replayed observe answering "nothing pending" means the lost
             // original landed: the observation is durably applied.
-            if err.status == 409 && attempt > 0 && method == "POST" && path.ends_with("/observe") {
+            if err.status == 409
+                && attempt > 0
+                && method == "POST"
+                && (path.ends_with("/observe") || path.ends_with("/observe_batch"))
+            {
                 return Ok(Json::obj([]));
             }
             if !(shed || transport) || attempt + 1 >= self.max_attempts {
@@ -800,96 +879,95 @@ pub fn run(cfg: &LoadgenConfig) -> Result<Vec<LevelReport>, String> {
     // the whole sweep (cumulative since boot, so it must only grow).
     let mut srv_requests_seen = 0u64;
     for &level in &cfg.levels {
-        let counter = Arc::new(AtomicUsize::new(0));
-        let t0 = Instant::now();
-        let stats: Vec<ThreadStats> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..level)
-                .map(|t| {
-                    let addr = addr.clone();
-                    let counter = counter.clone();
-                    let schedule = &schedule;
-                    let total = cfg.sessions_per_level;
-                    let seed = cfg.seed;
-                    let report_snapshot = report_snapshot.clone();
-                    scope.spawn(move || -> Result<ThreadStats, String> {
-                        let mut client = RetryClient::connect(
-                            &addr,
-                            seed ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-                        );
-                        let mut stats = ThreadStats::default();
-                        loop {
-                            let i = counter.fetch_add(1, Ordering::Relaxed);
-                            if i >= total {
-                                break;
-                            }
-                            let name = &schedule[i % schedule.len()];
-                            let spec =
-                                policy_spec(name, seed ^ (i as u64) << 17).expect("mix validated");
-                            let req = CreateSessionReq {
-                                snapshot: "bench".into(),
-                                policy: spec,
-                                world_seed: seed.wrapping_add(i as u64),
-                            };
-                            let ledger = match report_snapshot
-                                .as_deref()
-                                .filter(|_| cfg.is_report_session(i))
-                            {
-                                Some(snap) => {
-                                    stats.report_sessions += 1;
-                                    run_report_session(&mut client, &req, snap)
+        for &batch in &cfg.batch_sizes {
+            let counter = Arc::new(AtomicUsize::new(0));
+            let t0 = Instant::now();
+            let stats: Vec<ThreadStats> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..level)
+                    .map(|t| {
+                        let addr = addr.clone();
+                        let counter = counter.clone();
+                        let schedule = &schedule;
+                        let total = cfg.sessions_per_level;
+                        let seed = cfg.seed;
+                        let report_snapshot = report_snapshot.clone();
+                        scope.spawn(move || -> Result<ThreadStats, String> {
+                            let mut client = RetryClient::connect(
+                                &addr,
+                                seed ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                            );
+                            let mut stats = ThreadStats::default();
+                            loop {
+                                let i = counter.fetch_add(1, Ordering::Relaxed);
+                                if i >= total {
+                                    break;
                                 }
-                                None => client.run_session(&req),
+                                let name = &schedule[i % schedule.len()];
+                                let spec = policy_spec(name, seed ^ (i as u64) << 17)
+                                    .expect("mix validated");
+                                let req = CreateSessionReq {
+                                    snapshot: "bench".into(),
+                                    policy: spec,
+                                    world_seed: seed.wrapping_add(i as u64),
+                                };
+                                let report_snap = report_snapshot
+                                    .as_deref()
+                                    .filter(|_| cfg.is_report_session(i));
+                                let (ledger, reported) =
+                                    drive_session(&mut client, &req, batch, report_snap)
+                                        .map_err(|e| format!("session {i} ({name}): {e}"))?;
+                                stats.report_sessions += usize::from(reported);
+                                stats.sessions += 1;
+                                stats.seeds += ledger.selected.len();
                             }
-                            .map_err(|e| format!("session {i} ({name}): {e}"))?;
-                            stats.sessions += 1;
-                            stats.seeds += ledger.selected.len();
-                        }
-                        stats.latencies = client.latencies;
-                        stats.retries = client.retries;
-                        stats.shed_503 = client.shed_503;
-                        Ok(stats)
+                            stats.latencies = client.latencies;
+                            stats.retries = client.retries;
+                            stats.shed_503 = client.shed_503;
+                            Ok(stats)
+                        })
                     })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("loadgen thread panicked"))
-                .collect::<Result<Vec<_>, String>>()
-        })?;
-        let wall_s = t0.elapsed().as_secs_f64();
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("loadgen thread panicked"))
+                    .collect::<Result<Vec<_>, String>>()
+            })?;
+            let wall_s = t0.elapsed().as_secs_f64();
 
-        // O(buckets) fold of the per-thread histograms (merge is
-        // element-wise and associative, pinned by the obs property tests).
-        let latencies = Histogram::new();
-        for s in &stats {
-            latencies.merge_from(&s.latencies);
+            // O(buckets) fold of the per-thread histograms (merge is
+            // element-wise and associative, pinned by the obs property tests).
+            let latencies = Histogram::new();
+            for s in &stats {
+                latencies.merge_from(&s.latencies);
+            }
+            let requests = latencies.count() as usize;
+            let sessions: usize = stats.iter().map(|s| s.sessions).sum();
+            let srv = scrape_server_side(&addr, &mut srv_requests_seen)?;
+            reports.push(LevelReport {
+                mode: "closed",
+                level,
+                rate: 0.0,
+                batch_size: batch,
+                sessions,
+                requests,
+                seeds: stats.iter().map(|s| s.seeds).sum(),
+                report_sessions: stats.iter().map(|s| s.report_sessions).sum(),
+                wall_s,
+                rps: requests as f64 / wall_s.max(1e-9),
+                goodput_sps: sessions as f64 / wall_s.max(1e-9),
+                p50_us: latencies.quantile(0.50) / 1_000.0,
+                p95_us: latencies.quantile(0.95) / 1_000.0,
+                p99_us: latencies.quantile(0.99) / 1_000.0,
+                sojourn_p95_ms: 0.0,
+                retries: stats.iter().map(|s| s.retries).sum(),
+                shed_503: stats.iter().map(|s| s.shed_503).sum(),
+                recovered_sessions: fetch_recovered(&addr),
+                srv_requests: srv.requests,
+                srv_p50_us: srv.p50_us,
+                srv_p95_us: srv.p95_us,
+                srv_p99_us: srv.p99_us,
+            });
         }
-        let requests = latencies.count() as usize;
-        let sessions: usize = stats.iter().map(|s| s.sessions).sum();
-        let srv = scrape_server_side(&addr, &mut srv_requests_seen)?;
-        reports.push(LevelReport {
-            mode: "closed",
-            level,
-            rate: 0.0,
-            sessions,
-            requests,
-            seeds: stats.iter().map(|s| s.seeds).sum(),
-            report_sessions: stats.iter().map(|s| s.report_sessions).sum(),
-            wall_s,
-            rps: requests as f64 / wall_s.max(1e-9),
-            goodput_sps: sessions as f64 / wall_s.max(1e-9),
-            p50_us: latencies.quantile(0.50) / 1_000.0,
-            p95_us: latencies.quantile(0.95) / 1_000.0,
-            p99_us: latencies.quantile(0.99) / 1_000.0,
-            sojourn_p95_ms: 0.0,
-            retries: stats.iter().map(|s| s.retries).sum(),
-            shed_503: stats.iter().map(|s| s.shed_503).sum(),
-            recovered_sessions: fetch_recovered(&addr),
-            srv_requests: srv.requests,
-            srv_p50_us: srv.p50_us,
-            srv_p95_us: srv.p95_us,
-            srv_p99_us: srv.p99_us,
-        });
     }
 
     if let Some(rate) = cfg.rate {
@@ -944,6 +1022,9 @@ fn run_open_loop(
 
     let schedule = cfg.mix_schedule();
     let total = cfg.open_sessions;
+    // The open-loop phase is a single measurement; it drives at the first
+    // configured batch size (1 unless `--batch-size` says otherwise).
+    let batch = cfg.batch_sizes[0];
     let counter = Arc::new(AtomicUsize::new(0));
     let t0 = Instant::now();
     let stats: Vec<OpenStats> = std::thread::scope(|scope| {
@@ -981,14 +1062,11 @@ fn run_open_loop(
                             policy: spec,
                             world_seed: seed.wrapping_add(i as u64),
                         };
-                        let ledger = match report_snapshot.filter(|_| cfg.is_report_session(i)) {
-                            Some(snap) => {
-                                stats.inner.report_sessions += 1;
-                                run_report_session(&mut client, &req, snap)
-                            }
-                            None => client.run_session(&req),
-                        }
-                        .map_err(|e| format!("open session {i} ({name}): {e}"))?;
+                        let report_snap = report_snapshot.filter(|_| cfg.is_report_session(i));
+                        let (ledger, reported) =
+                            drive_session(&mut client, &req, batch, report_snap)
+                                .map_err(|e| format!("open session {i} ({name}): {e}"))?;
+                        stats.inner.report_sessions += usize::from(reported);
                         stats.inner.sessions += 1;
                         stats.inner.seeds += ledger.selected.len();
                         // Sojourn from the *scheduled* arrival: overload
@@ -1025,6 +1103,7 @@ fn run_open_loop(
         mode: "open",
         level: cfg.open_workers,
         rate,
+        batch_size: batch,
         sessions,
         requests,
         seeds: stats.iter().map(|s| s.inner.seeds).sum(),
@@ -1280,6 +1359,7 @@ fn run_crash_drill(cfg: &LoadgenConfig, every: usize) -> Result<LevelReport, Str
         mode: "crash",
         level: 1,
         rate: 0.0,
+        batch_size: 1,
         sessions: total,
         requests: client.latencies.count() as usize,
         seeds: ledgers
@@ -1323,10 +1403,11 @@ pub fn render(reports: &[LevelReport]) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:>6} {:>6} {:>6} {:>9} {:>9} {:>6} {:>8} {:>9} {:>8} {:>9} {:>9} {:>9} {:>10} {:>10} {:>11} {:>7} {:>6} {:>5}",
+        "{:>6} {:>6} {:>6} {:>5} {:>9} {:>9} {:>6} {:>8} {:>9} {:>8} {:>9} {:>9} {:>9} {:>10} {:>10} {:>11} {:>7} {:>6} {:>5}",
         "mode",
         "level",
         "rate",
+        "batch",
         "sessions",
         "requests",
         "seeds",
@@ -1346,10 +1427,11 @@ pub fn render(reports: &[LevelReport]) -> String {
     for r in reports {
         let _ = writeln!(
             out,
-            "{:>6} {:>6} {:>6.1} {:>9} {:>9} {:>6} {:>8.2} {:>9.0} {:>8.1} {:>9.0} {:>9.0} {:>9.0} {:>10.0} {:>10.0} {:>11.1} {:>7} {:>6} {:>5}",
+            "{:>6} {:>6} {:>6.1} {:>5} {:>9} {:>9} {:>6} {:>8.2} {:>9.0} {:>8.1} {:>9.0} {:>9.0} {:>9.0} {:>10.0} {:>10.0} {:>11.1} {:>7} {:>6} {:>5}",
             r.mode,
             r.level,
             r.rate,
+            r.batch_size,
             r.sessions,
             r.requests,
             r.seeds,
@@ -1595,6 +1677,64 @@ mod tests {
     }
 
     #[test]
+    fn parse_batch_size_flag() {
+        assert_eq!(LoadgenConfig::parse(&[]).unwrap().batch_sizes, vec![1]);
+        let cfg = LoadgenConfig::parse(&s(&["--batch-size", "1,4,8"])).unwrap();
+        assert_eq!(cfg.batch_sizes, vec![1, 4, 8]);
+        assert!(LoadgenConfig::parse(&s(&["--batch-size", "0"])).is_err());
+        assert!(LoadgenConfig::parse(&s(&["--batch-size", "4,0"])).is_err());
+        assert!(LoadgenConfig::parse(&s(&["--batch-size", "nope"])).is_err());
+        // --quick keeps an explicitly chosen sweep.
+        let cfg = LoadgenConfig::parse(&s(&["--batch-size", "1,4", "--quick"])).unwrap();
+        assert_eq!(cfg.batch_sizes, vec![1, 4]);
+        // threshold_batch is a valid mix policy.
+        let cfg = LoadgenConfig::parse(&s(&["--mix", "threshold_batch=1"])).unwrap();
+        assert_eq!(cfg.mix_schedule(), vec!["threshold_batch"]);
+    }
+
+    #[test]
+    fn smoke_batched_sweep_amortizes_round_trips_with_identical_outcomes() {
+        // One level, two batch sizes: the same sessions over the same
+        // worlds must commit identical seed totals, while the K=4 leg
+        // spends strictly fewer HTTP requests — the round-trip
+        // amortization BENCH_serve.json exists to record. (deploy_all
+        // only: its selections are observation-independent, so the seed
+        // totals are k-invariant; ThresholdBatch's are legitimately not.)
+        let cfg = LoadgenConfig {
+            levels: vec![1],
+            sessions_per_level: 3,
+            scale: 0.005,
+            k: 2,
+            rr_theta: 500,
+            mix: vec![("deploy_all".into(), 1)],
+            batch_sizes: vec![1, 4],
+            json_path: None,
+            ..Default::default()
+        };
+        let reports = run(&cfg).unwrap();
+        assert_eq!(reports.len(), 2, "one record per batch size");
+        let (k1, k4) = (&reports[0], &reports[1]);
+        assert_eq!((k1.batch_size, k4.batch_size), (1, 4));
+        assert_eq!(k1.sessions, 3);
+        assert_eq!(k4.sessions, 3);
+        assert_eq!(
+            k1.seeds, k4.seeds,
+            "batching changes round trips, never the committed seeds"
+        );
+        assert!(
+            k4.requests < k1.requests,
+            "K=4 must amortize round trips ({} vs {})",
+            k4.requests,
+            k1.requests
+        );
+        assert_eq!(
+            k4.to_json().get("batch_size").and_then(Json::as_u64),
+            Some(4),
+            "schema carries the batch size"
+        );
+    }
+
+    #[test]
     fn parse_crash_every_flag() {
         let cfg = LoadgenConfig::parse(&s(&["--crash-every", "3"])).unwrap();
         assert_eq!(cfg.crash_every, Some(3));
@@ -1659,7 +1799,8 @@ mod tests {
     #[test]
     fn smoke_run_against_pool_backend_oracle() {
         // The pool backend stays runnable as a differential oracle: same
-        // driver, worker pool sized to the level.
+        // driver, worker pool sized to the level. The mix doubles as the
+        // threshold_batch wire-policy smoke.
         let cfg = LoadgenConfig {
             backend: Backend::Pool,
             levels: vec![2],
@@ -1667,7 +1808,7 @@ mod tests {
             scale: 0.005,
             k: 2,
             rr_theta: 500,
-            mix: vec![("deploy_all".into(), 1)],
+            mix: vec![("deploy_all".into(), 1), ("threshold_batch".into(), 1)],
             json_path: None,
             ..Default::default()
         };

@@ -55,7 +55,7 @@ pub use instance::TpmInstance;
 pub use oracle::{ExactOracle, McOracle, RisOracle, SpreadOracle};
 pub use runner::{evaluate_adaptive, evaluate_nonadaptive, EvalSummary};
 pub use session::{AdaptiveSession, SessionState};
-pub use stepper::{run_stepper, PolicyStepper};
+pub use stepper::{run_stepper, run_stepper_batched, PolicyStepper};
 
 /// Node id re-exported from the graph substrate.
 pub type Node = atpm_graph::Node;

@@ -10,6 +10,7 @@
 //! | [`Ndg`] | nonadaptive double greedy \[26\] | §VI-A |
 //! | [`Ars`] / [`Rs`] | (adaptive) random set \[10\] | §VI-A |
 //! | [`Baseline`] | deploy the whole target set | §VI-B |
+//! | [`ThresholdBatch`] | adaptive, low-adaptivity batch rounds | beyond the paper (arXiv:1910.13073-style) |
 
 mod addatp;
 mod adg;
@@ -19,6 +20,7 @@ mod hatp;
 mod hntp;
 mod ndg;
 mod nsg;
+mod threshold_batch;
 
 pub use addatp::Addatp;
 pub use adg::Adg;
@@ -28,3 +30,4 @@ pub use hatp::{Hatp, HatpStepper};
 pub use hntp::Hntp;
 pub use ndg::Ndg;
 pub use nsg::Nsg;
+pub use threshold_batch::{ThresholdBatch, ThresholdBatchStepper};

@@ -74,6 +74,14 @@ pub struct AdaptiveSession<'a> {
     /// Cumulative sampling effort reported by noise-model policies
     /// (RR sets generated); used by the runtime experiments.
     sampling_work: u64,
+    /// Observation rounds applied so far — one per committed seed on the
+    /// single-seed path, one per committed *batch* on the batched path.
+    /// The adaptivity budget the low-adaptivity policies are spending.
+    rounds: u64,
+    /// Marginal-oracle evaluations reported by batch policies
+    /// ([`add_oracle_queries`](Self::add_oracle_queries)), the query
+    /// accounting of threshold-sampling selection.
+    oracle_queries: u64,
 }
 
 impl<'a> AdaptiveSession<'a> {
@@ -97,6 +105,8 @@ impl<'a> AdaptiveSession<'a> {
             selected: Vec::new(),
             total_activated: 0,
             sampling_work: 0,
+            rounds: 0,
+            oracle_queries: 0,
         }
     }
 
@@ -124,16 +134,26 @@ impl<'a> AdaptiveSession<'a> {
     /// policies must check [`is_activated`](Self::is_activated) first, as
     /// the paper's pseudocode does.
     pub fn select(&mut self, u: Node) -> Vec<Node> {
-        assert!(
-            self.instance.is_target(u),
-            "policy selected non-target node {u}"
-        );
-        assert!(
-            !self.is_activated(u),
-            "policy selected already-activated node {u}"
-        );
-        let cascade = self.engine.observe(&self.residual, &self.realization, &[u]);
-        self.apply_observation(u, &cascade);
+        self.select_batch(std::slice::from_ref(&u))
+    }
+
+    /// Commits a whole *batch* of seeds in one observation round: observes
+    /// the joint cascade `A(S)` of all batch seeds in this session's
+    /// realization, removes the activated nodes from the residual graph,
+    /// and returns `A(S)` in discovery order. One call counts as **one**
+    /// adaptivity round ([`rounds`](Self::rounds)) however many seeds the
+    /// batch holds; `select_batch(&[u])` is exactly [`select`](Self::select)
+    /// — there is only one commit path.
+    ///
+    /// Panics like [`select`](Self::select) on an empty batch, a duplicate
+    /// batch member, a non-target seed, or an already-activated seed (batch
+    /// members must be distinct and un-activated *at batch decision time* —
+    /// a later member activated mid-cascade by an earlier one is fine, and
+    /// is the low-adaptivity gap batching accepts).
+    pub fn select_batch(&mut self, seeds: &[Node]) -> Vec<Node> {
+        self.validate_batch(seeds);
+        let cascade = self.engine.observe(&self.residual, &self.realization, seeds);
+        self.apply_observations(seeds, &cascade);
         cascade
     }
 
@@ -153,14 +173,21 @@ impl<'a> AdaptiveSession<'a> {
     /// already-activated `u`, and on out-of-range activation ids — services
     /// must validate untrusted input first.
     pub fn apply_observation(&mut self, u: Node, activated: &[Node]) -> usize {
-        assert!(
-            self.instance.is_target(u),
-            "policy selected non-target node {u}"
-        );
-        assert!(
-            !self.is_activated(u),
-            "policy selected already-activated node {u}"
-        );
+        self.apply_observations(std::slice::from_ref(&u), activated)
+    }
+
+    /// Commits a batch of seeds with an *externally observed* joint
+    /// activation set — the batched form of
+    /// [`apply_observation`](Self::apply_observation), and the network
+    /// entry point of the `observe_batch` protocol route. Returns the
+    /// number of newly activated nodes; one call counts as one adaptivity
+    /// round.
+    ///
+    /// Panics like [`select_batch`](Self::select_batch) on invalid seeds
+    /// and on out-of-range activation ids — services must validate
+    /// untrusted input first.
+    pub fn apply_observations(&mut self, seeds: &[Node], activated: &[Node]) -> usize {
+        self.validate_batch(seeds);
         let n = self.instance.graph().num_nodes();
         let mut newly = 0usize;
         for &v in activated {
@@ -172,8 +199,29 @@ impl<'a> AdaptiveSession<'a> {
             }
         }
         self.total_activated += newly;
-        self.selected.push(u);
+        self.selected.extend_from_slice(seeds);
+        self.rounds += 1;
         newly
+    }
+
+    /// The batch-commit preconditions, checked *before* any state changes:
+    /// non-empty, every seed a distinct target, none activated yet.
+    fn validate_batch(&self, seeds: &[Node]) {
+        assert!(!seeds.is_empty(), "policy committed an empty batch");
+        for (i, &u) in seeds.iter().enumerate() {
+            assert!(
+                self.instance.is_target(u),
+                "policy selected non-target node {u}"
+            );
+            assert!(
+                !self.is_activated(u),
+                "policy selected already-activated node {u}"
+            );
+            assert!(
+                !seeds[..i].contains(&u),
+                "policy selected duplicate node {u} in one batch"
+            );
+        }
     }
 
     /// Seeds committed so far, in selection order.
@@ -202,6 +250,23 @@ impl<'a> AdaptiveSession<'a> {
         self.sampling_work
     }
 
+    /// Observation rounds applied so far (one per committed seed or batch).
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Records marginal-oracle evaluations (batch policies call this so the
+    /// threshold-sampling query accounting lands in ledgers).
+    pub fn add_oracle_queries(&mut self, queries: u64) {
+        self.oracle_queries += queries;
+    }
+
+    /// Total oracle queries reported via
+    /// [`add_oracle_queries`](Self::add_oracle_queries).
+    pub fn oracle_queries(&self) -> u64 {
+        self.oracle_queries
+    }
+
     /// The world seed this session runs against (0 for explicit worlds).
     pub fn world_seed(&self) -> u64 {
         match &self.realization {
@@ -223,6 +288,8 @@ impl<'a> AdaptiveSession<'a> {
             selected: self.selected,
             total_activated: self.total_activated,
             sampling_work: self.sampling_work,
+            rounds: self.rounds,
+            oracle_queries: self.oracle_queries,
         }
     }
 
@@ -241,6 +308,8 @@ impl<'a> AdaptiveSession<'a> {
             selected: state.selected,
             total_activated: state.total_activated,
             sampling_work: state.sampling_work,
+            rounds: state.rounds,
+            oracle_queries: state.oracle_queries,
         }
     }
 }
@@ -260,12 +329,24 @@ pub struct SessionState {
     selected: Vec<Node>,
     total_activated: usize,
     sampling_work: u64,
+    rounds: u64,
+    oracle_queries: u64,
 }
 
 impl SessionState {
     /// Seeds committed so far, in selection order.
     pub fn selected(&self) -> &[Node] {
         &self.selected
+    }
+
+    /// Observation rounds applied before suspension.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Oracle queries reported by batch policies before suspension.
+    pub fn oracle_queries(&self) -> u64 {
+        self.oracle_queries
     }
 
     /// Number of nodes activated so far.
@@ -446,5 +527,98 @@ mod tests {
         s.add_sampling_work(100);
         s.add_sampling_work(50);
         assert_eq!(s.sampling_work(), 150);
+    }
+
+    #[test]
+    fn select_batch_of_one_is_bit_identical_to_select() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 0.5).unwrap();
+        b.add_edge(1, 2, 0.5).unwrap();
+        let inst = TpmInstance::new(b.build(), vec![0, 2], &[0.5, 0.25]);
+        for seed in 0..20u64 {
+            let mut single = AdaptiveSession::new(&inst, seed);
+            let a = single.select(0);
+            let mut batched = AdaptiveSession::new(&inst, seed);
+            let b = batched.select_batch(&[0]);
+            assert_eq!(a, b, "world {seed}");
+            assert_eq!(single.selected(), batched.selected());
+            assert_eq!(single.rounds(), batched.rounds());
+            assert_eq!(single.profit().to_bits(), batched.profit().to_bits());
+        }
+    }
+
+    #[test]
+    fn select_batch_observes_the_joint_cascade_in_one_round() {
+        let inst = instance(); // 0 -> 1 (p=1), 2 isolated; targets {0, 2}
+        let mut s = AdaptiveSession::new(&inst, 7);
+        let cascade = s.select_batch(&[0, 2]);
+        assert_eq!(cascade.len(), 3, "joint cascade covers both seeds");
+        assert_eq!(s.selected(), &[0, 2]);
+        assert_eq!(s.total_activated(), 3);
+        assert_eq!(s.rounds(), 1, "a batch is one adaptivity round");
+        assert!((s.profit() - (3.0 - 1.75)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rounds_count_batches_not_seeds() {
+        let inst = instance();
+        let mut s = AdaptiveSession::new(&inst, 7);
+        s.select(0);
+        s.select(2);
+        assert_eq!(s.rounds(), 2, "single-seed path: one round per seed");
+    }
+
+    #[test]
+    fn apply_observations_matches_select_batch_on_true_cascades() {
+        let inst = instance();
+        let mut simulated = AdaptiveSession::new(&inst, 7);
+        let cascade = simulated.select_batch(&[0, 2]);
+        let mut external = AdaptiveSession::new(&inst, 999); // world unused
+        let newly = external.apply_observations(&[0, 2], &cascade);
+        assert_eq!(newly, cascade.len());
+        assert_eq!(external.selected(), simulated.selected());
+        assert_eq!(external.rounds(), simulated.rounds());
+        assert_eq!(external.profit().to_bits(), simulated.profit().to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn select_batch_rejects_duplicate_members() {
+        let inst = instance();
+        let mut s = AdaptiveSession::new(&inst, 7);
+        s.select_batch(&[0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty batch")]
+    fn select_batch_rejects_empty_batches() {
+        let inst = instance();
+        let mut s = AdaptiveSession::new(&inst, 7);
+        s.select_batch(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already-activated")]
+    fn select_batch_rejects_previously_activated_members() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 1.0).unwrap();
+        let inst = TpmInstance::new(b.build(), vec![0, 1, 2], &[1.0, 1.0, 1.0]);
+        let mut s = AdaptiveSession::new(&inst, 1);
+        s.select(0); // activates 1
+        s.select_batch(&[1, 2]);
+    }
+
+    #[test]
+    fn round_and_query_accounting_survives_suspend_resume() {
+        let inst = instance();
+        let mut s = AdaptiveSession::new(&inst, 7);
+        s.select_batch(&[0, 2]);
+        s.add_oracle_queries(17);
+        let state = s.suspend();
+        assert_eq!(state.rounds(), 1);
+        assert_eq!(state.oracle_queries(), 17);
+        let s = AdaptiveSession::resume(&inst, state);
+        assert_eq!(s.rounds(), 1);
+        assert_eq!(s.oracle_queries(), 17);
     }
 }

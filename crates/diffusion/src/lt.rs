@@ -13,8 +13,20 @@
 //! incoming edge (edge `e` with probability `w(e)`, none with probability
 //! `1 − Σw`), and LT diffusion equals reachability over selected edges. An
 //! [`LtRealization`] is therefore one hashed uniform draw *per node*.
+//!
+//! Edge selection has two legs. The hot leg
+//! ([`LtRealization::selected_in_edge_fast`], used by [`lt_observe`] and
+//! [`lt_rr_set`]) runs on the graph's baked `u32` coin lattice — the same
+//! [`quantize_prob`](atpm_graph::quantize_prob) thresholds and packed
+//! [`SampleMeta`] records the IC samplers compare raw draws against — so
+//! the inner loop is integer adds and compares, and a uniform-weight
+//! in-neighbourhood (the weighted-cascade case) resolves with a single
+//! division instead of a scan. The f64 slow leg
+//! ([`LtRealization::selected_in_edge`]) is retained as the readable
+//! reference; the two agree statistically to the lattice's `2^-32`
+//! per-edge quantization (the tests pin it).
 
-use atpm_graph::{Graph, GraphView, Node};
+use atpm_graph::{Graph, GraphView, Node, SampleMeta};
 
 /// A possible world of the LT model: each node's selected in-edge, derived
 /// lazily from a hash of `(seed, node)` — O(1) memory like
@@ -54,12 +66,31 @@ impl LtRealization {
         (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
+    /// The draw of node `v` on the quantized `[0, 2^32)` coin lattice: the
+    /// top 32 bits of the same hash behind [`unit`](Self::unit), so
+    /// `unit_u32(v) == floor(unit(v) · 2^32)` and the two legs see the
+    /// *same* uniform variate at their respective precisions.
+    #[inline]
+    pub fn unit_u32(&self, v: Node) -> u32 {
+        let h = Self::mix(
+            self.seed
+                .wrapping_mul(0xA24BAED4963EE407)
+                .wrapping_add(0x9FB21C651E98DF25)
+                ^ (v as u64).wrapping_mul(0xD6E8FEB86659FD93),
+        );
+        (h >> 32) as u32
+    }
+
     /// The in-edge of `v` selected in this world, as an index into `v`'s
     /// in-slice, or `None` (thresholds too high / no in-edges).
     ///
     /// Edge `i` is selected iff the draw falls inside its probability band
     /// `[Σ_{j<i} w_j, Σ_{j≤i} w_j)`; weights must satisfy `Σ w ≤ 1`
     /// (use [`normalize_lt_weights`] to enforce it).
+    ///
+    /// This is the retained f64 slow leg — the readable reference the fast
+    /// leg is tested against. Hot paths use
+    /// [`selected_in_edge_fast`](Self::selected_in_edge_fast).
     pub fn selected_in_edge(&self, g: &Graph, v: Node) -> Option<usize> {
         let (_, probs, _) = g.in_slice(v);
         let draw = self.unit(v);
@@ -72,6 +103,66 @@ impl LtRealization {
         }
         None
     }
+
+    /// [`selected_in_edge`](Self::selected_in_edge) on the graph's baked
+    /// `u32` coin lattice — the hot leg. Integer adds and compares only
+    /// (no int→float conversion), and a uniform in-neighbourhood resolves
+    /// with a single division via its packed [`SampleMeta`] record.
+    ///
+    /// Statistically equivalent to the slow leg, not bit-equal: both legs
+    /// read the same per-node hash, but band boundaries live on the
+    /// quantized lattice, so selections can differ when a draw lands
+    /// within `~2^-32` of a boundary.
+    pub fn selected_in_edge_fast(&self, g: &Graph, v: Node) -> Option<usize> {
+        select_in_band(g.in_thresholds(v), g.in_meta(v), self.unit_u32(v))
+    }
+}
+
+/// Width of one edge's probability band on the `[0, 2^32)` lattice. The
+/// baked thresholds reserve `u32::MAX` for "certain" (see
+/// [`quantize_prob`](atpm_graph::quantize_prob)); under LT a certain edge
+/// owns the entire lattice — a band of exactly `2^32`, which is why bands
+/// accumulate in `u64`.
+#[inline]
+fn band(t: u32) -> u64 {
+    if t == u32::MAX {
+        1u64 << 32
+    } else {
+        t as u64
+    }
+}
+
+/// Quantized in-edge selection: the index of the band containing `draw`.
+/// `thresholds` is the node's in-span of baked coins (`Σ bands ≤ 2^32`
+/// when the LT validity condition `Σ w ≤ 1` holds); `meta` its packed
+/// sampling record, which advertises uniform spans so they resolve with
+/// one division instead of the scan.
+#[inline]
+fn select_in_band(thresholds: &[u32], meta: &SampleMeta, draw: u32) -> Option<usize> {
+    let draw = draw as u64;
+    // Uniform spans: skip-eligible records (finite `inv`) are uniform by
+    // construction with the shared coin in slot 0; otherwise a nonzero
+    // `meta.thr` *is* the shared coin. (`thr == 0` means mixed — or
+    // all-zero, which the scan below correctly never selects from.)
+    let shared = if meta.inv.is_finite() {
+        Some(thresholds[0])
+    } else if meta.thr != 0 {
+        Some(meta.thr)
+    } else {
+        None
+    };
+    if let Some(t) = shared {
+        let w = band(t);
+        return (draw < w * thresholds.len() as u64).then(|| (draw / w) as usize);
+    }
+    let mut acc = 0u64;
+    for (i, &t) in thresholds.iter().enumerate() {
+        acc += band(t);
+        if draw < acc {
+            return Some(i);
+        }
+    }
+    None
 }
 
 /// Rescales edge probabilities so every node's incoming weights sum to at
@@ -123,7 +214,7 @@ pub fn lt_observe<V: GraphView>(view: &V, real: &LtRealization, seeds: &[Node]) 
                 continue;
             }
             // v activates via u iff v's selected in-edge points at u.
-            if let Some(i) = real.selected_in_edge(g, v) {
+            if let Some(i) = real.selected_in_edge_fast(g, v) {
                 let (sources, _, _) = g.in_slice(v);
                 if sources[i] == u {
                     active[v as usize] = true;
@@ -164,18 +255,12 @@ pub fn lt_rr_set<V: GraphView, R: rand::Rng + ?Sized>(
     out.push(root);
     let mut v = root;
     loop {
-        // Fresh selection per step (independent worlds across RR sets).
-        let (sources, probs, _) = g.in_slice(v);
-        let draw: f64 = rng.gen();
-        let mut acc = 0.0f64;
-        let mut chosen: Option<Node> = None;
-        for (i, &p) in probs.iter().enumerate() {
-            acc += p as f64;
-            if draw < acc {
-                chosen = Some(sources[i]);
-                break;
-            }
-        }
+        // Fresh selection per step (independent worlds across RR sets),
+        // through the same quantized leg the forward cascade runs on.
+        let (sources, _, _) = g.in_slice(v);
+        let draw: u32 = rng.gen();
+        let chosen =
+            select_in_band(g.in_thresholds(v), g.in_meta(v), draw).map(|i| sources[i]);
         match chosen {
             Some(u) if view.is_alive(u) && !out.contains(&u) => {
                 out.push(u);
@@ -240,6 +325,83 @@ mod tests {
             .count();
         let rate = selected as f64 / 20_000.0;
         assert!((rate - 0.3).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn fast_leg_matches_slow_leg_statistically_on_mixed_spans() {
+        // A mixed-weight star: bands 0.15 / 0.35 / 0.25 (Σ = 0.75, so
+        // "none" keeps the remaining 0.25) — a span the scan path must
+        // handle. Both legs read the same per-node hash and disagree only
+        // when a draw lands within ~2^-32 of a band boundary, i.e.
+        // essentially never; the realized frequencies must match the
+        // weights.
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 3, 0.15).unwrap();
+        b.add_edge(1, 3, 0.35).unwrap();
+        b.add_edge(2, 3, 0.25).unwrap();
+        let g = b.build();
+        let trials = 40_000u64;
+        let mut counts = [0usize; 4]; // three edges + "none"
+        let mut disagreements = 0usize;
+        for seed in 0..trials {
+            let r = LtRealization::new(seed);
+            let fast = r.selected_in_edge_fast(&g, 3);
+            disagreements += usize::from(fast != r.selected_in_edge(&g, 3));
+            counts[fast.unwrap_or(3)] += 1;
+        }
+        assert!(
+            disagreements <= 1,
+            "legs disagree on {disagreements} of {trials} draws"
+        );
+        for (i, want) in [0.15, 0.35, 0.25, 0.25].into_iter().enumerate() {
+            let rate = counts[i] as f64 / trials as f64;
+            assert!((rate - want).abs() < 0.01, "band {i}: rate {rate}");
+        }
+    }
+
+    #[test]
+    fn fast_leg_division_shortcut_agrees_on_uniform_spans() {
+        // Uniform spans take the one-division shortcut, through both meta
+        // encodings: a weighted-cascade star of 10 edges at 1/10 is
+        // skip-eligible (finite `inv`, shared coin in slot 0); a 2-edge
+        // star at 0.45 is uniform but below the skip degree (`meta.thr`
+        // carries the coin). Each must agree with the slow leg and
+        // realize the per-edge weight.
+        let mut b = GraphBuilder::new(11);
+        for u in 0..10u32 {
+            b.add_edge(u, 10, 0.1).unwrap();
+        }
+        let g = b.build();
+        let trials = 50_000u64;
+        let mut counts = [0usize; 10];
+        let mut disagreements = 0usize;
+        for seed in 0..trials {
+            let r = LtRealization::new(seed ^ 0xABCD);
+            let fast = r.selected_in_edge_fast(&g, 10);
+            disagreements += usize::from(fast != r.selected_in_edge(&g, 10));
+            counts[fast.expect("10 bands of 1/10 cover the lattice")] += 1;
+        }
+        assert!(disagreements <= 2, "{disagreements} of {trials}");
+        for (i, &c) in counts.iter().enumerate() {
+            let rate = c as f64 / trials as f64;
+            assert!((rate - 0.1).abs() < 0.01, "edge {i}: rate {rate}");
+        }
+
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 2, 0.45).unwrap();
+        b.add_edge(1, 2, 0.45).unwrap();
+        let g = b.build();
+        let mut counts = [0usize; 3];
+        for seed in 0..trials {
+            let r = LtRealization::new(seed);
+            let fast = r.selected_in_edge_fast(&g, 2);
+            assert_eq!(fast, r.selected_in_edge(&g, 2), "seed {seed}");
+            counts[fast.unwrap_or(2)] += 1;
+        }
+        for (i, want) in [0.45, 0.45, 0.1].into_iter().enumerate() {
+            let rate = counts[i] as f64 / trials as f64;
+            assert!((rate - want).abs() < 0.01, "band {i}: rate {rate}");
+        }
     }
 
     #[test]

@@ -14,7 +14,9 @@ use atpm_graph::Node;
 use atpm_ris::CoverageScratch;
 
 use crate::json::Json;
-use crate::protocol::{ApiError, CreateSessionReq, Ledger, ObserveReq, SnapshotReq};
+use crate::protocol::{
+    ApiError, CreateSessionReq, Ledger, NextBatchReq, ObserveBatchReq, ObserveReq, SnapshotReq,
+};
 use crate::server::{route, AppState};
 use std::sync::Arc;
 
@@ -57,11 +59,43 @@ pub trait ProtocolClient {
         Ok(Some(seeds))
     }
 
+    /// Asks for the next batch of up to `k` seeds in one low-adaptivity
+    /// round; `None` when the policy is done. The pending batch must be
+    /// observed via [`observe_batch`](Self::observe_batch) before the next
+    /// round.
+    fn next_batch(&mut self, token: &str, k: usize) -> Result<Option<Vec<Node>>, ApiError> {
+        let resp = self.call(
+            "POST",
+            &format!("/sessions/{token}/next_batch"),
+            &NextBatchReq { k }.to_json(),
+        )?;
+        if resp.get("done").and_then(Json::as_bool).unwrap_or(false) {
+            return Ok(None);
+        }
+        let seeds = resp
+            .get("seeds")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| ApiError::new(500, "response missing 'seeds'"))?
+            .iter()
+            .filter_map(|x| x.as_u64().map(|v| v as Node))
+            .collect();
+        Ok(Some(seeds))
+    }
+
     /// Reports (or asks the server to simulate) an observation.
     fn observe(&mut self, token: &str, req: &ObserveReq) -> ApiResult {
         self.call(
             "POST",
             &format!("/sessions/{token}/observe"),
+            &req.to_json(),
+        )
+    }
+
+    /// Reports (or asks the server to simulate) a whole round's observation.
+    fn observe_batch(&mut self, token: &str, req: &ObserveBatchReq) -> ApiResult {
+        self.call(
+            "POST",
+            &format!("/sessions/{token}/observe_batch"),
             &req.to_json(),
         )
     }
@@ -85,6 +119,24 @@ pub trait ProtocolClient {
             for seed in seeds {
                 self.observe(&token, &ObserveReq::Simulate { seed })?;
             }
+        }
+        let ledger = self.ledger(&token)?;
+        self.delete_session(&token)?;
+        Ok(ledger)
+    }
+
+    /// Drives one full adaptive run in batched rounds of up to `k` seeds
+    /// with server-side simulation: create → (next_batch → observe_batch)* →
+    /// ledger. At `k = 1` the resulting ledger is byte-identical to
+    /// [`run_session`](Self::run_session)'s.
+    fn run_session_batched(
+        &mut self,
+        req: &CreateSessionReq,
+        k: usize,
+    ) -> Result<Ledger, ApiError> {
+        let token = self.create_session(req)?;
+        while let Some(seeds) = self.next_batch(&token, k)? {
+            self.observe_batch(&token, &ObserveBatchReq::Simulate { seeds })?;
         }
         let ledger = self.ledger(&token)?;
         self.delete_session(&token)?;
@@ -258,6 +310,45 @@ mod tests {
         assert_eq!(ledger.algorithm, "DeployAll");
         // Session was deleted by run_session.
         assert!(client.state().manager.is_empty());
+    }
+
+    #[test]
+    fn batched_run_at_k1_matches_single_seed_run() {
+        let mut client = LocalClient::new(AppState::new());
+        client.create_snapshot(&snapshot_req()).unwrap();
+        let single = client.run_session(&session_req(5)).unwrap();
+        let batched = client.run_session_batched(&session_req(5), 1).unwrap();
+        assert_eq!(batched, single);
+        assert_eq!(batched.profit.to_bits(), single.profit.to_bits());
+        assert_eq!(batched.rounds, single.rounds);
+    }
+
+    #[test]
+    fn batched_run_over_http_matches_local() {
+        use crate::server::{ServeConfig, Server};
+        let state = AppState::new();
+        let mut local = LocalClient::new(state.clone());
+        local.create_snapshot(&snapshot_req()).unwrap();
+        let mut server = Server::start(state, &ServeConfig::default()).unwrap();
+
+        let req = CreateSessionReq {
+            snapshot: "g".into(),
+            policy: PolicySpec::ThresholdBatch {
+                theta: 2_000,
+                eps: 0.1,
+                batch: 4,
+                seed: 7,
+                threads: 1,
+            },
+            world_seed: 5,
+        };
+        let mut http = HttpClient::connect(server.addr()).unwrap();
+        let from_http = http.run_session_batched(&req, 4).unwrap();
+        let from_local = local.run_session_batched(&req, 4).unwrap();
+        assert_eq!(from_http, from_local);
+        assert_eq!(from_http.profit.to_bits(), from_local.profit.to_bits());
+        assert!(from_http.rounds >= 1);
+        server.shutdown();
     }
 
     #[test]

@@ -81,7 +81,7 @@ use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use crate::json::Json;
-use crate::protocol::{nodes_field, ApiError, CreateSessionReq, ObserveReq};
+use crate::protocol::{nodes_field, ApiError, CreateSessionReq, ObserveBatchReq, ObserveReq};
 use atpm_graph::Node;
 
 const MAGIC_V1: &[u8; 8] = b"ATPMJNL1";
@@ -122,6 +122,27 @@ pub enum Record {
         /// The observation applied.
         req: ObserveReq,
     },
+    /// `POST next_batch` committed a new seed batch under an explicit
+    /// requested round size (idempotent re-serves are not journaled).
+    NextBatch {
+        /// Session token.
+        token: String,
+        /// The committed batch.
+        seeds: Vec<Node>,
+        /// The `k` the round was requested with. Replay must re-ask with
+        /// the same `k` — a policy may commit fewer than `k` seeds, and
+        /// the request size is part of its deterministic decision state.
+        k: usize,
+        /// Whether the policy finished.
+        done: bool,
+    },
+    /// `POST observe_batch` applied a joint batch observation.
+    ObserveBatch {
+        /// Session token.
+        token: String,
+        /// The observation applied.
+        req: ObserveBatchReq,
+    },
     /// The session ended (`DELETE`, or an expiry sweep evicted it).
     Delete {
         /// Session token.
@@ -147,6 +168,23 @@ impl Record {
             ]),
             Record::Observe { token, req } => Json::obj([
                 ("op", Json::Str("observe".into())),
+                ("token", Json::Str(token.clone())),
+                ("req", req.to_json()),
+            ]),
+            Record::NextBatch {
+                token,
+                seeds,
+                k,
+                done,
+            } => Json::obj([
+                ("op", Json::Str("next_batch".into())),
+                ("token", Json::Str(token.clone())),
+                ("seeds", Json::nums(seeds.iter().copied())),
+                ("k", Json::UInt(*k as u64)),
+                ("done", Json::Bool(*done)),
+            ]),
+            Record::ObserveBatch { token, req } => Json::obj([
+                ("op", Json::Str("observe_batch".into())),
                 ("token", Json::Str(token.clone())),
                 ("req", req.to_json()),
             ]),
@@ -195,6 +233,25 @@ impl Record {
                     v.get("req")
                         .ok_or_else(|| ApiError::bad_request("observe record missing 'req'"))?,
                 )?,
+            }),
+            "next_batch" => Ok(Record::NextBatch {
+                token: token(v)?,
+                seeds: nodes_field(v, "seeds")?,
+                k: v
+                    .get("k")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| ApiError::bad_request("next_batch record missing 'k'"))?
+                    as usize,
+                done: v
+                    .get("done")
+                    .and_then(Json::as_bool)
+                    .ok_or_else(|| ApiError::bad_request("next_batch record missing 'done'"))?,
+            }),
+            "observe_batch" => Ok(Record::ObserveBatch {
+                token: token(v)?,
+                req: ObserveBatchReq::from_json(v.get("req").ok_or_else(|| {
+                    ApiError::bad_request("observe_batch record missing 'req'")
+                })?)?,
             }),
             "delete" => Ok(Record::Delete { token: token(v)? }),
             other => Err(ApiError::bad_request(format!(
@@ -501,6 +558,48 @@ fn retry_eintr<T>(mut op: impl FnMut() -> io::Result<T>) -> io::Result<T> {
 // ---------------------------------------------------------------------------
 // Checkpoint sessions
 
+/// One committed adaptivity round as checkpointed: the observation that
+/// closed it, tagged with the `k` the batch was requested with (replay
+/// must re-ask with the same `k` — the request size is part of the
+/// policy's deterministic decision state).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundRec {
+    /// The `next`/`next_batch` request size that opened the round
+    /// (1 for the single-seed routes).
+    pub k: usize,
+    /// The observation that closed the round.
+    pub req: ObserveBatchReq,
+}
+
+impl RoundRec {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("k", Json::UInt(self.k as u64)),
+            ("req", self.req.to_json()),
+        ])
+    }
+
+    /// Parses a round. Accepts the pre-batch shape (a bare `ObserveReq`
+    /// with its `seed` field) as a round of `k = 1`, so checkpoints
+    /// written before batched seeding keep loading.
+    fn from_json(v: &Json) -> Result<RoundRec, ApiError> {
+        if let Some(req) = v.get("req") {
+            return Ok(RoundRec {
+                k: v
+                    .get("k")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| ApiError::bad_request("round missing 'k'"))?
+                    as usize,
+                req: ObserveBatchReq::from_json(req)?,
+            });
+        }
+        Ok(RoundRec {
+            k: 1,
+            req: ObserveReq::from_json(v)?.into(),
+        })
+    }
+}
+
 /// One live session's replayable history, as serialized into an
 /// `ATPMCKP1` checkpoint. The stepper itself (internal RNG, residual
 /// graph cursors) is never serialized — the session is re-derived by
@@ -514,10 +613,14 @@ pub struct CkpSession {
     pub id: u64,
     /// The creating request.
     pub req: CreateSessionReq,
-    /// Every observation applied, in order (each carries its seed).
-    pub rounds: Vec<ObserveReq>,
-    /// A handed-out-but-unobserved seed, if any.
-    pub pending: Option<Node>,
+    /// Every committed round, in order (each carries its batch).
+    pub rounds: Vec<RoundRec>,
+    /// A handed-out-but-unobserved batch, if any (empty = none).
+    pub pending: Vec<Node>,
+    /// The request size of the most recent stepper round — the `k` to
+    /// replay the pending batch (or the final, policy-exhausting round)
+    /// with. 1 for sessions driven over the single-seed routes.
+    pub pending_k: usize,
     /// Whether the policy finished.
     pub done: bool,
     /// Highest journal seq folded into this state; tail records at or
@@ -534,15 +637,10 @@ impl CkpSession {
             ("req", self.req.to_json()),
             (
                 "rounds",
-                Json::Arr(self.rounds.iter().map(ObserveReq::to_json).collect()),
+                Json::Arr(self.rounds.iter().map(RoundRec::to_json).collect()),
             ),
-            (
-                "pending",
-                match self.pending {
-                    Some(node) => Json::UInt(u64::from(node)),
-                    None => Json::Null,
-                },
-            ),
+            ("pending", Json::nums(self.pending.iter().copied())),
+            ("pending_k", Json::UInt(self.pending_k as u64)),
             ("done", Json::Bool(self.done)),
             ("last_seq", Json::UInt(self.last_seq)),
         ])
@@ -562,15 +660,17 @@ impl CkpSession {
             .and_then(Json::as_arr)
             .ok_or_else(|| ApiError::bad_request("ckp-session missing 'rounds'"))?
             .iter()
-            .map(ObserveReq::from_json)
+            .map(RoundRec::from_json)
             .collect::<Result<Vec<_>, _>>()?;
+        // Pre-batch checkpoints hold a scalar (or null) pending seed;
+        // current ones hold the pending batch as an array.
         let pending = match v.get("pending") {
-            None | Some(Json::Null) => None,
-            Some(p) => Some(
-                p.as_u64()
-                    .and_then(|n| Node::try_from(n).ok())
-                    .ok_or_else(|| ApiError::bad_request("ckp-session bad 'pending'"))?,
-            ),
+            None | Some(Json::Null) => Vec::new(),
+            Some(Json::Arr(_)) => nodes_field(v, "pending")?,
+            Some(p) => vec![p
+                .as_u64()
+                .and_then(|n| Node::try_from(n).ok())
+                .ok_or_else(|| ApiError::bad_request("ckp-session bad 'pending'"))?],
         };
         Ok(CkpSession {
             token,
@@ -584,6 +684,7 @@ impl CkpSession {
             )?,
             rounds,
             pending,
+            pending_k: v.get("pending_k").and_then(Json::as_u64).unwrap_or(1) as usize,
             done: v
                 .get("done")
                 .and_then(Json::as_bool)
@@ -594,7 +695,9 @@ impl CkpSession {
 
     /// The transition sequence that rebuilds this session through
     /// [`SessionManager::recover`] — the same records the journal would
-    /// have held.
+    /// have held. Rounds synthesize uniformly as batch records: a
+    /// single-seed round is a batch round of `k = 1`, byte-identical by
+    /// the stepper contract.
     fn synthesize(&self) -> Vec<Record> {
         let mut records = Vec::with_capacity(2 + self.rounds.len() * 2);
         records.push(Record::Create {
@@ -603,27 +706,30 @@ impl CkpSession {
             req: self.req.clone(),
         });
         for round in &self.rounds {
-            records.push(Record::Next {
+            records.push(Record::NextBatch {
                 token: self.token.clone(),
-                seeds: vec![round.seed()],
+                seeds: round.req.seeds().to_vec(),
+                k: round.k,
                 done: false,
             });
-            records.push(Record::Observe {
+            records.push(Record::ObserveBatch {
                 token: self.token.clone(),
-                req: round.clone(),
+                req: round.req.clone(),
             });
         }
-        if let Some(node) = self.pending {
-            records.push(Record::Next {
+        if !self.pending.is_empty() {
+            records.push(Record::NextBatch {
                 token: self.token.clone(),
-                seeds: vec![node],
+                seeds: self.pending.clone(),
+                k: self.pending_k,
                 done: false,
             });
         }
         if self.done {
-            records.push(Record::Next {
+            records.push(Record::NextBatch {
                 token: self.token.clone(),
                 seeds: vec![],
+                k: self.pending_k.max(1),
                 done: true,
             });
         }
@@ -896,6 +1002,8 @@ impl Journal {
                 Record::Create { token, .. }
                 | Record::Next { token, .. }
                 | Record::Observe { token, .. }
+                | Record::NextBatch { token, .. }
+                | Record::ObserveBatch { token, .. }
                 | Record::Delete { token } => token,
             };
             last_seq_by_token.get(token).is_none_or(|last| seq > *last)
@@ -1375,6 +1483,19 @@ mod tests {
                     activated: vec![17, 4],
                 },
             },
+            Record::NextBatch {
+                token: "s00000001".into(),
+                seeds: vec![3, 8],
+                k: 4,
+                done: false,
+            },
+            Record::ObserveBatch {
+                token: "s00000001".into(),
+                req: ObserveBatchReq::Report {
+                    seeds: vec![3, 8],
+                    activated: vec![3, 8, 11],
+                },
+            },
             Record::Next {
                 token: "s00000001".into(),
                 seeds: vec![],
@@ -1642,7 +1763,8 @@ mod tests {
                 world_seed: 42,
             },
             rounds: vec![],
-            pending: Some(17),
+            pending: vec![17],
+            pending_k: 1,
             done: false,
             last_seq: 2,
         };
@@ -1656,7 +1778,7 @@ mod tests {
         journal.append(&all[2]).unwrap();
         drop(journal);
         let (journal, replayed) = Journal::open(&path).unwrap();
-        // Synthesized: Create + pending Next; then the tail Observe.
+        // Synthesized: Create + pending NextBatch; then the tail Observe.
         assert_eq!(
             replayed,
             vec![
@@ -1665,9 +1787,10 @@ mod tests {
                     token: "s00000001".into(),
                     req: session.req.clone(),
                 },
-                Record::Next {
+                Record::NextBatch {
                     token: "s00000001".into(),
                     seeds: vec![17],
+                    k: 1,
                     done: false,
                 },
                 all[2].clone(),
@@ -1701,7 +1824,8 @@ mod tests {
                 world_seed: 42,
             },
             rounds: vec![],
-            pending: Some(17),
+            pending: vec![17],
+            pending_k: 1,
             done: false,
             last_seq: 2,
         };
@@ -1731,18 +1855,73 @@ mod tests {
                 world_seed: 8,
             },
             rounds: vec![
-                ObserveReq::Simulate { seed: 4 },
-                ObserveReq::Report {
-                    seed: 9,
-                    activated: vec![9, 2, 5],
+                RoundRec {
+                    k: 1,
+                    req: ObserveReq::Simulate { seed: 4 }.into(),
+                },
+                RoundRec {
+                    k: 4,
+                    req: ObserveBatchReq::Report {
+                        seeds: vec![9, 13],
+                        activated: vec![9, 2, 5, 13],
+                    },
                 },
             ],
-            pending: None,
+            pending: vec![],
+            pending_k: 4,
             done: true,
             last_seq: 31,
         };
         let encoded = session.to_json().encode();
         let parsed = CkpSession::from_json(&Json::parse(&encoded).unwrap()).unwrap();
         assert_eq!(parsed, session);
+    }
+
+    #[test]
+    fn pre_batch_ckp_session_shape_still_parses() {
+        // A checkpoint written before batched seeding: rounds are bare
+        // ObserveReq objects and 'pending' is a scalar seed.
+        let old = Json::obj([
+            ("op", Json::Str("ckp-session".into())),
+            ("token", Json::Str("sfeedface".into())),
+            ("id", Json::UInt(3)),
+            (
+                "req",
+                CreateSessionReq {
+                    snapshot: "g".into(),
+                    policy: PolicySpec::DeployAll,
+                    world_seed: 6,
+                }
+                .to_json(),
+            ),
+            (
+                "rounds",
+                Json::Arr(vec![ObserveReq::Simulate { seed: 4 }.to_json()]),
+            ),
+            ("pending", Json::UInt(9)),
+            ("done", Json::Bool(false)),
+            ("last_seq", Json::UInt(5)),
+        ]);
+        let parsed = CkpSession::from_json(&Json::parse(&old.encode()).unwrap()).unwrap();
+        assert_eq!(parsed.pending, vec![9]);
+        assert_eq!(parsed.pending_k, 1, "legacy rounds replay at k = 1");
+        assert_eq!(
+            parsed.rounds,
+            vec![RoundRec {
+                k: 1,
+                req: ObserveBatchReq::Simulate { seeds: vec![4] },
+            }]
+        );
+        // Legacy pending synthesizes as a batch-of-one NextBatch.
+        let records = parsed.synthesize();
+        assert_eq!(
+            records.last(),
+            Some(&Record::NextBatch {
+                token: "sfeedface".into(),
+                seeds: vec![9],
+                k: 1,
+                done: false,
+            })
+        );
     }
 }

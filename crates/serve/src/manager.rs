@@ -12,6 +12,15 @@
 //!    pending seed.
 //! 3. `ledger` — read the profit ledger at any time.
 //!
+//! The batch routes are the low-adaptivity form of the same loop:
+//! `next_batch` commits up to `k` seeds decided against **one** residual
+//! state, `observe_batch` applies their joint cascade as one adaptivity
+//! round. A pending batch is re-served verbatim on retry (whatever `k`
+//! the retry asks for), and mixing the single-seed verbs with a pending
+//! multi-seed batch is a 409 — the generalization of the wrong-seed
+//! conflict rule. At `k = 1` the batch routes are byte-identical to the
+//! single-seed ones by the stepper contract.
+//!
 //! Concurrency: the table itself is a `Mutex<HashMap>` held only for
 //! lookup/insert; each session sits behind its own `Arc<Mutex<_>>`, so
 //! requests for different sessions proceed in parallel and requests for the
@@ -49,9 +58,9 @@ use std::time::Instant;
 use atpm_core::{AdaptiveSession, PolicyStepper, SessionState};
 use atpm_graph::Node;
 
-use crate::journal::{CkpSession, Journal, Record};
+use crate::journal::{CkpSession, Journal, Record, RoundRec};
 use crate::metrics::ServeMetrics;
-use crate::protocol::{ApiError, CreateSessionReq, Ledger, ObserveReq};
+use crate::protocol::{ApiError, CreateSessionReq, Ledger, ObserveBatchReq, ObserveReq};
 use crate::snapshot::{Snapshot, SnapshotStore};
 
 /// Millisecond clock the manager stamps sessions with. Injectable so the
@@ -88,9 +97,15 @@ struct SessionEntry {
     /// Suspended between requests; `Some` except transiently inside a
     /// request handler.
     state: Option<SessionState>,
-    /// Seed committed by `next` and not yet observed.
-    pending: Option<Node>,
-    /// Policy exhausted (stepper returned `None`).
+    /// Batch committed by `next`/`next_batch` and not yet observed
+    /// (empty = nothing pending; the single-seed route pends a batch of
+    /// one).
+    pending: Vec<Node>,
+    /// The `k` of the most recent stepper round — checkpointed so replay
+    /// re-asks the pending (or final, policy-exhausting) round with the
+    /// same request size.
+    pending_k: usize,
+    /// Policy exhausted (stepper returned an empty batch).
     done: bool,
     /// Manager-clock milliseconds of the last request that touched this
     /// session (any verb counts as a sign of life).
@@ -101,10 +116,10 @@ struct SessionEntry {
     /// The creating request — with `rounds`, the session's full
     /// replayable history for checkpoint serialization.
     req: CreateSessionReq,
-    /// Every observation applied, in order. The stepper itself (RNG,
+    /// Every committed round, in order. The stepper itself (RNG,
     /// residual-graph cursors) cannot be serialized; replaying this
     /// history through the live handlers rebuilds it bit-for-bit.
-    rounds: Vec<ObserveReq>,
+    rounds: Vec<RoundRec>,
     /// Highest journal seq reflected in this state; a checkpoint captures
     /// it so tail replay skips records already folded in.
     last_seq: u64,
@@ -155,17 +170,20 @@ impl SessionEntry {
             total_activated: state.total_activated(),
             num_alive: state.num_alive(),
             sampling_work: state.sampling_work(),
+            rounds: state.rounds(),
+            oracle_queries: state.oracle_queries(),
             done: self.done,
         })
     }
 }
 
-/// Response of `next`: the committed seed batch (empty when done).
+/// Response of `next`/`next_batch`: the committed seed batch (empty when
+/// done).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NextBatch {
-    /// Seeds awaiting observation (the double-greedy family commits one at
-    /// a time, so this is 0 or 1 seeds; the field is a batch so richer
-    /// policies can extend the protocol without changing the wire format).
+    /// Seeds awaiting observation. The single-seed route commits 0 or 1;
+    /// `next_batch` commits up to the requested `k`, all decided against
+    /// one residual state.
     pub seeds: Vec<Node>,
     /// Whether the policy has finished.
     pub done: bool,
@@ -377,7 +395,8 @@ impl SessionManager {
                 id: guard.id,
                 req: guard.req.clone(),
                 rounds: guard.rounds.clone(),
-                pending: guard.pending,
+                pending: guard.pending.clone(),
+                pending_k: guard.pending_k,
                 done: guard.done,
                 last_seq: guard.last_seq,
             });
@@ -416,6 +435,22 @@ impl SessionManager {
                 },
                 Record::Observe { token, req } => {
                     if self.observe(token, req).is_err() {
+                        self.delete(token);
+                    }
+                }
+                Record::NextBatch {
+                    token,
+                    seeds,
+                    k,
+                    done,
+                } => match self.next_batch(token, *k) {
+                    Ok(batch) if batch.seeds == *seeds && batch.done == *done => {}
+                    _ => {
+                        self.delete(token);
+                    }
+                },
+                Record::ObserveBatch { token, req } => {
+                    if self.observe_batch(token, req).is_err() {
                         self.delete(token);
                     }
                 }
@@ -525,7 +560,8 @@ impl SessionManager {
             snapshot,
             stepper,
             state: Some(state),
-            pending: None,
+            pending: Vec::new(),
+            pending_k: 1,
             done: false,
             last_touched_ms: self.now_ms(),
             id,
@@ -609,17 +645,73 @@ impl SessionManager {
         stale.len()
     }
 
-    /// Advances the policy to its next committed seed.
+    /// Advances the policy to its next committed seed (a batch round of
+    /// `k = 1` — byte-identical to the pre-batch single-seed protocol by
+    /// the stepper contract).
     pub fn next(&self, token: &str) -> Result<NextBatch, ApiError> {
         let entry = self.entry(token)?;
         let mut entry = lock_entry(&entry);
         entry.last_touched_ms = self.now_ms();
-        if let Some(u) = entry.pending {
-            // Idempotent retry: a client whose response got lost (crash,
-            // shed, dropped connection) re-asks and receives the same
-            // committed seed — nothing advances, nothing re-journals.
+        match entry.pending.len() {
+            0 => {}
+            1 => {
+                // Idempotent retry: a client whose response got lost
+                // (crash, shed, dropped connection) re-asks and receives
+                // the same committed seed — nothing advances, nothing
+                // re-journals.
+                return Ok(NextBatch {
+                    seeds: entry.pending.clone(),
+                    done: false,
+                });
+            }
+            n => {
+                // A multi-seed batch is pending: the single-seed route
+                // cannot observe it, so handing out one seed of it would
+                // wedge the session. Same conflict family as observing
+                // the wrong seed.
+                return Err(ApiError::new(
+                    409,
+                    format!("a batch of {n} seeds is pending; POST observe_batch first"),
+                ));
+            }
+        }
+        if entry.done {
             return Ok(NextBatch {
-                seeds: vec![u],
+                seeds: Vec::new(),
+                done: true,
+            });
+        }
+        // `next_batch(session, 1)` is exactly one `next_seed` call.
+        let seeds = entry.with_session(|stepper, session| stepper.next_batch(session, 1))?;
+        let done = seeds.is_empty();
+        entry.pending = seeds.clone();
+        entry.pending_k = 1;
+        entry.done = done;
+        let seq = self.log(|| Record::Next {
+            token: token.to_string(),
+            seeds: seeds.clone(),
+            done,
+        })?;
+        entry.last_seq = entry.last_seq.max(seq);
+        Ok(NextBatch { seeds, done })
+    }
+
+    /// Advances the policy by one low-adaptivity round: up to `k` seeds
+    /// decided against the current residual state, all pending together
+    /// until `observe_batch` reports their joint cascade.
+    pub fn next_batch(&self, token: &str, k: usize) -> Result<NextBatch, ApiError> {
+        if k == 0 {
+            return Err(ApiError::bad_request("k must be positive"));
+        }
+        let entry = self.entry(token)?;
+        let mut entry = lock_entry(&entry);
+        entry.last_touched_ms = self.now_ms();
+        if !entry.pending.is_empty() {
+            // Idempotent retry: the already-committed batch is re-served
+            // verbatim, whatever `k` the retry asks for — the round was
+            // decided when it was first handed out.
+            return Ok(NextBatch {
+                seeds: entry.pending.clone(),
                 done: false,
             });
         }
@@ -629,35 +721,19 @@ impl SessionManager {
                 done: true,
             });
         }
-        let decided = entry.with_session(|stepper, session| stepper.next_seed(session))?;
-        match decided {
-            Some(u) => {
-                entry.pending = Some(u);
-                let seq = self.log(|| Record::Next {
-                    token: token.to_string(),
-                    seeds: vec![u],
-                    done: false,
-                })?;
-                entry.last_seq = entry.last_seq.max(seq);
-                Ok(NextBatch {
-                    seeds: vec![u],
-                    done: false,
-                })
-            }
-            None => {
-                entry.done = true;
-                let seq = self.log(|| Record::Next {
-                    token: token.to_string(),
-                    seeds: Vec::new(),
-                    done: true,
-                })?;
-                entry.last_seq = entry.last_seq.max(seq);
-                Ok(NextBatch {
-                    seeds: Vec::new(),
-                    done: true,
-                })
-            }
-        }
+        let seeds = entry.with_session(|stepper, session| stepper.next_batch(session, k))?;
+        let done = seeds.is_empty();
+        entry.pending = seeds.clone();
+        entry.pending_k = k;
+        entry.done = done;
+        let seq = self.log(|| Record::NextBatch {
+            token: token.to_string(),
+            seeds: seeds.clone(),
+            k,
+            done,
+        })?;
+        entry.last_seq = entry.last_seq.max(seq);
+        Ok(NextBatch { seeds, done })
     }
 
     /// Applies an observation for the pending seed.
@@ -665,9 +741,21 @@ impl SessionManager {
         let entry = self.entry(token)?;
         let mut entry = lock_entry(&entry);
         entry.last_touched_ms = self.now_ms();
-        let pending = entry
-            .pending
-            .ok_or_else(|| ApiError::new(409, "no seed awaiting observation; POST next first"))?;
+        let pending = match entry.pending.len() {
+            0 => {
+                return Err(ApiError::new(
+                    409,
+                    "no seed awaiting observation; POST next first",
+                ))
+            }
+            1 => entry.pending[0],
+            n => {
+                return Err(ApiError::new(
+                    409,
+                    format!("a batch of {n} seeds is pending; POST observe_batch instead"),
+                ))
+            }
+        };
         if req.seed() != pending {
             return Err(ApiError::new(
                 409,
@@ -706,9 +794,84 @@ impl SessionManager {
                 (activated.clone(), newly)
             }
         };
-        entry.pending = None;
-        entry.rounds.push(req.clone());
+        entry.pending.clear();
+        let round_k = entry.pending_k;
+        entry.rounds.push(RoundRec {
+            k: round_k,
+            req: req.clone().into(),
+        });
         let seq = self.log(|| Record::Observe {
+            token: token.to_string(),
+            req: req.clone(),
+        })?;
+        entry.last_seq = entry.last_seq.max(seq);
+        let ledger = entry.ledger()?;
+        Ok(Observed {
+            newly_activated,
+            activated,
+            ledger,
+        })
+    }
+
+    /// Applies a joint observation for the whole pending batch. The
+    /// reported `seeds` must be exactly the pending batch (same seeds,
+    /// same order) — the batch generalization of the single-seed 409
+    /// rule.
+    pub fn observe_batch(&self, token: &str, req: &ObserveBatchReq) -> Result<Observed, ApiError> {
+        let entry = self.entry(token)?;
+        let mut entry = lock_entry(&entry);
+        entry.last_touched_ms = self.now_ms();
+        if entry.pending.is_empty() {
+            return Err(ApiError::new(
+                409,
+                "no batch awaiting observation; POST next_batch first",
+            ));
+        }
+        if req.seeds() != &entry.pending[..] {
+            return Err(ApiError::new(
+                409,
+                format!(
+                    "observation is for seeds {:?}, but seeds {:?} are pending",
+                    req.seeds(),
+                    entry.pending
+                ),
+            ));
+        }
+        let n = entry.snapshot.instance.graph().num_nodes();
+        let (activated, newly_activated) = match req {
+            ObserveBatchReq::Simulate { seeds } => {
+                let seeds = seeds.clone();
+                let cascade = entry.with_session(move |_, session| session.select_batch(&seeds))?;
+                let newly = cascade.len();
+                (cascade, newly)
+            }
+            ObserveBatchReq::Report { seeds, activated } => {
+                if let Some(&bad) = activated.iter().find(|&&v| v as usize >= n) {
+                    return Err(ApiError::bad_request(format!(
+                        "activated node {bad} out of range for a {n}-node graph"
+                    )));
+                }
+                // Every seed of the batch activates itself under IC.
+                if let Some(&seed) = req.seeds().iter().find(|s| !activated.contains(s)) {
+                    return Err(ApiError::bad_request(format!(
+                        "activated must include the seed {seed} itself"
+                    )));
+                }
+                let seeds = seeds.clone();
+                let reported = activated.clone();
+                let newly = entry.with_session(move |_, session| {
+                    session.apply_observations(&seeds, &reported)
+                })?;
+                (activated.clone(), newly)
+            }
+        };
+        entry.pending.clear();
+        let round_k = entry.pending_k;
+        entry.rounds.push(RoundRec {
+            k: round_k,
+            req: req.clone(),
+        });
+        let seq = self.log(|| Record::ObserveBatch {
             token: token.to_string(),
             req: req.clone(),
         })?;
@@ -891,6 +1054,143 @@ mod tests {
             .unwrap();
         assert_eq!(obs.ledger.total_activated, 1);
         assert_eq!(obs.ledger.selected, vec![seed]);
+    }
+
+    /// Drives `token` in batched rounds of `k`, observing by simulation;
+    /// returns the final ledger.
+    fn drive_batched(m: &SessionManager, token: &str, k: usize) -> Ledger {
+        loop {
+            let batch = m.next_batch(token, k).unwrap();
+            if batch.done {
+                return m.ledger(token).unwrap();
+            }
+            m.observe_batch(
+                token,
+                &ObserveBatchReq::Simulate {
+                    seeds: batch.seeds.clone(),
+                },
+            )
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn batch_size_one_is_byte_identical_to_single_seed_protocol() {
+        let m = manager();
+        for world in [3u64, 11, 27] {
+            let single = create(&m, PolicySpec::DeployAll, world);
+            let batched = create(&m, PolicySpec::DeployAll, world);
+            let a = drive_to_completion(&m, &single);
+            let b = drive_batched(&m, &batched, 1);
+            assert_eq!(a.selected, b.selected, "world {world}");
+            assert_eq!(a.profit.to_bits(), b.profit.to_bits(), "world {world}");
+            assert_eq!(a.rounds, b.rounds, "world {world}");
+        }
+    }
+
+    #[test]
+    fn batched_protocol_finishes_in_fewer_rounds() {
+        let m = manager();
+        let single = create(&m, PolicySpec::DeployAll, 5);
+        let batched = create(&m, PolicySpec::DeployAll, 5);
+        let a = drive_to_completion(&m, &single);
+        let b = drive_batched(&m, &batched, 4);
+        assert_eq!(
+            a.selected.iter().copied().collect::<std::collections::HashSet<_>>(),
+            b.selected.iter().copied().collect::<std::collections::HashSet<_>>(),
+            "DeployAll takes every remaining target either way"
+        );
+        assert_eq!(a.profit.to_bits(), b.profit.to_bits());
+        assert!(
+            b.rounds < a.rounds,
+            "batched {} vs single {}",
+            b.rounds,
+            a.rounds
+        );
+    }
+
+    #[test]
+    fn pending_batch_is_reserved_idempotently_and_conflicts_are_409() {
+        let m = manager();
+        let token = create(&m, PolicySpec::DeployAll, 7);
+        // observe_batch before any next_batch: 409.
+        let err = m
+            .observe_batch(&token, &ObserveBatchReq::Simulate { seeds: vec![0] })
+            .unwrap_err();
+        assert_eq!(err.status, 409);
+        let batch = m.next_batch(&token, 3).unwrap();
+        assert!(batch.seeds.len() > 1, "{:?}", batch.seeds);
+        // Retry with a different k: same pending batch back, verbatim.
+        assert_eq!(m.next_batch(&token, 8).unwrap().seeds, batch.seeds);
+        assert_eq!(m.next_batch(&token, 1).unwrap().seeds, batch.seeds);
+        // The single-seed verbs conflict with a multi-seed pending batch.
+        assert_eq!(m.next(&token).unwrap_err().status, 409);
+        let err = m
+            .observe(
+                &token,
+                &ObserveReq::Simulate {
+                    seed: batch.seeds[0],
+                },
+            )
+            .unwrap_err();
+        assert_eq!(err.status, 409);
+        // Wrong seeds (subset, reorder) conflict too.
+        let err = m
+            .observe_batch(
+                &token,
+                &ObserveBatchReq::Simulate {
+                    seeds: vec![batch.seeds[0]],
+                },
+            )
+            .unwrap_err();
+        assert_eq!(err.status, 409);
+        let mut reversed = batch.seeds.clone();
+        reversed.reverse();
+        let err = m
+            .observe_batch(&token, &ObserveBatchReq::Simulate { seeds: reversed })
+            .unwrap_err();
+        assert_eq!(err.status, 409);
+        // The exact batch unblocks, and counts one adaptivity round.
+        let obs = m
+            .observe_batch(
+                &token,
+                &ObserveBatchReq::Simulate {
+                    seeds: batch.seeds.clone(),
+                },
+            )
+            .unwrap();
+        assert_eq!(obs.ledger.rounds, 1);
+        assert_eq!(obs.ledger.selected, batch.seeds);
+    }
+
+    #[test]
+    fn batch_report_mode_requires_every_seed_activated() {
+        let m = manager();
+        let token = create(&m, PolicySpec::DeployAll, 7);
+        let batch = m.next_batch(&token, 2).unwrap();
+        assert_eq!(batch.seeds.len(), 2);
+        // Omitting one seed from the activation report: 400.
+        let err = m
+            .observe_batch(
+                &token,
+                &ObserveBatchReq::Report {
+                    seeds: batch.seeds.clone(),
+                    activated: vec![batch.seeds[0]],
+                },
+            )
+            .unwrap_err();
+        assert_eq!(err.status, 400);
+        let obs = m
+            .observe_batch(
+                &token,
+                &ObserveBatchReq::Report {
+                    seeds: batch.seeds.clone(),
+                    activated: batch.seeds.clone(),
+                },
+            )
+            .unwrap();
+        assert_eq!(obs.ledger.total_activated, 2);
+        assert_eq!(obs.ledger.rounds, 1);
     }
 
     #[test]
@@ -1088,6 +1388,54 @@ mod tests {
             "recovered ledger must be bit-equal"
         );
         assert_eq!(recovered.total_activated, reference.total_activated);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn journal_recovery_reserves_the_exact_pending_batch() {
+        let path = temp_journal("recover-batch");
+        // Reference: the same batched session driven uninterrupted.
+        let reference = {
+            let m = manager();
+            let token = create(&m, PolicySpec::DeployAll, 13);
+            drive_batched(&m, &token, 3)
+        };
+
+        // "Crash" with one observed round plus a pending 3-seed batch.
+        let (token, pending) = {
+            let m = manager();
+            let (journal, records) = Journal::open(&path).unwrap();
+            assert!(records.is_empty());
+            m.attach_journal(Arc::new(journal));
+            let token = create(&m, PolicySpec::DeployAll, 13);
+            let first = m.next_batch(&token, 3).unwrap();
+            m.observe_batch(
+                &token,
+                &ObserveBatchReq::Simulate { seeds: first.seeds },
+            )
+            .unwrap();
+            let pending = m.next_batch(&token, 3).unwrap().seeds;
+            (token, pending)
+        };
+
+        let m = manager();
+        let (journal, records) = Journal::open(&path).unwrap();
+        assert_eq!(m.recover(&records), 1);
+        m.attach_journal(Arc::new(journal));
+        // The retried next_batch re-serves the exact pending batch.
+        assert_eq!(m.next_batch(&token, 3).unwrap().seeds, pending);
+        let recovered = {
+            m.observe_batch(&token, &ObserveBatchReq::Simulate { seeds: pending })
+                .unwrap();
+            drive_batched(&m, &token, 3)
+        };
+        assert_eq!(recovered.selected, reference.selected);
+        assert_eq!(
+            recovered.profit.to_bits(),
+            reference.profit.to_bits(),
+            "recovered batched ledger must be bit-equal"
+        );
+        assert_eq!(recovered.rounds, reference.rounds);
         let _ = std::fs::remove_file(&path);
     }
 

@@ -35,7 +35,7 @@ use crate::server::AppState;
 /// Route labels for `atpm_http_route_seconds`, in registration (and
 /// therefore stable exposition) order. The last entry absorbs anything the
 /// router 404s.
-pub const ROUTE_KEYS: [&str; 15] = [
+pub const ROUTE_KEYS: [&str; 17] = [
     "healthz",
     "metrics",
     "snapshots_list",
@@ -45,7 +45,9 @@ pub const ROUTE_KEYS: [&str; 15] = [
     "estimate",
     "session_create",
     "session_next",
+    "session_next_batch",
     "session_observe",
+    "session_observe_batch",
     "session_ledger",
     "session_delete",
     "debug_profile",
@@ -68,12 +70,14 @@ pub fn route_index(method: &str, path: &str) -> usize {
         ("POST", ["snapshots", _, "estimate"]) => 6,
         ("POST", ["sessions"]) => 7,
         ("POST", ["sessions", _, "next"]) => 8,
-        ("POST", ["sessions", _, "observe"]) => 9,
-        ("GET", ["sessions", _, "ledger"]) => 10,
-        ("DELETE", ["sessions", _]) => 11,
-        ("GET", ["debug", "profile"]) => 12,
-        ("GET", ["debug", "events"]) => 13,
-        _ => 14,
+        ("POST", ["sessions", _, "next_batch"]) => 9,
+        ("POST", ["sessions", _, "observe"]) => 10,
+        ("POST", ["sessions", _, "observe_batch"]) => 11,
+        ("GET", ["sessions", _, "ledger"]) => 12,
+        ("DELETE", ["sessions", _]) => 13,
+        ("GET", ["debug", "profile"]) => 14,
+        ("GET", ["debug", "events"]) => 15,
+        _ => 16,
     }
 }
 
@@ -291,7 +295,9 @@ mod tests {
             ("POST", "/snapshots/g/estimate", "estimate"),
             ("POST", "/sessions", "session_create"),
             ("POST", "/sessions/s1/next", "session_next"),
+            ("POST", "/sessions/s1/next_batch", "session_next_batch"),
             ("POST", "/sessions/s1/observe", "session_observe"),
+            ("POST", "/sessions/s1/observe_batch", "session_observe_batch"),
             ("GET", "/sessions/s1/ledger", "session_ledger"),
             ("DELETE", "/sessions/s1", "session_delete"),
             ("GET", "/debug/profile", "debug_profile"),

@@ -15,12 +15,14 @@
 //! POST   /sessions                       CreateSessionReq -> CreateSessionResp
 //! POST   /sessions/:id/next                               -> NextResp
 //! POST   /sessions/:id/observe           ObserveReq       -> ObserveResp
+//! POST   /sessions/:id/next_batch        NextBatchReq     -> NextResp
+//! POST   /sessions/:id/observe_batch     ObserveBatchReq  -> ObserveResp
 //! GET    /sessions/:id/ledger                             -> Ledger
 //! DELETE /sessions/:id                                    -> {}
 //! GET    /healthz                                         -> {"ok":true}
 //! ```
 
-use atpm_core::policies::{Ars, DeployAll, Hatp};
+use atpm_core::policies::{Ars, DeployAll, Hatp, ThresholdBatch};
 use atpm_core::PolicyStepper;
 use atpm_graph::Node;
 
@@ -162,6 +164,21 @@ pub enum PolicySpec {
     },
     /// Seed every target that is still inactive.
     DeployAll,
+    /// Low-adaptivity threshold-sampling batch policy (beyond the paper;
+    /// selects whole batches per sampling round — pair with `next_batch`).
+    ThresholdBatch {
+        /// Fresh RR sets per round (default 4000).
+        theta: usize,
+        /// Threshold decay per sweep, in (0, 1) (default 0.1).
+        eps: f64,
+        /// Default batch size for drives that don't pass `k` per round
+        /// (default 4).
+        batch: usize,
+        /// Sampling RNG seed.
+        seed: u64,
+        /// Sampler worker threads.
+        threads: usize,
+    },
 }
 
 impl PolicySpec {
@@ -180,8 +197,15 @@ impl PolicySpec {
                 seed: opt_u64(v, "seed")?.unwrap_or(0),
             }),
             "deploy_all" => Ok(PolicySpec::DeployAll),
+            "threshold_batch" => Ok(PolicySpec::ThresholdBatch {
+                theta: opt_u64(v, "theta")?.unwrap_or(4_000) as usize,
+                eps: opt_f64(v, "eps")?.unwrap_or(0.1),
+                batch: opt_u64(v, "batch")?.unwrap_or(4) as usize,
+                seed: opt_u64(v, "seed")?.unwrap_or(0),
+                threads: opt_threads(v)?,
+            }),
             other => Err(ApiError::bad_request(format!(
-                "unknown policy '{other}' (expected hatp | ars | deploy_all)"
+                "unknown policy '{other}' (expected hatp | ars | deploy_all | threshold_batch)"
             ))),
         }
     }
@@ -214,6 +238,20 @@ impl PolicySpec {
                 ("seed", Json::UInt(*seed)),
             ]),
             PolicySpec::DeployAll => Json::obj([("name", Json::Str("deploy_all".into()))]),
+            PolicySpec::ThresholdBatch {
+                theta,
+                eps,
+                batch,
+                seed,
+                threads,
+            } => Json::obj([
+                ("name", Json::Str("threshold_batch".into())),
+                ("theta", Json::UInt(*theta as u64)),
+                ("eps", Json::Num(*eps)),
+                ("batch", Json::UInt(*batch as u64)),
+                ("seed", Json::UInt(*seed)),
+                ("threads", Json::UInt(*threads as u64)),
+            ]),
         }
     }
 
@@ -257,6 +295,35 @@ impl PolicySpec {
                 ))
             }
             PolicySpec::DeployAll => Ok(Box::new(DeployAll.stepper())),
+            PolicySpec::ThresholdBatch {
+                theta,
+                eps,
+                batch,
+                seed,
+                threads,
+            } => {
+                if *theta == 0 {
+                    return Err(ApiError::bad_request("theta must be positive".to_string()));
+                }
+                if !(*eps > 0.0 && *eps < 1.0) {
+                    return Err(ApiError::bad_request("eps must be in (0, 1)".to_string()));
+                }
+                if *batch == 0 {
+                    return Err(ApiError::bad_request(
+                        "batch size must be positive".to_string(),
+                    ));
+                }
+                Ok(Box::new(
+                    ThresholdBatch {
+                        theta: *theta,
+                        eps: *eps,
+                        batch: *batch,
+                        seed: *seed,
+                        threads: *threads,
+                    }
+                    .stepper(),
+                ))
+            }
         }
     }
 }
@@ -437,6 +504,124 @@ impl ObserveReq {
     }
 }
 
+/// Most seeds a wire request may ask for in one batch round. Purely an
+/// abuse bound — real batch sizes are small (adaptivity trades quality
+/// away as `k` grows).
+pub const MAX_WIRE_BATCH: u64 = 4_096;
+
+/// `POST /sessions/:id/next_batch` — ask the policy for its next batch of
+/// up to `k` seeds, decided against one residual state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NextBatchReq {
+    /// Upper bound on the number of seeds in the round.
+    pub k: usize,
+}
+
+impl NextBatchReq {
+    /// Parses the request body.
+    pub fn from_json(v: &Json) -> Result<Self, ApiError> {
+        let k = u64_field(v, "k")?;
+        if k == 0 {
+            return Err(ApiError::bad_request("k must be positive".to_string()));
+        }
+        if k > MAX_WIRE_BATCH {
+            return Err(ApiError::bad_request(format!(
+                "k = {k} exceeds the cap of {MAX_WIRE_BATCH}"
+            )));
+        }
+        Ok(NextBatchReq { k: k as usize })
+    }
+
+    /// The wire form accepted by [`from_json`](Self::from_json).
+    pub fn to_json(&self) -> Json {
+        Json::obj([("k", Json::UInt(self.k as u64))])
+    }
+}
+
+/// `POST /sessions/:id/observe_batch` — report how a committed batch's
+/// joint cascade realized. The batch generalization of [`ObserveReq`]:
+/// `seeds` must be exactly the pending batch from the last `next_batch`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ObserveBatchReq {
+    /// The server simulates the joint cascade against the session's world.
+    Simulate {
+        /// The batch returned by the last `next_batch` call, in order.
+        seeds: Vec<Node>,
+    },
+    /// The caller reports externally realized activations.
+    Report {
+        /// The batch returned by the last `next_batch` call, in order.
+        seeds: Vec<Node>,
+        /// Every node observed active after the joint cascade.
+        activated: Vec<Node>,
+    },
+}
+
+impl ObserveBatchReq {
+    /// The batch this observation is for.
+    pub fn seeds(&self) -> &[Node] {
+        match self {
+            ObserveBatchReq::Simulate { seeds } | ObserveBatchReq::Report { seeds, .. } => seeds,
+        }
+    }
+
+    /// Parses the request body.
+    pub fn from_json(v: &Json) -> Result<Self, ApiError> {
+        let seeds = nodes_field(v, "seeds")?;
+        if v.get("simulate").and_then(Json::as_bool).unwrap_or(false) {
+            Ok(ObserveBatchReq::Simulate { seeds })
+        } else {
+            Ok(ObserveBatchReq::Report {
+                seeds,
+                activated: nodes_field(v, "activated")?,
+            })
+        }
+    }
+
+    /// The wire form accepted by [`from_json`](Self::from_json).
+    pub fn to_json(&self) -> Json {
+        match self {
+            ObserveBatchReq::Simulate { seeds } => Json::obj([
+                ("seeds", Json::nums(seeds.iter().copied())),
+                ("simulate", Json::Bool(true)),
+            ]),
+            ObserveBatchReq::Report { seeds, activated } => Json::obj([
+                ("seeds", Json::nums(seeds.iter().copied())),
+                ("activated", Json::nums(activated.iter().copied())),
+            ]),
+        }
+    }
+
+    /// The single-seed form of this observation, when the batch has exactly
+    /// one seed (used to journal batch-of-one rounds compatibly).
+    pub fn as_single(&self) -> Option<ObserveReq> {
+        match self {
+            ObserveBatchReq::Simulate { seeds } if seeds.len() == 1 => {
+                Some(ObserveReq::Simulate { seed: seeds[0] })
+            }
+            ObserveBatchReq::Report { seeds, activated } if seeds.len() == 1 => {
+                Some(ObserveReq::Report {
+                    seed: seeds[0],
+                    activated: activated.clone(),
+                })
+            }
+            _ => None,
+        }
+    }
+}
+
+impl From<ObserveReq> for ObserveBatchReq {
+    fn from(req: ObserveReq) -> Self {
+        match req {
+            ObserveReq::Simulate { seed } => ObserveBatchReq::Simulate { seeds: vec![seed] },
+            ObserveReq::Report { seed, activated } => ObserveBatchReq::Report {
+                seeds: vec![seed],
+                activated,
+            },
+        }
+    }
+}
+
 /// The profit ledger of a session (response of `observe` and `ledger`).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Ledger {
@@ -452,6 +637,12 @@ pub struct Ledger {
     pub num_alive: usize,
     /// RR sets generated by the policy so far.
     pub sampling_work: u64,
+    /// Adaptivity rounds committed so far (one per observed batch; the
+    /// single-seed protocol counts one round per seed).
+    pub rounds: u64,
+    /// Marginal-profit oracle queries spent by the policy so far (recorded
+    /// by batch policies; zero for policies that predate the counter).
+    pub oracle_queries: u64,
     /// Whether the policy has finished examining every candidate.
     pub done: bool,
 }
@@ -466,6 +657,8 @@ impl Ledger {
             ("total_activated", Json::UInt(self.total_activated as u64)),
             ("num_alive", Json::UInt(self.num_alive as u64)),
             ("sampling_work", Json::UInt(self.sampling_work)),
+            ("rounds", Json::UInt(self.rounds)),
+            ("oracle_queries", Json::UInt(self.oracle_queries)),
             ("done", Json::Bool(self.done)),
         ])
     }
@@ -481,6 +674,8 @@ impl Ledger {
             total_activated: u64_field(v, "total_activated")? as usize,
             num_alive: u64_field(v, "num_alive")? as usize,
             sampling_work: u64_field(v, "sampling_work")?,
+            rounds: opt_u64(v, "rounds")?.unwrap_or(0),
+            oracle_queries: opt_u64(v, "oracle_queries")?.unwrap_or(0),
             done: field(v, "done")?
                 .as_bool()
                 .ok_or_else(|| ApiError::bad_request("done must be a boolean"))?,
@@ -509,6 +704,13 @@ mod tests {
             },
             PolicySpec::Ars { prob: 0.5, seed: 3 },
             PolicySpec::DeployAll,
+            PolicySpec::ThresholdBatch {
+                theta: 2_000,
+                eps: 0.2,
+                batch: 8,
+                seed: 11,
+                threads: 2,
+            },
         ] {
             let json = spec.to_json();
             let parsed = PolicySpec::from_json(&Json::parse(&json.encode()).unwrap()).unwrap();
@@ -535,6 +737,14 @@ mod tests {
         assert!(bad_eps.build().is_err());
         let bad_prob = PolicySpec::Ars { prob: 1.5, seed: 0 };
         assert!(bad_prob.build().is_err());
+        let bad_batch_eps = PolicySpec::ThresholdBatch {
+            theta: 1_000,
+            eps: 1.0,
+            batch: 4,
+            seed: 0,
+            threads: 1,
+        };
+        assert!(bad_batch_eps.build().is_err());
     }
 
     #[test]
@@ -592,6 +802,45 @@ mod tests {
     }
 
     #[test]
+    fn batch_requests_round_trip() {
+        let next = NextBatchReq { k: 4 };
+        let parsed = NextBatchReq::from_json(&Json::parse(&next.to_json().encode()).unwrap());
+        assert_eq!(parsed.unwrap(), next);
+        assert!(NextBatchReq::from_json(&Json::obj([("k", Json::UInt(0))])).is_err());
+        assert!(
+            NextBatchReq::from_json(&Json::obj([("k", Json::UInt(MAX_WIRE_BATCH + 1))])).is_err()
+        );
+
+        for req in [
+            ObserveBatchReq::Simulate { seeds: vec![5, 9] },
+            ObserveBatchReq::Report {
+                seeds: vec![5, 9],
+                activated: vec![5, 6, 9],
+            },
+        ] {
+            let parsed = ObserveBatchReq::from_json(&Json::parse(&req.to_json().encode()).unwrap());
+            assert_eq!(parsed.unwrap(), req);
+            assert_eq!(req.seeds(), &[5, 9]);
+            assert!(req.as_single().is_none(), "two seeds have no single form");
+        }
+    }
+
+    #[test]
+    fn batch_of_one_observation_converts_both_ways() {
+        for single in [
+            ObserveReq::Simulate { seed: 7 },
+            ObserveReq::Report {
+                seed: 7,
+                activated: vec![7, 8],
+            },
+        ] {
+            let batch: ObserveBatchReq = single.clone().into();
+            assert_eq!(batch.seeds(), &[7]);
+            assert_eq!(batch.as_single(), Some(single));
+        }
+    }
+
+    #[test]
     fn ledger_round_trips_profit_bits() {
         let ledger = Ledger {
             algorithm: "HATP".into(),
@@ -600,6 +849,8 @@ mod tests {
             total_activated: 9,
             num_alive: 91,
             sampling_work: 123_456,
+            rounds: 3,
+            oracle_queries: 42,
             done: false,
         };
         let parsed = Ledger::from_json(&Json::parse(&ledger.to_json().encode()).unwrap()).unwrap();

@@ -38,7 +38,9 @@ use crate::journal::{FsyncPolicy, Journal, RealIo};
 use crate::json::Json;
 use crate::manager::SessionManager;
 use crate::metrics::ServeMetrics;
-use crate::protocol::{nodes_field, ApiError, CreateSessionReq, ObserveReq, SnapshotReq};
+use crate::protocol::{
+    nodes_field, ApiError, CreateSessionReq, NextBatchReq, ObserveBatchReq, ObserveReq, SnapshotReq,
+};
 use crate::snapshot::{Snapshot, SnapshotStore};
 
 /// Everything the routes need: snapshot store + session manager + the
@@ -128,7 +130,9 @@ pub fn route(
         (method, segments.as_slice()),
         ("POST", ["sessions"])
             | ("POST", ["sessions", _, "next"])
+            | ("POST", ["sessions", _, "next_batch"])
             | ("POST", ["sessions", _, "observe"])
+            | ("POST", ["sessions", _, "observe_batch"])
             | ("DELETE", ["sessions", _])
     ) && state.manager.journal_degraded()
     {
@@ -227,9 +231,32 @@ pub fn route(
                 ]),
             ))
         }
+        ("POST", ["sessions", token, "next_batch"]) => {
+            let req = NextBatchReq::from_json(body)?;
+            let batch = state.manager.next_batch(token, req.k)?;
+            Ok((
+                200,
+                Json::obj([
+                    ("seeds", Json::nums(batch.seeds.iter().copied())),
+                    ("done", Json::Bool(batch.done)),
+                ]),
+            ))
+        }
         ("POST", ["sessions", token, "observe"]) => {
             let req = ObserveReq::from_json(body)?;
             let obs = state.manager.observe(token, &req)?;
+            Ok((
+                200,
+                Json::obj([
+                    ("activated", Json::nums(obs.activated.iter().copied())),
+                    ("newly_activated", Json::Num(obs.newly_activated as f64)),
+                    ("ledger", obs.ledger.to_json()),
+                ]),
+            ))
+        }
+        ("POST", ["sessions", token, "observe_batch"]) => {
+            let req = ObserveBatchReq::from_json(body)?;
+            let obs = state.manager.observe_batch(token, &req)?;
             Ok((
                 200,
                 Json::obj([

@@ -41,7 +41,7 @@ type PolicyRunner = Box<dyn FnMut(&mut AdaptiveSession<'_>) -> Vec<u32>>;
 
 /// The policies under test, as (wire spec, equivalent in-process runner).
 fn policies() -> Vec<(PolicySpec, PolicyRunner)> {
-    use atpm_core::policies::{Ars, DeployAll, Hatp};
+    use atpm_core::policies::{Ars, DeployAll, Hatp, ThresholdBatch};
     let hatp_spec = PolicySpec::Hatp {
         eps_threshold: Some(0.1),
         max_theta: Some(1 << 16),
@@ -59,6 +59,22 @@ fn policies() -> Vec<(PolicySpec, PolicyRunner)> {
     let mut ars = Ars { prob: 0.5, seed: 3 };
     let deploy_spec = PolicySpec::DeployAll;
     let mut deploy = DeployAll;
+    // batch: 1 — these sweeps drive the single-seed protocol verbs, and
+    // ThresholdBatch's threshold floor depends on the round's k.
+    let tb_spec = PolicySpec::ThresholdBatch {
+        theta: 4_000,
+        eps: 0.1,
+        batch: 1,
+        seed: 13,
+        threads: 2,
+    };
+    let mut tb = ThresholdBatch {
+        theta: 4_000,
+        eps: 0.1,
+        batch: 1,
+        seed: 13,
+        threads: 2,
+    };
     vec![
         (
             hatp_spec,
@@ -71,6 +87,10 @@ fn policies() -> Vec<(PolicySpec, PolicyRunner)> {
         (
             deploy_spec,
             Box::new(move |s: &mut AdaptiveSession<'_>| deploy.run(s)),
+        ),
+        (
+            tb_spec,
+            Box::new(move |s: &mut AdaptiveSession<'_>| tb.run(s)),
         ),
     ]
 }
@@ -92,6 +112,8 @@ fn in_process_ledger(
         total_activated: session.total_activated(),
         num_alive: session.residual().num_alive(),
         sampling_work: session.sampling_work(),
+        rounds: session.rounds(),
+        oracle_queries: session.oracle_queries(),
         done: true,
     }
 }
@@ -117,6 +139,11 @@ fn assert_ledgers_identical(via_protocol: &Ledger, in_process: &Ledger, label: &
         via_protocol.sampling_work, in_process.sampling_work,
         "{label}"
     );
+    assert_eq!(via_protocol.rounds, in_process.rounds, "{label}");
+    assert_eq!(
+        via_protocol.oracle_queries, in_process.oracle_queries,
+        "{label}"
+    );
     assert!(via_protocol.done, "{label}: protocol run must finish");
 }
 
@@ -134,6 +161,7 @@ fn http_protocol_run_is_byte_identical_to_in_process_run() {
             PolicySpec::Hatp { .. } => "HATP",
             PolicySpec::Ars { .. } => "ARS",
             PolicySpec::DeployAll => "DeployAll",
+            PolicySpec::ThresholdBatch { .. } => "ThresholdBatch",
         };
         for world in WORLDS {
             let label = format!("{name} world={world}");
@@ -166,6 +194,7 @@ fn local_client_run_is_byte_identical_to_in_process_run() {
             PolicySpec::Hatp { .. } => "HATP",
             PolicySpec::Ars { .. } => "ARS",
             PolicySpec::DeployAll => "DeployAll",
+            PolicySpec::ThresholdBatch { .. } => "ThresholdBatch",
         };
         for world in WORLDS.into_iter().take(2) {
             let via_local = client
@@ -283,6 +312,88 @@ fn report_mode_with_client_side_simulation_matches_too() {
         let reference = in_process_ledger(&snapshot, &mut |s| deploy.run(s), "DeployAll", world);
         assert_ledgers_identical(&via_protocol, &reference, &format!("report world {world}"));
         client.delete_session(&token).unwrap();
+    }
+}
+
+#[test]
+fn batch_routes_at_k1_are_byte_identical_to_single_seed_protocol_on_both_backends() {
+    // The tentpole invariant: a batched drive with k = 1 through the new
+    // next_batch/observe_batch routes must produce the byte-identical seed
+    // sequence and profit ledger as the single-seed next/observe protocol —
+    // on the pool backend and the epoll backend alike.
+    use atpm_serve::server::Backend;
+    for backend in [Backend::Pool, Backend::Epoll] {
+        let state = AppState::new();
+        state
+            .store
+            .insert(Snapshot::build(&snapshot_req()).unwrap());
+        let cfg = ServeConfig {
+            backend,
+            ..ServeConfig::default()
+        };
+        let mut server = Server::start(state, &cfg).unwrap();
+        let mut client = HttpClient::connect(server.addr()).unwrap();
+        for (spec, _) in policies() {
+            for world in WORLDS.into_iter().take(2) {
+                let req = CreateSessionReq {
+                    snapshot: "e2e".into(),
+                    policy: spec.clone(),
+                    world_seed: world,
+                };
+                let single = client.run_session(&req).unwrap();
+                let batched = client.run_session_batched(&req, 1).unwrap();
+                let label = format!(
+                    "{} backend={} world={world}",
+                    single.algorithm,
+                    backend.as_str()
+                );
+                assert_eq!(batched, single, "{label}: ledgers diverged");
+                assert_eq!(
+                    batched.profit.to_bits(),
+                    single.profit.to_bits(),
+                    "{label}: profit not byte-identical"
+                );
+                assert_eq!(batched.rounds, single.rounds, "{label}");
+                assert_eq!(batched.oracle_queries, single.oracle_queries, "{label}");
+            }
+        }
+        server.shutdown();
+    }
+}
+
+#[test]
+fn batched_rounds_converge_in_fewer_round_trips_with_the_same_outcome() {
+    // ThresholdBatch at k = 4 must finish in strictly fewer adaptivity
+    // rounds than at k = 1 while staying a valid run (the quality trade is
+    // bounded, not byte-pinned — decisions legitimately differ across k).
+    let state = AppState::new();
+    state
+        .store
+        .insert(Snapshot::build(&snapshot_req()).unwrap());
+    let mut client = LocalClient::new(state);
+    let spec = PolicySpec::ThresholdBatch {
+        theta: 4_000,
+        eps: 0.1,
+        batch: 4,
+        seed: 13,
+        threads: 2,
+    };
+    for world in WORLDS.into_iter().take(2) {
+        let req = CreateSessionReq {
+            snapshot: "e2e".into(),
+            policy: spec.clone(),
+            world_seed: world,
+        };
+        let k1 = client.run_session_batched(&req, 1).unwrap();
+        let k4 = client.run_session_batched(&req, 4).unwrap();
+        assert!(k4.done && k1.done, "world {world}");
+        assert!(
+            k1.selected.len() <= 1 || k4.rounds < k1.rounds,
+            "world {world}: k=4 took {} rounds vs {} at k=1",
+            k4.rounds,
+            k1.rounds
+        );
+        assert!(!k4.selected.is_empty(), "world {world}");
     }
 }
 

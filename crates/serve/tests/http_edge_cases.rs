@@ -426,6 +426,136 @@ fn unusable_request_ids_are_replaced_not_echoed() {
 }
 
 #[test]
+fn batch_routes_echo_request_ids_and_land_in_the_event_log() {
+    // The new batch verbs go through the same diagnostic plumbing as every
+    // other route: a usable client X-Request-Id echoes back on the
+    // response, and both calls land in /debug/events under that id, on
+    // either backend.
+    use atpm_serve::json::Json;
+    use atpm_serve::protocol::{SnapshotReq, SnapshotSource};
+    use atpm_serve::snapshot::Snapshot;
+
+    /// One response with its full head text (for header assertions).
+    fn read_response_with_head(stream: &mut TcpStream) -> (u16, String, Vec<u8>) {
+        let mut head = Vec::new();
+        let mut byte = [0u8; 1];
+        while !head.ends_with(b"\r\n\r\n") {
+            stream.read_exact(&mut byte).expect("response head");
+            head.push(byte[0]);
+        }
+        let text = String::from_utf8_lossy(&head).into_owned();
+        let status: u16 = text
+            .split_ascii_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .expect("status code");
+        let content_length: usize = text
+            .lines()
+            .find_map(|l| l.strip_prefix("content-length: "))
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(0);
+        let mut body = vec![0u8; content_length];
+        stream.read_exact(&mut body).expect("response body");
+        (status, text, body)
+    }
+
+    fn post(stream: &mut TcpStream, path: &str, rid: &str, body: &str) -> (u16, String, Json) {
+        stream
+            .write_all(
+                format!(
+                    "POST {path} HTTP/1.1\r\nx-request-id: {rid}\r\ncontent-length: {}\r\n\r\n{body}",
+                    body.len()
+                )
+                .as_bytes(),
+            )
+            .unwrap();
+        let (status, head, bytes) = read_response_with_head(stream);
+        let json = Json::parse(&String::from_utf8_lossy(&bytes)).unwrap();
+        (status, head, json)
+    }
+
+    for backend in [Backend::Pool, Backend::Epoll] {
+        let (mut server, state) = boot(backend);
+        state.store.insert(
+            Snapshot::build(&SnapshotReq {
+                name: "g".into(),
+                source: SnapshotSource::Preset {
+                    dataset: "nethept".into(),
+                    scale: 0.02,
+                },
+                k: 4,
+                rr_theta: 4_000,
+                seed: 1,
+                threads: 1,
+            })
+            .unwrap(),
+        );
+        let mut stream = connect(&server);
+        let (status, _, created) = post(
+            &mut stream,
+            "/sessions",
+            "batch-create-1",
+            r#"{"snapshot":"g","policy":{"name":"deploy_all"},"world_seed":3}"#,
+        );
+        assert_eq!(status, 201, "{backend:?}");
+        let token = created.get("session").and_then(Json::as_str).unwrap().to_string();
+
+        let (status, head, resp) = post(
+            &mut stream,
+            &format!("/sessions/{token}/next_batch"),
+            "batch-next-1",
+            r#"{"k":2}"#,
+        );
+        assert_eq!(status, 200, "{backend:?}");
+        assert!(
+            head.contains("x-request-id: batch-next-1"),
+            "{backend:?}: supplied id must echo on next_batch: {head}"
+        );
+        let seeds: Vec<u64> = resp
+            .get("seeds")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .iter()
+            .filter_map(Json::as_u64)
+            .collect();
+        assert!(!seeds.is_empty(), "{backend:?}");
+
+        let seeds_json = seeds
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join(",");
+        let (status, head, _) = post(
+            &mut stream,
+            &format!("/sessions/{token}/observe_batch"),
+            "batch-observe-1",
+            &format!(r#"{{"seeds":[{seeds_json}],"simulate":true}}"#),
+        );
+        assert_eq!(status, 200, "{backend:?}");
+        assert!(
+            head.contains("x-request-id: batch-observe-1"),
+            "{backend:?}: supplied id must echo on observe_batch: {head}"
+        );
+
+        // Both calls must be visible in the structured event ring, keyed by
+        // the client-supplied ids.
+        stream
+            .write_all(b"GET /debug/events HTTP/1.1\r\nconnection: close\r\n\r\n")
+            .unwrap();
+        let events = String::from_utf8_lossy(&read_to_close(&mut stream)).into_owned();
+        assert!(
+            events.contains("batch-next-1") && events.contains("next_batch"),
+            "{backend:?}: next_batch missing from event log:\n{events}"
+        );
+        assert!(
+            events.contains("batch-observe-1") && events.contains("observe_batch"),
+            "{backend:?}: observe_batch missing from event log:\n{events}"
+        );
+        server.shutdown();
+    }
+}
+
+#[test]
 fn eof_mid_header_answers_400_and_closes() {
     let (pool, epoll) = differential(|stream| {
         stream.write_all(b"GET /healthz HTT").unwrap();

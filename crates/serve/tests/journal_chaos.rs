@@ -130,6 +130,16 @@ fn failed_fsync_degrades_mutations_to_503_with_retry_after_but_reads_keep_servin
             session_req().to_json().encode(),
         ),
         ("POST", format!("/sessions/{token}/next"), String::new()),
+        (
+            "POST",
+            format!("/sessions/{token}/next_batch"),
+            r#"{"k":4}"#.to_string(),
+        ),
+        (
+            "POST",
+            format!("/sessions/{token}/observe_batch"),
+            format!(r#"{{"seeds":[{seed}],"simulate":true}}"#),
+        ),
         ("DELETE", format!("/sessions/{token}"), String::new()),
     ] {
         let resp = raw_call(addr, method, &path, &body);

@@ -151,6 +151,87 @@ fn killed_mid_session_server_recovers_bit_for_bit_from_the_journal() {
     let _ = std::fs::remove_file(&path);
 }
 
+#[test]
+fn killed_mid_batch_server_reserves_the_exact_pending_batch() {
+    use atpm_serve::protocol::ObserveBatchReq;
+    let mut path = std::env::temp_dir();
+    path.push(format!("atpm-e2e-journal-batch-{}", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let journal_cfg = ServeConfig {
+        journal_path: Some(path.to_string_lossy().into_owned()),
+        ..ServeConfig::default()
+    };
+    let batch_req = || CreateSessionReq {
+        snapshot: "g".into(),
+        policy: PolicySpec::ThresholdBatch {
+            theta: 2_000,
+            eps: 0.1,
+            batch: 3,
+            seed: 11,
+            threads: 1,
+        },
+        world_seed: 17,
+    };
+
+    // Reference: the identical batched session driven uninterrupted,
+    // journal-free, in process.
+    let reference_ledger = {
+        let mut client = LocalClient::new(state_with_snapshot());
+        client.run_session_batched(&batch_req(), 3).unwrap()
+    };
+
+    // Server A: one observed batch round, then a batch whose seeds were
+    // committed (and journaled) but never observed — then kill -9.
+    let (token, pending) = {
+        let server = Server::start(state_with_snapshot(), &journal_cfg).unwrap();
+        let mut client = HttpClient::connect(server.addr()).unwrap();
+        let token = client.create_session(&batch_req()).unwrap();
+        let seeds = client.next_batch(&token, 3).unwrap().unwrap();
+        client
+            .observe_batch(&token, &ObserveBatchReq::Simulate { seeds })
+            .unwrap();
+        let pending = client.next_batch(&token, 3).unwrap();
+        std::mem::forget(server); // no drain, no shutdown, no fsync
+        (token, pending)
+    };
+
+    // Server B: fresh state, same snapshot build, same journal. The
+    // client's retried next_batch must re-serve the exact pending batch —
+    // same seeds, same order — not a 409 and not a fresh decision.
+    let mut server = Server::start(state_with_snapshot(), &journal_cfg).unwrap();
+    let mut client = HttpClient::connect(server.addr()).unwrap();
+    let retried = client.next_batch(&token, 3).unwrap();
+    assert_eq!(
+        retried, pending,
+        "retried next_batch must re-serve the pending batch verbatim"
+    );
+    if let Some(seeds) = retried {
+        client
+            .observe_batch(&token, &ObserveBatchReq::Simulate { seeds })
+            .unwrap();
+    }
+    while let Some(seeds) = client.next_batch(&token, 3).unwrap() {
+        client
+            .observe_batch(&token, &ObserveBatchReq::Simulate { seeds })
+            .unwrap();
+    }
+    let ledger = client.ledger(&token).unwrap();
+    assert_eq!(
+        ledger.selected, reference_ledger.selected,
+        "recovered batch session must select the exact seed sequence"
+    );
+    assert_eq!(
+        ledger.profit.to_bits(),
+        reference_ledger.profit.to_bits(),
+        "recovered profit ledger must be bit-equal"
+    );
+    assert_eq!(ledger.rounds, reference_ledger.rounds);
+    assert_eq!(ledger.total_activated, reference_ledger.total_activated);
+
+    server.shutdown();
+    let _ = std::fs::remove_file(&path);
+}
+
 /// Recovery fuzz: journal and checkpoint files mutilated at every byte.
 /// The invariants under test — recovery must *never* panic, must never
 /// invent records, and whatever it does return must be an exact committed
@@ -349,7 +430,9 @@ mod fuzz {
             let token = match r {
                 Record::Create { token, .. }
                 | Record::Next { token, .. }
+                | Record::NextBatch { token, .. }
                 | Record::Observe { token, .. }
+                | Record::ObserveBatch { token, .. }
                 | Record::Delete { token } => token.clone(),
             };
             map.entry(token).or_default().push(r.clone());
